@@ -1,0 +1,47 @@
+// Shared helpers for the bench binaries: each bench prints the
+// paper-style table it regenerates, then runs its google-benchmark
+// timings. Keeping the table output on stdout makes
+// `for b in build/bench/*; do $b; done` reproduce the whole evaluation.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::bench {
+
+inline std::string pct(double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.0f%%", v);
+  return buf;
+}
+
+inline std::string human(u64 n) {
+  char buf[32];
+  if (n >= 1000000000ull)
+    std::snprintf(buf, sizeof buf, "%.1fG", static_cast<double>(n) / 1e9);
+  else if (n >= 1000000ull)
+    std::snprintf(buf, sizeof buf, "%.1fM", static_cast<double>(n) / 1e6);
+  else if (n >= 1000ull)
+    std::snprintf(buf, sizeof buf, "%.1fK", static_cast<double>(n) / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+/// Fixed-width row printer.
+inline void print_row(const std::vector<std::pair<std::string, int>>& cells) {
+  for (const auto& [text, width] : cells) {
+    std::string t = text;
+    if (static_cast<int>(t.size()) > width) t = t.substr(0, static_cast<std::size_t>(width));
+    std::printf("%-*s ", width, t.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace pp::bench

@@ -1,0 +1,67 @@
+// Experiment II (paper §8): run the Polly-like static analyzer over every
+// mini-Rodinia benchmark and report, per benchmark,
+//  * whether the whole region of interest could be modeled (never),
+//  * why not (the R/C/B/F/A/P taxonomy),
+//  * the deepest loop nest the static analysis could still model — the
+//    paper's "some smaller subregions, 1D or 2D loop nests, in most
+//    benchmarks" (with heartwall's nine 2-D nests and lud's inner nest as
+//    the notable larger catches).
+#include "bench_util.hpp"
+#include "statican/statican.hpp"
+
+namespace pp {
+namespace {
+
+void print_expII() {
+  std::printf("== Experiment II: static (Polly-like) baseline ==\n");
+  bench::print_row({{"benchmark", 14},
+                    {"whole region", 12},
+                    {"reasons", 8},
+                    {"loops", 6},
+                    {"modeled", 8},
+                    {"deepest modeled nest", 20}});
+  int fully_modeled = 0;
+  for (const auto& name : workloads::rodinia_names()) {
+    workloads::Workload w = workloads::make_rodinia(name);
+    std::set<char> reasons;
+    int loops = 0, modeled = 0, deepest = 0;
+    for (const auto& f : w.module.functions) {
+      statican::FunctionVerdict v = statican::analyze_function(w.module, f);
+      reasons.insert(v.reasons.begin(), v.reasons.end());
+      loops += v.num_loops;
+      modeled += v.num_modeled_loops;
+      deepest = std::max(deepest, v.max_modeled_nest_depth);
+    }
+    bool whole = reasons.empty();
+    if (whole) ++fully_modeled;
+    bench::print_row({{name, 14},
+                      {whole ? "YES" : "no", 12},
+                      {statican::reasons_str(reasons), 8},
+                      {std::to_string(loops), 6},
+                      {std::to_string(modeled), 8},
+                      {deepest ? std::to_string(deepest) + "D" : "-", 20}});
+  }
+  std::printf("\nwhole-region modeled: %d / %zu benchmarks (paper: 0 / 19)\n\n",
+              fully_modeled, workloads::rodinia_names().size());
+}
+
+void BM_StaticAnalysis(benchmark::State& state) {
+  workloads::Workload w = workloads::make_rodinia("backprop");
+  for (auto _ : state) {
+    for (const auto& f : w.module.functions) {
+      auto v = statican::analyze_function(w.module, f);
+      benchmark::DoNotOptimize(v.reasons.size());
+    }
+  }
+}
+BENCHMARK(BM_StaticAnalysis)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pp
+
+int main(int argc, char** argv) {
+  pp::print_expII();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Regenerates the paper's Fig. 2: (a/b) the example CFG and its
+// loop-nesting tree, (c/d) the example call graph and its
+// recursive-component-set.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cfg/loop_forest.hpp"
+#include "cfg/recursive_components.hpp"
+
+namespace pp {
+namespace {
+
+cfg::FunctionCfg fig2_cfg() {
+  // A=0, B=1, C=2, D=3, E=4.
+  cfg::FunctionCfg c;
+  c.func = 0;
+  c.entry = 0;
+  c.blocks.add_edge(0, 1);
+  c.blocks.add_edge(1, 2);
+  c.blocks.add_edge(1, 3);
+  c.blocks.add_edge(2, 3);
+  c.blocks.add_edge(2, 4);
+  c.blocks.add_edge(3, 2);
+  c.blocks.add_edge(3, 1);
+  return c;
+}
+
+cfg::CallGraph fig2_cg() {
+  // M=0, B=1, C=2 with M->B, B->C, C->B, C->C.
+  cfg::CallGraph cg;
+  cg.graph.add_edge(0, 1);
+  cg.graph.add_edge(1, 2);
+  cg.graph.add_edge(2, 1);
+  cg.graph.add_edge(2, 2);
+  return cg;
+}
+
+void print_fig2() {
+  std::printf("== Fig. 2(a/b): CFG -> loop-nesting tree ==\n");
+  std::printf("CFG edges: A->B, B->C, B->D, C->D, C->E, D->C, D->B\n");
+  cfg::LoopForest lf(fig2_cfg());
+  std::printf("%s", lf.str().c_str());
+  std::printf("(expected: L1 header B region {B,C,D}; nested L2 header C "
+              "region {C,D} — C chosen among entries {C, D})\n\n");
+
+  std::printf("== Fig. 2(c/d): CG -> recursive-component-set ==\n");
+  std::printf("CG edges: M->B, B->C, C->B, C->C\n");
+  cfg::RecursiveComponentSet rcs(fig2_cg(), {0});
+  std::printf("%s", rcs.str().c_str());
+  std::printf("(expected: one component {B, C}, entries {B}, headers "
+              "{B, C})\n\n");
+}
+
+void BM_LoopForestFig2(benchmark::State& state) {
+  cfg::FunctionCfg c = fig2_cfg();
+  for (auto _ : state) {
+    cfg::LoopForest lf(c);
+    benchmark::DoNotOptimize(lf.loops().size());
+  }
+}
+BENCHMARK(BM_LoopForestFig2);
+
+void BM_RecursiveComponentsFig2(benchmark::State& state) {
+  cfg::CallGraph cg = fig2_cg();
+  for (auto _ : state) {
+    cfg::RecursiveComponentSet rcs(cg, {0});
+    benchmark::DoNotOptimize(rcs.components().size());
+  }
+}
+BENCHMARK(BM_RecursiveComponentsFig2);
+
+}  // namespace
+}  // namespace pp
+
+int main(int argc, char** argv) {
+  pp::print_fig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Regenerates the paper's Fig. 3: the two running examples' traces with
+// loop events and dynamic interprocedural iteration vectors —
+// Example 1 (a 2-D loop nest spread across two functions) and Example 2
+// (self-recursion folded by the recursive-component-set).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "iiv/diiv.hpp"
+
+namespace pp {
+namespace {
+
+struct Tracer {
+  cfg::ControlStructure cs;
+  std::unique_ptr<cfg::LoopEventMachine> lem;
+  iiv::DynamicIiv diiv;
+  int step = 0;
+
+  explicit Tracer(cfg::ControlStructure cs_in) : cs(std::move(cs_in)) {
+    lem = std::make_unique<cfg::LoopEventMachine>(
+        cs, [this](const cfg::LoopEvent& ev) {
+          diiv.apply(ev);
+          std::printf("%3d: %-14s %s\n", step, ev.str().c_str(),
+                      diiv.str().c_str());
+        });
+  }
+  void jump(int f, int b) {
+    ++step;
+    lem->on_jump(f, b);
+  }
+  void call(int caller, int callee) {
+    ++step;
+    lem->on_call(caller, callee, 0);
+  }
+  void ret(int from, int into_f, int into_b) {
+    ++step;
+    lem->on_return(from, into_f, into_b);
+  }
+};
+
+void example1() {
+  std::printf("== Fig. 3 Example 1: interprocedural 2-D nest ==\n");
+  std::printf("M=f0 calls A=f1 (loop L0 at bb1); A1 calls B=f2 (loop L0 at "
+              "bb1)\n");
+  cfg::ControlStructure cs;
+  {
+    cfg::FunctionCfg mcfg;
+    mcfg.func = 0;
+    mcfg.blocks.add_node(0);
+    cs.forests.emplace(0, cfg::LoopForest(mcfg));
+    cfg::FunctionCfg a;
+    a.func = 1;
+    a.blocks.add_edge(0, 1);
+    a.blocks.add_edge(1, 2);
+    a.blocks.add_edge(2, 1);
+    a.blocks.add_edge(1, 3);
+    cs.forests.emplace(1, cfg::LoopForest(a));
+    cfg::FunctionCfg b;
+    b.func = 2;
+    b.blocks.add_edge(0, 1);
+    b.blocks.add_edge(1, 1);
+    b.blocks.add_edge(1, 2);
+    cs.forests.emplace(2, cfg::LoopForest(b));
+    cfg::CallGraph cg;
+    cg.graph.add_edge(0, 1);
+    cg.graph.add_edge(1, 2);
+    cs.rcs = cfg::RecursiveComponentSet(cg, {0});
+  }
+  Tracer t(std::move(cs));
+  t.jump(0, 0);     // N(M0)
+  t.call(0, 1);     // C -> A
+  t.jump(1, 1);     // E(L) in A
+  t.call(1, 2);     // C -> B
+  t.jump(2, 1);     // E(L) in B
+  t.jump(2, 1);     // I in B
+  t.jump(2, 2);     // X in B
+  t.ret(2, 1, 1);   // R -> A
+  t.jump(1, 2);     // N(A2)
+  t.jump(1, 1);     // I in A
+  t.jump(1, 3);     // X in A
+  t.ret(1, 0, 0);   // R -> M
+  std::printf("\n");
+}
+
+void example2() {
+  std::printf("== Fig. 3 Example 2: recursion via the recursive-component-"
+              "set ==\n");
+  std::printf("M=f0 calls B=f1 (self-recursive); B1 calls C=f2\n");
+  cfg::ControlStructure cs;
+  {
+    cfg::FunctionCfg mcfg;
+    mcfg.func = 0;
+    mcfg.blocks.add_node(0);
+    cs.forests.emplace(0, cfg::LoopForest(mcfg));
+    cfg::FunctionCfg b;
+    b.func = 1;
+    b.blocks.add_edge(0, 1);
+    cs.forests.emplace(1, cfg::LoopForest(b));
+    cfg::FunctionCfg c;
+    c.func = 2;
+    c.blocks.add_node(0);
+    cs.forests.emplace(2, cfg::LoopForest(c));
+    cfg::CallGraph cg;
+    cg.graph.add_edge(0, 1);
+    cg.graph.add_edge(1, 1);
+    cg.graph.add_edge(1, 2);
+    cs.rcs = cfg::RecursiveComponentSet(cg, {0});
+  }
+  Tracer t(std::move(cs));
+  t.jump(0, 0);      // N(M0)
+  t.call(0, 1);      // Ec: enter the recursive loop, iv = 0
+  t.jump(1, 1);      // N(B1)
+  t.call(1, 2);      // C -> C0 (indexed by the recursion iv)
+  t.ret(2, 1, 1);    // R
+  t.call(1, 1);      // Ic: iv = 1
+  t.jump(1, 1);      // N(B1)
+  t.call(1, 2);      // C -> C0
+  t.ret(2, 1, 1);    // R
+  t.call(1, 1);      // Ic: iv = 2
+  t.jump(1, 1);      // N(B1)
+  t.ret(1, 1, 1);    // Ir: iv = 3 ("it keeps increasing")
+  t.ret(1, 1, 1);    // Ir: iv = 4
+  t.ret(1, 0, 0);    // Xr: recursion unstacked
+  std::printf("\n");
+}
+
+void BM_Example2Trace(benchmark::State& state) {
+  for (auto _ : state) {
+    iiv::DynamicIiv d;
+    d.apply({cfg::LoopEvent::Kind::kBlock, 0, 0, -1, -1});
+    d.apply({cfg::LoopEvent::Kind::kEnterRec, 1, 0, -1, 0});
+    for (int i = 0; i < 64; ++i) {
+      d.apply({cfg::LoopEvent::Kind::kBlock, 1, 1, -1, -1});
+      d.apply({cfg::LoopEvent::Kind::kIterateRecCall, 1, 0, -1, 0});
+    }
+    benchmark::DoNotOptimize(d.coordinates());
+  }
+}
+BENCHMARK(BM_Example2Trace);
+
+}  // namespace
+}  // namespace pp
+
+int main(int argc, char** argv) {
+  pp::example1();
+  pp::example2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Regenerates the paper's Fig. 7: the annotated flame graph of the
+// backprop benchmark. Writes flamegraph_backprop.svg next to the binary
+// and prints the ASCII rendering plus the per-region annotations
+// (transformation suggestions) that the paper overlays on the SVG.
+#include "bench_util.hpp"
+#include <set>
+
+#include "feedback/flamegraph.hpp"
+
+namespace pp {
+namespace {
+
+void print_fig7() {
+  std::printf("== Fig. 7: annotated flame graph for backprop ==\n");
+  ir::Module m = workloads::make_backprop();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+
+  feedback::FlameGraphOptions opts;
+  opts.title = "poly-prof: backprop dynamic schedule tree";
+  // Gray out the "libc" and initialization regions, exactly like the
+  // paper's Fig. 7 ("grayed regions are non-affine and blacklisted
+  // (initialization and extensive calls to libc)").
+  std::set<int> libc_funcs;
+  for (const auto& fn : m.functions)
+    if (fn.source_file == "libc") libc_funcs.insert(fn.id);
+  for (int id = 1; id < static_cast<int>(r.schedule_tree.size()); ++id) {
+    const auto& node = r.schedule_tree.node(id);
+    if (node.elem.func >= 0 && libc_funcs.count(node.elem.func))
+      opts.grayed.insert(id);
+  }
+  std::string svg = feedback::render_flamegraph_svg(r.schedule_tree, &m, opts);
+  const char* path = "flamegraph_backprop.svg";
+  FILE* f = std::fopen(path, "w");
+  if (f) {
+    std::fwrite(svg.data(), 1, svg.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu bytes)\n\n", path, svg.size());
+  }
+
+  std::printf("%s\n",
+              feedback::render_flamegraph_ascii(r.schedule_tree, &m).c_str());
+
+  std::printf("region annotations (the paper's clickable notes):\n");
+  int idx = 1;
+  for (const auto& region : r.hot_regions(0.08)) {
+    feedback::RegionMetrics mx = r.analyze(region);
+    std::printf("%d. %s — %.0f%% of ops.", idx++, region.name.c_str(),
+                100.0 * static_cast<double>(mx.ops) /
+                    static_cast<double>(r.program.total_dynamic_ops));
+    for (const auto& s : mx.suggestions) std::printf(" %s.", s.c_str());
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_RenderFlameGraph(benchmark::State& state) {
+  ir::Module m = workloads::make_backprop();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  for (auto _ : state) {
+    std::string svg = feedback::render_flamegraph_svg(r.schedule_tree, &m);
+    benchmark::DoNotOptimize(svg.size());
+  }
+}
+BENCHMARK(BM_RenderFlameGraph)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pp
+
+int main(int argc, char** argv) {
+  pp::print_fig7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Experiment I's cost accounting ("the first three stages of POLY-PROF
+// took 3h06' CPU for the full Rodinia suite"): measures the overhead of
+// each pipeline stage against the uninstrumented run — native execution,
+// stage 1 (control-structure instrumentation), stage 1+2+3 (full DDG
+// profiling and folding) — plus events/second throughput of the folding
+// kernel itself.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "fold/folder.hpp"
+
+namespace pp {
+namespace {
+
+void print_overheads() {
+  std::printf("== Profiling overhead per stage (mini-Rodinia subset) ==\n");
+  std::printf("%-14s %12s %12s %14s %10s\n", "benchmark", "native(ms)",
+              "stage1(ms)", "stage1-3(ms)", "slowdown");
+  for (const char* name : {"backprop", "hotspot", "kmeans", "nw", "srad_v2"}) {
+    workloads::Workload w = workloads::make_rodinia(name);
+    auto clock_ms = [](auto fn) {
+      auto t0 = std::chrono::steady_clock::now();
+      fn();
+      auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(t1 - t0).count();
+    };
+    double native = clock_ms([&] {
+      vm::Machine vm(w.module);
+      vm.run("main");
+    });
+    double stage1 = clock_ms([&] {
+      vm::Machine vm(w.module);
+      cfg::DynamicCfgBuilder dyn;
+      vm.set_observer(&dyn);
+      vm.run("main");
+    });
+    double full = clock_ms([&] {
+      core::Pipeline pipe(w.module);
+      pipe.run();
+    });
+    std::printf("%-14s %12.2f %12.2f %14.2f %9.1fx\n", name, native, stage1,
+                full, native > 0 ? full / native : 0.0);
+  }
+  std::printf("\n");
+}
+
+// Folding kernel throughput: points/second for the streaming folder on an
+// affine 2-D stream (the per-event cost every dependence pays).
+void BM_FolderThroughput(benchmark::State& state) {
+  const i64 n = state.range(0);
+  for (auto _ : state) {
+    fold::Folder f(2, 2);
+    for (i64 i = 0; i < n; ++i) {
+      for (i64 j = 0; j < 16; ++j) {
+        i64 pt[2] = {i, j};
+        i64 lab[2] = {i, j - 1};
+        f.add(pt, lab);
+      }
+    }
+    benchmark::DoNotOptimize(f.finish().pieces().size());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_FolderThroughput)->Arg(64)->Arg(512);
+
+void BM_VmThroughput(benchmark::State& state) {
+  workloads::Workload w = workloads::make_rodinia("srad_v2");
+  vm::Machine vm(w.module);
+  for (auto _ : state) {
+    vm::RunResult r = vm.run("main");
+    state.SetItemsProcessed(static_cast<int64_t>(r.stats.instructions));
+    benchmark::DoNotOptimize(r.exit_value);
+  }
+}
+BENCHMARK(BM_VmThroughput)->Unit(benchmark::kMillisecond);
+
+// Full-pipeline events/second (the "3h06' for the whole suite" analog).
+void BM_FullPipeline(benchmark::State& state) {
+  workloads::Workload w = workloads::make_rodinia("kmeans");
+  for (auto _ : state) {
+    core::Pipeline pipe(w.module);
+    core::ProfileResult r = pipe.run();
+    state.SetItemsProcessed(
+        static_cast<int64_t>(r.program.total_dynamic_ops));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pp
+
+int main(int argc, char** argv) {
+  pp::print_overheads();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

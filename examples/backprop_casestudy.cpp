@@ -1,0 +1,53 @@
+// Case study I (paper §7): profile the backprop benchmark, pinpoint the
+// two fat 2-D loop nests, read the interchange + SIMD + scalar-expansion
+// feedback, then measure the suggested transformation's effect in the
+// VM's cache-aware cycle model. Also writes the Fig. 7-style flame graph.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "feedback/flamegraph.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace pp;
+
+int main() {
+  std::printf("== Case study I: backprop ==\n\n");
+  ir::Module base = workloads::make_backprop();
+  core::Pipeline pipe(base);
+  core::ProfileResult r = pipe.run();
+
+  std::printf("%%Aff = %.0f%% of %llu dynamic ops\n\n", r.percent_affine(),
+              static_cast<unsigned long long>(r.program.total_dynamic_ops));
+
+  for (const auto& region : r.hot_regions(0.10)) {
+    feedback::RegionMetrics mx = r.analyze(region);
+    std::printf("%s\n", feedback::summarize(mx).c_str());
+  }
+
+  // Apply what the feedback says (interchange + array-expand the scalar)
+  // and measure, at a layer size that exceeds the modeled cache.
+  ir::Module big = workloads::make_backprop(64, 256);
+  ir::Module tx = workloads::make_backprop_transformed(64, 256);
+  vm::Machine v1(big), v2(tx);
+  vm::RunResult r1 = v1.run("main");
+  vm::RunResult r2 = v2.run("main");
+  std::printf("checksums match: %s\n",
+              r1.exit_value == r2.exit_value ? "yes" : "NO (bug!)");
+  std::printf("cycles: %llu -> %llu (%.2fx), cache misses: %llu -> %llu\n\n",
+              static_cast<unsigned long long>(r1.stats.cycles),
+              static_cast<unsigned long long>(r2.stats.cycles),
+              static_cast<double>(r1.stats.cycles) /
+                  static_cast<double>(r2.stats.cycles),
+              static_cast<unsigned long long>(r1.stats.cache_misses),
+              static_cast<unsigned long long>(r2.stats.cache_misses));
+
+  std::string svg = feedback::render_flamegraph_svg(
+      r.schedule_tree, &base, {.title = "backprop (poly-prof)"});
+  FILE* f = std::fopen("backprop_flamegraph.svg", "w");
+  if (f) {
+    std::fwrite(svg.data(), 1, svg.size(), f);
+    std::fclose(f);
+    std::printf("flame graph written to backprop_flamegraph.svg\n");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// polyprof as a tool: profile any mini-Rodinia benchmark by name and dump
+// the full feedback bundle — the annotated flame graph (SVG + ASCII), the
+// per-region metrics, and the proposed post-transformation AST.
+//
+//   $ ./flamegraph_export nw
+//   $ ./flamegraph_export            # lists available benchmarks
+#include <cstdio>
+#include <cstring>
+
+#include "core/pipeline.hpp"
+#include "feedback/flamegraph.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace pp;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: %s <benchmark>\navailable:", argv[0]);
+    for (const auto& n : workloads::rodinia_names())
+      std::printf(" %s", n.c_str());
+    std::printf("\n");
+    return 1;
+  }
+  workloads::Workload w = workloads::make_rodinia(argv[1]);
+  std::printf("profiling %s ...\n", w.name.c_str());
+  core::Pipeline pipe(w.module);
+  core::ProfileResult r = pipe.run();
+
+  std::string svg_name = w.name + "_flamegraph.svg";
+  for (char& c : svg_name)
+    if (c == '+') c = 'p';
+  std::string svg = feedback::render_flamegraph_svg(
+      r.schedule_tree, &w.module, {.title = w.name + " (poly-prof)"});
+  if (FILE* f = std::fopen(svg_name.c_str(), "w")) {
+    std::fwrite(svg.data(), 1, svg.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n\n", svg_name.c_str());
+  }
+
+  std::printf("%s\n",
+              feedback::render_flamegraph_ascii(r.schedule_tree, &w.module)
+                  .c_str());
+  std::printf("%s\n", core::full_report(r).c_str());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Case study II (paper §7): GemsFDTD. The dependence structure of the
+// 3-D field updates is captured exactly (not just "has/has no deps"), so
+// the feedback can certify full-dimension tilability; tiling + fusing the
+// component sweeps is then measured in the cycle model.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace pp;
+
+int main() {
+  std::printf("== Case study II: GemsFDTD ==\n\n");
+  ir::Module base = workloads::make_gemsfdtd(12, 12, 12);
+  core::Pipeline pipe(base);
+  core::ProfileResult r = pipe.run();
+
+  std::printf("%%Aff = %.0f%%\n\n", r.percent_affine());
+  std::printf("fat functions (by dynamic ops):\n");
+  std::vector<std::pair<u64, std::string>> fat;
+  for (std::size_t i = 0; i < r.stats.per_function_instrs.size(); ++i) {
+    fat.emplace_back(r.stats.per_function_instrs[i],
+                     base.functions[i].name);
+  }
+  std::sort(fat.rbegin(), fat.rend());
+  for (const auto& [ops, name] : fat)
+    std::printf("  %-16s %llu ops\n", name.c_str(),
+                static_cast<unsigned long long>(ops));
+  std::printf("\n");
+
+  for (const auto& region : r.hot_regions(0.05)) {
+    feedback::RegionMetrics mx = r.analyze(region);
+    std::printf("%-40s parallel=%s tilable at depth %d%s\n",
+                region.name.c_str(), mx.parallel_ops == mx.ops ? "all" : "part",
+                mx.tile_depth, mx.skew_used ? " (skewed)" : "");
+  }
+
+  ir::Module big = workloads::make_gemsfdtd(20, 20, 20);
+  ir::Module tiled = workloads::make_gemsfdtd_tiled(20, 20, 20, 4);
+  vm::Machine v1(big), v2(tiled);
+  vm::RunResult r1 = v1.run("main");
+  vm::RunResult r2 = v2.run("main");
+  std::printf("\nchecksums match: %s\n",
+              r1.exit_value == r2.exit_value ? "yes" : "NO (bug!)");
+  std::printf("tiling speedup (cycle model): %.2fx, misses %llu -> %llu\n",
+              static_cast<double>(r1.stats.cycles) /
+                  static_cast<double>(r2.stats.cycles),
+              static_cast<unsigned long long>(r1.stats.cache_misses),
+              static_cast<unsigned long long>(r2.stats.cache_misses));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// polyprof quickstart: build a small program in the mini-ISA, profile it
+// through the full POLY-PROF pipeline, and read the structured-
+// transformation feedback.
+//
+//   $ ./quickstart
+//
+// The example program is a matrix-vector product with the loops in the
+// "wrong" order (column-major walk of a row-major matrix) — the classic
+// situation the profiler's interchange feedback exists for.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "ir/builder.hpp"
+
+using namespace pp;
+
+// y[j] += A[i][j] * x[i], looping j outer / i inner: A is walked with a
+// large stride in the inner loop.
+static ir::Module build_matvec(i64 n) {
+  ir::Module m;
+  i64 ga = m.add_global("A", n * n * 8);
+  i64 gx = m.add_global("x", n * 8);
+  i64 gy = m.add_global("y", n * 8);
+
+  ir::Function& f = m.add_function("main", 0, "matvec.c");
+  ir::Builder b(m, f);
+  b.set_block(b.make_block());
+
+  ir::Reg a = b.const_(ga);
+  ir::Reg x = b.const_(gx);
+  ir::Reg y = b.const_(gy);
+  ir::Reg nr = b.const_(n);
+
+  // Fill A and x with something deterministic.
+  b.set_line(3);
+  b.counted_loop(0, nr, 1, [&](ir::Reg i) {
+    b.counted_loop(0, nr, 1, [&](ir::Reg j) {
+      ir::Reg idx = b.mul(i, nr);
+      ir::Reg idx2 = b.add(idx, j);
+      ir::Reg off = b.muli(idx2, 8);
+      ir::Reg ptr = b.add(a, off);
+      ir::Reg sum = b.add(i, j);
+      ir::Reg v = b.i2f(sum);
+      b.store(ptr, v);
+    });
+  });
+  b.counted_loop(0, nr, 1, [&](ir::Reg i) {
+    ir::Reg off = b.muli(i, 8);
+    ir::Reg ptr = b.add(x, off);
+    ir::Reg v = b.i2f(i);
+    b.store(ptr, v);
+  });
+
+  // The kernel: for j { for i { y[j] += A[i][j] * x[i] } }.
+  b.set_line(10);
+  b.counted_loop(0, nr, 1, [&](ir::Reg j) {
+    ir::Reg acc = b.fconst(0.0);
+    b.set_line(11);
+    b.counted_loop(0, nr, 1, [&](ir::Reg i) {
+      ir::Reg row = b.mul(i, nr);
+      ir::Reg cell = b.add(row, j);
+      ir::Reg aoff = b.muli(cell, 8);
+      ir::Reg aptr = b.add(a, aoff);
+      ir::Reg av = b.load(aptr);
+      ir::Reg xoff = b.muli(i, 8);
+      ir::Reg xptr = b.add(x, xoff);
+      ir::Reg xv = b.load(xptr);
+      ir::Reg prod = b.fmul(av, xv);
+      b.fadd(acc, prod, acc);
+    });
+    ir::Reg yoff = b.muli(j, 8);
+    ir::Reg yptr = b.add(y, yoff);
+    b.store(yptr, acc);
+  });
+  b.ret();
+  return m;
+}
+
+int main() {
+  std::printf("polyprof quickstart: profiling a j-outer/i-inner matvec\n\n");
+  ir::Module m = build_matvec(24);
+
+  // The whole pipeline is two lines.
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+
+  std::printf("dynamic ops: %llu   statements after folding: %zu   "
+              "dependence edges: %zu (SCEV-pruned: %llu)\n",
+              static_cast<unsigned long long>(r.program.total_dynamic_ops),
+              r.program.statements.size(), r.program.deps.size(),
+              static_cast<unsigned long long>(r.program.pruned_dep_edges));
+  std::printf("fully affine: %.0f%% of dynamic ops\n\n", r.percent_affine());
+
+  for (const auto& region : r.hot_regions(0.10)) {
+    feedback::RegionMetrics mx = r.analyze(region);
+    std::printf("%s", feedback::summarize(mx).c_str());
+    std::printf("\nproposed structure:\n%s\n",
+                feedback::render_ast(mx, r.program, &m).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// The recursion story (paper §3.2, Fig. 3 Ex. 2): a recursive array walk
+// is profiled; the recursive-component-set folds the unbounded call chain
+// into ONE extra iteration-vector dimension, the folded domain looks like
+// an ordinary loop's, and the calling-context tree (shown for contrast)
+// blows up linearly with depth.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "ir/builder.hpp"
+
+using namespace pp;
+
+// sum = rec(0): rec(i) = a[i] + rec(i+1) until i == n.
+static ir::Module build_recursive_sum(i64 n) {
+  ir::Module m;
+  std::vector<i64> data;
+  for (i64 i = 0; i < n; ++i) data.push_back(i * 3 + 1);
+  i64 g = m.add_global_init("a", data);
+
+  ir::Function& rec = m.add_function("rec", 1, "recsum.c");
+  {
+    ir::Builder b(m, rec);
+    int entry = b.make_block();
+    int base = b.make_block();
+    int step = b.make_block();
+    b.set_block(entry);
+    b.set_line(4);
+    ir::Reg nr = b.const_(n);
+    ir::Reg done = b.cmp(ir::Op::kCmpGe, 0, nr);
+    b.br_cond(done, base, step);
+    b.set_block(base);
+    ir::Reg z = b.const_(0);
+    b.ret(z);
+    b.set_block(step);
+    b.set_line(7);
+    ir::Reg off = b.muli(0, 8);
+    ir::Reg baseaddr = b.const_(g);
+    ir::Reg p = b.add(baseaddr, off);
+    ir::Reg v = b.load(p);
+    ir::Reg next = b.addi(0, 1);
+    ir::Reg sub = b.call(rec, {next}, true);
+    ir::Reg s = b.add(v, sub);
+    b.ret(s);
+  }
+  ir::Function& f = m.add_function("main", 0, "recsum.c");
+  ir::Builder b(m, f);
+  b.set_block(b.make_block());
+  ir::Reg zero = b.const_(0);
+  ir::Reg res = b.call(rec, {zero}, true);
+  b.ret(res);
+  return m;
+}
+
+int main() {
+  const i64 depth = 64;
+  std::printf("== Recursion inspector: rec() %lld levels deep ==\n\n",
+              static_cast<long long>(depth));
+  ir::Module m = build_recursive_sum(depth);
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+
+  std::printf("recursive components:\n%s\n", r.control.rcs.str().c_str());
+
+  std::printf("calling-context tree depth: %d (grows with recursion)\n",
+              r.cct.max_depth());
+  std::printf("dynamic IIV depth of the recursive load: ");
+  for (const auto& s : r.program.statements) {
+    if (s.meta.op != ir::Op::kLoad) continue;
+    std::printf("%zu (constant!)\n\n", s.meta.depth);
+    std::printf("folded domain of the load (one point per recursion "
+                "level, exactly Fig. 3k):\n");
+    std::vector<std::string> names = {"i1"};
+    for (const auto& piece : s.domain.pieces())
+      std::printf("  %s  [%llu observed instances, %s]\n",
+                  piece.domain.str(names).c_str(),
+                  static_cast<unsigned long long>(piece.observed_points),
+                  piece.exact ? "exact" : "approx");
+    if (const poly::AffineMap* fn = s.affine_access())
+      std::printf("  access function: %s (stride %lld bytes per level)\n",
+                  fn->str(names).c_str(),
+                  static_cast<long long>(fn->output(0).coeff(0)));
+  }
+
+  std::printf("\nregion feedback:\n");
+  for (const auto& region : r.hot_regions(0.2)) {
+    feedback::RegionMetrics mx = r.analyze(region);
+    std::printf("%s", feedback::summarize(mx).c_str());
+  }
+  return 0;
+}

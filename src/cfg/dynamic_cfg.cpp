@@ -1,0 +1,46 @@
+#include "cfg/dynamic_cfg.hpp"
+
+namespace pp::cfg {
+
+void DynamicCfgBuilder::on_local_jump(int func, int dst_bb) {
+  FunctionCfg& c = cfgs_.try_emplace(func, FunctionCfg{func, 0, {}}).first->second;
+  c.blocks.add_node(dst_bb);
+  if (!stack_.empty() && stack_.back().func == func) {
+    c.blocks.add_edge(stack_.back().cur_block, dst_bb);
+    stack_.back().cur_block = dst_bb;
+  } else {
+    // First event of a run (entry into the program's entry function).
+    stack_.push_back({func, dst_bb});
+  }
+}
+
+void DynamicCfgBuilder::on_call(vm::CodeRef callsite, int callee) {
+  cg_.graph.add_node(callsite.func);
+  cg_.graph.add_edge(callsite.func, callee);
+  cg_.sites[{callsite.func, callee}].insert(callsite);
+  cfgs_.try_emplace(callee, FunctionCfg{callee, 0, {}})
+      .first->second.blocks.add_node(0);
+  stack_.push_back({callee, 0});
+}
+
+void DynamicCfgBuilder::on_return(int callee, vm::CodeRef into) {
+  (void)callee;
+  (void)into;
+  PP_CHECK(!stack_.empty(), "return with empty shadow stack");
+  stack_.pop_back();
+}
+
+const FunctionCfg& DynamicCfgBuilder::cfg(int func) const {
+  static const FunctionCfg kEmpty;
+  auto it = cfgs_.find(func);
+  return it == cfgs_.end() ? kEmpty : it->second;
+}
+
+std::vector<int> DynamicCfgBuilder::executed_functions() const {
+  std::vector<int> out;
+  out.reserve(cfgs_.size());
+  for (const auto& [f, _] : cfgs_) out.push_back(f);
+  return out;
+}
+
+}  // namespace pp::cfg

@@ -1,0 +1,53 @@
+// Stage 1 ("Instrumentation I"): dynamic reconstruction of per-function
+// control-flow graphs and the whole-program call graph from the raw
+// control-event stream. Only code that actually executes is ever analyzed,
+// exactly as in the paper (§3): "only the part of a program that is
+// actually executed will be analyzed".
+#pragma once
+
+#include <map>
+
+#include "cfg/graph.hpp"
+#include "vm/vm.hpp"
+
+namespace pp::cfg {
+
+/// The dynamically observed CFG of one function.
+struct FunctionCfg {
+  int func = -1;
+  int entry = 0;      ///< entry block id (always 0 in the mini-ISA)
+  Digraph blocks;     ///< nodes = executed blocks, edges = observed jumps
+};
+
+/// The dynamically observed call graph. Nodes are function ids.
+struct CallGraph {
+  Digraph graph;
+  /// Call sites per (caller, callee) pair, for CCT labeling.
+  std::map<std::pair<int, int>, std::set<vm::CodeRef>> sites;
+};
+
+/// VM observer that accumulates CFGs + CG over one (or more) runs.
+class DynamicCfgBuilder : public vm::Observer {
+ public:
+  void on_local_jump(int func, int dst_bb) override;
+  void on_call(vm::CodeRef callsite, int callee) override;
+  void on_return(int callee, vm::CodeRef into) override;
+
+  /// Observed CFG for `func` (creates an empty one if never executed).
+  const FunctionCfg& cfg(int func) const;
+  bool has_cfg(int func) const { return cfgs_.count(func) != 0; }
+  const CallGraph& call_graph() const { return cg_; }
+  std::vector<int> executed_functions() const;
+
+ private:
+  struct FrameState {
+    int func;
+    int cur_block;
+  };
+
+  std::map<int, FunctionCfg> cfgs_;
+  CallGraph cg_;
+  std::vector<FrameState> stack_;
+};
+
+}  // namespace pp::cfg

@@ -1,0 +1,91 @@
+#include "cfg/graph.hpp"
+
+namespace pp::cfg {
+
+namespace {
+
+struct TarjanState {
+  std::map<int, int> index;
+  std::map<int, int> lowlink;
+  std::set<int> on_stack;
+  std::vector<int> stack;
+  int next_index = 0;
+  std::vector<std::vector<int>> components;
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> strongly_connected_components(
+    const Digraph& g, const std::vector<int>& nodes,
+    const std::set<std::pair<int, int>>& removed_edges) {
+  std::set<int> allowed(nodes.begin(), nodes.end());
+  TarjanState st;
+
+  // Iterative Tarjan: explicit work stack of (node, successor iterator
+  // position) to survive deep CFGs without blowing the call stack.
+  struct WorkItem {
+    int node;
+    std::vector<int> succs;
+    std::size_t next = 0;
+  };
+
+  auto edge_ok = [&](int from, int to) {
+    return allowed.count(to) != 0 && removed_edges.count({from, to}) == 0;
+  };
+
+  for (int root : nodes) {
+    if (st.index.count(root)) continue;
+    std::vector<WorkItem> work;
+    auto push_node = [&](int n) {
+      st.index[n] = st.lowlink[n] = st.next_index++;
+      st.stack.push_back(n);
+      st.on_stack.insert(n);
+      WorkItem wi;
+      wi.node = n;
+      for (int s : g.succs(n))
+        if (edge_ok(n, s)) wi.succs.push_back(s);
+      work.push_back(std::move(wi));
+    };
+    push_node(root);
+    while (!work.empty()) {
+      WorkItem& wi = work.back();
+      if (wi.next < wi.succs.size()) {
+        int s = wi.succs[wi.next++];
+        if (!st.index.count(s)) {
+          push_node(s);
+        } else if (st.on_stack.count(s)) {
+          st.lowlink[wi.node] = std::min(st.lowlink[wi.node], st.index[s]);
+        }
+      } else {
+        int n = wi.node;
+        if (st.lowlink[n] == st.index[n]) {
+          std::vector<int> comp;
+          for (;;) {
+            int m = st.stack.back();
+            st.stack.pop_back();
+            st.on_stack.erase(m);
+            comp.push_back(m);
+            if (m == n) break;
+          }
+          std::sort(comp.begin(), comp.end());
+          st.components.push_back(std::move(comp));
+        }
+        work.pop_back();
+        if (!work.empty()) {
+          int parent = work.back().node;
+          st.lowlink[parent] = std::min(st.lowlink[parent], st.lowlink[n]);
+        }
+      }
+    }
+  }
+  return st.components;
+}
+
+bool component_has_cycle(const Digraph& g, const std::vector<int>& comp,
+                         const std::set<std::pair<int, int>>& removed_edges) {
+  if (comp.size() > 1) return true;
+  int n = comp[0];
+  return g.has_edge(n, n) && removed_edges.count({n, n}) == 0;
+}
+
+}  // namespace pp::cfg

@@ -1,0 +1,58 @@
+// Small integer-node digraph with Tarjan SCC — shared machinery for the
+// loop-nesting forest (on CFGs) and the recursive-component-set (on the
+// call graph).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "support/int_math.hpp"
+
+namespace pp::cfg {
+
+/// Adjacency-set digraph over sparse integer node ids.
+class Digraph {
+ public:
+  void add_node(int n) { succs_[n]; }
+  void add_edge(int from, int to) {
+    succs_[from].insert(to);
+    succs_[to];  // ensure the target exists as a node
+  }
+  bool has_node(int n) const { return succs_.count(n) != 0; }
+  bool has_edge(int from, int to) const {
+    auto it = succs_.find(from);
+    return it != succs_.end() && it->second.count(to) != 0;
+  }
+  const std::set<int>& succs(int n) const {
+    static const std::set<int> kEmpty;
+    auto it = succs_.find(n);
+    return it == succs_.end() ? kEmpty : it->second;
+  }
+  std::vector<int> nodes() const {
+    std::vector<int> out;
+    out.reserve(succs_.size());
+    for (const auto& [n, _] : succs_) out.push_back(n);
+    return out;
+  }
+  std::size_t num_nodes() const { return succs_.size(); }
+
+ private:
+  std::map<int, std::set<int>> succs_;
+};
+
+/// Strongly connected components (Tarjan, iterative). Restricted to the
+/// sub-graph induced by `nodes`, optionally skipping a set of removed
+/// edges. Components are returned in reverse topological order; node order
+/// inside a component is deterministic (sorted).
+std::vector<std::vector<int>> strongly_connected_components(
+    const Digraph& g, const std::vector<int>& nodes,
+    const std::set<std::pair<int, int>>& removed_edges = {});
+
+/// True when the induced component has a cycle: more than one node, or a
+/// (non-removed) self-edge.
+bool component_has_cycle(const Digraph& g, const std::vector<int>& comp,
+                         const std::set<std::pair<int, int>>& removed_edges);
+
+}  // namespace pp::cfg

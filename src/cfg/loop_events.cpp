@@ -1,0 +1,152 @@
+#include "cfg/loop_events.hpp"
+
+#include <sstream>
+
+namespace pp::cfg {
+
+ControlStructure ControlStructure::build(const DynamicCfgBuilder& dyn,
+                                         const std::vector<int>& roots) {
+  ControlStructure cs;
+  for (int f : dyn.executed_functions()) cs.forests.emplace(f, LoopForest(dyn.cfg(f)));
+  cs.rcs = RecursiveComponentSet(dyn.call_graph(), roots);
+  return cs;
+}
+
+std::string LoopEvent::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kEnter: os << "E(L" << loop << ",bb" << block << ")"; break;
+    case Kind::kIterate: os << "I(L" << loop << ",bb" << block << ")"; break;
+    case Kind::kExit: os << "X(L" << loop << ",bb" << block << ")"; break;
+    case Kind::kBlock: os << "N(bb" << block << ")"; break;
+    case Kind::kCall: os << "C(f" << func << ",bb" << block << ")"; break;
+    case Kind::kRet: os << "R(bb" << block << ")"; break;
+    case Kind::kEnterRec: os << "Ec(RC" << comp << ",bb" << block << ")"; break;
+    case Kind::kIterateRecCall:
+      os << "Ic(RC" << comp << ",bb" << block << ")";
+      break;
+    case Kind::kIterateRecRet:
+      os << "Ir(RC" << comp << ",bb" << block << ")";
+      break;
+    case Kind::kExitRec: os << "Xr(RC" << comp << ",bb" << block << ")"; break;
+  }
+  return os.str();
+}
+
+const LoopForest* LoopEventMachine::forest(int func) const {
+  auto it = cs_.forests.find(func);
+  return it == cs_.forests.end() ? nullptr : &it->second;
+}
+
+bool LoopEventMachine::comp_live(int comp) const {
+  for (const auto& l : live_)
+    if (!l.is_cfg && l.comp == comp) return true;
+  return false;
+}
+
+void LoopEventMachine::on_jump(int func, int dst_bb) {
+  // Algorithm 1. Pop live CFG loops of the current frame whose region does
+  // not contain the destination block — they are exited.
+  while (!live_.empty()) {
+    const Live& top = live_.back();
+    if (!top.is_cfg || top.frame != frame_depth_) break;
+    const LoopForest* lf = forest(top.func);
+    PP_CHECK(lf != nullptr, "live loop in unknown function");
+    if (top.func == func &&
+        lf->loop(top.loop).blocks.count(dst_bb) != 0)
+      break;
+    int loop = top.loop;
+    live_.pop_back();
+    emit({LoopEvent::Kind::kExit, func, dst_bb, loop, -1});
+  }
+  // Header? Either an iteration of the live top loop or a fresh entry.
+  if (const LoopForest* lf = forest(func)) {
+    int L = lf->loop_of_header(dst_bb);
+    if (L >= 0) {
+      if (!live_.empty() && live_.back().is_cfg && live_.back().func == func &&
+          live_.back().loop == L && live_.back().frame == frame_depth_) {
+        emit({LoopEvent::Kind::kIterate, func, dst_bb, L, -1});
+      } else {
+        Live lv;
+        lv.is_cfg = true;
+        lv.func = func;
+        lv.loop = L;
+        lv.frame = frame_depth_;
+        live_.push_back(lv);
+        emit({LoopEvent::Kind::kEnter, func, dst_bb, L, -1});
+      }
+    }
+  }
+  emit({LoopEvent::Kind::kBlock, func, dst_bb, -1, -1});
+}
+
+void LoopEventMachine::on_call(int caller_func, int callee,
+                               int callee_entry_bb) {
+  (void)caller_func;
+  // Algorithm 2, call part.
+  int comp = cs_.rcs.component_of(callee);
+  ++frame_depth_;
+  if (comp >= 0 && cs_.rcs.is_entry(callee) && !comp_live(comp)) {
+    Live lv;
+    lv.is_cfg = false;
+    lv.comp = comp;
+    lv.entry_fn = callee;
+    lv.stackcount = 0;
+    live_.push_back(lv);
+    emit({LoopEvent::Kind::kEnterRec, callee, callee_entry_bb, -1, comp});
+    return;
+  }
+  if (comp >= 0 && cs_.rcs.is_header(callee) && comp_live(comp)) {
+    // New iteration of the recursive loop: every context nested inside it
+    // is exited first (paper: "all live sub-loops are considered exited").
+    while (!live_.empty() &&
+           (live_.back().is_cfg || live_.back().comp != comp)) {
+      Live top = live_.back();
+      live_.pop_back();
+      if (top.is_cfg)
+        emit({LoopEvent::Kind::kExit, top.func, callee_entry_bb, top.loop, -1});
+      else
+        emit({LoopEvent::Kind::kExitRec, callee, callee_entry_bb, -1, top.comp});
+    }
+    PP_CHECK(!live_.empty(), "iterating a recursive loop that is not live");
+    ++live_.back().stackcount;
+    emit({LoopEvent::Kind::kIterateRecCall, callee, callee_entry_bb, -1, comp});
+    return;
+  }
+  emit({LoopEvent::Kind::kCall, callee, callee_entry_bb, -1, -1});
+}
+
+void LoopEventMachine::on_return(int returned_from, int into_func,
+                                 int into_bb) {
+  // Algorithm 2, return part. First exit all CFG loops of the destroyed
+  // frame.
+  while (!live_.empty() && live_.back().is_cfg &&
+         live_.back().frame == frame_depth_) {
+    int loop = live_.back().loop;
+    live_.pop_back();
+    emit({LoopEvent::Kind::kExit, into_func, into_bb, loop, -1});
+  }
+  --frame_depth_;
+  int comp = cs_.rcs.component_of(returned_from);
+  if (comp >= 0 && !live_.empty() && !live_.back().is_cfg &&
+      live_.back().comp == comp && live_.back().stackcount == 0 &&
+      live_.back().entry_fn == returned_from &&
+      cs_.rcs.is_entry(returned_from)) {
+    live_.pop_back();
+    emit({LoopEvent::Kind::kExitRec, into_func, into_bb, -1, comp});
+    return;
+  }
+  if (comp >= 0 && cs_.rcs.is_header(returned_from) && comp_live(comp)) {
+    for (auto it = live_.rbegin(); it != live_.rend(); ++it) {
+      if (!it->is_cfg && it->comp == comp) {
+        --it->stackcount;
+        break;
+      }
+    }
+    emit({LoopEvent::Kind::kIterateRecRet, into_func, into_bb, -1, comp});
+    return;
+  }
+  emit({LoopEvent::Kind::kRet, into_func, into_bb, -1, -1});
+}
+
+}  // namespace pp::cfg

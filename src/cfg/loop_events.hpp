@@ -1,0 +1,90 @@
+// Loop-event generation — the paper's Algorithms 1 and 2. Raw control
+// events (jump / call / return) are turned into loop events:
+//   E(L,H)  enter CFG loop L            I(L,H)   iterate CFG loop L
+//   X(L,B)  exit CFG loop L             N(B)     local jump to block B
+//   Ec(L,B) enter recursive loop L      Ic(L,B)  iterate (call to header)
+//   Ir(L,B) iterate (return from header) Xr(L,B) exit recursive loop
+//   C(F,B)  plain call                  R(B)     plain return
+// The stream drives the dynamic-IIV updater (Algorithm 3, pp::iiv).
+#pragma once
+
+#include <functional>
+
+#include "cfg/loop_forest.hpp"
+#include "cfg/recursive_components.hpp"
+
+namespace pp::cfg {
+
+/// The interprocedural control structure computed by stage 1: one loop
+/// forest per executed function plus the recursive-component-set.
+struct ControlStructure {
+  std::map<int, LoopForest> forests;
+  RecursiveComponentSet rcs;
+
+  /// Convenience: build everything from a finished DynamicCfgBuilder.
+  static ControlStructure build(const DynamicCfgBuilder& dyn,
+                                const std::vector<int>& roots);
+};
+
+struct LoopEvent {
+  enum class Kind {
+    kEnter,          // E(L, H)
+    kIterate,        // I(L, H)
+    kExit,           // X(L, B)
+    kBlock,          // N(B)
+    kCall,           // C(F, B)
+    kRet,            // R(B)
+    kEnterRec,       // Ec(L, B)
+    kIterateRecCall, // Ic(L, B)
+    kIterateRecRet,  // Ir(L, B)
+    kExitRec,        // Xr(L, B)
+  };
+  Kind kind;
+  int func = -1;   ///< function owning `block` (for kCall: the callee)
+  int block = -1;  ///< B: current basic block after the event
+  int loop = -1;   ///< CFG loop id within func's forest (kEnter/kIterate/kExit)
+  int comp = -1;   ///< recursive component id (k*Rec)
+
+  std::string str() const;
+};
+
+/// Stateful translator from raw control events to loop events.
+class LoopEventMachine {
+ public:
+  using Sink = std::function<void(const LoopEvent&)>;
+
+  LoopEventMachine(const ControlStructure& cs, Sink sink)
+      : cs_(cs), sink_(std::move(sink)) {}
+
+  /// Raw events, in execution order (same shape as vm::Observer's).
+  void on_jump(int func, int dst_bb);
+  void on_call(int caller_func, int callee, int callee_entry_bb = 0);
+  void on_return(int returned_from, int into_func, int into_bb);
+
+  /// Number of loop contexts currently live (for tests).
+  std::size_t live_depth() const { return live_.size(); }
+
+ private:
+  struct Live {
+    bool is_cfg;
+    // CFG loop:
+    int func = -1;
+    int loop = -1;
+    int frame = -1;
+    // Recursive component:
+    int comp = -1;
+    int entry_fn = -1;
+    int stackcount = 0;
+  };
+
+  void emit(LoopEvent ev) { sink_(ev); }
+  const LoopForest* forest(int func) const;
+  bool comp_live(int comp) const;
+
+  const ControlStructure& cs_;
+  Sink sink_;
+  std::vector<Live> live_;
+  int frame_depth_ = 0;
+};
+
+}  // namespace pp::cfg

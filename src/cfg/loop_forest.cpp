@@ -1,0 +1,100 @@
+#include "cfg/loop_forest.hpp"
+
+#include <functional>
+#include <sstream>
+
+namespace pp::cfg {
+
+LoopForest::LoopForest(const FunctionCfg& cfg) {
+  std::set<std::pair<int, int>> removed;
+  build(cfg, cfg.blocks.nodes(), removed, /*parent=*/-1, /*depth=*/1);
+}
+
+void LoopForest::build(const FunctionCfg& cfg, const std::vector<int>& nodes,
+                       std::set<std::pair<int, int>>& removed, int parent,
+                       int depth) {
+  auto sccs = strongly_connected_components(cfg.blocks, nodes, removed);
+  for (const auto& comp : sccs) {
+    if (!component_has_cycle(cfg.blocks, comp, removed)) continue;
+    std::set<int> region(comp.begin(), comp.end());
+
+    // Entry nodes: targets of edges from outside the region (or the CFG
+    // entry itself). The header is the lowest-numbered entry — a
+    // deterministic stand-in for Havlak's DFS-based choice; any entry is a
+    // valid header per Ramalingam.
+    std::set<int> entries;
+    for (int n : cfg.blocks.nodes()) {
+      if (region.count(n)) continue;
+      for (int s : cfg.blocks.succs(n))
+        if (region.count(s)) entries.insert(s);
+    }
+    if (region.count(cfg.entry)) entries.insert(cfg.entry);
+    PP_CHECK(!entries.empty(), "loop SCC with no entry (unreachable cycle?)");
+    int header = *entries.begin();
+
+    Loop loop;
+    loop.id = static_cast<int>(loops_.size());
+    loop.header = header;
+    loop.blocks = region;
+    loop.parent = parent;
+    loop.depth = depth;
+    for (int n : comp) {
+      if (cfg.blocks.has_edge(n, header) && removed.count({n, header}) == 0)
+        loop.back_edges.insert({n, header});
+    }
+    PP_CHECK(!loop.back_edges.empty(), "loop without back-edges");
+    int id = loop.id;
+    loops_.push_back(std::move(loop));
+    header_to_loop_[header] = id;
+    if (parent >= 0)
+      loops_[static_cast<std::size_t>(parent)].children.push_back(id);
+    for (int n : comp) {
+      // Innermost-loop map: deeper recursive calls overwrite with sub-loops.
+      innermost_[n] = id;
+    }
+
+    // Remove the back-edges and recurse to find sub-loops.
+    for (const auto& be : loops_[static_cast<std::size_t>(id)].back_edges)
+      removed.insert(be);
+    build(cfg, comp, removed, id, depth + 1);
+  }
+}
+
+int LoopForest::loop_of_header(int block) const {
+  auto it = header_to_loop_.find(block);
+  return it == header_to_loop_.end() ? -1 : it->second;
+}
+
+int LoopForest::innermost_loop(int block) const {
+  auto it = innermost_.find(block);
+  return it == innermost_.end() ? -1 : it->second;
+}
+
+int LoopForest::max_depth() const {
+  int d = 0;
+  for (const auto& l : loops_) d = std::max(d, l.depth);
+  return d;
+}
+
+std::string LoopForest::str() const {
+  std::ostringstream os;
+  // Print top-level loops recursively.
+  std::function<void(int, int)> rec = [&](int id, int indent) {
+    const Loop& l = loops_[static_cast<std::size_t>(id)];
+    os << std::string(static_cast<std::size_t>(indent) * 2, ' ') << "L" << l.id
+       << " header=bb" << l.header << " blocks={";
+    bool first = true;
+    for (int b : l.blocks) {
+      if (!first) os << ",";
+      first = false;
+      os << b;
+    }
+    os << "}\n";
+    for (int c : l.children) rec(c, indent + 1);
+  };
+  for (const auto& l : loops_)
+    if (l.parent < 0) rec(l.id, 0);
+  return os.str();
+}
+
+}  // namespace pp::cfg

@@ -1,0 +1,59 @@
+// Loop-nesting forest construction following Ramalingam's recursive
+// characterization (paper §3.1, [58]; Havlak [31] computes the same forest
+// near-linearly — we favour the direct recursive formulation, which is the
+// definition the paper states):
+//   1. each SCC of the CFG containing a cycle is the region of an
+//      outermost loop;
+//   2. one entry node of the loop is designated its header;
+//   3. edges inside the loop targeting the header are back-edges;
+//   4. removing all back-edges recursively defines the sub-loops.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cfg/dynamic_cfg.hpp"
+
+namespace pp::cfg {
+
+/// One loop in the nesting forest.
+struct Loop {
+  int id = -1;
+  int header = -1;             ///< designated header block
+  std::set<int> blocks;        ///< region: all blocks, including sub-loops
+  std::set<std::pair<int, int>> back_edges;
+  int parent = -1;             ///< enclosing loop id, -1 for top level
+  std::vector<int> children;   ///< sub-loop ids
+  int depth = 1;               ///< nesting depth (top level = 1)
+};
+
+/// The loop-nesting forest of one function's CFG.
+class LoopForest {
+ public:
+  LoopForest() = default;
+  /// Build from the (dynamically discovered) CFG.
+  explicit LoopForest(const FunctionCfg& cfg);
+
+  const std::vector<Loop>& loops() const { return loops_; }
+  const Loop& loop(int id) const { return loops_[static_cast<std::size_t>(id)]; }
+
+  /// Loop whose header is `block`, or -1.
+  int loop_of_header(int block) const;
+  /// Innermost loop containing `block`, or -1.
+  int innermost_loop(int block) const;
+  /// Maximum nesting depth in the forest (0 when loop-free).
+  int max_depth() const;
+
+  /// Indented textual rendering (for tests and reports).
+  std::string str() const;
+
+ private:
+  void build(const FunctionCfg& cfg, const std::vector<int>& nodes,
+             std::set<std::pair<int, int>>& removed, int parent, int depth);
+
+  std::vector<Loop> loops_;
+  std::map<int, int> header_to_loop_;
+  std::map<int, int> innermost_;  ///< block -> innermost loop id
+};
+
+}  // namespace pp::cfg

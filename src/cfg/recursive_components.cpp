@@ -1,0 +1,113 @@
+#include "cfg/recursive_components.hpp"
+
+#include <sstream>
+
+namespace pp::cfg {
+
+RecursiveComponentSet::RecursiveComponentSet(const CallGraph& cg,
+                                             const std::vector<int>& roots) {
+  const Digraph& g = cg.graph;
+  auto sccs = strongly_connected_components(g, g.nodes());
+  std::set<int> root_set(roots.begin(), roots.end());
+  for (const auto& comp : sccs) {
+    if (!component_has_cycle(g, comp, {})) continue;
+    RecursiveComponent rc;
+    rc.id = static_cast<int>(components_.size());
+    rc.functions.insert(comp.begin(), comp.end());
+
+    // Entries: called from outside the SCC, or program roots.
+    for (int n : g.nodes()) {
+      if (rc.functions.count(n)) continue;
+      for (int s : g.succs(n))
+        if (rc.functions.count(s)) rc.entries.insert(s);
+    }
+    for (int r : roots)
+      if (rc.functions.count(r)) rc.entries.insert(r);
+    PP_CHECK(!rc.entries.empty(), "recursive component with no entry");
+
+    // Header elimination: repeatedly pick an entry of each remaining
+    // cyclic sub-SCC, record it as a header, drop its SCC-internal
+    // incoming edges, until acyclic.
+    std::set<std::pair<int, int>> removed;
+    std::vector<int> members(comp.begin(), comp.end());
+    for (;;) {
+      auto subs = strongly_connected_components(g, members, removed);
+      bool any_cycle = false;
+      for (const auto& sub : subs) {
+        if (!component_has_cycle(g, sub, removed)) continue;
+        any_cycle = true;
+        std::set<int> sub_set(sub.begin(), sub.end());
+        // Entries of this sub-SCC w.r.t. the whole graph; prefer component
+        // entries, fall back to the lowest-id member.
+        int chosen = -1;
+        for (int n : sub) {
+          bool entered_from_outside = root_set.count(n) != 0;
+          for (int m : g.nodes()) {
+            if (sub_set.count(m)) continue;
+            if (g.has_edge(m, n)) entered_from_outside = true;
+          }
+          if (entered_from_outside) {
+            chosen = n;
+            break;
+          }
+        }
+        if (chosen < 0) chosen = sub[0];
+        rc.headers.insert(chosen);
+        for (int m : sub)
+          if (g.has_edge(m, chosen)) removed.insert({m, chosen});
+      }
+      if (!any_cycle) break;
+    }
+
+    for (int f : comp) func_to_comp_[f] = rc.id;
+    components_.push_back(std::move(rc));
+  }
+}
+
+int RecursiveComponentSet::component_of(int f) const {
+  auto it = func_to_comp_.find(f);
+  return it == func_to_comp_.end() ? -1 : it->second;
+}
+
+bool RecursiveComponentSet::is_entry(int f) const {
+  int c = component_of(f);
+  return c >= 0 &&
+         components_[static_cast<std::size_t>(c)].entries.count(f) != 0;
+}
+
+bool RecursiveComponentSet::is_header(int f) const {
+  int c = component_of(f);
+  return c >= 0 &&
+         components_[static_cast<std::size_t>(c)].headers.count(f) != 0;
+}
+
+std::string RecursiveComponentSet::str() const {
+  std::ostringstream os;
+  for (const auto& rc : components_) {
+    os << "component " << rc.id << ": functions={";
+    bool first = true;
+    for (int f : rc.functions) {
+      if (!first) os << ",";
+      first = false;
+      os << f;
+    }
+    os << "} entries={";
+    first = true;
+    for (int f : rc.entries) {
+      if (!first) os << ",";
+      first = false;
+      os << f;
+    }
+    os << "} headers={";
+    first = true;
+    for (int f : rc.headers) {
+      if (!first) os << ",";
+      first = false;
+      os << f;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace pp::cfg

@@ -1,0 +1,48 @@
+// The recursive-component-set (paper §3.2): "for the call-graph what the
+// loop-nesting-tree is for the control-flow-graph". Construction follows
+// the paper's recursive definition:
+//   1. every top-level SCC of the CG with a cycle is a recursive component;
+//   2. its entry nodes are the functions called from outside the component;
+//   3. repeatedly: pick an entry node of a (sub-)SCC, add it to the
+//      component's headers-set, remove the SCC-internal edges targeting it,
+//      until no cycles remain.
+#pragma once
+
+#include <string>
+
+#include "cfg/dynamic_cfg.hpp"
+
+namespace pp::cfg {
+
+/// One recursive component: a top-level CG SCC with its entries + headers.
+struct RecursiveComponent {
+  int id = -1;
+  std::set<int> functions;  ///< SCC members
+  std::set<int> entries;    ///< functions called from outside the component
+  std::set<int> headers;    ///< header functions (iteration points)
+};
+
+class RecursiveComponentSet {
+ public:
+  RecursiveComponentSet() = default;
+  /// Build from the dynamic call graph; `roots` are program entry
+  /// functions (they count as externally entered).
+  explicit RecursiveComponentSet(const CallGraph& cg,
+                                 const std::vector<int>& roots = {});
+
+  const std::vector<RecursiveComponent>& components() const {
+    return components_;
+  }
+  /// Component containing function `f`, or -1 when f is not recursive.
+  int component_of(int f) const;
+  bool is_entry(int f) const;
+  bool is_header(int f) const;
+
+  std::string str() const;
+
+ private:
+  std::vector<RecursiveComponent> components_;
+  std::map<int, int> func_to_comp_;
+};
+
+}  // namespace pp::cfg

@@ -1,0 +1,262 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace pp::core {
+
+namespace {
+
+/// Fans VM events out to several observers (stage 1 runs the CFG builder
+/// and the CCT side by side).
+class TeeObserver : public vm::Observer {
+ public:
+  explicit TeeObserver(std::vector<vm::Observer*> obs) : obs_(std::move(obs)) {}
+  void on_local_jump(int func, int dst_bb) override {
+    for (auto* o : obs_) o->on_local_jump(func, dst_bb);
+  }
+  void on_call(vm::CodeRef site, int callee) override {
+    for (auto* o : obs_) o->on_call(site, callee);
+  }
+  void on_return(int callee, vm::CodeRef into) override {
+    for (auto* o : obs_) o->on_return(callee, into);
+  }
+  void on_instr(const vm::InstrEvent& ev) override {
+    for (auto* o : obs_) o->on_instr(ev);
+  }
+
+ private:
+  std::vector<vm::Observer*> obs_;
+};
+
+}  // namespace
+
+ProfileResult Pipeline::run(const PipelineOptions& opts) {
+  ProfileResult res;
+  res.module = &module_;
+
+  // Stage 1 (Instrumentation I): dynamic control structure + CCT.
+  cfg::DynamicCfgBuilder dyn;
+  {
+    vm::Machine machine(module_);
+    TeeObserver tee({&dyn, &res.cct});
+    machine.set_observer(&tee);
+    machine.run(opts.entry, opts.args, opts.max_steps);
+  }
+  const ir::Function* entry = module_.find_function(opts.entry);
+  PP_CHECK(entry != nullptr, "entry function not found");
+  res.control = cfg::ControlStructure::build(dyn, {entry->id});
+
+  // Stage 2+3 (Instrumentation II + folding): DDG streamed into folders.
+  fold::FoldingSink sink(opts.fold);
+  ddg::DdgBuilder builder(module_, res.control, &sink, opts.ddg);
+  {
+    vm::Machine machine(module_);
+    machine.set_observer(&builder);
+    vm::RunResult rr = machine.run(opts.entry, opts.args, opts.max_steps);
+    res.stats = rr.stats;
+    res.exit_value = rr.exit_value;
+  }
+  res.statements = builder.statements();
+  res.program = sink.finalize(res.statements);
+
+  // Dynamic schedule tree, weighted by per-statement dynamic ops.
+  for (const auto& s : res.statements.all())
+    res.schedule_tree.insert(s.context, s.executions);
+
+  return res;
+}
+
+std::vector<feedback::Region> ProfileResult::hot_regions(
+    double min_fraction, int depth) const {
+  // Group statements by the subtree in which their interprocedural context
+  // first leaves the entry function's straight-line code: the first
+  // context element that is a loop / recursive component, or a block of a
+  // *callee* (a call site). The paper's regions are exactly such call
+  // sites ("facetrain.c:25" is the whole bpnn_train call) or outermost
+  // loop nests. Remaining loop-free entry-function statements group per
+  // function.
+  struct Group {
+    std::vector<int> stmts;
+    u64 ops = 0;
+    std::set<int> funcs;
+    std::string name;
+  };
+  int entry_func = program.statements.empty()
+                       ? -1
+                       : program.statements.front().meta.code.func;
+  std::map<std::vector<iiv::CtxElem>, Group> groups;
+  for (const auto& fs : program.statements) {
+    const auto& s = fs.meta;
+    std::vector<iiv::CtxElem> key;
+    bool found = false;
+    bool is_loop_region = false;
+    int boundaries = 0;
+    int last_func = entry_func;
+    for (const auto& part : s.context.parts) {
+      for (const auto& e : part) {
+        key.push_back(e);
+        bool boundary = false;
+        if (e.kind != iiv::CtxElem::Kind::kBlock) {
+          boundary = true;
+          is_loop_region = true;
+        } else if (e.func != last_func) {  // crossed into a callee
+          boundary = true;
+          is_loop_region = false;
+          last_func = e.func;
+        }
+        if (boundary && ++boundaries >= depth) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    // The region is the whole call: normalize the final (cutting) element
+    // to the callee identity rather than whichever of its blocks the
+    // statement happens to sit in. Intermediate crossing elements stay raw
+    // — they ARE the call-site distinction (which caller block invoked the
+    // next level).
+    if (found && !is_loop_region)
+      key.back() = iiv::CtxElem::block(key.back().func, -1);
+    if (!found) {
+      // Straight-line entry-function code: group per function.
+      key.clear();
+      key.push_back(iiv::CtxElem::block(s.code.func, -1));
+    }
+    Group& g = groups[key];
+    g.stmts.push_back(s.id);
+    g.ops += s.executions;
+    g.funcs.insert(s.code.func);
+    if (g.name.empty() && module) {
+      // Name the region after the function owning the region's root
+      // element (the callee for call-site regions, the loop's function
+      // for loop regions).
+      int name_func = found ? key.back().func : s.code.func;
+      if (name_func < 0) name_func = s.code.func;
+      const auto& f = module->functions[static_cast<std::size_t>(name_func)];
+      std::string file = f.source_file.empty() ? f.name : f.source_file;
+      g.name = file;
+      if (s.line) g.name += ":" + std::to_string(s.line);
+      g.name += " (" + f.name + ")";
+      if (is_loop_region) {
+        const auto& outer = key.back();
+        g.name += outer.kind == iiv::CtxElem::Kind::kComp
+                      ? " [recursive]"
+                      : " [loop L" + std::to_string(outer.id) + "]";
+      } else if (found) {
+        g.name += " [call]";
+      }
+    }
+  }
+
+  u64 total = program.total_dynamic_ops;
+  std::vector<feedback::Region> out;
+  for (auto& [key, g] : groups) {
+    if (static_cast<double>(g.ops) <
+        min_fraction * static_cast<double>(total))
+      continue;
+    feedback::Region r;
+    r.name = g.name.empty() ? "region" : g.name;
+    r.stmts = g.stmts;
+    r.interprocedural = g.funcs.size() > 1;
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [&](const feedback::Region& a, const feedback::Region& b) {
+              u64 wa = 0, wb = 0;
+              for (int id : a.stmts) wa += program.stmt(id).meta.executions;
+              for (int id : b.stmts) wb += program.stmt(id).meta.executions;
+              return wa > wb;
+            });
+  return out;
+}
+
+feedback::Region ProfileResult::whole_program() const {
+  feedback::Region r;
+  r.name = "<whole program>";
+  std::set<int> funcs;
+  for (const auto& s : program.statements) {
+    r.stmts.push_back(s.meta.id);
+    funcs.insert(s.meta.code.func);
+  }
+  r.interprocedural = funcs.size() > 1;
+  return r;
+}
+
+feedback::RegionMetrics ProfileResult::analyze(
+    const feedback::Region& region,
+    const feedback::AnalyzeOptions& opts) const {
+  return feedback::analyze_region(program, region, opts);
+}
+
+double ProfileResult::percent_affine() const {
+  return feedback::percent_affine(program);
+}
+
+std::string full_report(const ProfileResult& r, double min_fraction) {
+  std::ostringstream os;
+  os << "==== poly-prof feedback report ====\n";
+  os << "dynamic ops: " << r.program.total_dynamic_ops
+     << "  statements: " << r.program.statements.size()
+     << "  dependence edges: " << r.program.deps.size()
+     << " (SCEV-pruned: " << r.program.pruned_dep_edges << ")\n";
+  os << "fully affine (strict): "
+     << static_cast<int>(feedback::percent_affine(r.program, true))
+     << "%   (extended): "
+     << static_cast<int>(feedback::percent_affine(r.program, false))
+     << "%\n\n";
+  os << "-- decorated schedule tree (ops share, source refs) --\n";
+  os << feedback::render_decorated_tree(r.schedule_tree, r.program, r.module);
+  os << "\n-- regions of interest --\n";
+  for (const auto& region : r.hot_regions(min_fraction)) {
+    feedback::RegionMetrics mx = r.analyze(region);
+    os << "\n" << feedback::summarize(mx);
+    os << feedback::render_ast(mx, r.program, r.module);
+  }
+
+  // Specialization hints (the paper's Fig. 7 annotation "specialize
+  // adjustweight (2nd call)"): a function reached from several distinct
+  // call-site regions where one dominates should be transformed in a
+  // specialized clone, leaving the cold calls untouched.
+  {
+    std::map<int, std::vector<u64>> per_func_region_ops;
+    for (const auto& region : r.hot_regions(0.0, /*depth=*/2)) {
+      std::map<int, u64> funcs;
+      for (int id : region.stmts) {
+        const auto& s = r.program.stmt(id).meta;
+        funcs[s.code.func] += s.executions;
+      }
+      for (const auto& [f, ops] : funcs)
+        per_func_region_ops[f].push_back(ops);
+    }
+    bool header_printed = false;
+    for (const auto& [f, ops_list] : per_func_region_ops) {
+      if (ops_list.size() < 2) continue;
+      u64 hottest = *std::max_element(ops_list.begin(), ops_list.end());
+      u64 rest = 0;
+      for (u64 o : ops_list) rest += o;
+      rest -= hottest;
+      if (hottest < 2 * std::max<u64>(rest, 1)) continue;
+      if (static_cast<double>(hottest) <
+          min_fraction * static_cast<double>(r.program.total_dynamic_ops))
+        continue;
+      if (!header_printed) {
+        os << "\n-- specialization hints --\n";
+        header_printed = true;
+      }
+      std::string name = r.module
+                             ? r.module->functions[static_cast<std::size_t>(f)].name
+                             : "f" + std::to_string(f);
+      os << "specialize " << name << ": one of its " << ops_list.size()
+         << " call-site regions dominates (" << hottest
+         << " ops vs " << rest
+         << " elsewhere); transform the hot clone only\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pp::core

@@ -1,0 +1,85 @@
+// polyprof public API: the end-to-end POLY-PROF pipeline (paper Fig. 1).
+//
+//   ir::Module  --stage 1-->  ControlStructure (dynamic CFGs, loop forests,
+//                             call graph, recursive-component-set)
+//               --stage 2-->  DDG event stream (dynamic IIVs, shadow memory)
+//               --stage 3-->  FoldedProgram (compact polyhedral DDG)
+//               --stage 4-->  feedback (scheduling, metrics, flame graphs)
+//
+// Typical use:
+//   pp::core::Pipeline pipe(module);
+//   pp::core::ProfileResult r = pipe.run();
+//   for (auto& region : r.hot_regions())
+//     std::cout << pp::feedback::summarize(r.analyze(region));
+#pragma once
+
+#include <memory>
+
+#include "feedback/metrics.hpp"
+#include "feedback/report.hpp"
+#include "iiv/cct.hpp"
+#include "iiv/schedule_tree.hpp"
+
+namespace pp::core {
+
+struct PipelineOptions {
+  std::string entry = "main";
+  std::vector<i64> args;
+  u64 max_steps = 500'000'000;
+  ddg::DdgOptions ddg;
+  fold::FolderOptions fold;
+};
+
+/// Everything the profiler learned about one execution.
+///
+/// Holds a non-owning pointer to the profiled module (for function/source
+/// name lookups): the ir::Module must outlive the ProfileResult.
+struct ProfileResult {
+  const ir::Module* module = nullptr;
+  cfg::ControlStructure control;
+  ddg::StatementTable statements;
+  fold::FoldedProgram program;
+  iiv::DynScheduleTree schedule_tree;  ///< weights = dynamic ops
+  iiv::CallingContextTree cct;
+  vm::RunStats stats;
+  i64 exit_value = 0;
+
+  /// Mine regions of interest, heaviest first, keeping those above
+  /// `min_fraction` of all dynamic ops. A region boundary is a loop /
+  /// recursive component or a call site; `depth` controls how many
+  /// boundaries to descend before cutting (1 = top-level regions like the
+  /// paper's "facetrain.c:25" whole-call region; 2 = one level deeper,
+  /// e.g. the individual layerforward/adjust_weights calls inside it).
+  std::vector<feedback::Region> hot_regions(double min_fraction = 0.05,
+                                            int depth = 1) const;
+
+  /// The whole program as a single region.
+  feedback::Region whole_program() const;
+
+  /// Run the polyhedral feedback stage on one region.
+  feedback::RegionMetrics analyze(
+      const feedback::Region& region,
+      const feedback::AnalyzeOptions& opts = {}) const;
+
+  /// Table 5 %Aff for this execution.
+  double percent_affine() const;
+};
+
+/// The full textual feedback bundle the paper ships as its supplementary
+/// document: program-level statistics, the decorated schedule tree, and
+/// per-region metrics + post-transformation ASTs for every hot region.
+std::string full_report(const ProfileResult& r, double min_fraction = 0.05);
+
+/// Two-pass profiling driver. The module must outlive the pipeline.
+class Pipeline {
+ public:
+  explicit Pipeline(const ir::Module& m) : module_(m) {}
+
+  /// Runs the program twice (Instrumentation I then II) and folds.
+  ProfileResult run(const PipelineOptions& opts = {});
+
+ private:
+  const ir::Module& module_;
+};
+
+}  // namespace pp::core

@@ -1,0 +1,161 @@
+#include "ddg/ddg_builder.hpp"
+
+namespace pp::ddg {
+
+const char* dep_kind_name(DepKind k) {
+  switch (k) {
+    case DepKind::kRegFlow: return "reg-flow";
+    case DepKind::kMemFlow: return "mem-flow";
+    case DepKind::kAnti: return "anti";
+    case DepKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+DdgBuilder::DdgBuilder(const ir::Module& m, const cfg::ControlStructure& cs,
+                       DdgSink* sink, DdgOptions opts)
+    : module_(m),
+      lem_(cs, [this](const cfg::LoopEvent& ev) { diiv_.apply(ev); }),
+      sink_(sink),
+      opts_(opts) {}
+
+void DdgBuilder::on_local_jump(int func, int dst_bb) {
+  if (frames_.empty()) {
+    // First event of the run: materialize the entry frame.
+    const ir::Function& f = module_.functions[static_cast<std::size_t>(func)];
+    frames_.push_back(
+        {ShadowFrame(static_cast<std::size_t>(f.num_regs)), ir::kNoReg});
+  }
+  lem_.on_jump(func, dst_bb);
+}
+
+void DdgBuilder::on_call(vm::CodeRef callsite, int callee) {
+  const ir::Function& cf = module_.functions[static_cast<std::size_t>(callee)];
+  const ir::Instr& in = module_.functions[static_cast<std::size_t>(callsite.func)]
+                            .blocks[static_cast<std::size_t>(callsite.block)]
+                            .instrs[static_cast<std::size_t>(callsite.instr)];
+  FrameCtl nf{ShadowFrame(static_cast<std::size_t>(cf.num_regs)), in.dst};
+  // Argument pass-through: the callee's parameter registers inherit the
+  // caller's producers, so calling-convention moves do not create DDG
+  // nodes (the dependence materializes at first real use).
+  const ShadowFrame& caller = frames_.back().shadow;
+  for (std::size_t i = 0; i < in.args.size(); ++i)
+    nf.shadow.regs[i] = caller.regs[static_cast<std::size_t>(in.args[i])];
+  frames_.push_back(std::move(nf));
+  lem_.on_call(callsite.func, callee, 0);
+}
+
+void DdgBuilder::on_return(int callee, vm::CodeRef into) {
+  PP_CHECK(frames_.size() > 1, "DDG return underflow");
+  ir::Reg dst = frames_.back().ret_dst;
+  frames_.pop_back();
+  if (dst != ir::kNoReg && pending_ret_)
+    frames_.back().shadow.regs[static_cast<std::size_t>(dst)] = *pending_ret_;
+  pending_ret_.reset();
+  lem_.on_return(callee, into.func, into.block);
+}
+
+void DdgBuilder::reg_dep(const ShadowFrame& frame, ir::Reg r,
+                         const Occurrence& dst, int slot) {
+  if (r == ir::kNoReg) return;
+  const auto& prod = frame.regs[static_cast<std::size_t>(r)];
+  if (!prod) return;  // value predates profiling (e.g. entry arguments)
+  ++deps_emitted_;
+  sink_->on_dependence(DepKind::kRegFlow, *prod, dst, slot);
+}
+
+void DdgBuilder::on_instr(const vm::InstrEvent& ev) {
+  const ir::Instr& in = *ev.instr;
+  PP_CHECK(!frames_.empty(), "instruction with no frame");
+  ShadowFrame& frame = frames_.back().shadow;
+
+  if (diiv_.version() != ctx_version_) {
+    ctx_cache_ = diiv_.context();
+    ctx_version_ = diiv_.version();
+  }
+  int stmt = table_.touch(ctx_cache_, ev.ref, in);
+  const Statement& s = table_.stmt(stmt);
+
+  bool clamped = false;
+  if (opts_.clamp_instances != 0 && s.executions > opts_.clamp_instances) {
+    clamped_.insert(stmt);
+    clamped = true;
+  }
+
+  Occurrence occ{stmt, diiv_.coordinates()};
+
+  if (!clamped) {
+    // Register-operand dependences.
+    switch (in.op) {
+      case ir::Op::kConst:
+      case ir::Op::kFConst:
+        break;
+      case ir::Op::kBr:
+        break;
+      case ir::Op::kCall:
+        // Arguments are pass-through (see on_call); the call itself reads
+        // nothing.
+        break;
+      case ir::Op::kRet:
+        // Return-value plumbing is pass-through as well.
+        break;
+      case ir::Op::kLoad:
+      case ir::Op::kBrCond:
+      case ir::Op::kMov:
+      case ir::Op::kI2F:
+      case ir::Op::kF2I:
+      case ir::Op::kAddI:
+      case ir::Op::kMulI:
+        reg_dep(frame, in.a, occ, 0);
+        break;
+      case ir::Op::kStore:
+        reg_dep(frame, in.a, occ, 0);
+        reg_dep(frame, in.b, occ, 1);
+        break;
+      default:  // all two-operand arithmetic/compares
+        reg_dep(frame, in.a, occ, 0);
+        reg_dep(frame, in.b, occ, 1);
+        break;
+    }
+
+    // Memory dependences through shadow memory.
+    if (in.op == ir::Op::kLoad) {
+      if (const Occurrence* w = shadow_.read(ev.address)) {
+        ++deps_emitted_;
+        sink_->on_dependence(DepKind::kMemFlow, *w, occ, 0);
+      }
+      if (opts_.track_anti_output) last_reader_[ev.address] = occ;
+    } else if (in.op == ir::Op::kStore) {
+      if (opts_.track_anti_output) {
+        if (const Occurrence* w = shadow_.read(ev.address)) {
+          ++deps_emitted_;
+          sink_->on_dependence(DepKind::kOutput, *w, occ, 0);
+        }
+        auto it = last_reader_.find(ev.address);
+        if (it != last_reader_.end()) {
+          ++deps_emitted_;
+          sink_->on_dependence(DepKind::kAnti, it->second, occ, 0);
+        }
+      }
+      shadow_.write(ev.address, occ);
+    }
+
+    sink_->on_instruction(s, occ, ev.has_result, ev.result,
+                          ir::op_is_memory(in.op), ev.address);
+  }
+
+  // Producer bookkeeping (always, even when clamped — later instances
+  // still need correct producers).
+  if (in.op == ir::Op::kRet) {
+    if (in.a != ir::kNoReg)
+      pending_ret_ = frame.regs[static_cast<std::size_t>(in.a)];
+    else
+      pending_ret_.reset();
+  } else if (in.op != ir::Op::kCall && in.op != ir::Op::kStore &&
+             in.op != ir::Op::kBr && in.op != ir::Op::kBrCond &&
+             in.dst != ir::kNoReg) {
+    frame.regs[static_cast<std::size_t>(in.dst)] = occ;
+  }
+}
+
+}  // namespace pp::ddg

@@ -1,0 +1,98 @@
+// Stage 2 ("Instrumentation II"): builds the dynamic dependence graph.
+// Every retired instruction becomes a DDG vertex tagged with its dynamic
+// interprocedural iteration vector; every data dependence (register flow,
+// memory flow through shadow memory, optionally anti/output) becomes an
+// edge between two tagged instances. Vertices and edges are streamed to a
+// DdgSink — in the real pipeline that sink is the folding stage, so the
+// full graph never materializes (the paper's scalability requirement).
+#pragma once
+
+#include <set>
+
+#include "cfg/loop_events.hpp"
+#include "ddg/shadow.hpp"
+#include "ddg/statement.hpp"
+#include "iiv/diiv.hpp"
+
+namespace pp::ddg {
+
+enum class DepKind : std::uint8_t {
+  kRegFlow,   ///< read-after-write through a register
+  kMemFlow,   ///< read-after-write through memory (shadow memory)
+  kAnti,      ///< write-after-read through memory
+  kOutput,    ///< write-after-write through memory
+};
+
+const char* dep_kind_name(DepKind k);
+
+/// Consumer of the DDG event stream (the folding stage, or a test recorder).
+class DdgSink {
+ public:
+  virtual ~DdgSink() = default;
+  /// A dynamic instance of `s` at coordinates `occ.coords`; `value` is the
+  /// produced register value (SCEV detection), `address` the effective
+  /// address of a load/store (access-function recovery).
+  virtual void on_instruction(const Statement& s, const Occurrence& occ,
+                              bool has_value, i64 value, bool has_address,
+                              i64 address) = 0;
+  /// A dynamic dependence dst <- src. `slot` identifies the consuming
+  /// operand position (0 = first register operand / memory, 1 = second
+  /// register operand), so that an instruction reading the same producer
+  /// statement through two operands folds as two separate affine edges.
+  virtual void on_dependence(DepKind kind, const Occurrence& src,
+                             const Occurrence& dst, int slot) = 0;
+};
+
+struct DdgOptions {
+  bool track_anti_output = false;  ///< also emit WAR/WAW edges
+  /// "Clamping" (paper Fig. 1): stop streaming a statement's instances
+  /// after this many (0 = unlimited). Bounds profiling cost on huge loops;
+  /// clamped statements are flagged.
+  u64 clamp_instances = 0;
+};
+
+/// The Instrumentation-II observer. Wire it into a vm::Machine run after
+/// stage 1 produced the ControlStructure for the same program.
+class DdgBuilder : public vm::Observer {
+ public:
+  DdgBuilder(const ir::Module& m, const cfg::ControlStructure& cs,
+             DdgSink* sink, DdgOptions opts = {});
+
+  void on_local_jump(int func, int dst_bb) override;
+  void on_call(vm::CodeRef callsite, int callee) override;
+  void on_return(int callee, vm::CodeRef into) override;
+  void on_instr(const vm::InstrEvent& ev) override;
+
+  const StatementTable& statements() const { return table_; }
+  const std::set<int>& clamped_statements() const { return clamped_; }
+  u64 dependences_emitted() const { return deps_emitted_; }
+
+ private:
+  void reg_dep(const ShadowFrame& frame, ir::Reg r, const Occurrence& dst,
+               int slot);
+  void set_producer(ir::Reg r, Occurrence occ);
+
+  const ir::Module& module_;
+  cfg::LoopEventMachine lem_;
+  iiv::DynamicIiv diiv_;
+  StatementTable table_;
+  ShadowMemory shadow_;
+  std::unordered_map<i64, Occurrence> last_reader_;  ///< for WAR edges
+  DdgSink* sink_;
+  DdgOptions opts_;
+
+  struct FrameCtl {
+    ShadowFrame shadow;
+    ir::Reg ret_dst = ir::kNoReg;  ///< caller register receiving the result
+  };
+  std::vector<FrameCtl> frames_;
+  std::optional<Occurrence> pending_ret_;  ///< producer of the return value
+  // Context cache: the IIV context is invariant between loop events, so
+  // recomputing it per instruction would dominate profiling cost.
+  u64 ctx_version_ = ~0ull;
+  iiv::ContextKey ctx_cache_;
+  std::set<int> clamped_;
+  u64 deps_emitted_ = 0;
+};
+
+}  // namespace pp::ddg

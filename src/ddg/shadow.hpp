@@ -1,0 +1,48 @@
+// Shadow memory for dependence tracking (paper §9 "Shadow memory records a
+// piece of information for each storage location — for dependency tracking
+// this is usually the last dynamic instruction that modified that
+// location"). One record per 8-byte word: the last writing statement and
+// its iteration coordinates.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "support/int_math.hpp"
+
+namespace pp::ddg {
+
+/// A dynamic instance: statement id + iteration vector coordinates.
+struct Occurrence {
+  int stmt = -1;
+  std::vector<i64> coords;
+};
+
+class ShadowMemory {
+ public:
+  /// Record `w` as the last writer of the word at `addr`.
+  void write(i64 addr, Occurrence w) { last_writer_[addr] = std::move(w); }
+
+  /// Last writer of `addr`, if any write was observed.
+  const Occurrence* read(i64 addr) const {
+    auto it = last_writer_.find(addr);
+    return it == last_writer_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t tracked_words() const { return last_writer_.size(); }
+  void clear() { last_writer_.clear(); }
+
+ private:
+  std::unordered_map<i64, Occurrence> last_writer_;
+};
+
+/// Shadow state for one frame's registers: last producing occurrence per
+/// virtual register (pass-through across calls/returns, so moves through
+/// the calling convention do not appear as extra DDG nodes).
+struct ShadowFrame {
+  std::vector<std::optional<Occurrence>> regs;
+  explicit ShadowFrame(std::size_t num_regs) : regs(num_regs) {}
+};
+
+}  // namespace pp::ddg

@@ -1,0 +1,30 @@
+#include "ddg/statement.hpp"
+
+namespace pp::ddg {
+
+int StatementTable::touch(const iiv::ContextKey& ctx, vm::CodeRef code,
+                          const ir::Instr& in) {
+  Key k{ctx, code};
+  auto it = index_.find(k);
+  if (it != index_.end()) {
+    ++stmts_[static_cast<std::size_t>(it->second)].executions;
+    return it->second;
+  }
+  Statement s;
+  s.id = static_cast<int>(stmts_.size());
+  s.context = ctx;
+  s.code = code;
+  s.op = in.op;
+  s.line = in.line;
+  s.depth = ctx.depth();
+  s.executions = 1;
+  s.is_memory = ir::op_is_memory(in.op);
+  s.is_fp = ir::op_is_fp(in.op);
+  s.writes_memory = in.op == ir::Op::kStore;
+  int id = s.id;
+  stmts_.push_back(std::move(s));
+  index_.emplace(std::move(k), id);
+  return id;
+}
+
+}  // namespace pp::ddg

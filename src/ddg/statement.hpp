@@ -1,0 +1,69 @@
+// Statement identification for the DDG. A *statement* is a static
+// instruction in a specific interprocedural context: the pair
+// (ContextKey, CodeRef). All dynamic instances of a statement share the
+// context (non-numerical IIV part) and differ only in coordinates — the
+// property folding relies on ("folding is performed for each context
+// separately", paper §5).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "iiv/diiv.hpp"
+#include "vm/vm.hpp"
+
+namespace pp::ddg {
+
+struct Statement {
+  int id = -1;
+  iiv::ContextKey context;
+  vm::CodeRef code;
+  ir::Op op;
+  int line = 0;            ///< debug info
+  std::size_t depth = 0;   ///< loop depth (# coordinates)
+  u64 executions = 0;
+  bool is_memory = false;
+  bool is_fp = false;
+  bool writes_memory = false;
+};
+
+/// Interns (context, code) pairs into dense statement ids.
+class StatementTable {
+ public:
+  /// Find-or-create; bumps the execution counter.
+  int touch(const iiv::ContextKey& ctx, vm::CodeRef code, const ir::Instr& in);
+
+  const Statement& stmt(int id) const {
+    return stmts_[static_cast<std::size_t>(id)];
+  }
+  std::size_t size() const { return stmts_.size(); }
+  const std::vector<Statement>& all() const { return stmts_; }
+
+  u64 total_executions() const {
+    u64 n = 0;
+    for (const auto& s : stmts_) n += s.executions;
+    return n;
+  }
+
+ private:
+  struct Key {
+    iiv::ContextKey ctx;
+    vm::CodeRef code;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = iiv::ContextKeyHash{}(k.ctx);
+      h ^= static_cast<std::size_t>(k.code.func) * 0x9e3779b97f4a7c15ull;
+      h ^= static_cast<std::size_t>(k.code.block) * 0xc2b2ae3d27d4eb4full;
+      h ^= static_cast<std::size_t>(k.code.instr) * 0x165667b19e3779f9ull;
+      return h;
+    }
+  };
+
+  std::vector<Statement> stmts_;
+  std::unordered_map<Key, int, KeyHash> index_;
+};
+
+}  // namespace pp::ddg

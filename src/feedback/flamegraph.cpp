@@ -1,0 +1,138 @@
+#include "feedback/flamegraph.hpp"
+
+#include <functional>
+#include <sstream>
+
+namespace pp::feedback {
+
+namespace {
+
+std::string node_label(const iiv::DynScheduleTree::Node& n,
+                       const ir::Module* module) {
+  using Kind = iiv::CtxElem::Kind;
+  std::ostringstream os;
+  switch (n.elem.kind) {
+    case Kind::kBlock: {
+      if (module && n.elem.func >= 0)
+        os << module->functions[static_cast<std::size_t>(n.elem.func)].name
+           << ":bb" << n.elem.id;
+      else
+        os << "f" << n.elem.func << ":bb" << n.elem.id;
+      break;
+    }
+    case Kind::kLoop:
+      os << "loop L" << n.elem.id;
+      if (module && n.elem.func >= 0)
+        os << " ("
+           << module->functions[static_cast<std::size_t>(n.elem.func)].name
+           << ")";
+      break;
+    case Kind::kComp:
+      os << "rec RC" << n.elem.id;
+      break;
+  }
+  return os.str();
+}
+
+const char* node_color(const iiv::DynScheduleTree::Node& n, bool grayed) {
+  if (grayed) return "#9a9a9a";
+  switch (n.elem.kind) {
+    case iiv::CtxElem::Kind::kLoop: return "#f28e2b";   // loops: orange
+    case iiv::CtxElem::Kind::kComp: return "#e15759";   // recursion: red
+    default: return "#4e79a7";                          // code: steel blue
+  }
+}
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_flamegraph_svg(const iiv::DynScheduleTree& tree,
+                                  const ir::Module* module,
+                                  const FlameGraphOptions& opts) {
+  const u64 total = tree.total_weight();
+  const double wpx = static_cast<double>(opts.width_px);
+  int max_depth = tree.max_depth();
+  int height = (max_depth + 2) * opts.row_px + 24;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.width_px
+      << "\" height=\"" << height << "\" font-family=\"monospace\" "
+      << "font-size=\"11\">\n";
+  svg << "<text x=\"4\" y=\"14\">" << escape_xml(opts.title)
+      << " (total ops: " << total << ")</text>\n";
+
+  // Root at the bottom, leaves on top (paper §4: "the root of the tree is
+  // on the bottom").
+  std::function<void(int, double, int)> emit = [&](int id, double x0,
+                                                   int depth) {
+    const auto& n = tree.node(id);
+    double frac = total == 0
+                      ? 0.0
+                      : static_cast<double>(n.weight) / static_cast<double>(total);
+    if (id != 0) {
+      if (frac < opts.min_fraction) return;
+      double w = frac * wpx;
+      int y = height - (depth + 1) * opts.row_px;
+      bool grayed = opts.grayed.count(id) != 0;
+      std::string label = node_label(n, module);
+      svg << "<g><title>" << escape_xml(label) << " — " << n.weight
+          << " ops (" << static_cast<int>(frac * 100.0) << "%)</title>"
+          << "<rect x=\"" << x0 << "\" y=\"" << y << "\" width=\"" << w
+          << "\" height=\"" << opts.row_px - 1 << "\" fill=\""
+          << node_color(n, grayed) << "\" rx=\"2\"/>";
+      if (w > 40)
+        svg << "<text x=\"" << x0 + 3 << "\" y=\"" << y + opts.row_px - 6
+            << "\" fill=\"white\">" << escape_xml(label.substr(0, static_cast<std::size_t>(w / 7)))
+            << "</text>";
+      svg << "</g>\n";
+    }
+    double x = x0;
+    for (int c : n.children) {
+      const auto& cn = tree.node(c);
+      emit(c, x, depth + (id == 0 ? 0 : 1));
+      x += total == 0 ? 0.0
+                      : static_cast<double>(cn.weight) /
+                            static_cast<double>(total) * wpx;
+    }
+  };
+  emit(0, 0.0, 0);
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_flamegraph_ascii(const iiv::DynScheduleTree& tree,
+                                    const ir::Module* module, int width) {
+  std::ostringstream os;
+  const u64 total = tree.total_weight();
+  std::function<void(int, int)> emit = [&](int id, int indent) {
+    const auto& n = tree.node(id);
+    if (id != 0) {
+      double frac = total == 0 ? 0.0
+                               : static_cast<double>(n.weight) /
+                                     static_cast<double>(total);
+      int bar = static_cast<int>(frac * width);
+      os << std::string(static_cast<std::size_t>(indent) * 2, ' ')
+         << node_label(n, module) << " "
+         << std::string(static_cast<std::size_t>(std::max(bar, 1)), '#') << " "
+         << n.weight << "\n";
+    }
+    for (int c : n.children) emit(c, indent + (id == 0 ? 0 : 1));
+  };
+  emit(0, 0);
+  return os.str();
+}
+
+}  // namespace pp::feedback

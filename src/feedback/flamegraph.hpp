@@ -1,0 +1,34 @@
+// Flame-graph rendering of the dynamic schedule tree (paper §4/§6, Fig. 7:
+// "the main visual support used for reporting aggregated feedback"). Width
+// is proportional to a region's dynamic operation count; loop and
+// recursive-component nodes are marked; non-affine / blacklisted regions
+// can be grayed out. Output is a standalone SVG (clickable boxes carry
+// <title> tooltips) plus an ASCII fallback for terminals and tests.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "iiv/schedule_tree.hpp"
+#include "ir/ir.hpp"
+
+namespace pp::feedback {
+
+struct FlameGraphOptions {
+  int width_px = 1200;
+  int row_px = 18;
+  double min_fraction = 0.002;  ///< hide slivers below this share
+  std::set<int> grayed;         ///< schedule-tree node ids to gray out
+  std::string title = "poly-prof dynamic schedule tree";
+};
+
+/// Standalone SVG document.
+std::string render_flamegraph_svg(const iiv::DynScheduleTree& tree,
+                                  const ir::Module* module,
+                                  const FlameGraphOptions& opts = {});
+
+/// Text rendering: one line per node, indented, with bar widths.
+std::string render_flamegraph_ascii(const iiv::DynScheduleTree& tree,
+                                    const ir::Module* module, int width = 72);
+
+}  // namespace pp::feedback

@@ -1,0 +1,93 @@
+// PolyFeat-style metrics over the folded DDG + schedule (paper §6, §8):
+// everything needed to regenerate the columns of Table 5 and the case-study
+// tables — %ops/%Mops/%FPops, %Aff, %||ops, %simdops, %reuse/%Preuse,
+// ld-bin, TileD/%Tilops, skew, C/Comp., plus transformation suggestions
+// and a locality-model speedup estimate.
+#pragma once
+
+#include <string>
+
+#include "fold/folded_ddg.hpp"
+#include "scheduler/scheduler.hpp"
+
+namespace pp::feedback {
+
+/// Element size assumed by stride classification (the mini-ISA is
+/// word-addressed with 8-byte elements).
+inline constexpr i64 kElemBytes = 8;
+
+/// Build a scheduling problem from a set of folded statements. SCEV
+/// statements are excluded (their dependence chains were pruned); all
+/// remaining statements and the dependences among them are included.
+scheduler::Problem make_problem(const fold::FoldedProgram& prog,
+                                const std::vector<int>& stmt_ids);
+
+/// A region of interest: a set of statements analyzed together.
+struct Region {
+  std::string name;         ///< e.g. "backprop.c:253 (bpnn_layerforward)"
+  std::vector<int> stmts;   ///< statement ids (including SCEV statements)
+  bool interprocedural = false;
+};
+
+/// All metrics for one region (one row of Table 5 / Table 3).
+struct RegionMetrics {
+  Region region;
+  scheduler::ScheduleResult sched;
+
+  u64 ops = 0;       ///< dynamic operations in the region
+  u64 mem_ops = 0;
+  u64 fp_ops = 0;
+  u64 affine_ops = 0;  ///< fully affine, no over-approximation
+
+  int max_loop_depth = 0;     ///< ld-bin
+  int tile_depth = 0;         ///< TileD
+  bool skew_used = false;
+  bool schedulable = true;
+
+  u64 parallel_ops = 0;       ///< ops in groups with a non-inner parallel level
+  u64 simd_ops = 0;           ///< ops in groups with a parallel innermost level
+  u64 tilable_ops = 0;        ///< ops in schedulable loop groups
+
+  u64 reuse_mem_ops = 0;      ///< stride-0/1 accesses, original innermost
+  u64 preuse_mem_ops = 0;     ///< stride-0/1 achievable via permutation
+
+  int components_before = 0;  ///< C
+  int components_after = 0;   ///< Comp.
+  char fusion = 'S';          ///< fusion heuristic used: 'M' / 'S'
+
+  std::vector<std::string> suggestions;  ///< human-readable transformation list
+  double est_speedup = 1.0;   ///< locality/SIMD cost-model estimate
+
+  /// §6 parameterization: how many distinct parameters replace the
+  /// region's large domain constants (with the paper's ±20 reuse window),
+  /// keeping the scheduler's ILPs small. 0 when all constants are small.
+  int domain_parameters = 0;
+
+  double pct(u64 n) const {
+    return ops == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(ops);
+  }
+  double pct_mem(u64 n) const {
+    return mem_ops == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(n) / static_cast<double>(mem_ops);
+  }
+};
+
+struct AnalyzeOptions {
+  scheduler::Options sched;
+  /// Loops whose ops fraction exceeds this count as fusion components.
+  double component_threshold = 0.05;
+};
+
+/// Compute all metrics for a region of the folded program.
+RegionMetrics analyze_region(const fold::FoldedProgram& prog, Region region,
+                             const AnalyzeOptions& opts = {});
+
+/// Program-wide %Aff (Table 5 first metric): fully affine dynamic ops over
+/// all dynamic ops. `strict` (the default, used for Table 5) requires
+/// single-piece folds as the paper's lattice-less folding does; extended
+/// mode also credits exact piecewise folds (what our multi-chunk folder
+/// recognizes beyond the paper).
+double percent_affine(const fold::FoldedProgram& prog, bool strict = true);
+
+}  // namespace pp::feedback

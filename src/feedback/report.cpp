@@ -1,0 +1,159 @@
+#include "feedback/report.hpp"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "iiv/schedule_tree.hpp"
+#include "support/str.hpp"
+
+namespace pp::feedback {
+
+namespace {
+
+std::string stmt_ref(const fold::FoldedStatement& s, const ir::Module* module) {
+  std::ostringstream os;
+  os << "S" << s.meta.id << " [" << ir::op_name(s.meta.op) << "]";
+  if (module) {
+    const auto& f = module->functions[static_cast<std::size_t>(s.meta.code.func)];
+    os << " " << (f.source_file.empty() ? f.name : f.source_file);
+    if (s.meta.line) os << ":" << s.meta.line;
+  }
+  return os.str();
+}
+
+std::string row_str(const std::vector<i64>& row) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) os << ",";
+    os << row[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_ast(const RegionMetrics& m, const fold::FoldedProgram& prog,
+                       const ir::Module* module) {
+  std::ostringstream os;
+  os << "region " << m.region.name << "\n";
+  for (std::size_t gi = 0; gi < m.sched.groups.size(); ++gi) {
+    const auto& g = m.sched.groups[gi];
+    os << "component " << gi << " (" << g.ops << " ops"
+       << (g.schedulable ? "" : ", NOT schedulable: non-affine deps") << ")\n";
+    int indent = 1;
+    for (std::size_t l = 0; l < g.levels.size(); ++l) {
+      const auto& lv = g.levels[l];
+      os << std::string(static_cast<std::size_t>(indent) * 2, ' ');
+      if (lv.parallel)
+        os << "parallel-for";
+      else
+        os << "for";
+      os << " t" << l << " := " << row_str(lv.row);
+      std::vector<std::string> tags;
+      if (lv.new_band && l > 0) tags.push_back("new band");
+      if (lv.skew) tags.push_back("skewed");
+      if (lv.carries) tags.push_back("carries deps");
+      if (!tags.empty()) os << "   // " << join(tags, ", ");
+      os << "\n";
+      ++indent;
+    }
+    // Statements, filtered to real work (non-SCEV).
+    for (int id : g.stmts) {
+      const auto& s = prog.stmt(id);
+      os << std::string(static_cast<std::size_t>(indent) * 2, ' ')
+         << stmt_ref(s, module) << "  x" << s.meta.executions << "\n";
+    }
+    if (g.tile_depth() >= 2)
+      os << "  // band of depth " << g.tile_depth()
+         << " is fully permutable: tilable"
+         << (g.uses_skew() ? " (after skewing)" : "") << "\n";
+  }
+  return os.str();
+}
+
+std::string summarize(const RegionMetrics& m) {
+  std::ostringstream os;
+  os << "region " << m.region.name << "\n";
+  os << "  ops=" << m.ops << " mem=" << m.mem_ops << " fp=" << m.fp_ops
+     << " affine=" << static_cast<int>(m.pct(m.affine_ops)) << "%\n";
+  os << "  loop depth (binary)=" << m.max_loop_depth
+     << "  tile depth=" << m.tile_depth << "  skew=" << (m.skew_used ? "Y" : "N")
+     << "  interprocedural=" << (m.region.interprocedural ? "Y" : "N") << "\n";
+  os << "  parallel ops=" << static_cast<int>(m.pct(m.parallel_ops))
+     << "%  simd ops=" << static_cast<int>(m.pct(m.simd_ops))
+     << "%  tilable ops=" << static_cast<int>(m.pct(m.tilable_ops)) << "%\n";
+  os << "  reuse=" << static_cast<int>(m.pct_mem(m.reuse_mem_ops))
+     << "%  potential reuse=" << static_cast<int>(m.pct_mem(m.preuse_mem_ops))
+     << "%\n";
+  os << "  components: " << m.components_before << " -> "
+     << m.components_after << " (" << m.fusion << ")\n";
+  os << "  estimated speedup (locality/SIMD model): " << m.est_speedup
+     << "x\n";
+  if (m.domain_parameters > 0)
+    os << "  domain constants parameterized: " << m.domain_parameters
+       << " parameter(s)\n";
+  for (const auto& s : m.suggestions) os << "  suggest: " << s << "\n";
+  return os.str();
+}
+
+std::string render_decorated_tree(const iiv::DynScheduleTree& tree,
+                                  const fold::FoldedProgram& prog,
+                                  const ir::Module* module) {
+  // Source references per tree node: each statement's leaf contributes its
+  // file:line to every ancestor (best-effort source matching).
+  std::map<int, std::set<std::string>> lines;
+  for (const auto& s : prog.statements) {
+    int node = tree.find(s.meta.context);
+    if (node < 0 || s.meta.line == 0) continue;
+    std::string ref;
+    if (module) {
+      const auto& f =
+          module->functions[static_cast<std::size_t>(s.meta.code.func)];
+      ref = (f.source_file.empty() ? f.name : f.source_file) + ":" +
+            std::to_string(s.meta.line);
+    } else {
+      ref = "line " + std::to_string(s.meta.line);
+    }
+    for (int cur = node; cur >= 0; cur = tree.node(cur).parent) {
+      lines[cur].insert(ref);
+      if (cur == 0) break;
+    }
+  }
+
+  std::ostringstream os;
+  const u64 total = tree.total_weight();
+  std::function<void(int, int)> rec = [&](int id, int indent) {
+    const auto& n = tree.node(id);
+    os << std::string(static_cast<std::size_t>(indent) * 2, ' ');
+    if (id == 0) {
+      os << "<program>";
+    } else {
+      switch (n.elem.kind) {
+        case iiv::CtxElem::Kind::kLoop: os << "loop"; break;
+        case iiv::CtxElem::Kind::kComp: os << "rec"; break;
+        default: os << "code"; break;
+      }
+      os << "(" << n.static_index << ")";
+    }
+    if (total > 0)
+      os << " " << static_cast<int>(100.0 * static_cast<double>(n.weight) /
+                                    static_cast<double>(total))
+         << "%";
+    auto it = lines.find(id);
+    if (it != lines.end() && it->second.size() <= 4)
+      os << "  [" << join(it->second, ", ") << "]";
+    else if (it != lines.end())
+      os << "  [" << *it->second.begin() << " +" << it->second.size() - 1
+         << " more]";
+    os << "\n";
+    for (int c : n.children) rec(c, indent + 1);
+  };
+  rec(0, 0);
+  return os.str();
+}
+
+}  // namespace pp::feedback

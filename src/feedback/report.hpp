@@ -1,0 +1,29 @@
+// Human-readable feedback rendering (paper §6 "Final output"): the
+// simplified decorated AST of the region after the suggested structured
+// transformation, plus textual summaries of the metrics.
+#pragma once
+
+#include "feedback/metrics.hpp"
+#include "iiv/schedule_tree.hpp"
+#include "ir/ir.hpp"
+
+namespace pp::feedback {
+
+/// Simplified AST of the region after applying the proposed schedule:
+/// loop lines with parallel/tilable/skew decorations and the statements
+/// each loop surrounds (with source references where available).
+std::string render_ast(const RegionMetrics& m, const fold::FoldedProgram& prog,
+                       const ir::Module* module);
+
+/// Multi-line textual report for one region (case-study style).
+std::string summarize(const RegionMetrics& m);
+
+/// The paper's last stage (Fig. 1: "best-effort assembly/source matching,
+/// schedule tree decoration"): the dynamic schedule tree rendered with
+/// each node decorated by the source lines of the statements executing
+/// under it and its share of dynamic operations.
+std::string render_decorated_tree(const iiv::DynScheduleTree& tree,
+                                  const fold::FoldedProgram& prog,
+                                  const ir::Module* module);
+
+}  // namespace pp::feedback

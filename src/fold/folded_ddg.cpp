@@ -1,0 +1,235 @@
+#include "fold/folded_ddg.hpp"
+
+#include <algorithm>
+
+namespace pp::fold {
+
+bool scev_candidate(ir::Op op) {
+  switch (op) {
+    case ir::Op::kConst:
+    case ir::Op::kMov:
+    case ir::Op::kAdd:
+    case ir::Op::kSub:
+    case ir::Op::kMul:
+    case ir::Op::kAddI:
+    case ir::Op::kMulI:
+    case ir::Op::kShl:
+    case ir::Op::kCmpEq:
+    case ir::Op::kCmpNe:
+    case ir::Op::kCmpLt:
+    case ir::Op::kCmpLe:
+    case ir::Op::kCmpGt:
+    case ir::Op::kCmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const poly::AffineMap* FoldedStatement::affine_access() const {
+  if (addresses.pieces().size() != 1) return nullptr;
+  const poly::Piece& p = addresses.pieces()[0];
+  if (!p.exact) return nullptr;
+  return &p.label_fn;
+}
+
+std::optional<i64> FoldedStatement::stride_along(std::size_t dim) const {
+  const poly::AffineMap* fn = affine_access();
+  if (!fn || fn->out_dim() != 1) return std::nullopt;
+  if (dim >= fn->in_dim()) return std::nullopt;
+  return fn->output(0).coeff(dim);
+}
+
+poly::DepRelation FoldedDep::as_relation() const {
+  poly::DepRelation r;
+  r.src_stmt = src;
+  r.dst_stmt = dst;
+  for (const auto& p : relation.pieces()) {
+    poly::DepPiece dp;
+    dp.dst_domain = p.domain;
+    dp.src_fn = p.label_fn;
+    dp.exact = p.exact;
+    dp.observed = p.observed_points;
+    r.pieces.push_back(std::move(dp));
+  }
+  return r;
+}
+
+poly::PolySet FoldedDep::must_relation() const {
+  poly::PolySet out(relation.dim());
+  for (const auto& p : relation.pieces())
+    if (p.exact) out.add_piece(p);
+  return out;
+}
+
+double FoldedDep::must_coverage() const {
+  u64 total = relation.total_observed();
+  if (total == 0) return 1.0;
+  u64 must = 0;
+  for (const auto& p : relation.pieces())
+    if (p.exact) must += p.observed_points;
+  return static_cast<double>(must) / static_cast<double>(total);
+}
+
+std::vector<bool> FoldedProgram::affine_flags(bool strict) const {
+  // Statements incident to an inexact (or, in strict mode, piecewise)
+  // dependence edge lose affinity too.
+  std::vector<bool> tainted(statements.size(), false);
+  for (const auto& d : deps) {
+    bool bad = !d.relation.all_exact() ||
+               (strict && d.relation.pieces().size() > 1);
+    if (bad) {
+      tainted[static_cast<std::size_t>(d.src)] = true;
+      tainted[static_cast<std::size_t>(d.dst)] = true;
+    }
+  }
+  std::vector<bool> flags(statements.size(), false);
+  for (const auto& s : statements) {
+    if (!s.domain_exact) continue;
+    if (strict && s.domain.pieces().size() > 1) continue;
+    if (tainted[static_cast<std::size_t>(s.meta.id)]) continue;
+    if (s.meta.is_memory) {
+      // strict: one exact affine access function; extended: an exact
+      // piecewise-affine access also counts.
+      if (strict && s.affine_access() == nullptr) continue;
+      if (!strict && (s.addresses.empty() || !s.addresses.all_exact()))
+        continue;
+    }
+    flags[static_cast<std::size_t>(s.meta.id)] = true;
+  }
+  return flags;
+}
+
+u64 FoldedProgram::fully_affine_ops() const {
+  std::vector<bool> flags = affine_flags();
+  u64 n = 0;
+  for (const auto& s : statements)
+    if (flags[static_cast<std::size_t>(s.meta.id)]) n += s.meta.executions;
+  return n;
+}
+
+FoldingSink::FoldingSink(FolderOptions opts) : opts_(opts) {}
+
+void FoldingSink::on_instruction(const ddg::Statement& s,
+                                 const ddg::Occurrence& occ, bool has_value,
+                                 i64 value, bool has_address, i64 address) {
+  auto& streams = stmts_[s.id];
+  std::size_t d = occ.coords.size();
+  if (!streams.domain)
+    streams.domain = std::make_unique<Folder>(d, 0, opts_);
+  streams.domain->add(occ.coords, {});
+  if (has_value && scev_candidate(s.op)) {
+    if (!streams.value)
+      streams.value = std::make_unique<Folder>(d, 1, opts_);
+    i64 lab[1] = {value};
+    streams.value->add(occ.coords, lab);
+  }
+  if (has_address) {
+    if (!streams.address)
+      streams.address = std::make_unique<Folder>(d, 1, opts_);
+    i64 lab[1] = {address};
+    streams.address->add(occ.coords, lab);
+  }
+}
+
+void FoldingSink::on_dependence(ddg::DepKind kind, const ddg::Occurrence& src,
+                                const ddg::Occurrence& dst, int slot) {
+  DepKey key{src.stmt, dst.stmt, kind, slot};
+  auto& f = deps_[key];
+  if (!f)
+    f = std::make_unique<Folder>(dst.coords.size(), src.coords.size(), opts_);
+  f->add(dst.coords, src.coords);
+}
+
+FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
+  FoldedProgram prog;
+  prog.statements.reserve(table.size());
+  prog.total_dynamic_ops = table.total_executions();
+
+  for (const auto& meta : table.all()) {
+    FoldedStatement fs;
+    fs.meta = meta;
+    auto it = stmts_.find(meta.id);
+    if (it != stmts_.end()) {
+      auto& streams = it->second;
+      if (streams.domain) fs.domain = streams.domain->finish();
+      if (streams.value) fs.values = streams.value->finish();
+      if (streams.address) fs.addresses = streams.address->finish();
+    }
+    fs.domain_exact = !fs.domain.empty() && fs.domain.all_exact();
+    // SCEV recognition, phase 1 (value shape): the produced values of a
+    // bookkeeping instruction fold into at most two exact affine pieces
+    // (loop-exit compares are affine except on the final iteration, hence
+    // two pieces; reductions fragment into many pieces and never qualify).
+    fs.is_scev = scev_candidate(meta.op) && !fs.values.empty() &&
+                 fs.values.pieces().size() <= 2 && fs.values.all_exact() &&
+                 fs.domain_exact &&
+                 fs.values.total_observed() == meta.executions;
+    prog.statements.push_back(std::move(fs));
+  }
+
+  // SCEV phase 2 (chain rule): a compiler's scalar evolution is a function
+  // of canonical induction variables only — it cannot see through loads.
+  // Values that *happen* to be affine but are computed from non-SCEV
+  // producers (e.g. an address derived from a loaded row pointer) must
+  // keep their dependences, or Table 2's I1->I2 pointer chain would
+  // vanish. Demote to fixpoint along register-flow edges.
+  {
+    std::vector<std::pair<int, int>> reg_edges;
+    for (const auto& [key, _] : deps_) {
+      if (std::get<2>(key) == ddg::DepKind::kRegFlow)
+        reg_edges.emplace_back(std::get<0>(key), std::get<1>(key));
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [src, dst] : reg_edges) {
+        auto& d = prog.statements[static_cast<std::size_t>(dst)];
+        const auto& s = prog.statements[static_cast<std::size_t>(src)];
+        if (d.is_scev && !s.is_scev) {
+          d.is_scev = false;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Fold dependences; drop edges touching SCEV statements (their whole
+  // computation chains are bookkeeping — keeping them "greatly and
+  // unnecessarily constrains possible code transformations", §5).
+  std::map<std::pair<int, int>, FoldedDep> merged;
+  std::vector<DepKey> keys;
+  keys.reserve(deps_.size());
+  for (const auto& [key, _] : deps_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());  // deterministic piece order
+  for (const DepKey& key : keys) {
+    Folder* folder = deps_.at(key).get();
+    auto [src, dst, kind, slot] = key;
+    (void)slot;
+    poly::PolySet rel = folder->finish();
+    if (prog.statements[static_cast<std::size_t>(src)].is_scev ||
+        prog.statements[static_cast<std::size_t>(dst)].is_scev) {
+      ++prog.pruned_dep_edges;
+      prog.pruned_dep_instances += rel.total_observed();
+      continue;
+    }
+    auto mk = std::make_pair(src, dst);
+    auto it = merged.find(mk);
+    if (it == merged.end()) {
+      FoldedDep fd;
+      fd.src = src;
+      fd.dst = dst;
+      fd.kind = kind;
+      fd.relation = std::move(rel);
+      merged.emplace(mk, std::move(fd));
+    } else {
+      for (auto& p : rel.pieces())
+        it->second.relation.add_piece(std::move(p));
+    }
+  }
+  prog.deps.reserve(merged.size());
+  for (auto& [_, fd] : merged) prog.deps.push_back(std::move(fd));
+  return prog;
+}
+
+}  // namespace pp::fold

@@ -1,0 +1,126 @@
+// Assembly of the compact polyhedral DDG: a DdgSink that feeds every
+// statement / dependence stream through a Folder, then finalizes into a
+// FoldedProgram — folded iteration domains, affine value functions (SCEV
+// recognition), affine access functions, and folded dependence relations
+// with SCEV chains pruned (paper §5).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "ddg/ddg_builder.hpp"
+#include "fold/folder.hpp"
+#include "poly/dep_relation.hpp"
+
+namespace pp::fold {
+
+/// One statement of the compact polyhedral DDG.
+struct FoldedStatement {
+  ddg::Statement meta;          ///< identity + dynamic counters
+  poly::PolySet domain;         ///< folded iteration domain
+  poly::PolySet values;         ///< produced values as labels (may be empty)
+  poly::PolySet addresses;      ///< effective addresses as labels (mem ops)
+  bool is_scev = false;         ///< recognized scalar-evolution instruction
+  bool domain_exact = false;    ///< no over-approximation in the domain
+
+  /// The access function of a memory statement, when it folded into a
+  /// single exact affine piece; nullptr otherwise.
+  const poly::AffineMap* affine_access() const;
+  /// Stride (in bytes) of the access function along coordinate `dim`.
+  std::optional<i64> stride_along(std::size_t dim) const;
+};
+
+/// One folded dependence edge.
+struct FoldedDep {
+  int src = -1;
+  int dst = -1;
+  ddg::DepKind kind{};
+  poly::PolySet relation;  ///< domain over dst coords; labels = src coords
+
+  /// View as poly::DepRelation for the scheduler.
+  poly::DepRelation as_relation() const;
+
+  /// Under-approximation (the paper's §10 future work, "development of
+  /// under-approximation schemes in the DDG"): the exact pieces only —
+  /// every instance they describe is a *must*-dependence that provably
+  /// occurred, with its source instance exactly known. Inexact
+  /// (over-approximate) pieces are dropped.
+  poly::PolySet must_relation() const;
+
+  /// Fraction of observed dependence instances covered by must pieces.
+  double must_coverage() const;
+};
+
+/// The compact polyhedral DDG for one profiled execution.
+struct FoldedProgram {
+  std::vector<FoldedStatement> statements;  ///< indexed by statement id
+  std::vector<FoldedDep> deps;              ///< SCEV-pruned
+  u64 pruned_dep_edges = 0;   ///< edges removed by SCEV pruning
+  u64 pruned_dep_instances = 0;
+  u64 total_dynamic_ops = 0;
+
+  /// Per-statement affinity verdict: true when the statement's domain and
+  /// (for memory ops) access function folded exactly AND every incident
+  /// non-pruned dependence folded exactly. Indexed by statement id.
+  ///
+  /// `strict` additionally requires every fold to be a SINGLE piece —
+  /// matching the paper's folding, which "does not support lattices at
+  /// folding time" and thus never recognizes the piecewise patterns
+  /// (modulo indexing, boundary splits) our multi-chunk folder handles.
+  /// Table 5's %Aff uses strict mode for comparability.
+  std::vector<bool> affine_flags(bool strict = true) const;
+
+  /// %Aff numerator: dynamic ops in statements whose domain and (for
+  /// memory ops) access function folded exactly, with all incident
+  /// non-pruned dependences exact.
+  u64 fully_affine_ops() const;
+
+  const FoldedStatement& stmt(int id) const {
+    return statements[static_cast<std::size_t>(id)];
+  }
+};
+
+/// Streaming sink: plug into DdgBuilder, then call finalize() once.
+class FoldingSink : public ddg::DdgSink {
+ public:
+  explicit FoldingSink(FolderOptions opts = {});
+
+  void on_instruction(const ddg::Statement& s, const ddg::Occurrence& occ,
+                      bool has_value, i64 value, bool has_address,
+                      i64 address) override;
+  void on_dependence(ddg::DepKind kind, const ddg::Occurrence& src,
+                     const ddg::Occurrence& dst, int slot) override;
+
+  /// Fold everything and build the program. `table` must be the
+  /// DdgBuilder's statement table from the same run.
+  FoldedProgram finalize(const ddg::StatementTable& table);
+
+ private:
+  struct StmtStreams {
+    std::unique_ptr<Folder> domain;
+    std::unique_ptr<Folder> value;
+    std::unique_ptr<Folder> address;
+  };
+  using DepKey = std::tuple<int, int, ddg::DepKind, int>;  // src,dst,kind,slot
+  struct DepKeyHash {
+    std::size_t operator()(const DepKey& k) const {
+      return static_cast<std::size_t>(std::get<0>(k)) * 0x9e3779b97f4a7c15ull ^
+             static_cast<std::size_t>(std::get<1>(k)) * 0xc2b2ae3d27d4eb4full ^
+             (static_cast<std::size_t>(std::get<2>(k)) << 8) ^
+             static_cast<std::size_t>(std::get<3>(k));
+    }
+  };
+
+  FolderOptions opts_;
+  std::map<int, StmtStreams> stmts_;
+  std::unordered_map<DepKey, std::unique_ptr<Folder>, DepKeyHash> deps_;
+};
+
+/// True when `op` is a scalar-evolution candidate: integer register
+/// arithmetic whose folded values being affine identifies it as loop
+/// bookkeeping (induction updates, address computation, trip-count
+/// compares). Memory and FP instructions are never SCEV — their values are
+/// genuine data flow.
+bool scev_candidate(ir::Op op);
+
+}  // namespace pp::fold

@@ -1,0 +1,381 @@
+#include "fold/folder.hpp"
+
+#include <algorithm>
+
+namespace pp::fold {
+
+namespace {
+
+// Template expressions for dimension d: e_i for every i, then (with the
+// octagon enabled) e_i - e_j and e_i + e_j for every i < j.
+std::vector<std::vector<i64>> template_rows(std::size_t d, bool octagon) {
+  std::vector<std::vector<i64>> rows;
+  for (std::size_t i = 0; i < d; ++i) {
+    std::vector<i64> r(d, 0);
+    r[i] = 1;
+    rows.push_back(r);
+  }
+  if (!octagon) return rows;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      std::vector<i64> diff(d, 0), sum(d, 0);
+      diff[i] = 1;
+      diff[j] = -1;
+      sum[i] = 1;
+      sum[j] = 1;
+      rows.push_back(diff);
+      rows.push_back(sum);
+    }
+  }
+  return rows;
+}
+
+i128 eval_row(const std::vector<i64>& coeffs, std::span<const i64> pt) {
+  i128 acc = 0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i)
+    if (coeffs[i] != 0) acc = add_checked(acc, mul_checked(coeffs[i], pt[i]));
+  return acc;
+}
+
+// Reduce [point 1] against RREF hull rows in place.
+void hull_reduce(const RatMatrix& hull, RatVec& v) {
+  std::size_t width = v.size();
+  for (std::size_t r = 0; r < hull.rows(); ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      if (!hull.at(r, c).is_zero()) {
+        if (!v[c].is_zero()) {
+          Rat f = v[c];
+          for (std::size_t k = c; k < width; ++k) v[k] -= f * hull.at(r, k);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Folder::Folder(std::size_t in_dim, std::size_t label_dim, FolderOptions opts)
+    : in_dim_(in_dim), label_dim_(label_dim), opts_(opts), result_(in_dim) {}
+
+bool Folder::in_hull(const Chunk& c, std::span<const i64> point) const {
+  // Full-rank basis: the affine hull is the whole space (the common case
+  // once a loop nest has warmed up).
+  if (c.hull.rows() == in_dim_ + 1) return true;
+  RatVec v(in_dim_ + 1);
+  for (std::size_t i = 0; i < in_dim_; ++i) v[i] = Rat(point[i]);
+  v[in_dim_] = Rat(1);
+  hull_reduce(c.hull, v);
+  for (const auto& x : v)
+    if (!x.is_zero()) return false;
+  return true;
+}
+
+bool Folder::predicts(const Chunk& c, std::span<const i64> point,
+                      std::span<const i64> label) const {
+  if (!c.fit_int.empty()) {
+    // Integer fast path: pure 128-bit arithmetic, no gcd normalization.
+    for (std::size_t j = 0; j < label_dim_; ++j) {
+      i128 acc = c.fit_int[j][in_dim_];
+      for (std::size_t i = 0; i < in_dim_; ++i)
+        if (c.fit_int[j][i] != 0)
+          acc = add_checked(acc, mul_checked(c.fit_int[j][i], point[i]));
+      if (acc != label[j]) return false;
+    }
+    return true;
+  }
+  for (std::size_t j = 0; j < label_dim_; ++j) {
+    Rat acc = c.fit[j][in_dim_];
+    for (std::size_t i = 0; i < in_dim_; ++i)
+      if (!c.fit[j][i].is_zero()) acc += c.fit[j][i] * Rat(point[i]);
+    if (acc != Rat(label[j])) return false;
+  }
+  return true;
+}
+
+void Folder::extend_basis(Chunk& c, std::span<const i64> point,
+                          std::span<const i64> label) {
+  c.basis_pts.emplace_back(point.begin(), point.end());
+  c.basis_labels.emplace_back(label.begin(), label.end());
+  RatVec v(in_dim_ + 1);
+  for (std::size_t i = 0; i < in_dim_; ++i) v[i] = Rat(point[i]);
+  v[in_dim_] = Rat(1);
+  hull_reduce(c.hull, v);
+  std::size_t pivot = in_dim_ + 1;
+  for (std::size_t col = 0; col <= in_dim_; ++col) {
+    if (!v[col].is_zero()) {
+      pivot = col;
+      break;
+    }
+  }
+  PP_CHECK(pivot <= in_dim_, "extend_basis: point already in hull");
+  Rat inv = Rat(1) / v[pivot];
+  for (std::size_t k = pivot; k <= in_dim_; ++k) v[k] *= inv;
+  // Back-eliminate to keep RREF.
+  for (std::size_t r = 0; r < c.hull.rows(); ++r) {
+    Rat f = c.hull.at(r, pivot);
+    if (f.is_zero()) continue;
+    for (std::size_t k = pivot; k <= in_dim_; ++k)
+      c.hull.at(r, k) -= f * v[k];
+  }
+  c.hull.push_row(v);
+}
+
+void Folder::refit(Chunk& c) {
+  // Solve [P 1] coeffs = a per label dimension over the basis rows. The
+  // rows are affinely independent by construction, so the system is always
+  // consistent (possibly underdetermined: free coefficients go to 0).
+  RatMatrix sys(c.basis_pts.size(), in_dim_ + 1);
+  for (std::size_t r = 0; r < c.basis_pts.size(); ++r) {
+    for (std::size_t i = 0; i < in_dim_; ++i)
+      sys.at(r, i) = Rat(c.basis_pts[r][i]);
+    sys.at(r, in_dim_) = Rat(1);
+  }
+  c.fit.assign(label_dim_, RatVec(in_dim_ + 1, Rat(0)));
+  for (std::size_t j = 0; j < label_dim_; ++j) {
+    RatVec rhs(c.basis_pts.size());
+    for (std::size_t r = 0; r < c.basis_pts.size(); ++r)
+      rhs[r] = Rat(c.basis_labels[r][j]);
+    auto sol = sys.solve(rhs);
+    PP_CHECK(sol.has_value(), "refit on affinely independent basis failed");
+    c.fit[j] = *sol;
+  }
+  // Precompute the integer fast path when every coefficient is integral.
+  c.fit_int.clear();
+  bool integral = true;
+  for (const auto& row : c.fit)
+    for (const auto& coeff : row)
+      if (!coeff.is_integer()) integral = false;
+  if (integral) {
+    c.fit_int.resize(label_dim_);
+    for (std::size_t j = 0; j < label_dim_; ++j) {
+      c.fit_int[j].resize(in_dim_ + 1);
+      for (std::size_t i = 0; i <= in_dim_; ++i)
+        c.fit_int[j][i] = c.fit[j][i].num();
+    }
+  }
+}
+
+Folder::Chunk Folder::make_chunk(std::span<const i64> point,
+                                 std::span<const i64> label) {
+  Chunk c;
+  c.points = 1;
+  c.last_use = seq_;
+  c.created = seq_;
+  auto rows = template_rows(in_dim_, opts_.use_octagon);
+  c.tmpl.reserve(rows.size());
+  for (auto& r : rows) {
+    i128 v = eval_row(r, point);
+    c.tmpl.push_back({std::move(r), v, v});
+  }
+  c.hull = RatMatrix(0, in_dim_ + 1);
+  extend_basis(c, point, label);
+  refit(c);
+  return c;
+}
+
+void Folder::absorb(Chunk& c, std::span<const i64> point,
+                    std::span<const i64> label, bool refit_needed) {
+  if (!in_hull(c, point)) {
+    extend_basis(c, point, label);
+    // When the current fit already predicted the point, it remains a valid
+    // solution of the extended system — no refit needed, and keeping it
+    // preserves the agreement with every previously verified point.
+    if (refit_needed) refit(c);
+  }
+  for (auto& t : c.tmpl) {
+    i128 v = eval_row(t.coeffs, point);
+    t.min = std::min(t.min, v);
+    t.max = std::max(t.max, v);
+  }
+  ++c.points;
+  c.last_use = seq_;
+}
+
+void Folder::add(std::span<const i64> point, std::span<const i64> label) {
+  PP_CHECK(point.size() == in_dim_, "folder: point arity mismatch");
+  PP_CHECK(label.size() == label_dim_, "folder: label arity mismatch");
+  ++total_points_;
+  ++seq_;
+
+  // Lexicographic sanity: the IIV construction guarantees increasing
+  // coordinates within a context; a violation (or duplicate) makes the
+  // distinct-point count unreliable, so exactness is forfeited.
+  if (last_point_) {
+    std::vector<i64> pv(point.begin(), point.end());
+    if (!(pv > *last_point_)) lex_ok_ = false;
+    *last_point_ = std::move(pv);
+  } else {
+    last_point_ = std::vector<i64>(point.begin(), point.end());
+  }
+
+  // 1. Route to an open piece whose affine function predicts the label,
+  //    most recently used first.
+  Chunk* best = nullptr;
+  for (auto& c : open_) {
+    if (!predicts(c, point, label)) continue;
+    if (!best || c.last_use > best->last_use) best = &c;
+  }
+  if (best) {
+    absorb(*best, point, label, /*refit_needed=*/false);
+    return;
+  }
+  // 2. The most recent piece may absorb the point by refitting, when the
+  //    point lies off its affine hull (fit unchanged on the hull, so all
+  //    earlier verifications stand).
+  Chunk* mru = nullptr;
+  for (auto& c : open_)
+    if (!mru || c.last_use > mru->last_use) mru = &c;
+  if (mru && !in_hull(*mru, point)) {
+    absorb(*mru, point, label, /*refit_needed=*/true);
+    return;
+  }
+  // 3. Open a new piece, evicting the least recently used past the budget.
+  if (open_.size() >= opts_.max_open_chunks) {
+    std::size_t lru = 0;
+    for (std::size_t i = 1; i < open_.size(); ++i)
+      if (open_[i].last_use < open_[lru].last_use) lru = i;
+    close_chunk(open_[lru]);
+    open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(lru));
+  }
+  open_.push_back(make_chunk(point, label));
+}
+
+void Folder::close_chunk(Chunk& chunk) {
+  if (result_.pieces().size() >= opts_.max_pieces) collapsed_ = true;
+
+  // Emit only non-implied template constraints. A pair row a_i·x_i+a_j·x_j
+  // is implied by the single-variable bounds when its observed min/max
+  // match what interval arithmetic on those bounds yields — an O(d²) test
+  // that replaces LP-based redundancy elimination.
+  poly::Polyhedron dom(in_dim_);
+  bool is_box = true;
+  for (std::size_t r = 0; r < chunk.tmpl.size(); ++r) {
+    const auto& t = chunk.tmpl[r];
+    bool lower_redundant = false, upper_redundant = false;
+    if (r >= in_dim_) {
+      i128 imp_min = 0, imp_max = 0;
+      for (std::size_t i = 0; i < in_dim_; ++i) {
+        if (t.coeffs[i] > 0) {
+          imp_min += chunk.tmpl[i].min;
+          imp_max += chunk.tmpl[i].max;
+        } else if (t.coeffs[i] < 0) {
+          imp_min -= chunk.tmpl[i].max;
+          imp_max -= chunk.tmpl[i].min;
+        }
+      }
+      lower_redundant = t.min <= imp_min;
+      upper_redundant = t.max >= imp_max;
+    }
+    if (lower_redundant && upper_redundant) continue;
+    if (r >= in_dim_) is_box = false;
+    poly::AffineExpr e(std::vector<i64>(t.coeffs), 0);
+    if (t.min == t.max) {
+      dom.add_eq0(e - narrow_i64(t.min));
+    } else {
+      if (!lower_redundant) dom.add_ge0(e - narrow_i64(t.min));
+      if (!upper_redundant) dom.add_ge0(-(e) + narrow_i64(t.max));
+    }
+  }
+
+  bool domain_exact = lex_ok_;
+  if (domain_exact && in_dim_ > 0) {
+    if (is_box) {
+      i128 count = 1;
+      bool overflow = false;
+      for (std::size_t i = 0; i < in_dim_ && !overflow; ++i) {
+        count = mul_checked(count, chunk.tmpl[i].max - chunk.tmpl[i].min + 1);
+        if (count > static_cast<i128>(opts_.count_cap)) overflow = true;
+      }
+      domain_exact = !overflow && static_cast<u64>(count) == chunk.points;
+    } else {
+      auto n = dom.count_points(opts_.count_cap);
+      domain_exact = n.has_value() && *n == chunk.points;
+    }
+  } else if (in_dim_ == 0) {
+    domain_exact = lex_ok_ && chunk.points == 1;
+  }
+
+  // Integral affine label function? Coefficients must be integers that fit
+  // in 64 bits — fits through wild values (e.g. double bit patterns) can
+  // produce huge rational coefficients, which simply means "not a SCEV".
+  auto representable = [](const Rat& r) {
+    return r.is_integer() && r.num() >= INT64_MIN && r.num() <= INT64_MAX;
+  };
+  bool label_ok = true;
+  std::vector<poly::AffineExpr> outs;
+  outs.reserve(label_dim_);
+  for (std::size_t j = 0; j < label_dim_ && label_ok; ++j) {
+    std::vector<i64> coeffs(in_dim_);
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      if (!representable(chunk.fit[j][i])) {
+        label_ok = false;
+        break;
+      }
+      coeffs[i] = narrow_i64(chunk.fit[j][i].num());
+    }
+    if (!label_ok || !representable(chunk.fit[j][in_dim_])) {
+      label_ok = false;
+      break;
+    }
+    outs.emplace_back(std::move(coeffs), narrow_i64(chunk.fit[j][in_dim_].num()));
+  }
+  if (!label_ok) outs.assign(label_dim_, poly::AffineExpr(in_dim_));
+
+  poly::Piece piece;
+  piece.domain = std::move(dom);
+  piece.label_fn = poly::AffineMap(in_dim_, std::move(outs));
+  piece.exact = domain_exact && label_ok;
+  piece.label_exact = label_ok;
+  piece.observed_points = chunk.points;
+  result_.add_piece(std::move(piece));
+}
+
+poly::PolySet Folder::finish() {
+  // Close remaining chunks in creation order for stable output.
+  std::sort(open_.begin(), open_.end(),
+            [](const Chunk& a, const Chunk& b) { return a.created < b.created; });
+  for (auto& c : open_) close_chunk(c);
+  open_.clear();
+  poly::PolySet out = std::move(result_);
+  result_ = poly::PolySet(in_dim_);
+  last_point_.reset();
+  lex_ok_ = true;
+
+  if (collapsed_) {
+    // Scalability guard tripped: merge everything into one
+    // over-approximate template piece (paper §5, over-approximation).
+    poly::Polyhedron dom(in_dim_);
+    auto rows = template_rows(in_dim_, opts_.use_octagon);
+    for (const auto& r : rows) {
+      poly::AffineExpr e(std::vector<i64>(r), 0);
+      std::optional<Rat> lo, hi;
+      for (const auto& p : out.pieces()) {
+        auto bl = p.domain.minimize(e);
+        auto bh = p.domain.maximize(e);
+        if (bl.status == poly::LpStatus::kOptimal)
+          lo = lo ? std::min(*lo, bl.value) : bl.value;
+        if (bh.status == poly::LpStatus::kOptimal)
+          hi = hi ? std::max(*hi, bh.value) : bh.value;
+      }
+      if (lo) dom.add_ge0(e - narrow_i64(lo->floor()));
+      if (hi) dom.add_ge0(-(e) + narrow_i64(hi->ceil()));
+    }
+    dom.remove_redundant();
+    poly::Piece merged;
+    merged.domain = std::move(dom);
+    merged.label_fn = poly::AffineMap(
+        in_dim_, std::vector<poly::AffineExpr>(label_dim_,
+                                               poly::AffineExpr(in_dim_)));
+    merged.exact = false;
+    merged.label_exact = false;
+    merged.observed_points = out.total_observed();
+    poly::PolySet collapsed_set(in_dim_);
+    collapsed_set.add_piece(std::move(merged));
+    collapsed_ = false;
+    return collapsed_set;
+  }
+  return out;
+}
+
+}  // namespace pp::fold

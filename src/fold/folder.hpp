@@ -1,0 +1,113 @@
+// Streaming geometric folding (paper §5 and tech report RR-9244, whose
+// interface the paper specifies): the input is a stream of
+//   (I, a(I))   — iteration vector + integer label vector —
+// per context; the output is a union of polyhedra P with affine functions
+// A such that A(I) = a(I) for all I in P, plus an exactness verdict used
+// for the paper's over-approximation accounting (%Aff).
+//
+// Design:
+//  * Domains are tracked against a box+octagon constraint *template*
+//    (±x_i, x_i ± x_j): min/max of each template expression over a piece's
+//    points give the tightest template polyhedron containing them.
+//    Rectangular, triangular and ±1-skewed loop nests fold exactly;
+//    anything else becomes a certified over-approximation.
+//  * Labels are fitted by exact rational interpolation over an affinely
+//    independent basis of seen points. Every point is verified against a
+//    fit; points that extend the affine hull extend the basis (a fit
+//    restricted to the old hull never changes, so earlier verifications
+//    remain valid).
+//  * The folder keeps SEVERAL pieces open simultaneously and routes each
+//    incoming point to the piece whose affine function predicts its label
+//    (piecewise streams — loop-exit compares, boundary statements —
+//    interleave their pieces; a single-chunk folder would fragment them).
+//    A point no open piece accepts extends the most recent piece's fit
+//    when it lies off that piece's affine hull, and otherwise opens a new
+//    piece, evicting the least-recently-used one past the budget.
+//  * Exactness of a piece = (#lattice points of the domain == #points
+//    routed to it) AND the label fit is affine with integer coefficients.
+#pragma once
+
+#include <optional>
+
+#include "poly/poly_set.hpp"
+
+namespace pp::fold {
+
+struct FolderOptions {
+  /// Lattice-point budget for the exactness check; domains bigger than
+  /// this are conservatively marked over-approximate.
+  u64 count_cap = 1u << 22;
+  /// Upper bound on finalized pieces; once exceeded, everything collapses
+  /// into one over-approximate piece (scalability guard, cf. paper §5).
+  std::size_t max_pieces = 64;
+  /// Simultaneously open pieces for interleaved piecewise streams.
+  /// 1 reproduces a single-chunk folder (the paper's behaviour on
+  /// interleaved piecewise patterns — see bench/ablation_folding).
+  std::size_t max_open_chunks = 4;
+  /// Include the octagon rows (x_i ± x_j) in the domain template. Without
+  /// them only boxes fold exactly (triangular/skewed nests become
+  /// over-approximations).
+  bool use_octagon = true;
+};
+
+/// Folds one (iteration vector, label vector) stream.
+class Folder {
+ public:
+  /// `in_dim` = iteration-vector arity, `label_dim` = label arity.
+  Folder(std::size_t in_dim, std::size_t label_dim, FolderOptions opts = {});
+
+  /// Feed one point. `label.size()` must equal label_dim.
+  void add(std::span<const i64> point, std::span<const i64> label);
+
+  /// Close all open chunks and return the accumulated pieces. The folder
+  /// can keep streaming afterwards.
+  poly::PolySet finish();
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t label_dim() const { return label_dim_; }
+  u64 points_seen() const { return total_points_; }
+
+ private:
+  struct TemplateRow {
+    std::vector<i64> coeffs;  ///< template expression coefficients
+    i128 min = 0, max = 0;
+  };
+
+  struct Chunk {
+    u64 points = 0;
+    u64 last_use = 0;   ///< stream sequence number of the last routed point
+    u64 created = 0;    ///< creation sequence (stable output ordering)
+    std::vector<TemplateRow> tmpl;
+    std::vector<std::vector<i64>> basis_pts;
+    std::vector<std::vector<i64>> basis_labels;
+    RatMatrix hull;     ///< RREF rows of [I 1] over the basis
+    std::vector<RatVec> fit;                  ///< per label dim: coeffs+const
+    std::vector<std::vector<i128>> fit_int;   ///< integer fast path
+  };
+
+  Chunk make_chunk(std::span<const i64> point, std::span<const i64> label);
+  bool in_hull(const Chunk& c, std::span<const i64> point) const;
+  bool predicts(const Chunk& c, std::span<const i64> point,
+                std::span<const i64> label) const;
+  void absorb(Chunk& c, std::span<const i64> point,
+              std::span<const i64> label, bool refit_needed);
+  void extend_basis(Chunk& c, std::span<const i64> point,
+                    std::span<const i64> label);
+  void refit(Chunk& c);
+  void close_chunk(Chunk& c);
+
+  std::size_t in_dim_;
+  std::size_t label_dim_;
+  FolderOptions opts_;
+
+  std::vector<Chunk> open_;
+  u64 seq_ = 0;
+  std::optional<std::vector<i64>> last_point_;
+  bool lex_ok_ = true;
+
+  poly::PolySet result_{0};
+  u64 total_points_ = 0;
+  bool collapsed_ = false;  ///< max_pieces exceeded
+};
+
+}  // namespace pp::fold

@@ -1,0 +1,77 @@
+#include "iiv/cct.hpp"
+
+#include <functional>
+#include <sstream>
+
+namespace pp::iiv {
+
+CallingContextTree::CallingContextTree() {
+  Node root;
+  nodes_.push_back(root);
+  stack_.push_back(0);
+}
+
+void CallingContextTree::on_local_jump(int func, int dst_bb) {
+  (void)dst_bb;
+  // First event of a run names the entry function.
+  if (stack_.size() == 1 && nodes_[0].func < 0) nodes_[0].func = func;
+}
+
+void CallingContextTree::on_call(vm::CodeRef callsite, int callee) {
+  int parent = stack_.back();
+  auto key = std::make_pair(parent, std::make_pair(callsite, callee));
+  auto it = index_.find(key);
+  int id;
+  if (it != index_.end()) {
+    id = it->second;
+  } else {
+    Node n;
+    n.func = callee;
+    n.callsite = callsite;
+    n.parent = parent;
+    id = static_cast<int>(nodes_.size());
+    nodes_.push_back(n);
+    nodes_[static_cast<std::size_t>(parent)].children.push_back(id);
+    index_[key] = id;
+  }
+  ++nodes_[static_cast<std::size_t>(id)].calls;
+  stack_.push_back(id);
+}
+
+void CallingContextTree::on_return(int callee, vm::CodeRef into) {
+  (void)callee;
+  (void)into;
+  PP_CHECK(stack_.size() > 1, "CCT return underflow");
+  stack_.pop_back();
+}
+
+int CallingContextTree::max_depth() const {
+  std::function<int(int)> rec = [&](int id) {
+    int best = 0;
+    for (int c : nodes_[static_cast<std::size_t>(id)].children)
+      best = std::max(best, rec(c));
+    return best + 1;
+  };
+  return rec(0) - 1;
+}
+
+std::string CallingContextTree::str(const ir::Module* m) const {
+  std::ostringstream os;
+  std::function<void(int, int)> rec = [&](int id, int indent) {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    os << std::string(static_cast<std::size_t>(indent) * 2, ' ');
+    if (n.func >= 0 && m)
+      os << m->functions[static_cast<std::size_t>(n.func)].name;
+    else
+      os << "f" << n.func;
+    if (id != 0)
+      os << " (from f" << n.callsite.func << ":bb" << n.callsite.block << ":"
+         << n.callsite.instr << ")";
+    os << " x" << n.calls << "\n";
+    for (int c : n.children) rec(c, indent + 1);
+  };
+  rec(0, 0);
+  return os.str();
+}
+
+}  // namespace pp::iiv

@@ -1,0 +1,43 @@
+// Calling-context tree (Ammons/Ball/Larus, paper §4 Fig. 3h): enumerative
+// dynamic call contexts with call-site labels. Kept for comparison with
+// the dynamic IIV representation — on recursive programs the CCT's depth
+// grows with recursion depth, while the dynamic IIV stays flat (the
+// property the recursive-component-set buys us).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vm/vm.hpp"
+
+namespace pp::iiv {
+
+class CallingContextTree : public vm::Observer {
+ public:
+  struct Node {
+    int func = -1;
+    vm::CodeRef callsite;       ///< which call site created this context
+    u64 calls = 0;              ///< activations of this context
+    std::vector<int> children;
+    int parent = -1;
+  };
+
+  CallingContextTree();
+
+  void on_call(vm::CodeRef callsite, int callee) override;
+  void on_return(int callee, vm::CodeRef into) override;
+  void on_local_jump(int func, int dst_bb) override;
+
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return nodes_.size(); }
+  int max_depth() const;
+  std::string str(const ir::Module* m = nullptr) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::map<std::pair<int, std::pair<vm::CodeRef, int>>, int> index_;
+  std::vector<int> stack_;  ///< current path, node ids
+};
+
+}  // namespace pp::iiv

@@ -1,0 +1,144 @@
+#include "iiv/diiv.hpp"
+
+#include <sstream>
+
+namespace pp::iiv {
+
+std::string CtxElem::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kBlock: os << "f" << func << ":bb" << id; break;
+    case Kind::kLoop: os << "f" << func << ":L" << id; break;
+    case Kind::kComp: os << "RC" << id; break;
+  }
+  return os.str();
+}
+
+std::string ContextKey::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) os << " | ";
+    for (std::size_t j = 0; j < parts[i].size(); ++j) {
+      if (j) os << "/";
+      os << parts[i][j].str();
+    }
+  }
+  return os.str();
+}
+
+std::size_t ContextKeyHash::operator()(const ContextKey& k) const {
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&](std::size_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& part : k.parts) {
+    mix(0x9e3779b9);
+    for (const auto& e : part) {
+      mix(static_cast<std::size_t>(e.kind));
+      mix(static_cast<std::size_t>(e.func) + 0x517cc1b7);
+      mix(static_cast<std::size_t>(e.id) + 0x27220a95);
+    }
+  }
+  return h;
+}
+
+void DynamicIiv::ctx_last(CtxElem e) {
+  if (inner_.empty())
+    inner_.push_back(e);
+  else
+    inner_.back() = e;
+}
+
+void DynamicIiv::add_dimension(i64 iv, CtxElem b) {
+  dims_.push_back({std::move(inner_), iv});
+  inner_.clear();
+  inner_.push_back(b);
+}
+
+void DynamicIiv::remove_dimension() {
+  PP_CHECK(!dims_.empty(), "removeDimension on flat IIV");
+  inner_ = std::move(dims_.back().ctx);
+  dims_.pop_back();
+}
+
+void DynamicIiv::apply(const cfg::LoopEvent& ev) {
+  using Kind = cfg::LoopEvent::Kind;
+  ++version_;
+  switch (ev.kind) {
+    case Kind::kBlock:  // N(B): CTX.last := B
+      ctx_last(CtxElem::block(ev.func, ev.block));
+      break;
+    case Kind::kCall:  // C(F,B): CTX.push(B)
+      inner_.push_back(CtxElem::block(ev.func, ev.block));
+      break;
+    case Kind::kRet:  // R(B): CTX.pop(); CTX.last := B
+      PP_CHECK(!inner_.empty(), "R event with empty context");
+      inner_.pop_back();
+      ctx_last(CtxElem::block(ev.func, ev.block));
+      break;
+    case Kind::kEnter:  // E(L,B): CTX.last := L; addDimension(0, B)
+      ctx_last(CtxElem::loop(ev.func, ev.loop));
+      add_dimension(0, CtxElem::block(ev.func, ev.block));
+      break;
+    case Kind::kEnterRec:  // Ec(L,B): CTX.push(L); addDimension(0, B)
+      inner_.push_back(CtxElem::comp(ev.comp));
+      add_dimension(0, CtxElem::block(ev.func, ev.block));
+      break;
+    case Kind::kExit:  // X(L,B): removeDimension(); CTX.last := B
+      remove_dimension();
+      ctx_last(CtxElem::block(ev.func, ev.block));
+      break;
+    case Kind::kExitRec:
+      // Xr(L,B): symmetric to Ec — the component element was *pushed*
+      // (not substituted for a header block), so exiting pops it before
+      // updating the landing block (Fig. 3i step 22: (M1/L1,4,B5)->(M1)).
+      remove_dimension();
+      PP_CHECK(!inner_.empty(), "Xr with empty context");
+      inner_.pop_back();
+      ctx_last(CtxElem::block(ev.func, ev.block));
+      break;
+    case Kind::kIterate:         // I(L,B): IV++; CTX.last := B
+    case Kind::kIterateRecCall:  // Ic
+    case Kind::kIterateRecRet:   // Ir
+      PP_CHECK(!dims_.empty(), "iterate event with no live dimension");
+      ++dims_.back().iv;
+      ctx_last(CtxElem::block(ev.func, ev.block));
+      break;
+  }
+}
+
+std::vector<i64> DynamicIiv::coordinates() const {
+  std::vector<i64> out;
+  out.reserve(dims_.size());
+  for (const auto& d : dims_) out.push_back(d.iv);
+  return out;
+}
+
+ContextKey DynamicIiv::context() const {
+  ContextKey k;
+  k.parts.reserve(dims_.size() + 1);
+  for (const auto& d : dims_) k.parts.push_back(d.ctx);
+  k.parts.push_back(inner_);
+  return k;
+}
+
+std::string DynamicIiv::str() const {
+  std::ostringstream os;
+  os << "(";
+  auto put_ctx = [&](const std::vector<CtxElem>& ctx) {
+    for (std::size_t j = 0; j < ctx.size(); ++j) {
+      if (j) os << "/";
+      os << ctx[j].str();
+    }
+  };
+  for (const auto& d : dims_) {
+    put_ctx(d.ctx);
+    os << ", " << d.iv << ", ";
+  }
+  put_ctx(inner_);
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pp::iiv

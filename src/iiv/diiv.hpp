@@ -1,0 +1,91 @@
+// Dynamic interprocedural iteration vectors (paper §4, Algorithm 3).
+// A dynamic IIV alternates context parts and canonical induction
+// variables:
+//     (CTX0, iv0, CTX1, iv1, ..., CTXk)
+// where each CTX is a stack of calling contexts ending in the identifier
+// of the current loop/basic-block — the unification of Kelly's mapping
+// (intraprocedural schedule trees) with calling-context-paths. Recursion
+// never grows the vector: recursive-component iterations bump an induction
+// variable instead (Fig. 3 Ex. 2).
+#pragma once
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "cfg/loop_events.hpp"
+
+namespace pp::iiv {
+
+/// One element of a context part: a basic block, a CFG loop, or a
+/// recursive component.
+struct CtxElem {
+  enum class Kind : std::uint8_t { kBlock, kLoop, kComp };
+  Kind kind;
+  int func = -1;  ///< owning function (kBlock/kLoop); unused for kComp
+  int id = -1;    ///< block id / loop id / component id
+
+  static CtxElem block(int func, int bb) { return {Kind::kBlock, func, bb}; }
+  static CtxElem loop(int func, int l) { return {Kind::kLoop, func, l}; }
+  static CtxElem comp(int c) { return {Kind::kComp, -1, c}; }
+
+  bool operator==(const CtxElem&) const = default;
+  auto operator<=>(const CtxElem&) const = default;
+  std::string str() const;
+};
+
+/// The non-numerical part of an IIV: the flattened context parts with
+/// dimension boundaries preserved. Two dynamic instructions fold together
+/// exactly when their ContextKey (plus static instruction id) agree.
+struct ContextKey {
+  std::vector<std::vector<CtxElem>> parts;  ///< dims' contexts + trailing
+
+  bool operator==(const ContextKey&) const = default;
+  bool operator<(const ContextKey& o) const { return parts < o.parts; }
+  std::size_t depth() const { return parts.size() - 1; }  ///< #ivs
+  std::string str() const;
+};
+
+struct ContextKeyHash {
+  std::size_t operator()(const ContextKey& k) const;
+};
+
+/// The dynamic IIV state machine (Algorithm 3). Feed it the loop-event
+/// stream; read back the current coordinates / context at any instruction.
+class DynamicIiv {
+ public:
+  /// Apply one loop event (Algorithm 3 plus the implicit N(B) rule).
+  void apply(const cfg::LoopEvent& ev);
+
+  /// Monotonic state version: bumped by every apply(). Lets consumers
+  /// cache derived data (e.g. the flattened ContextKey) per state.
+  u64 version() const { return version_; }
+
+  /// Current loop depth (number of induction variables).
+  std::size_t depth() const { return dims_.size(); }
+
+  /// Numerical part: the canonical induction variables, outermost first.
+  std::vector<i64> coordinates() const;
+
+  /// Non-numerical part (dimension-preserving).
+  ContextKey context() const;
+
+  /// Rendering like "(M0/L1, 0, A1/L2, 1, B1)" used in the paper's Fig. 3.
+  std::string str() const;
+
+ private:
+  struct Dim {
+    std::vector<CtxElem> ctx;
+    i64 iv = 0;
+  };
+
+  void ctx_last(CtxElem e);  ///< CTX.last := e (replace-or-push)
+  void add_dimension(i64 iv, CtxElem b);
+  void remove_dimension();
+
+  std::vector<Dim> dims_;
+  std::vector<CtxElem> inner_;  ///< trailing context
+  u64 version_ = 0;
+};
+
+}  // namespace pp::iiv

@@ -1,0 +1,97 @@
+#include "iiv/schedule_tree.hpp"
+
+#include <functional>
+#include <sstream>
+
+namespace pp::iiv {
+
+DynScheduleTree::DynScheduleTree() {
+  Node root;
+  root.elem = CtxElem::block(-1, -1);  // synthetic root
+  nodes_.push_back(root);
+}
+
+int DynScheduleTree::child(int parent, CtxElem elem) {
+  auto it = index_.find({parent, elem});
+  if (it != index_.end()) return it->second;
+  Node n;
+  n.elem = elem;
+  n.parent = parent;
+  n.static_index =
+      static_cast<int>(nodes_[static_cast<std::size_t>(parent)].children.size());
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(n);
+  nodes_[static_cast<std::size_t>(parent)].children.push_back(id);
+  index_[{parent, elem}] = id;
+  return id;
+}
+
+void DynScheduleTree::insert(const ContextKey& key, u64 weight) {
+  int cur = 0;
+  nodes_[0].weight += weight;
+  for (const auto& part : key.parts) {
+    for (const auto& e : part) {
+      cur = child(cur, e);
+      nodes_[static_cast<std::size_t>(cur)].weight += weight;
+    }
+  }
+  nodes_[static_cast<std::size_t>(cur)].self_weight += weight;
+}
+
+int DynScheduleTree::find(const ContextKey& key) const {
+  int cur = 0;
+  for (const auto& part : key.parts) {
+    for (const auto& e : part) {
+      auto it = index_.find({cur, e});
+      if (it == index_.end()) return -1;
+      cur = it->second;
+    }
+  }
+  return cur;
+}
+
+std::vector<std::string> DynScheduleTree::kelly_mapping(
+    const ContextKey& key) const {
+  std::vector<std::string> out;
+  int cur = 0;
+  int iv = 0;
+  for (const auto& part : key.parts) {
+    for (const auto& e : part) {
+      auto it = index_.find({cur, e});
+      PP_CHECK(it != index_.end(), "kelly_mapping: context not in tree");
+      cur = it->second;
+      out.push_back(std::to_string(nodes_[static_cast<std::size_t>(cur)].static_index));
+      if (e.kind != CtxElem::Kind::kBlock)
+        out.push_back("i" + std::to_string(iv++));
+    }
+  }
+  return out;
+}
+
+int DynScheduleTree::max_depth() const {
+  std::function<int(int)> rec = [&](int id) {
+    int best = 0;
+    for (int c : nodes_[static_cast<std::size_t>(id)].children)
+      best = std::max(best, rec(c));
+    return best + 1;
+  };
+  return rec(0) - 1;  // root does not count
+}
+
+std::string DynScheduleTree::str() const {
+  std::ostringstream os;
+  std::function<void(int, int)> rec = [&](int id, int indent) {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    os << std::string(static_cast<std::size_t>(indent) * 2, ' ');
+    if (id == 0)
+      os << "<root>";
+    else
+      os << n.elem.str() << "(" << n.static_index << ")";
+    os << " w=" << n.weight << "\n";
+    for (int c : n.children) rec(c, indent + 1);
+  };
+  rec(0, 0);
+  return os.str();
+}
+
+}  // namespace pp::iiv

@@ -1,0 +1,63 @@
+// Dynamic schedule tree (paper §4, Fig. 3e/j and Fig. 5): the structure
+// that is "for the dynamic IIVs what the calling-context-tree is for
+// calling-context paths" — schedule tree ∪ CCT. Built by inserting the
+// context keys of observed dynamic instructions; sibling order is first-
+// appearance order, which equals the topological (Kelly) order because the
+// trace visits regions in schedule order. Rendered as a flame graph by
+// pp::feedback.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iiv/diiv.hpp"
+
+namespace pp::iiv {
+
+class DynScheduleTree {
+ public:
+  struct Node {
+    CtxElem elem;
+    int static_index = 0;        ///< Kelly static index among siblings
+    u64 weight = 0;              ///< dynamic ops attributed to the subtree
+    u64 self_weight = 0;         ///< ops attributed to this node itself
+    std::vector<int> children;   ///< node ids, in first-appearance order
+    int parent = -1;
+  };
+
+  DynScheduleTree();
+
+  /// Record `weight` dynamic operations at the context `key`.
+  void insert(const ContextKey& key, u64 weight = 1);
+
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const Node& root() const { return nodes_[0]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Node id of the leaf reached by walking `key` from the root, or -1
+  /// when the context was never inserted.
+  int find(const ContextKey& key) const;
+
+  /// Kelly's mapping of a context: alternating static indices and symbolic
+  /// induction variables, numeric form (Fig. 4c), e.g. [0, i0, 1, i1, 0].
+  /// Loop/component nodes contribute an induction variable.
+  std::vector<std::string> kelly_mapping(const ContextKey& key) const;
+
+  /// Total weight inserted.
+  u64 total_weight() const { return nodes_[0].weight; }
+
+  /// Depth of the deepest node.
+  int max_depth() const;
+
+  /// Indented dump (tests, textual reports).
+  std::string str() const;
+
+ private:
+  int child(int parent, CtxElem elem);  ///< find-or-create
+
+  std::vector<Node> nodes_;
+  std::map<std::pair<int, CtxElem>, int> index_;  ///< (parent, elem) -> id
+};
+
+}  // namespace pp::iiv

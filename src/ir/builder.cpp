@@ -1,0 +1,129 @@
+#include "ir/builder.hpp"
+
+namespace pp::ir {
+
+int Builder::make_block(const std::string& label) {
+  BasicBlock bb;
+  bb.id = static_cast<int>(func_.blocks.size());
+  bb.label = label;
+  func_.blocks.push_back(std::move(bb));
+  return func_.blocks.back().id;
+}
+
+void Builder::set_block(int bb) {
+  PP_CHECK(bb >= 0 && static_cast<std::size_t>(bb) < func_.blocks.size(),
+           "set_block: bad block");
+  cur_ = bb;
+}
+
+Instr& Builder::emit(Instr in) {
+  PP_CHECK(cur_ >= 0, "no insertion block set");
+  in.line = line_;
+  auto& instrs = func_.blocks[static_cast<std::size_t>(cur_)].instrs;
+  PP_CHECK(instrs.empty() || !op_is_terminator(instrs.back().op),
+           "emitting into a terminated block");
+  instrs.push_back(std::move(in));
+  return instrs.back();
+}
+
+Reg Builder::const_(i64 v, Reg dst) {
+  dst = ensure(dst);
+  emit({.op = Op::kConst, .dst = dst, .imm = v});
+  return dst;
+}
+
+Reg Builder::fconst(double v, Reg dst) {
+  dst = ensure(dst);
+  i64 bits;
+  __builtin_memcpy(&bits, &v, sizeof bits);
+  emit({.op = Op::kFConst, .dst = dst, .imm = bits});
+  return dst;
+}
+
+Reg Builder::mov(Reg a, Reg dst) {
+  dst = ensure(dst);
+  emit({.op = Op::kMov, .dst = dst, .a = a});
+  return dst;
+}
+
+#define PP_BIN(name, opcode)                       \
+  Reg Builder::name(Reg a, Reg b, Reg dst) {       \
+    dst = ensure(dst);                             \
+    emit({.op = opcode, .dst = dst, .a = a, .b = b, .imm = 0, .imm2 = 0, .args = {}, .line = 0}); \
+    return dst;                                    \
+  }
+PP_BIN(add, Op::kAdd)
+PP_BIN(sub, Op::kSub)
+PP_BIN(mul, Op::kMul)
+PP_BIN(div, Op::kDiv)
+PP_BIN(rem, Op::kRem)
+PP_BIN(and_, Op::kAnd)
+PP_BIN(or_, Op::kOr)
+PP_BIN(xor_, Op::kXor)
+PP_BIN(shl, Op::kShl)
+PP_BIN(shr, Op::kShr)
+PP_BIN(fadd, Op::kFAdd)
+PP_BIN(fsub, Op::kFSub)
+PP_BIN(fmul, Op::kFMul)
+PP_BIN(fdiv, Op::kFDiv)
+#undef PP_BIN
+
+Reg Builder::addi(Reg a, i64 imm, Reg dst) {
+  dst = ensure(dst);
+  emit({.op = Op::kAddI, .dst = dst, .a = a, .imm = imm});
+  return dst;
+}
+
+Reg Builder::muli(Reg a, i64 imm, Reg dst) {
+  dst = ensure(dst);
+  emit({.op = Op::kMulI, .dst = dst, .a = a, .imm = imm});
+  return dst;
+}
+
+Reg Builder::cmp(Op cmp_op, Reg a, Reg b, Reg dst) {
+  dst = ensure(dst);
+  emit({.op = cmp_op, .dst = dst, .a = a, .b = b});
+  return dst;
+}
+
+Reg Builder::i2f(Reg a, Reg dst) {
+  dst = ensure(dst);
+  emit({.op = Op::kI2F, .dst = dst, .a = a});
+  return dst;
+}
+
+Reg Builder::f2i(Reg a, Reg dst) {
+  dst = ensure(dst);
+  emit({.op = Op::kF2I, .dst = dst, .a = a});
+  return dst;
+}
+
+Reg Builder::load(Reg addr, i64 offset, Reg dst) {
+  dst = ensure(dst);
+  emit({.op = Op::kLoad, .dst = dst, .a = addr, .imm = offset});
+  return dst;
+}
+
+void Builder::store(Reg addr, Reg value, i64 offset) {
+  emit({.op = Op::kStore, .a = addr, .b = value, .imm = offset});
+}
+
+Reg Builder::call(Function& callee, const std::vector<Reg>& args, Reg dst) {
+  emit({.op = Op::kCall, .dst = dst, .imm = callee.id, .args = args});
+  return dst;
+}
+
+Reg Builder::call(Function& callee, const std::vector<Reg>& args,
+                  bool want_result) {
+  return call(callee, args, want_result ? fresh() : kNoReg);
+}
+
+void Builder::br(int bb) { emit({.op = Op::kBr, .imm = bb}); }
+
+void Builder::br_cond(Reg cond, int then_bb, int else_bb) {
+  emit({.op = Op::kBrCond, .a = cond, .imm = then_bb, .imm2 = else_bb});
+}
+
+void Builder::ret(Reg value) { emit({.op = Op::kRet, .a = value}); }
+
+}  // namespace pp::ir

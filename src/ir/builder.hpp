@@ -1,0 +1,98 @@
+// Fluent construction API for mini-ISA functions. Workload kernels are all
+// written against this builder; it keeps block bookkeeping out of the
+// kernels and lets them read close to the pseudo-assembly in the paper's
+// Fig. 6.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace pp::ir {
+
+class Builder {
+ public:
+  Builder(Module& m, Function& f) : module_(m), func_(f) {}
+
+  Module& module() { return module_; }
+  Function& function() { return func_; }
+
+  /// Allocate a fresh virtual register.
+  Reg fresh() { return func_.num_regs++; }
+
+  /// Create a block; does not change the insertion point.
+  int make_block(const std::string& label = "");
+
+  /// Set the insertion point. Blocks are filled strictly via the builder.
+  void set_block(int bb);
+  int current_block() const { return cur_; }
+
+  /// Current source line attached to subsequently emitted instructions.
+  void set_line(int line) { line_ = line; }
+
+  // --- straight-line emission helpers (all return the dst register) ---
+  Reg const_(i64 v, Reg dst = kNoReg);
+  Reg fconst(double v, Reg dst = kNoReg);
+  Reg mov(Reg a, Reg dst = kNoReg);
+  Reg add(Reg a, Reg b, Reg dst = kNoReg);
+  Reg sub(Reg a, Reg b, Reg dst = kNoReg);
+  Reg mul(Reg a, Reg b, Reg dst = kNoReg);
+  Reg div(Reg a, Reg b, Reg dst = kNoReg);
+  Reg rem(Reg a, Reg b, Reg dst = kNoReg);
+  Reg and_(Reg a, Reg b, Reg dst = kNoReg);
+  Reg or_(Reg a, Reg b, Reg dst = kNoReg);
+  Reg xor_(Reg a, Reg b, Reg dst = kNoReg);
+  Reg shl(Reg a, Reg b, Reg dst = kNoReg);
+  Reg shr(Reg a, Reg b, Reg dst = kNoReg);
+  Reg addi(Reg a, i64 imm, Reg dst = kNoReg);
+  Reg muli(Reg a, i64 imm, Reg dst = kNoReg);
+  Reg cmp(Op cmp_op, Reg a, Reg b, Reg dst = kNoReg);
+  Reg fadd(Reg a, Reg b, Reg dst = kNoReg);
+  Reg fsub(Reg a, Reg b, Reg dst = kNoReg);
+  Reg fmul(Reg a, Reg b, Reg dst = kNoReg);
+  Reg fdiv(Reg a, Reg b, Reg dst = kNoReg);
+  Reg i2f(Reg a, Reg dst = kNoReg);
+  Reg f2i(Reg a, Reg dst = kNoReg);
+  Reg load(Reg addr, i64 offset = 0, Reg dst = kNoReg);
+  void store(Reg addr, Reg value, i64 offset = 0);
+  Reg call(Function& callee, const std::vector<Reg>& args, Reg dst = kNoReg);
+  Reg call(Function& callee, const std::vector<Reg>& args, bool want_result);
+
+  // --- terminators ---
+  void br(int bb);
+  void br_cond(Reg cond, int then_bb, int else_bb);
+  void ret(Reg value = kNoReg);
+
+  /// Emit a canonical counted-loop skeleton:
+  ///   for (iv = begin; iv < end_reg; iv += step) body
+  /// Creates header/body/latch/exit blocks; calls `body(iv)` with the
+  /// insertion point inside the body block; leaves the insertion point at
+  /// the exit block. Returns the induction-variable register.
+  template <typename BodyFn>
+  Reg counted_loop(i64 begin, Reg end_reg, i64 step, BodyFn body) {
+    Reg iv = fresh();
+    const_(begin, iv);
+    int header = make_block("loop.header");
+    int body_bb = make_block("loop.body");
+    int exit_bb = make_block("loop.exit");
+    br(header);
+    set_block(header);
+    Reg c = cmp(Op::kCmpLt, iv, end_reg);
+    br_cond(c, body_bb, exit_bb);
+    set_block(body_bb);
+    body(iv);
+    addi(iv, step, iv);
+    br(header);
+    set_block(exit_bb);
+    return iv;
+  }
+
+ private:
+  Instr& emit(Instr in);
+  Reg ensure(Reg dst) { return dst == kNoReg ? fresh() : dst; }
+
+  Module& module_;
+  Function& func_;
+  int cur_ = -1;
+  int line_ = 0;
+};
+
+}  // namespace pp::ir

@@ -1,0 +1,312 @@
+#include "ir/ir.hpp"
+
+#include <sstream>
+#include <cstdio>
+#include <unordered_set>
+
+namespace pp::ir {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kRem: return "rem";
+    case Op::kAddI: return "addi";
+    case Op::kMulI: return "muli";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kCmpEq: return "cmpeq";
+    case Op::kCmpNe: return "cmpne";
+    case Op::kCmpLt: return "cmplt";
+    case Op::kCmpLe: return "cmple";
+    case Op::kCmpGt: return "cmpgt";
+    case Op::kCmpGe: return "cmpge";
+    case Op::kFAdd: return "fadd";
+    case Op::kFSub: return "fsub";
+    case Op::kFMul: return "fmul";
+    case Op::kFDiv: return "fdiv";
+    case Op::kFConst: return "fconst";
+    case Op::kI2F: return "i2f";
+    case Op::kF2I: return "f2i";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kBr: return "br";
+    case Op::kBrCond: return "brcond";
+    case Op::kCall: return "call";
+    case Op::kRet: return "ret";
+  }
+  return "?";
+}
+
+bool op_is_terminator(Op op) {
+  return op == Op::kBr || op == Op::kBrCond || op == Op::kRet;
+}
+
+bool op_is_fp(Op op) {
+  switch (op) {
+    case Op::kFAdd:
+    case Op::kFSub:
+    case Op::kFMul:
+    case Op::kFDiv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_is_memory(Op op) { return op == Op::kLoad || op == Op::kStore; }
+
+Function& Module::add_function(const std::string& name, int num_args,
+                               const std::string& source_file) {
+  Function f;
+  f.id = static_cast<int>(functions.size());
+  f.name = name;
+  f.num_args = num_args;
+  f.num_regs = num_args;  // args arrive in r0..r(num_args-1)
+  f.source_file = source_file;
+  functions.push_back(std::move(f));
+  return functions.back();
+}
+
+i64 Module::add_global(const std::string& name, i64 size_bytes) {
+  PP_CHECK(size_bytes > 0, "global must have positive size");
+  i64 addr = data_segment_size;
+  i64 aligned = (size_bytes + 7) / 8 * 8;
+  globals.push_back({name, addr, aligned, {}});
+  data_segment_size += aligned;
+  return addr;
+}
+
+i64 Module::add_global_init(const std::string& name, std::vector<i64> words) {
+  i64 addr = add_global(name, static_cast<i64>(words.size()) * 8);
+  globals.back().init_words = std::move(words);
+  return addr;
+}
+
+Function* Module::find_function(const std::string& name) {
+  for (auto& f : functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+const Function* Module::find_function(const std::string& name) const {
+  return const_cast<Module*>(this)->find_function(name);
+}
+
+const Global* Module::find_global(const std::string& name) const {
+  for (const auto& g : globals)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+namespace {
+
+void verify_function(const Module& m, const Function& f) {
+  auto fail = [&](const std::string& why) {
+    fatal("verify: function '" + f.name + "': " + why);
+  };
+  if (f.blocks.empty()) fail("has no blocks");
+  auto check_reg = [&](Reg r, const char* what) {
+    if (r < 0 || r >= f.num_regs)
+      fail(std::string("bad ") + what + " register r" + std::to_string(r));
+  };
+  auto check_bb = [&](i64 id) {
+    if (id < 0 || id >= static_cast<i64>(f.blocks.size()))
+      fail("branch to nonexistent block " + std::to_string(id));
+  };
+  for (std::size_t bi = 0; bi < f.blocks.size(); ++bi) {
+    const BasicBlock& bb = f.blocks[bi];
+    if (bb.id != static_cast<int>(bi)) fail("block id out of order");
+    if (bb.instrs.empty()) fail("block '" + bb.label + "' is empty");
+    for (std::size_t ii = 0; ii < bb.instrs.size(); ++ii) {
+      const Instr& in = bb.instrs[ii];
+      bool last = ii + 1 == bb.instrs.size();
+      if (op_is_terminator(in.op) != last)
+        fail("terminator placement in block '" + bb.label + "'");
+      switch (in.op) {
+        case Op::kConst:
+        case Op::kFConst:
+          check_reg(in.dst, "dst");
+          break;
+        case Op::kMov:
+        case Op::kI2F:
+        case Op::kF2I:
+          check_reg(in.dst, "dst");
+          check_reg(in.a, "src");
+          break;
+        case Op::kAddI:
+        case Op::kMulI:
+          check_reg(in.dst, "dst");
+          check_reg(in.a, "src");
+          break;
+        case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kDiv:
+        case Op::kRem: case Op::kAnd: case Op::kOr: case Op::kXor:
+        case Op::kShl: case Op::kShr:
+        case Op::kCmpEq: case Op::kCmpNe: case Op::kCmpLt:
+        case Op::kCmpLe: case Op::kCmpGt: case Op::kCmpGe:
+        case Op::kFAdd: case Op::kFSub: case Op::kFMul: case Op::kFDiv:
+          check_reg(in.dst, "dst");
+          check_reg(in.a, "lhs");
+          check_reg(in.b, "rhs");
+          break;
+        case Op::kLoad:
+          check_reg(in.dst, "dst");
+          check_reg(in.a, "addr");
+          break;
+        case Op::kStore:
+          check_reg(in.a, "addr");
+          check_reg(in.b, "value");
+          break;
+        case Op::kBr:
+          check_bb(in.imm);
+          break;
+        case Op::kBrCond:
+          check_reg(in.a, "cond");
+          check_bb(in.imm);
+          check_bb(in.imm2);
+          break;
+        case Op::kCall: {
+          if (in.imm < 0 || in.imm >= static_cast<i64>(m.functions.size()))
+            fail("call to nonexistent function " + std::to_string(in.imm));
+          const Function& callee = m.functions[static_cast<std::size_t>(in.imm)];
+          if (static_cast<int>(in.args.size()) != callee.num_args)
+            fail("call to '" + callee.name + "' with " +
+                 std::to_string(in.args.size()) + " args, expected " +
+                 std::to_string(callee.num_args));
+          for (Reg r : in.args) check_reg(r, "call arg");
+          if (in.dst != kNoReg) check_reg(in.dst, "call dst");
+          break;
+        }
+        case Op::kRet:
+          if (in.a != kNoReg) check_reg(in.a, "ret value");
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void verify(const Module& m) {
+  std::unordered_set<std::string> names;
+  for (std::size_t i = 0; i < m.functions.size(); ++i) {
+    const Function& f = m.functions[i];
+    if (f.id != static_cast<int>(i)) fatal("verify: function id out of order");
+    if (!names.insert(f.name).second)
+      fatal("verify: duplicate function name '" + f.name + "'");
+    verify_function(m, f);
+  }
+}
+
+namespace {
+
+std::string reg_str(Reg r) { return "r" + std::to_string(r); }
+
+std::string instr_str(const Module* m, const Instr& in) {
+  std::ostringstream os;
+  os << op_name(in.op);
+  switch (in.op) {
+    case Op::kConst:
+      os << " " << reg_str(in.dst) << ", " << in.imm;
+      break;
+    case Op::kFConst: {
+      double d;
+      static_assert(sizeof d == sizeof in.imm);
+      __builtin_memcpy(&d, &in.imm, sizeof d);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);  // exact round-trip
+      os << " " << reg_str(in.dst) << ", " << buf;
+      break;
+    }
+    case Op::kMov:
+    case Op::kI2F:
+    case Op::kF2I:
+      os << " " << reg_str(in.dst) << ", " << reg_str(in.a);
+      break;
+    case Op::kAddI:
+    case Op::kMulI:
+      os << " " << reg_str(in.dst) << ", " << reg_str(in.a) << ", " << in.imm;
+      break;
+    case Op::kLoad:
+      os << " " << reg_str(in.dst) << ", [" << reg_str(in.a);
+      if (in.imm) os << " + " << in.imm;
+      os << "]";
+      break;
+    case Op::kStore:
+      os << " [" << reg_str(in.a);
+      if (in.imm) os << " + " << in.imm;
+      os << "], " << reg_str(in.b);
+      break;
+    case Op::kBr:
+      os << " bb" << in.imm;
+      break;
+    case Op::kBrCond:
+      os << " " << reg_str(in.a) << ", bb" << in.imm << ", bb" << in.imm2;
+      break;
+    case Op::kCall: {
+      if (in.dst != kNoReg) os << " " << reg_str(in.dst) << " =";
+      std::string callee =
+          m ? m->functions[static_cast<std::size_t>(in.imm)].name
+            : "f" + std::to_string(in.imm);
+      os << " " << callee << "(";
+      for (std::size_t i = 0; i < in.args.size(); ++i) {
+        if (i) os << ", ";
+        os << reg_str(in.args[i]);
+      }
+      os << ")";
+      break;
+    }
+    case Op::kRet:
+      if (in.a != kNoReg) os << " " << reg_str(in.a);
+      break;
+    default:
+      os << " " << reg_str(in.dst) << ", " << reg_str(in.a) << ", "
+         << reg_str(in.b);
+      break;
+  }
+  if (in.line) os << "   ; line " << in.line;
+  return os.str();
+}
+
+void print_function(std::ostringstream& os, const Module* m,
+                    const Function& f) {
+  os << "func " << f.name << "(" << f.num_args << " args, " << f.num_regs
+     << " regs)";
+  if (!f.source_file.empty()) os << "  ; " << f.source_file;
+  os << "\n";
+  for (const auto& bb : f.blocks) {
+    os << "bb" << bb.id;
+    if (!bb.label.empty()) os << " (" << bb.label << ")";
+    os << ":\n";
+    for (const auto& in : bb.instrs) os << "  " << instr_str(m, in) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string print(const Function& f) {
+  std::ostringstream os;
+  print_function(os, nullptr, f);
+  return os.str();
+}
+
+std::string print(const Module& m) {
+  std::ostringstream os;
+  for (const auto& g : m.globals)
+    os << "global " << g.name << " @" << g.address << " size " << g.size_bytes
+       << "\n";
+  for (const auto& f : m.functions) {
+    print_function(os, &m, f);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pp::ir

@@ -1,0 +1,294 @@
+#include "ir/parser.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace pp::ir {
+
+namespace {
+
+struct Cursor {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= lines.size(); }
+  const std::string& peek() const { return lines[pos]; }
+  void next() { ++pos; }
+  [[noreturn]] void fail(const std::string& why) const {
+    fatal("ir parse error at line " + std::to_string(pos + 1) + ": " + why);
+  }
+};
+
+// Split a line into tokens, treating ',', '[', ']', '(', ')' and '=' as
+// separators, and cutting at the ';' comment marker.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == ';') break;  // comment — but capture it separately below
+    if (c == ' ' || c == '\t' || c == ',' || c == '(' || c == ')' ||
+        c == '[' || c == ']' || c == '=') {
+      flush();
+      continue;
+    }
+    cur.push_back(c);
+  }
+  flush();
+  return out;
+}
+
+// Extract "; line N" / "; file" comments.
+std::string comment_of(const std::string& line) {
+  auto p = line.find(';');
+  if (p == std::string::npos) return "";
+  std::string c = line.substr(p + 1);
+  while (!c.empty() && c.front() == ' ') c.erase(c.begin());
+  while (!c.empty() && (c.back() == ' ' || c.back() == '\r')) c.pop_back();
+  return c;
+}
+
+i64 parse_int(Cursor& cur, const std::string& tok) {
+  try {
+    std::size_t used = 0;
+    i64 v = std::stoll(tok, &used);
+    if (used != tok.size()) cur.fail("bad integer '" + tok + "'");
+    return v;
+  } catch (const std::exception&) {
+    cur.fail("bad integer '" + tok + "'");
+  }
+}
+
+double parse_double(Cursor& cur, const std::string& tok) {
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    cur.fail("bad floating constant '" + tok + "'");
+  }
+}
+
+Reg parse_reg(Cursor& cur, const std::string& tok) {
+  if (tok.size() < 2 || tok[0] != 'r') cur.fail("expected register, got '" + tok + "'");
+  return static_cast<Reg>(parse_int(cur, tok.substr(1)));
+}
+
+int parse_bb(Cursor& cur, const std::string& tok) {
+  if (tok.rfind("bb", 0) != 0) cur.fail("expected block, got '" + tok + "'");
+  return static_cast<int>(parse_int(cur, tok.substr(2)));
+}
+
+int parse_line_comment(const std::string& comment) {
+  // "line 42"
+  if (comment.rfind("line ", 0) == 0)
+    return static_cast<int>(std::stoll(comment.substr(5)));
+  return 0;
+}
+
+Op op_from_name(Cursor& cur, const std::string& name) {
+  static const std::map<std::string, Op> kOps = {
+      {"const", Op::kConst}, {"mov", Op::kMov},     {"add", Op::kAdd},
+      {"sub", Op::kSub},     {"mul", Op::kMul},     {"div", Op::kDiv},
+      {"rem", Op::kRem},     {"addi", Op::kAddI},   {"muli", Op::kMulI},
+      {"and", Op::kAnd},     {"or", Op::kOr},       {"xor", Op::kXor},
+      {"shl", Op::kShl},     {"shr", Op::kShr},     {"cmpeq", Op::kCmpEq},
+      {"cmpne", Op::kCmpNe}, {"cmplt", Op::kCmpLt}, {"cmple", Op::kCmpLe},
+      {"cmpgt", Op::kCmpGt}, {"cmpge", Op::kCmpGe}, {"fadd", Op::kFAdd},
+      {"fsub", Op::kFSub},   {"fmul", Op::kFMul},   {"fdiv", Op::kFDiv},
+      {"fconst", Op::kFConst}, {"i2f", Op::kI2F},   {"f2i", Op::kF2I},
+      {"load", Op::kLoad},   {"store", Op::kStore}, {"br", Op::kBr},
+      {"brcond", Op::kBrCond}, {"call", Op::kCall}, {"ret", Op::kRet},
+  };
+  auto it = kOps.find(name);
+  if (it == kOps.end()) cur.fail("unknown opcode '" + name + "'");
+  return it->second;
+}
+
+// "load r5, [r3 + 16]" tokenizes to {load r5 r3 + 16}; handle the optional
+// "+ off" tail shared by load/store.
+i64 take_offset(Cursor& cur, const std::vector<std::string>& t,
+                std::size_t from) {
+  if (from >= t.size()) return 0;
+  if (t[from] == "+" && from + 1 < t.size()) return parse_int(cur, t[from + 1]);
+  cur.fail("bad address offset");
+}
+
+}  // namespace
+
+Module parse(const std::string& text) {
+  Cursor cur;
+  {
+    std::istringstream is(text);
+    std::string l;
+    while (std::getline(is, l)) cur.lines.push_back(l);
+  }
+
+  // Pass 1: function signatures (call instructions refer by name).
+  std::map<std::string, int> func_ids;
+  {
+    Module probe;
+    for (const auto& line : cur.lines) {
+      auto t = tokenize(line);
+      if (t.size() >= 4 && t[0] == "func")
+        func_ids.emplace(t[1], static_cast<int>(func_ids.size()));
+    }
+  }
+
+  Module m;
+  Function* fn = nullptr;
+  BasicBlock* bb = nullptr;
+
+  while (!cur.done()) {
+    std::string raw = cur.peek();
+    std::string comment = comment_of(raw);
+    auto t = tokenize(raw);
+    if (t.empty()) {
+      cur.next();
+      continue;
+    }
+
+    if (t[0] == "global") {
+      // global <name> @<addr> size <bytes>
+      if (t.size() < 4 || t[1].empty()) cur.fail("malformed global");
+      if (t[2][0] != '@') cur.fail("expected @address");
+      i64 addr = parse_int(cur, t[2].substr(1));
+      if (t[3] != "size" || t.size() < 5) cur.fail("expected size");
+      i64 size = parse_int(cur, t[4]);
+      i64 got = m.add_global(t[1], size);
+      if (got != addr)
+        cur.fail("global address mismatch (got " + std::to_string(got) +
+                 ", text says " + std::to_string(addr) + ")");
+      cur.next();
+      continue;
+    }
+
+    if (t[0] == "func") {
+      // func <name>(<n> args, <m> regs)   ; source
+      // tokens: {func, name, N, args, M, regs}
+      if (t.size() < 6 || t[3] != "args" || t[5] != "regs")
+        cur.fail("malformed func header");
+      int num_args = static_cast<int>(parse_int(cur, t[2]));
+      int num_regs = static_cast<int>(parse_int(cur, t[4]));
+      fn = &m.add_function(t[1], num_args, comment);
+      fn->num_regs = num_regs;
+      bb = nullptr;
+      cur.next();
+      continue;
+    }
+
+    if (t[0].rfind("bb", 0) == 0 && raw.find(':') != std::string::npos &&
+        raw.find("  ") != 0) {
+      if (!fn) cur.fail("block outside function");
+      std::string head = t[0];
+      auto colon = head.find(':');
+      if (colon != std::string::npos) head = head.substr(0, colon);
+      int id = parse_bb(cur, head);
+      // Optional "(label)" was split off by the tokenizer into t[1].
+      std::string label;
+      if (t.size() >= 2) {
+        label = t[1];
+        auto c2 = label.find(':');
+        if (c2 != std::string::npos) label = label.substr(0, c2);
+      }
+      fn->blocks.push_back({id, label, {}});
+      bb = &fn->blocks.back();
+      cur.next();
+      continue;
+    }
+
+    // Otherwise: an instruction line.
+    if (!fn || !bb) cur.fail("instruction outside a block");
+    Instr in;
+    in.line = parse_line_comment(comment);
+    in.op = op_from_name(cur, t[0]);
+    try {
+    switch (in.op) {
+      case Op::kConst:
+        in.dst = parse_reg(cur, t.at(1));
+        in.imm = parse_int(cur, t.at(2));
+        break;
+      case Op::kFConst: {
+        in.dst = parse_reg(cur, t.at(1));
+        double d = parse_double(cur, t.at(2));
+        __builtin_memcpy(&in.imm, &d, sizeof in.imm);
+        break;
+      }
+      case Op::kMov:
+      case Op::kI2F:
+      case Op::kF2I:
+        in.dst = parse_reg(cur, t.at(1));
+        in.a = parse_reg(cur, t.at(2));
+        break;
+      case Op::kAddI:
+      case Op::kMulI:
+        in.dst = parse_reg(cur, t.at(1));
+        in.a = parse_reg(cur, t.at(2));
+        in.imm = parse_int(cur, t.at(3));
+        break;
+      case Op::kLoad:
+        in.dst = parse_reg(cur, t.at(1));
+        in.a = parse_reg(cur, t.at(2));
+        in.imm = take_offset(cur, t, 3);
+        break;
+      case Op::kStore:
+        in.a = parse_reg(cur, t.at(1));
+        if (t.size() >= 4 && t[2] == "+") {
+          in.imm = parse_int(cur, t.at(3));
+          in.b = parse_reg(cur, t.at(4));
+        } else {
+          in.b = parse_reg(cur, t.at(2));
+        }
+        break;
+      case Op::kBr:
+        in.imm = parse_bb(cur, t.at(1));
+        break;
+      case Op::kBrCond:
+        in.a = parse_reg(cur, t.at(1));
+        in.imm = parse_bb(cur, t.at(2));
+        in.imm2 = parse_bb(cur, t.at(3));
+        break;
+      case Op::kCall: {
+        // "call r3 = callee(r1, r2)" or "call callee(r1)"; '=' and parens
+        // were eaten by the tokenizer: {call, r3, callee, r1, r2} or
+        // {call, callee, r1}.
+        std::size_t idx = 1;
+        if (t.size() > 1 && t[1].size() > 1 && t[1][0] == 'r' &&
+            func_ids.count(t[1]) == 0 &&
+            t[1].find_first_not_of("0123456789", 1) == std::string::npos) {
+          in.dst = parse_reg(cur, t[1]);
+          idx = 2;
+        }
+        auto fit = func_ids.find(t.at(idx));
+        if (fit == func_ids.end()) cur.fail("call to unknown function '" + t.at(idx) + "'");
+        in.imm = fit->second;
+        for (std::size_t k = idx + 1; k < t.size(); ++k)
+          in.args.push_back(parse_reg(cur, t[k]));
+        break;
+      }
+      case Op::kRet:
+        if (t.size() > 1) in.a = parse_reg(cur, t.at(1));
+        break;
+      default:  // three-register arithmetic/compare
+        in.dst = parse_reg(cur, t.at(1));
+        in.a = parse_reg(cur, t.at(2));
+        in.b = parse_reg(cur, t.at(3));
+        break;
+    }
+    } catch (const std::out_of_range&) {
+      cur.fail("missing operand for '" + t[0] + "'");
+    }
+    bb->instrs.push_back(std::move(in));
+    cur.next();
+  }
+
+  verify(m);
+  return m;
+}
+
+}  // namespace pp::ir

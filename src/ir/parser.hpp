@@ -1,0 +1,26 @@
+// Parser for the mini-ISA's textual form — the exact format ir::print()
+// emits, so modules round-trip:  parse(print(m)) == print-identical m.
+// Useful for textual test fixtures and for inspecting dumped programs.
+//
+//   global conn @0 size 344
+//   func main(0 args, 4 regs)  ; backprop.c
+//   bb0 (entry):
+//     const r0, 42   ; line 5
+//     br bb1
+//   ...
+//
+// Global initializer data is not part of the textual form (print() does
+// not emit it); parsed modules have zero-initialized globals.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace pp::ir {
+
+/// Parse a module from its textual form. Throws pp::Error with a line
+/// number on malformed input. The result always passes ir::verify().
+Module parse(const std::string& text);
+
+}  // namespace pp::ir

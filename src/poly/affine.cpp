@@ -1,0 +1,103 @@
+#include "poly/affine.hpp"
+
+#include <sstream>
+
+namespace pp::poly {
+
+i128 AffineExpr::eval(std::span<const i64> point) const {
+  PP_CHECK(point.size() == coeffs_.size(), "affine eval: dimension mismatch");
+  i128 acc = constant_;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i)
+    acc = add_checked(acc, mul_checked(coeffs_[i], point[i]));
+  return acc;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& o) const {
+  PP_CHECK(dim() == o.dim(), "affine add: dimension mismatch");
+  AffineExpr r = *this;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) r.coeffs_[i] += o.coeffs_[i];
+  r.constant_ += o.constant_;
+  return r;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& o) const {
+  return *this + (o * -1);
+}
+
+AffineExpr AffineExpr::operator*(i64 s) const {
+  AffineExpr r = *this;
+  for (auto& c : r.coeffs_) c *= s;
+  r.constant_ *= s;
+  return r;
+}
+
+AffineExpr AffineExpr::operator+(i64 k) const {
+  AffineExpr r = *this;
+  r.constant_ += k;
+  return r;
+}
+
+RatVec AffineExpr::as_rat_vec(bool with_const) const {
+  RatVec v;
+  v.reserve(coeffs_.size() + (with_const ? 1 : 0));
+  for (i64 c : coeffs_) v.push_back(Rat(c));
+  if (with_const) v.push_back(Rat(constant_));
+  return v;
+}
+
+std::string AffineExpr::str(std::span<const std::string> names) const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    i64 c = coeffs_[i];
+    if (c == 0) continue;
+    std::string name =
+        i < names.size() ? names[i] : "x" + std::to_string(i);
+    if (first) {
+      if (c == -1)
+        os << "-";
+      else if (c != 1)
+        os << c << "*";
+    } else {
+      os << (c > 0 ? " + " : " - ");
+      i64 a = c > 0 ? c : -c;
+      if (a != 1) os << a << "*";
+    }
+    os << name;
+    first = false;
+  }
+  if (first) {
+    os << constant_;
+  } else if (constant_ != 0) {
+    os << (constant_ > 0 ? " + " : " - ")
+       << (constant_ > 0 ? constant_ : -constant_);
+  }
+  return os.str();
+}
+
+AffineMap AffineMap::identity(std::size_t n) {
+  std::vector<AffineExpr> outs;
+  outs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) outs.push_back(AffineExpr::var(n, i));
+  return AffineMap(n, std::move(outs));
+}
+
+std::vector<i128> AffineMap::eval(std::span<const i64> point) const {
+  std::vector<i128> out;
+  out.reserve(outputs_.size());
+  for (const auto& e : outputs_) out.push_back(e.eval(point));
+  return out;
+}
+
+std::string AffineMap::str(std::span<const std::string> in_names) const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (i) os << ", ";
+    os << outputs_[i].str(in_names);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pp::poly

@@ -1,0 +1,43 @@
+// Dependence relations in the folded form polyprof produces: for a
+// dependence edge src -> dst, the folding stage emits a polyhedron over the
+// *destination* iteration vector together with an affine map giving the
+// matching *source* iteration vector (paper Tables 1-2: e.g.
+// "0<=cj<=15 and 1<=ck<=42 : cj' = cj, ck' = ck - 1").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "poly/affine.hpp"
+#include "poly/polyhedron.hpp"
+
+namespace pp::poly {
+
+/// One folded dependence piece between two statements.
+struct DepPiece {
+  Polyhedron dst_domain;  ///< over dst iteration space (dim = dst depth)
+  AffineMap src_fn;       ///< dst IV -> src IV (out_dim = src depth)
+  bool exact = true;
+  u64 observed = 0;       ///< dynamic dependence instances folded in
+};
+
+/// A folded dependence edge: union of pieces, plus identity of endpoints
+/// (statement ids are assigned by the DDG layer).
+struct DepRelation {
+  int src_stmt = -1;
+  int dst_stmt = -1;
+  std::vector<DepPiece> pieces;
+
+  bool all_exact() const {
+    for (const auto& p : pieces)
+      if (!p.exact) return false;
+    return true;
+  }
+  u64 total_observed() const {
+    u64 n = 0;
+    for (const auto& p : pieces) n += p.observed;
+    return n;
+  }
+};
+
+}  // namespace pp::poly

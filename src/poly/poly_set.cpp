@@ -1,0 +1,20 @@
+#include "poly/poly_set.hpp"
+
+#include <sstream>
+
+namespace pp::poly {
+
+std::string PolySet::str(std::span<const std::string> names) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < pieces_.size(); ++i) {
+    if (i) os << " u ";
+    os << pieces_[i].domain.str(names);
+    if (pieces_[i].label_fn.out_dim() > 0)
+      os << " -> " << pieces_[i].label_fn.str(names);
+    if (!pieces_[i].exact) os << " (approx)";
+  }
+  if (pieces_.empty()) os << "{}";
+  return os.str();
+}
+
+}  // namespace pp::poly

@@ -1,0 +1,52 @@
+// The static baseline of the paper's Experiment II: a Polly-like affine
+// region modeler that works purely on the static IR (no execution). It
+// attempts to prove a function is a static-control affine program and,
+// when it fails, reports the paper's reason taxonomy:
+//   R  unhandled function call
+//   C  complex CFG (multiple returns / multi-exit loops)
+//   B  non-affine loop bound or non-affine conditional
+//   F  non-affine access function (includes pointer indirection)
+//   A  unhandled possible pointer aliasing
+//   P  base pointer not loop invariant
+// This is what a static polyhedral compiler must reject, exactly the
+// contrast POLY-PROF's dynamic analysis is designed to overcome.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "cfg/loop_forest.hpp"
+#include "ir/ir.hpp"
+
+namespace pp::statican {
+
+struct FunctionVerdict {
+  int func = -1;
+  bool affine_modeled = false;  ///< whole function modeled as affine SCoP
+  std::set<char> reasons;       ///< failure letters (empty when modeled)
+  /// Depth of the deepest loop nest whose whole region is free of failure
+  /// reasons — the paper's "Polly was able to model some smaller
+  /// subregions, 1D or 2D loop nests, in most benchmarks". 0 when no loop
+  /// is modelable.
+  int max_modeled_nest_depth = 0;
+  int num_loops = 0;            ///< loops in the function's static forest
+  int num_modeled_loops = 0;    ///< loops whose region carries no reason
+};
+
+/// Static (exact) CFG of a function — every edge in the code, executed or
+/// not, unlike the dynamic CFGs of stage 1.
+cfg::FunctionCfg static_cfg(const ir::Function& f);
+
+/// Try to model one function as an affine program.
+FunctionVerdict analyze_function(const ir::Module& m, const ir::Function& f);
+
+/// Region verdict: union of the verdicts of all functions in the region
+/// (the paper inlines kernels so Polly sees the same region; calls to
+/// functions outside the set still count as 'R').
+std::set<char> analyze_region(const ir::Module& m,
+                              const std::vector<int>& funcs);
+
+/// "RCBF"-style rendering in the paper's canonical letter order.
+std::string reasons_str(const std::set<char>& reasons);
+
+}  // namespace pp::statican

@@ -1,0 +1,29 @@
+// Diagnostics: assertion and fatal-error helpers used across all polyprof
+// libraries. Analysis code favours throwing `pp::Error` over aborting so
+// that a misbehaving workload cannot take down a long profiling run.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pp {
+
+/// Exception type for all recoverable polyprof errors (bad input IR,
+/// arithmetic overflow in exact computations, malformed traces, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+[[noreturn]] inline void fatal(const std::string& msg) { throw Error(msg); }
+
+/// Internal invariant check. Unlike assert() this is always on: the exact
+/// arithmetic kernels are cheap to guard and silent corruption is far more
+/// expensive to debug than the branch is to execute.
+#define PP_CHECK(cond, msg)                                                  \
+  do {                                                                       \
+    if (!(cond)) ::pp::fatal(std::string("PP_CHECK failed: ") + (msg) +      \
+                             " at " + __FILE__ + ":" + std::to_string(__LINE__)); \
+  } while (0)
+
+}  // namespace pp

@@ -1,0 +1,24 @@
+#include "support/int_math.hpp"
+
+#include <algorithm>
+
+namespace pp {
+
+std::string to_string_i128(i128 v) {
+  if (v == 0) return "0";
+  bool neg = v < 0;
+  // Peel digits from the absolute value; careful with INT128_MIN by
+  // negating digit-wise instead of the whole value.
+  std::string out;
+  while (v != 0) {
+    int digit = static_cast<int>(v % 10);
+    if (digit < 0) digit = -digit;
+    out.push_back(static_cast<char>('0' + digit));
+    v /= 10;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pp

@@ -1,0 +1,16 @@
+#include "support/str.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pp {
+
+std::string percent(double num, double den) {
+  if (den <= 0.0) return "-";
+  double p = 100.0 * num / den;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f%%", p);
+  return buf;
+}
+
+}  // namespace pp

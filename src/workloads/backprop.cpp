@@ -1,0 +1,547 @@
+// The backprop case study (paper Fig. 6/7, Tables 1-3): a two-layer neural
+// network's forward pass (bpnn_layerforward) and weight update
+// (bpnn_adjust_weights). Each function is called twice; the calls with the
+// large layer (hidden = 16) are the paper's regions of interest. The
+// transformed variant applies by hand exactly what POLY-PROF suggests:
+// loop interchange + scalar expansion of the reduction.
+#include "workloads/util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::workloads {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+namespace {
+
+// squash(x) = x / (1 + |x|)-ish rational sigmoid (no transcendental ops in
+// the mini-ISA; the call structure is what matters).
+Function& add_squash(Module& m) {
+  Function& f = m.add_function("squash", 1, "backprop.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(42);
+  Reg one = b.fconst(1.0);
+  Reg x2 = b.fmul(0, 0);
+  Reg denom = b.fadd(one, x2);
+  Reg r = b.fdiv(0, denom);
+  b.ret(r);
+  return f;
+}
+
+// bpnn_layerforward(l1, l2, conn, n1, n2): Fig. 6 pseudo-assembly. `conn`
+// is an array of row pointers (a C `double**`), so the inner loop loads
+// the row pointer (I1) before the cell (I2) — the pointer indirection
+// POLY-PROF sees through but static analysis cannot.
+Function& add_layerforward(Module& m, Function& squash) {
+  Function& f = m.add_function("bpnn_layerforward", 5, "backprop.c");
+  Builder b(m, f);
+  const Reg l1 = 0, l2 = 1, conn = 2, n1 = 3, n2 = 4;
+  int entry = b.make_block();
+  b.set_block(entry);
+  b.set_line(250);
+  Reg j = b.fresh();
+  b.const_(1, j);
+  int jh = b.make_block("j.header");
+  int jb = b.make_block("j.body");
+  int jx = b.make_block("j.exit");
+  b.br(jh);
+  b.set_block(jh);
+  b.set_line(253);
+  Reg jle = b.cmp(Op::kCmpLe, j, n2);
+  b.br_cond(jle, jb, jx);
+  b.set_block(jb);
+  Reg sum = b.fconst(0.0);
+  Reg k = b.fresh();
+  b.const_(0, k);
+  int kh = b.make_block("k.header");
+  int kb = b.make_block("k.body");
+  int kx = b.make_block("k.exit");
+  b.br(kh);
+  b.set_block(kh);
+  b.set_line(254);
+  Reg kle = b.cmp(Op::kCmpLe, k, n1);
+  b.br_cond(kle, kb, kx);
+  b.set_block(kb);
+  b.set_line(255);
+  Reg tmp1 = b.load(elem_ptr(b, conn, k));       // I1: row pointer
+  Reg tmp2 = b.load(elem_ptr(b, tmp1, j));       // I2: conn[k][j]
+  Reg tmp3 = b.load(elem_ptr(b, l1, k));         // I3: l1[k]
+  Reg prod = b.fmul(tmp2, tmp3);
+  b.fadd(sum, prod, sum);                        // I4: sum += ...
+  b.addi(k, 1, k);                               // I5
+  b.br(kh);
+  b.set_block(kx);
+  b.set_line(257);
+  Reg tmp4 = b.call(squash, {sum}, true);        // I6
+  b.store(elem_ptr(b, l2, j), tmp4);             // I7
+  b.addi(j, 1, j);                               // I8
+  b.br(jh);
+  b.set_block(jx);
+  b.ret();
+  return f;
+}
+
+// bpnn_adjust_weights(delta, ndelta, ly, nly, w, oldw): j outer (deltas),
+// k inner (rows); w and oldw are (nly+1) x (ndelta+1) row-major arrays
+// passed with their row stride.
+Function& add_adjust_weights(Module& m) {
+  Function& f = m.add_function("bpnn_adjust_weights", 7, "backprop.c");
+  Builder b(m, f);
+  const Reg delta = 0, ndelta = 1, ly = 2, nly = 3, w = 4, oldw = 5,
+            rowstride = 6;
+  b.set_block(b.make_block());
+  b.set_line(318);
+  Reg eta = b.fconst(0.3);
+  Reg momentum = b.fconst(0.3);
+  Reg j = b.fresh();
+  b.const_(1, j);
+  int jh = b.make_block();
+  int jb = b.make_block();
+  int jx = b.make_block();
+  b.br(jh);
+  b.set_block(jh);
+  b.set_line(320);
+  Reg jle = b.cmp(Op::kCmpLe, j, ndelta);
+  b.br_cond(jle, jb, jx);
+  b.set_block(jb);
+  Reg dj = b.load(elem_ptr(b, delta, j));
+  Reg k = b.fresh();
+  b.const_(0, k);
+  int kh = b.make_block();
+  int kb = b.make_block();
+  int kx = b.make_block();
+  b.br(kh);
+  b.set_block(kh);
+  b.set_line(322);
+  Reg kle = b.cmp(Op::kCmpLe, k, nly);
+  b.br_cond(kle, kb, kx);
+  b.set_block(kb);
+  b.set_line(323);
+  Reg lyk = b.load(elem_ptr(b, ly, k));
+  Reg rowoff = b.mul(k, rowstride);
+  Reg wrow = b.add(w, rowoff);
+  Reg orow = b.add(oldw, rowoff);
+  Reg wptr = elem_ptr(b, wrow, j);
+  Reg optr = elem_ptr(b, orow, j);
+  Reg old = b.load(optr);
+  Reg t1 = b.fmul(eta, dj);
+  Reg t2 = b.fmul(t1, lyk);
+  Reg t3 = b.fmul(momentum, old);
+  Reg ndw = b.fadd(t2, t3);
+  Reg wv = b.load(wptr);
+  Reg wnew = b.fadd(wv, ndw);
+  b.store(wptr, wnew);
+  b.store(optr, ndw);
+  b.addi(k, 1, k);
+  b.br(kh);
+  b.set_block(kx);
+  b.addi(j, 1, j);
+  b.br(jh);
+  b.set_block(jx);
+  b.ret();
+  return f;
+}
+
+struct Net {
+  i64 input_units;   // l1 values, k: 0..input
+  i64 hidden_units;  // j: 1..hidden
+  i64 output_units;
+  // globals
+  i64 input_vals, hidden_vals, output_vals;
+  i64 w_ih_rows, w_ih_data;   // row-pointer table + backing rows
+  i64 w_ho_rows, w_ho_data;
+  i64 delta_h, delta_o;
+  i64 w_ih_old, w_ho_old;
+};
+
+Net allocate_net(Module& m, i64 input, i64 hidden, i64 output) {
+  Net net;
+  net.input_units = input;
+  net.hidden_units = hidden;
+  net.output_units = output;
+  net.input_vals =
+      m.add_global_init("input_vals", random_doubles(static_cast<std::size_t>(input + 1), 7));
+  net.hidden_vals = m.add_global("hidden_vals", (hidden + 1) * 8);
+  net.output_vals = m.add_global("output_vals", (output + 1) * 8);
+  net.w_ih_data = m.add_global_init(
+      "w_ih", random_doubles(static_cast<std::size_t>((input + 1) * (hidden + 1)), 11));
+  net.w_ho_data = m.add_global_init(
+      "w_ho", random_doubles(static_cast<std::size_t>((hidden + 1) * (output + 1)), 13));
+  // Row-pointer tables (the C double** layout of Rodinia's backprop).
+  std::vector<i64> ih_rows, ho_rows;
+  for (i64 k = 0; k <= input; ++k)
+    ih_rows.push_back(net.w_ih_data + k * (hidden + 1) * 8);
+  for (i64 k = 0; k <= hidden; ++k)
+    ho_rows.push_back(net.w_ho_data + k * (output + 1) * 8);
+  net.w_ih_rows = m.add_global_init("w_ih_rows", ih_rows);
+  net.w_ho_rows = m.add_global_init("w_ho_rows", ho_rows);
+  net.delta_h = m.add_global_init(
+      "delta_h", random_doubles(static_cast<std::size_t>(hidden + 1), 17));
+  net.delta_o = m.add_global_init(
+      "delta_o", random_doubles(static_cast<std::size_t>(output + 1), 19));
+  net.w_ih_old = m.add_global("w_ih_old", (input + 1) * (hidden + 1) * 8);
+  net.w_ho_old = m.add_global("w_ho_old", (hidden + 1) * (output + 1) * 8);
+  return net;
+}
+
+// "libc": a memset-alike the initialization calls extensively — the
+// paper's Fig. 7 grays these regions out.
+Function& add_libc_memset(Module& m) {
+  Function& f = m.add_function("pp_memset", 3, "libc");  // (dst, words, val)
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.counted_loop(0, /*end=*/1 /* r1 = word count */, 1, [&](Reg i) {
+    Reg off = b.muli(i, 8);
+    Reg p = b.add(0, off);
+    b.store(p, 2);
+  });
+  b.ret();
+  return f;
+}
+
+// "libc": an LCG rand-alike used by the initialization.
+Function& add_libc_rand(Module& m, i64 seed_global) {
+  Function& f = m.add_function("pp_rand", 0, "libc");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg sp = b.const_(seed_global);
+  Reg sv = b.load(sp);
+  Reg a = b.const_(6364136223846793005LL);
+  Reg c = b.const_(1442695040888963407LL);
+  Reg t1 = b.mul(sv, a);
+  Reg t2 = b.add(t1, c);
+  b.store(sp, t2);
+  Reg sh = b.const_(33);
+  Reg r = b.shr(t2, sh);
+  b.ret(r);
+  return f;
+}
+
+// bpnn_train: one epoch, exactly Rodinia's shape — two forward passes,
+// the error computations, two weight adjustments.
+Function& add_bpnn_train(Module& m, const Net& net, Function& layerforward,
+                         Function& adjust) {
+  // Error computations (small loops over deltas).
+  Function& out_err = m.add_function("bpnn_output_error", 0, "backprop.c");
+  {
+    Builder b(m, out_err);
+    b.set_block(b.make_block());
+    b.set_line(280);
+    Reg d = b.const_(net.delta_o);
+    Reg o = b.const_(net.output_vals);
+    Reg n = b.const_(net.output_units + 1);
+    b.counted_loop(0, n, 1, [&](Reg j) {
+      Reg ov = b.load(elem_ptr(b, o, j));
+      Reg one = b.fconst(1.0);
+      Reg err = b.fsub(one, ov);
+      Reg dv = b.fmul(ov, err);
+      b.store(elem_ptr(b, d, j), dv);
+    });
+    b.ret();
+  }
+  Function& hid_err = m.add_function("bpnn_hidden_error", 0, "backprop.c");
+  {
+    Builder b(m, hid_err);
+    b.set_block(b.make_block());
+    b.set_line(300);
+    Reg d = b.const_(net.delta_h);
+    Reg h = b.const_(net.hidden_vals);
+    Reg n = b.const_(net.hidden_units + 1);
+    b.counted_loop(0, n, 1, [&](Reg j) {
+      Reg hv = b.load(elem_ptr(b, h, j));
+      Reg one = b.fconst(1.0);
+      Reg err = b.fsub(one, hv);
+      Reg dv = b.fmul(hv, err);
+      b.store(elem_ptr(b, d, j), dv);
+    });
+    b.ret();
+  }
+
+  Function& train = m.add_function("bpnn_train", 0, "backprop_kernel.c");
+  Builder b(m, train);
+  int b0 = b.make_block();
+  int b1 = b.make_block();
+  int b2 = b.make_block();
+  int b3 = b.make_block();
+  int b4 = b.make_block();
+  int b5 = b.make_block();
+  int b6 = b.make_block();
+
+  b.set_block(b0);
+  b.set_line(50);
+  Reg in_vals = b.const_(net.input_vals);
+  Reg hid_vals = b.const_(net.hidden_vals);
+  Reg out_vals = b.const_(net.output_vals);
+  Reg ih_rows = b.const_(net.w_ih_rows);
+  Reg ho_rows = b.const_(net.w_ho_rows);
+  Reg n_in = b.const_(net.input_units);
+  Reg n_hid = b.const_(net.hidden_units);
+  Reg n_out = b.const_(net.output_units);
+  // Call 1 (hot): input -> hidden, n2 = hidden.
+  b.set_line(52);
+  b.call(layerforward, {in_vals, hid_vals, ih_rows, n_in, n_hid});
+  b.br(b1);
+
+  b.set_block(b1);
+  // Call 2 (cold): hidden -> output.
+  b.call(layerforward, {hid_vals, out_vals, ho_rows, n_hid, n_out});
+  b.br(b2);
+
+  b.set_block(b2);
+  b.call(out_err, {});
+  b.br(b3);
+  b.set_block(b3);
+  b.call(hid_err, {});
+  b.br(b4);
+
+  b.set_block(b4);
+  // adjust_weights call 1 (cold): output deltas over hidden layer.
+  Reg d_o = b.const_(net.delta_o);
+  Reg w_ho = b.const_(net.w_ho_data);
+  Reg w_ho_old = b.const_(net.w_ho_old);
+  Reg ho_stride = b.const_((net.output_units + 1) * 8);
+  b.call(adjust, {d_o, n_out, hid_vals, n_hid, w_ho, w_ho_old, ho_stride});
+  b.br(b5);
+
+  b.set_block(b5);
+  // adjust_weights call 2 (hot): hidden deltas over the input layer.
+  b.set_line(57);
+  Reg d_h = b.const_(net.delta_h);
+  Reg w_ih = b.const_(net.w_ih_data);
+  Reg w_ih_old = b.const_(net.w_ih_old);
+  Reg ih_stride = b.const_((net.hidden_units + 1) * 8);
+  b.call(adjust, {d_h, n_hid, in_vals, n_in, w_ih, w_ih_old, ih_stride});
+  b.br(b6);
+
+  b.set_block(b6);
+  b.ret();
+  return train;
+}
+
+// facetrain-style main: initialization (memset/rand "libc" calls, the
+// regions the paper's flame graph grays out), then one bpnn_train epoch,
+// then a checksum.
+void add_backprop_main(Module& m, const Net& net, Function& layerforward,
+                       Function& adjust) {
+  i64 seed = m.add_global_init("seed", {12345});
+  Function& memset_fn = add_libc_memset(m);
+  Function& rand_fn = add_libc_rand(m, seed);
+  Function& train = add_bpnn_train(m, net, layerforward, adjust);
+
+  Function& f = m.add_function("main", 0, "facetrain.c");
+  Builder b(m, f);
+  int b0 = b.make_block();
+  int b1 = b.make_block();
+  int b2 = b.make_block();
+
+  b.set_block(b0);
+  b.set_line(20);
+  // Initialization: clear the old-weight arrays via "libc" memset and
+  // perturb a few hidden values via "libc" rand.
+  Reg ih_old = b.const_(net.w_ih_old);
+  Reg ih_words = b.const_((net.input_units + 1) * (net.hidden_units + 1));
+  Reg zero = b.const_(0);
+  b.call(memset_fn, {ih_old, ih_words, zero});
+  Reg ho_old = b.const_(net.w_ho_old);
+  Reg ho_words = b.const_((net.hidden_units + 1) * (net.output_units + 1));
+  b.call(memset_fn, {ho_old, ho_words, zero});
+  Reg hid_vals0 = b.const_(net.hidden_vals);
+  Reg nh = b.const_(net.hidden_units + 1);
+  b.counted_loop(0, nh, 1, [&](Reg i) {
+    Reg rv = b.call(rand_fn, {}, true);
+    Reg seven = b.const_(7);
+    Reg small = b.rem(rv, seven);
+    Reg fv = b.i2f(small);
+    b.store(elem_ptr(b, hid_vals0, i), fv);
+  });
+  b.br(b1);
+
+  b.set_block(b1);
+  b.set_line(25);
+  b.call(train, {});
+  b.br(b2);
+
+  b.set_block(b2);
+  Reg hid_vals = b.const_(net.hidden_vals);
+  Reg n_hid = b.const_(net.hidden_units);
+  // Checksum: sum of hidden values (integer bits) for cross-variant
+  // equivalence checking.
+  Reg acc = b.const_(0);
+  Reg nh1 = b.addi(n_hid, 1);
+  b.counted_loop(0, nh1, 1, [&](Reg i) {
+    Reg v = b.load(elem_ptr(b, hid_vals, i));
+    b.add(acc, v, acc);
+  });
+  Reg wbase = b.const_(net.w_ih_data);
+  Reg nw = b.const_((net.input_units + 1) * (net.hidden_units + 1));
+  b.counted_loop(0, nw, 1, [&](Reg i) {
+    Reg v = b.load(elem_ptr(b, wbase, i));
+    b.xor_(acc, v, acc);
+  });
+  b.ret(acc);
+}
+
+}  // namespace
+
+ir::Module make_backprop_fig6(i64 n1, i64 n2) {
+  Module m;
+  i64 rows = m.add_global("conn_rows", (n1 + 1) * 8);
+  i64 data = m.add_global_init(
+      "conn", random_doubles(static_cast<std::size_t>((n1 + 1) * (n2 + 1)), 3));
+  i64 l1 = m.add_global_init("l1", random_doubles(static_cast<std::size_t>(n1 + 1), 5));
+  i64 l2 = m.add_global("l2", (n2 + 1) * 8);
+  Function& squash = add_squash(m);
+  Function& lf = add_layerforward(m, squash);
+  Function& f = m.add_function("main", 0, "backprop_kernel.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(52);
+  // Fill the row-pointer table.
+  Reg rowtab = b.const_(rows);
+  Reg dbase = b.const_(data);
+  Reg n1r = b.const_(n1 + 1);
+  b.counted_loop(0, n1r, 1, [&](Reg k) {
+    Reg off = b.muli(k, (n2 + 1) * 8);
+    Reg rowptr = b.add(dbase, off);
+    b.store(elem_ptr(b, rowtab, k), rowptr);
+  });
+  Reg l1r = b.const_(l1);
+  Reg l2r = b.const_(l2);
+  Reg n1v = b.const_(n1);
+  Reg n2v = b.const_(n2);
+  b.call(lf, {l1r, l2r, rowtab, n1v, n2v});
+  b.ret();
+  return m;
+}
+
+ir::Module make_backprop(i64 hidden, i64 input) {
+  Module m;
+  Net net = allocate_net(m, input, hidden, /*output=*/1);
+  Function& squash = add_squash(m);
+  Function& lf = add_layerforward(m, squash);
+  Function& adj = add_adjust_weights(m);
+  add_backprop_main(m, net, lf, adj);
+  return m;
+}
+
+ir::Module make_backprop_transformed(i64 hidden, i64 input) {
+  Module m;
+  Net net = allocate_net(m, input, hidden, /*output=*/1);
+  Function& squash = add_squash(m);
+
+  // layerforward with the suggested transformation: the scalar `sum` is
+  // expanded into sums[j] and the loops are interchanged so j (stride-1 in
+  // conn's rows) is innermost; the reduction travels the outer loop.
+  Function& lf = m.add_function("bpnn_layerforward", 5, "backprop.c");
+  {
+    Builder b(m, lf);
+    const Reg l1 = 0, l2 = 1, conn = 2, n1 = 3, n2 = 4;
+    i64 sums = m.add_global("lf_sums", (net.hidden_units + 1) * 8);
+    b.set_block(b.make_block());
+    Reg sumsr = b.const_(sums);
+    Reg n2p1 = b.addi(n2, 1);
+    Reg zero = b.fconst(0.0);
+    b.counted_loop(0, n2p1, 1,
+                   [&](Reg j) { b.store(elem_ptr(b, sumsr, j), zero); });
+    Reg n1p1 = b.addi(n1, 1);
+    b.counted_loop(0, n1p1, 1, [&](Reg k) {
+      Reg row = b.load(elem_ptr(b, conn, k));
+      Reg l1k = b.load(elem_ptr(b, l1, k));
+      Reg one = b.const_(1);
+      Reg jend = b.addi(n2, 1);
+      Reg j = b.fresh();
+      b.mov(one, j);
+      int jh = b.make_block();
+      int jb = b.make_block();
+      int jx = b.make_block();
+      b.br(jh);
+      b.set_block(jh);
+      Reg c = b.cmp(Op::kCmpLt, j, jend);
+      b.br_cond(c, jb, jx);
+      b.set_block(jb);
+      Reg cell = b.load(elem_ptr(b, row, j));
+      Reg prod = b.fmul(cell, l1k);
+      Reg sptr = elem_ptr(b, sumsr, j);
+      Reg s = b.load(sptr);
+      Reg s2 = b.fadd(s, prod);
+      b.store(sptr, s2);
+      b.addi(j, 1, j);
+      b.br(jh);
+      b.set_block(jx);
+    });
+    Reg one = b.const_(1);
+    Reg jend = b.addi(n2, 1);
+    Reg j = b.fresh();
+    b.mov(one, j);
+    int jh = b.make_block();
+    int jb = b.make_block();
+    int jx = b.make_block();
+    b.br(jh);
+    b.set_block(jh);
+    Reg c = b.cmp(Op::kCmpLt, j, jend);
+    b.br_cond(c, jb, jx);
+    b.set_block(jb);
+    Reg s = b.load(elem_ptr(b, sumsr, j));
+    Reg sq = b.call(squash, {s}, true);
+    b.store(elem_ptr(b, l2, j), sq);
+    b.addi(j, 1, j);
+    b.br(jh);
+    b.set_block(jx);
+    b.ret();
+  }
+
+  // adjust_weights interchanged: k outer (rows), j inner (stride-1).
+  Function& adj = m.add_function("bpnn_adjust_weights", 7, "backprop.c");
+  {
+    Builder b(m, adj);
+    const Reg delta = 0, ndelta = 1, ly = 2, nly = 3, w = 4, oldw = 5,
+              rowstride = 6;
+    b.set_block(b.make_block());
+    Reg eta = b.fconst(0.3);
+    Reg momentum = b.fconst(0.3);
+    Reg nlyp1 = b.addi(nly, 1);
+    b.counted_loop(0, nlyp1, 1, [&](Reg k) {
+      Reg lyk = b.load(elem_ptr(b, ly, k));
+      Reg rowoff = b.mul(k, rowstride);
+      Reg wrow = b.add(w, rowoff);
+      Reg orow = b.add(oldw, rowoff);
+      Reg one = b.const_(1);
+      Reg jend = b.addi(ndelta, 1);
+      Reg j = b.fresh();
+      b.mov(one, j);
+      int jh = b.make_block();
+      int jb = b.make_block();
+      int jx = b.make_block();
+      b.br(jh);
+      b.set_block(jh);
+      Reg c = b.cmp(Op::kCmpLt, j, jend);
+      b.br_cond(c, jb, jx);
+      b.set_block(jb);
+      Reg dj = b.load(elem_ptr(b, delta, j));
+      Reg wptr = elem_ptr(b, wrow, j);
+      Reg optr = elem_ptr(b, orow, j);
+      Reg old = b.load(optr);
+      Reg t1 = b.fmul(eta, dj);
+      Reg t2 = b.fmul(t1, lyk);
+      Reg t3 = b.fmul(momentum, old);
+      Reg ndw = b.fadd(t2, t3);
+      Reg wv = b.load(wptr);
+      Reg wnew = b.fadd(wv, ndw);
+      b.store(wptr, wnew);
+      b.store(optr, ndw);
+      b.addi(j, 1, j);
+      b.br(jh);
+      b.set_block(jx);
+    });
+    b.ret();
+  }
+
+  add_backprop_main(m, net, lf, adj);
+  return m;
+}
+
+}  // namespace pp::workloads

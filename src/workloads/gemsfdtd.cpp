@@ -1,0 +1,273 @@
+// The GemsFDTD case study (paper Table 4): finite-difference time-domain
+// field updates on a 3-D Yee grid. updateH_homo and updateE_homo are the
+// hot functions; each sweeps three field components over the grid with
+// nearest-neighbour reads of the opposite field — fully parallel, fully
+// tilable 3-D loop nests. The tiled variant applies Table 4's suggested
+// transformation: tile every dimension and fuse the per-component sweeps
+// inside the tile so the opposite field stays in cache (the sequential
+// stand-in for the paper's tile+OMP wavefront).
+#include "workloads/util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::workloads {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+namespace {
+
+struct Fields {
+  i64 hx, hy, hz, ex, ey, ez;
+  i64 nx, ny, nz;
+};
+
+Fields allocate_fields(Module& m, i64 nx, i64 ny, i64 nz) {
+  Fields f;
+  f.nx = nx;
+  f.ny = ny;
+  f.nz = nz;
+  std::size_t n = static_cast<std::size_t>(nx * ny * nz);
+  f.hx = m.add_global_init("Hx", random_doubles(n, 21));
+  f.hy = m.add_global_init("Hy", random_doubles(n, 22));
+  f.hz = m.add_global_init("Hz", random_doubles(n, 23));
+  f.ex = m.add_global_init("Ex", random_doubles(n, 24));
+  f.ey = m.add_global_init("Ey", random_doubles(n, 25));
+  f.ez = m.add_global_init("Ez", random_doubles(n, 26));
+  return f;
+}
+
+// One stencil update of dst[i][j][k] += c * (srcA[neigh] - srcA[ijk]
+//                                          - srcB[neigh'] + srcB[ijk])
+// over the interior. d{a,b} select the neighbour axis offset (in elements)
+// for each source field.
+void emit_sweep(Builder& b, const Fields& f, Reg dst, Reg srcA, i64 da,
+                Reg srcB, i64 db, Reg coef, Reg i, Reg j, Reg k) {
+  Reg p = elem_ptr3(b, dst, i, f.ny, j, f.nz, k);
+  Reg pa = elem_ptr3(b, srcA, i, f.ny, j, f.nz, k);
+  Reg pb = elem_ptr3(b, srcB, i, f.ny, j, f.nz, k);
+  Reg a1 = b.load(pa, da * 8);
+  Reg a0 = b.load(pa);
+  Reg b1 = b.load(pb, db * 8);
+  Reg b0 = b.load(pb);
+  Reg d1 = b.fsub(a1, a0);
+  Reg d2 = b.fsub(b1, b0);
+  Reg d = b.fsub(d1, d2);
+  Reg upd = b.fmul(coef, d);
+  Reg old = b.load(p);
+  Reg nv = b.fadd(old, upd);
+  b.store(p, nv);
+}
+
+// for i in 1..nx-2, j in 1..ny-2, k in 1..nz-2: body(i, j, k)
+template <typename Body>
+void interior_loops(Builder& b, const Fields& f, Body body) {
+  Reg iend = b.const_(f.nx - 1);
+  Reg jend = b.const_(f.ny - 1);
+  Reg kend = b.const_(f.nz - 1);
+  b.counted_loop(1, iend, 1, [&](Reg i) {
+    b.counted_loop(1, jend, 1, [&](Reg j) {
+      b.counted_loop(1, kend, 1, [&](Reg k) { body(i, j, k); });
+    });
+  });
+}
+
+// updateH_homo: three separate component sweeps (the paper's five hottest
+// loop nests live in updateH_homo/updateE_homo).
+Function& add_update(Module& m, const Fields& f, const char* name, bool is_h,
+                     int line) {
+  Function& fn = m.add_function(name, 0, "update.F90");
+  Builder b(m, fn);
+  b.set_block(b.make_block());
+  b.set_line(line);
+  Reg coef = b.fconst(0.05);
+  Reg d1 = b.const_(is_h ? f.ex : f.hx);
+  Reg d2 = b.const_(is_h ? f.ey : f.hy);
+  Reg d3 = b.const_(is_h ? f.ez : f.hz);
+  Reg s1 = b.const_(is_h ? f.hx : f.ex);
+  Reg s2 = b.const_(is_h ? f.hy : f.ey);
+  Reg s3 = b.const_(is_h ? f.hz : f.ez);
+  // Three sweeps, one per component (distinct loop nests, like the
+  // Fortran code).
+  b.set_line(line);
+  interior_loops(b, f, [&](Reg i, Reg j, Reg k) {
+    emit_sweep(b, f, s1, d2, 1, d3, f.nz, coef, i, j, k);
+  });
+  b.set_line(line + 1);
+  interior_loops(b, f, [&](Reg i, Reg j, Reg k) {
+    emit_sweep(b, f, s2, d3, f.ny * f.nz, d1, 1, coef, i, j, k);
+  });
+  b.set_line(line + 15);
+  interior_loops(b, f, [&](Reg i, Reg j, Reg k) {
+    emit_sweep(b, f, s3, d1, f.nz, d2, f.ny * f.nz, coef, i, j, k);
+  });
+  b.ret();
+  return fn;
+}
+
+// Tiled + component-fused variant of the same update: the i and j loops
+// are tiled (k, the stride-1 dimension, stays full so cache lines are
+// consumed whole) and the three per-component sweeps are fused inside the
+// tile, so each tile's slab of the opposite field is fetched once instead
+// of once per component.
+Function& add_update_tiled(Module& m, const Fields& f, const char* name,
+                           bool is_h, int line, i64 tile) {
+  Function& fn = m.add_function(name, 0, "update.F90");
+  Builder b(m, fn);
+  b.set_block(b.make_block());
+  b.set_line(line);
+  Reg coef = b.fconst(0.05);
+  Reg d1 = b.const_(is_h ? f.ex : f.hx);
+  Reg d2 = b.const_(is_h ? f.ey : f.hy);
+  Reg d3 = b.const_(is_h ? f.ez : f.hz);
+  Reg s1 = b.const_(is_h ? f.hx : f.ex);
+  Reg s2 = b.const_(is_h ? f.hy : f.ey);
+  Reg s3 = b.const_(is_h ? f.hz : f.ez);
+  Reg iend = b.const_(f.nx - 1);
+  Reg jend = b.const_(f.ny - 1);
+  Reg kend = b.const_(f.nz - 1);
+  // Intra-tile loop with min(t + tile, end) upper bound.
+  auto tile_loop = [&](Reg t0, Reg end, auto body) {
+    Reg hi = b.addi(t0, tile);
+    Reg over = b.cmp(Op::kCmpLt, end, hi);
+    int clamp = b.make_block();
+    int go = b.make_block();
+    b.br_cond(over, clamp, go);
+    b.set_block(clamp);
+    b.mov(end, hi);
+    b.br(go);
+    b.set_block(go);
+    Reg v = b.fresh();
+    b.mov(t0, v);
+    int h = b.make_block();
+    int body_bb = b.make_block();
+    int x = b.make_block();
+    b.br(h);
+    b.set_block(h);
+    Reg c = b.cmp(Op::kCmpLt, v, hi);
+    b.br_cond(c, body_bb, x);
+    b.set_block(body_bb);
+    body(v);
+    b.addi(v, 1, v);
+    b.br(h);
+    b.set_block(x);
+  };
+  b.counted_loop(1, iend, tile, [&](Reg it) {
+    b.counted_loop(1, jend, tile, [&](Reg jt) {
+      tile_loop(it, iend, [&](Reg i) {
+        tile_loop(jt, jend, [&](Reg j) {
+          b.counted_loop(1, kend, 1, [&](Reg k) {
+            // All three component updates fused inside the tile.
+            emit_sweep(b, f, s1, d2, 1, d3, f.nz, coef, i, j, k);
+            emit_sweep(b, f, s2, d3, f.ny * f.nz, d1, 1, coef, i, j, k);
+            emit_sweep(b, f, s3, d1, f.nz, d2, f.ny * f.nz, coef, i, j, k);
+          });
+        });
+      });
+    });
+  });
+  b.ret();
+  return fn;
+}
+
+// UPML absorbing-boundary updates (the paper's other two fat functions):
+// sweep the two boundary slabs in x with per-cell coefficient scaling.
+Function& add_upml(Module& m, const Fields& f, const char* name, bool is_h,
+                   i64 coef_global) {
+  Function& fn = m.add_function(name, 0, "UPML.F90");
+  Builder b(m, fn);
+  b.set_block(b.make_block());
+  b.set_line(is_h ? 58 : 131);
+  Reg coefs = b.const_(coef_global);
+  Reg f1 = b.const_(is_h ? f.hx : f.ex);
+  Reg f2 = b.const_(is_h ? f.hy : f.ey);
+  Reg jend = b.const_(f.ny);
+  Reg kend = b.const_(f.nz);
+  auto slab = [&](i64 plane) {
+    Reg i = b.const_(plane);
+    b.counted_loop(0, jend, 1, [&](Reg j) {
+      b.counted_loop(0, kend, 1, [&](Reg k) {
+        Reg p1 = elem_ptr3(b, f1, i, f.ny, j, f.nz, k);
+        Reg p2 = elem_ptr3(b, f2, i, f.ny, j, f.nz, k);
+        Reg cptr = elem_ptr2(b, coefs, j, f.nz, k);
+        Reg c = b.load(cptr);
+        Reg v1 = b.load(p1);
+        Reg v2 = b.load(p2);
+        Reg s1 = b.fmul(v1, c);
+        Reg s2 = b.fmul(v2, c);
+        b.store(p1, s1);
+        b.store(p2, s2);
+      });
+    });
+  };
+  slab(0);
+  slab(f.nx - 1);
+  b.ret();
+  return fn;
+}
+
+void add_fdtd_main(Module& m, const Fields& f, Function& uph, Function& upe,
+                   Function& upmlh, Function& upmle) {
+  Function& fn = m.add_function("main", 0, "GemsFDTD.F90");
+  Builder b(m, fn);
+  int b0 = b.make_block();
+  int b1 = b.make_block();
+  int b2 = b.make_block();
+  b.set_block(b0);
+  // Two timesteps: H, UPML_H, E, UPML_E per step (distinct call blocks).
+  b.call(uph, {});
+  b.call(upmlh, {});
+  b.call(upe, {});
+  b.call(upmle, {});
+  b.br(b1);
+  b.set_block(b1);
+  b.call(uph, {});
+  b.call(upmlh, {});
+  b.call(upe, {});
+  b.call(upmle, {});
+  b.br(b2);
+  b.set_block(b2);
+  // Checksum over Hx.
+  Reg acc = b.const_(0);
+  Reg base = b.const_(f.hx);
+  Reg n = b.const_(f.nx * f.ny * f.nz);
+  b.counted_loop(0, n, 1, [&](Reg i) {
+    Reg v = b.load(elem_ptr(b, base, i));
+    b.xor_(acc, v, acc);
+  });
+  b.ret(acc);
+}
+
+}  // namespace
+
+ir::Module make_gemsfdtd(i64 nx, i64 ny, i64 nz) {
+  Module m;
+  Fields f = allocate_fields(m, nx, ny, nz);
+  i64 coefs = m.add_global_init(
+      "upml_coefs", random_doubles(static_cast<std::size_t>(ny * nz), 27));
+  Function& uph = add_update(m, f, "updateH_homo", true, 106);
+  Function& upe = add_update(m, f, "updateE_homo", false, 240);
+  Function& upmlh = add_upml(m, f, "UPML_updateH", true, coefs);
+  Function& upmle = add_upml(m, f, "UPML_updateE", false, coefs);
+  add_fdtd_main(m, f, uph, upe, upmlh, upmle);
+  return m;
+}
+
+ir::Module make_gemsfdtd_tiled(i64 nx, i64 ny, i64 nz, i64 tile) {
+  Module m;
+  Fields f = allocate_fields(m, nx, ny, nz);
+  i64 coefs = m.add_global_init(
+      "upml_coefs", random_doubles(static_cast<std::size_t>(ny * nz), 27));
+  Function& uph = add_update_tiled(m, f, "updateH_homo", true, 106, tile);
+  Function& upe = add_update_tiled(m, f, "updateE_homo", false, 240, tile);
+  // The paper tiled the homogeneous updates; the UPML boundary sweeps stay
+  // as-is in both variants.
+  Function& upmlh = add_upml(m, f, "UPML_updateH", true, coefs);
+  Function& upmle = add_upml(m, f, "UPML_updateE", false, coefs);
+  add_fdtd_main(m, f, uph, upe, upmlh, upmle);
+  return m;
+}
+
+}  // namespace pp::workloads

@@ -1,0 +1,49 @@
+#include "workloads/workloads.hpp"
+
+#include "support/diag.hpp"
+
+namespace pp::workloads {
+
+// Implemented in rodinia_{a,b,c}.cpp.
+Workload make_rodinia_a(const std::string& name);
+Workload make_rodinia_b(const std::string& name);
+Workload make_rodinia_c(const std::string& name);
+
+const std::vector<std::string>& rodinia_names() {
+  static const std::vector<std::string> kNames = {
+      "backprop",   "bfs",       "b+tree",        "cfd",
+      "heartwall",  "hotspot",   "hotspot3D",     "kmeans",
+      "lavaMD",     "leukocyte", "lud",           "myocyte",
+      "nn",         "nw",        "particlefilter","pathfinder",
+      "srad_v1",    "srad_v2",   "streamcluster",
+  };
+  return kNames;
+}
+
+Workload make_rodinia(const std::string& name) {
+  if (name == "backprop") {
+    Workload w;
+    w.name = "backprop";
+    w.module = make_backprop();
+    w.ld_src = 2;
+    w.region_hint = "facetrain.c:25";
+    w.polly_reasons = "A";
+    w.interprocedural = true;
+    return w;
+  }
+  for (const char* n : {"bfs", "b+tree", "cfd", "heartwall", "hotspot",
+                        "hotspot3D"}) {
+    if (name == n) return make_rodinia_a(name);
+  }
+  for (const char* n :
+       {"kmeans", "lavaMD", "leukocyte", "lud", "myocyte", "nn"}) {
+    if (name == n) return make_rodinia_b(name);
+  }
+  for (const char* n : {"nw", "particlefilter", "pathfinder", "srad_v1",
+                        "srad_v2", "streamcluster"}) {
+    if (name == n) return make_rodinia_c(name);
+  }
+  fatal("unknown rodinia workload: " + name);
+}
+
+}  // namespace pp::workloads

@@ -1,0 +1,550 @@
+// Mini-Rodinia, part 1: bfs, b+tree, cfd, heartwall, hotspot, hotspot3D.
+// Each kernel re-creates the control/dependence structure that determines
+// the paper's Table 5 row for the benchmark — graph traversal with
+// data-dependent frontiers (bfs), pointer-chased tree descent (b+tree),
+// neighbour-based flux sweeps (cfd), hand-linearized loops with modulo
+// index recovery (heartwall, hotspot), and a clean 3-D stencil
+// (hotspot3D).
+#include "workloads/util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::workloads {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+namespace {
+
+// ---- bfs ---------------------------------------------------------------
+// Frontier-based breadth-first search over a CSR graph. Trip counts are
+// data dependent and the edge targets are loaded from memory: nothing here
+// is affine, matching the paper's 21% %Aff (the affine part is init code).
+Workload make_bfs() {
+  Workload w;
+  w.name = "bfs";
+  w.ld_src = 3;
+  w.region_hint = "bfs.cpp:137";
+  w.polly_reasons = "BF";
+
+  const i64 n = 48, max_deg = 4;
+  Module& m = w.module;
+  Lcg rng(31);
+  std::vector<i64> offsets, edges;
+  for (i64 v = 0; v < n; ++v) {
+    offsets.push_back(static_cast<i64>(edges.size()));
+    i64 deg = rng.range(1, max_deg);
+    for (i64 e = 0; e < deg; ++e) edges.push_back(rng.range(0, n - 1));
+  }
+  offsets.push_back(static_cast<i64>(edges.size()));
+  i64 g_off = m.add_global_init("offsets", offsets);
+  i64 g_edges = m.add_global_init("edges", edges);
+  i64 g_cost = m.add_global("cost", n * 8);
+  i64 g_mask = m.add_global("mask", n * 8);
+
+  Function& f = m.add_function("main", 0, "bfs.cpp");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(100);
+  Reg cost = b.const_(g_cost);
+  Reg mask = b.const_(g_mask);
+  Reg offs = b.const_(g_off);
+  Reg edg = b.const_(g_edges);
+  Reg nreg = b.const_(n);
+  Reg minus1 = b.const_(-1);
+  // init: cost = -1, mask = 0; source vertex 0.
+  b.counted_loop(0, nreg, 1, [&](Reg v) {
+    b.store(elem_ptr(b, cost, v), minus1);
+    Reg z = b.const_(0);
+    b.store(elem_ptr(b, mask, v), z);
+  });
+  Reg zero = b.const_(0);
+  Reg one = b.const_(1);
+  b.store(cost, zero);       // cost[0] = 0
+  b.store(mask, one);        // mask[0] = 1
+
+  // while (changed) { for v: if mask[v]: for e: relax }
+  Reg changed = b.fresh();
+  b.mov(one, changed);
+  int wh = b.make_block("while.header");
+  int wb = b.make_block("while.body");
+  int wx = b.make_block("while.exit");
+  b.br(wh);
+  b.set_block(wh);
+  b.set_line(137);
+  Reg go = b.cmp(Op::kCmpNe, changed, zero);
+  b.br_cond(go, wb, wx);
+  b.set_block(wb);
+  b.mov(zero, changed);
+  b.counted_loop(0, nreg, 1, [&](Reg v) {
+    Reg mv = b.load(elem_ptr(b, mask, v));
+    Reg on = b.cmp(Op::kCmpNe, mv, zero);
+    int relax = b.make_block();
+    int skip = b.make_block();
+    b.br_cond(on, relax, skip);
+    b.set_block(relax);
+    b.store(elem_ptr(b, mask, v), zero);
+    Reg cv = b.load(elem_ptr(b, cost, v));
+    Reg e0 = b.load(elem_ptr(b, offs, v));
+    Reg e1 = b.load(elem_ptr(b, offs, v), 8);
+    Reg e = b.fresh();
+    b.mov(e0, e);
+    int eh = b.make_block();
+    int eb = b.make_block();
+    int ex = b.make_block();
+    b.br(eh);
+    b.set_block(eh);
+    Reg more = b.cmp(Op::kCmpLt, e, e1);
+    b.br_cond(more, eb, ex);
+    b.set_block(eb);
+    Reg tgt = b.load(elem_ptr(b, edg, e));
+    Reg ct = b.load(elem_ptr(b, cost, tgt));
+    Reg unseen = b.cmp(Op::kCmpEq, ct, minus1);
+    int upd = b.make_block();
+    int nxt = b.make_block();
+    b.br_cond(unseen, upd, nxt);
+    b.set_block(upd);
+    Reg nc = b.addi(cv, 1);
+    b.store(elem_ptr(b, cost, tgt), nc);
+    b.store(elem_ptr(b, mask, tgt), one);
+    b.mov(one, changed);
+    b.br(nxt);
+    b.set_block(nxt);
+    b.addi(e, 1, e);
+    b.br(eh);
+    b.set_block(ex);
+    b.br(skip);
+    b.set_block(skip);
+  });
+  b.br(wh);
+  b.set_block(wx);
+  Reg acc = b.const_(0);
+  b.counted_loop(0, nreg, 1, [&](Reg v) {
+    Reg c = b.load(elem_ptr(b, cost, v));
+    b.add(acc, c, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+// ---- b+tree ------------------------------------------------------------
+// Array-encoded B+tree: each node is [key0..key3, child0..child4]. Query
+// descent chases child pointers; key counts drive data-dependent inner
+// loops.
+Workload make_btree() {
+  Workload w;
+  w.name = "b+tree";
+  w.ld_src = 3;
+  w.region_hint = "main.c:2345";
+  w.polly_reasons = "BF";
+
+  Module& m = w.module;
+  const i64 fanout = 4, levels = 3, queries = 24;
+  const i64 node_words = 8;  // 4 split keys + 4 children (or leaf values)
+  const i64 key_span = fanout * fanout * fanout;  // 64 keys
+  // Build the perfect tree breadth-first. A node's children are byte
+  // offsets into the tree blob; leaf "children" hold 8-aligned payloads.
+  std::vector<i64> tree;
+  std::vector<std::pair<i64, i64>> ranges = {{0, key_span}};
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    auto [lo, hi] = ranges[i];
+    std::vector<i64> node(static_cast<std::size_t>(node_words), 0);
+    i64 step = (hi - lo) / fanout;
+    bool leaf = step <= 1;
+    for (i64 c = 0; c < fanout; ++c) {
+      node[static_cast<std::size_t>(c)] = lo + (c + 1) * step;  // split keys
+      if (leaf) {
+        node[static_cast<std::size_t>(fanout + c)] =
+            ((lo + c) % 21) * node_words * 8;  // 8-aligned pseudo-value
+      } else {
+        node[static_cast<std::size_t>(fanout + c)] =
+            static_cast<i64>(ranges.size()) * node_words * 8;  // child addr
+        ranges.emplace_back(lo + c * step, lo + (c + 1) * step);
+      }
+    }
+    tree.insert(tree.end(), node.begin(), node.end());
+  }
+  i64 g_tree = m.add_global_init("tree", tree);
+  i64 g_q = m.add_global_init("queries", random_ints(queries, 0, key_span - 1, 41));
+  i64 g_out = m.add_global("results", queries * 8);
+
+  Function& f = m.add_function("main", 0, "main.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(2345);
+  Reg troot = b.const_(g_tree);
+  Reg qbase = b.const_(g_q);
+  Reg obase = b.const_(g_out);
+  Reg qn = b.const_(queries);
+  Reg lvls = b.const_(levels);
+  b.counted_loop(0, qn, 1, [&](Reg q) {
+    Reg key = b.load(elem_ptr(b, qbase, q));
+    Reg node = b.fresh();
+    b.mov(troot, node);
+    b.counted_loop(0, lvls, 1, [&](Reg) {
+      // find child index: first key slot whose split key exceeds `key`.
+      Reg idx = b.const_(0);
+      Reg four = b.const_(4);
+      int sh = b.make_block();
+      int sb = b.make_block();
+      int sx = b.make_block();
+      b.br(sh);
+      b.set_block(sh);
+      Reg in_range = b.cmp(Op::kCmpLt, idx, four);
+      b.br_cond(in_range, sb, sx);
+      b.set_block(sb);
+      Reg k = b.load(elem_ptr(b, node, idx));
+      Reg done = b.cmp(Op::kCmpLt, key, k);
+      int stop = b.make_block();
+      int cont = b.make_block();
+      b.br_cond(done, stop, cont);
+      b.set_block(cont);
+      b.addi(idx, 1, idx);
+      b.br(sh);
+      b.set_block(stop);
+      b.br(sx);
+      b.set_block(sx);
+      Reg clamped = b.fresh();
+      b.mov(idx, clamped);
+      Reg over = b.cmp(Op::kCmpGe, clamped, four);
+      int fix = b.make_block();
+      int ok = b.make_block();
+      b.br_cond(over, fix, ok);
+      b.set_block(fix);
+      Reg three = b.const_(3);
+      b.mov(three, clamped);
+      b.br(ok);
+      b.set_block(ok);
+      Reg slot = b.addi(clamped, 4);
+      Reg child = b.load(elem_ptr(b, node, slot));
+      Reg cptr = b.add(troot, child);
+      b.mov(cptr, node);
+    });
+    // After `levels` descents, the "node" slot we ended at held a value
+    // address computed above; store something derived.
+    Reg v = b.load(node);
+    b.store(elem_ptr(b, obase, q), v);
+  });
+  Reg acc = b.const_(0);
+  b.counted_loop(0, qn, 1, [&](Reg q) {
+    Reg v = b.load(elem_ptr(b, obase, q));
+    b.add(acc, v, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+// ---- cfd ---------------------------------------------------------------
+// euler3d-style flux computation: per element, accumulate flux over 4
+// neighbours x 3 dims. Neighbour indices are mostly structured (e±1) with
+// one indirection-based table, matching the paper's high %Aff with an 'F'
+// Polly failure.
+Workload make_cfd() {
+  Workload w;
+  w.name = "cfd";
+  w.ld_src = 5;
+  w.region_hint = "euler3d_cpu.cpp:480";
+  w.polly_reasons = "F";
+
+  Module& m = w.module;
+  const i64 nel = 96, ndim = 3, nnb = 4, steps = 2;
+  i64 g_v = m.add_global_init(
+      "variables", random_doubles(static_cast<std::size_t>(nel * ndim), 51));
+  i64 g_f = m.add_global("fluxes", nel * ndim * 8);
+  i64 g_nb = m.add_global_init("neighbors", [&] {
+    std::vector<i64> nb;
+    for (i64 e = 0; e < nel; ++e) {
+      nb.push_back(e == 0 ? nel - 1 : e - 1);
+      nb.push_back(e == nel - 1 ? 0 : e + 1);
+      nb.push_back((e + 7) % nel);
+      nb.push_back((e + nel - 7) % nel);
+    }
+    return nb;
+  }());
+
+  Function& f = m.add_function("main", 0, "euler3d_cpu.cpp");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(480);
+  Reg v = b.const_(g_v);
+  Reg fl = b.const_(g_f);
+  Reg nb = b.const_(g_nb);
+  Reg nelr = b.const_(nel);
+  Reg ndimr = b.const_(ndim);
+  Reg nnbr = b.const_(nnb);
+  Reg stepsr = b.const_(steps);
+  b.counted_loop(0, stepsr, 1, [&](Reg) {
+    b.counted_loop(0, nelr, 1, [&](Reg e) {
+      b.counted_loop(0, nnbr, 1, [&](Reg n) {
+        Reg slot = b.muli(e, nnb);
+        Reg slot2 = b.add(slot, n);
+        Reg nbe = b.load(elem_ptr(b, nb, slot2));  // indirection ('F')
+        b.counted_loop(0, ndimr, 1, [&](Reg d) {
+          Reg mine = elem_ptr2(b, v, e, ndim, d);
+          Reg theirs = elem_ptr2(b, v, nbe, ndim, d);
+          Reg a = b.load(mine);
+          Reg c = b.load(theirs);
+          Reg diff = b.fsub(a, c);
+          Reg fptr = elem_ptr2(b, fl, e, ndim, d);
+          Reg old = b.load(fptr);
+          Reg nv = b.fadd(old, diff);
+          b.store(fptr, nv);
+        });
+      });
+    });
+  });
+  Reg acc = b.const_(0);
+  Reg total = b.const_(nel * ndim);
+  b.counted_loop(0, total, 1, [&](Reg i) {
+    Reg x = b.load(elem_ptr(b, fl, i));
+    b.xor_(acc, x, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+// ---- heartwall ---------------------------------------------------------
+// Hand-linearized nested loops whose index recovery uses div/rem — the
+// paper's explanation for its 1% %Aff ("hand linearized nested loops whose
+// bounds use modulo expressions").
+Workload make_heartwall() {
+  Workload w;
+  w.name = "heartwall";
+  w.ld_src = 7;
+  w.region_hint = "main.c:536";
+  w.polly_reasons = "RCBF";
+
+  Module& m = w.module;
+  const i64 H = 12, W = 16, frames = 2, points = 8;
+  i64 g_img = m.add_global_init(
+      "image", random_doubles(static_cast<std::size_t>(H * W), 61));
+  i64 g_acc = m.add_global("accum", points * 8);
+
+  Function& f = m.add_function("main", 0, "main.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(536);
+  Reg img = b.const_(g_img);
+  Reg accb = b.const_(g_acc);
+  Reg fr = b.const_(frames);
+  Reg pt = b.const_(points);
+  Reg hw = b.const_(H * W);
+  Reg wreg = b.const_(W);
+  b.counted_loop(0, fr, 1, [&](Reg frame) {
+    b.counted_loop(0, pt, 1, [&](Reg p) {
+      // Linearized template sweep around a point-dependent offset, with
+      // modulo wraparound: addresses are non-affine in the IVs.
+      Reg anchor = b.muli(p, 23);
+      Reg fshift = b.muli(frame, 5);
+      Reg base0 = b.add(anchor, fshift);
+      b.counted_loop(0, hw, 1, [&](Reg idx) {
+        Reg lin = b.add(base0, idx);
+        Reg wrapped = b.rem(lin, hw);           // modulo indexing
+        Reg r = b.div(wrapped, wreg);           // row recovery
+        Reg c = b.rem(wrapped, wreg);           // col recovery
+        Reg rw = b.mul(r, wreg);
+        Reg rc = b.add(rw, c);
+        Reg pix = b.load(elem_ptr(b, img, rc));
+        Reg aptr = elem_ptr(b, accb, p);
+        Reg old = b.load(aptr);
+        Reg nv = b.fadd(old, pix);
+        b.store(aptr, nv);
+      });
+    });
+  });
+  Reg acc = b.const_(0);
+  b.counted_loop(0, pt, 1, [&](Reg p) {
+    Reg x = b.load(elem_ptr(b, accb, p));
+    b.xor_(acc, x, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+// ---- hotspot -----------------------------------------------------------
+// 2-D thermal stencil in its hand-linearized OpenMP form: one loop over
+// r*C+c with div/rem row/column recovery and modulo-clamped neighbour
+// indices — 0% affine, exactly the paper's finding.
+Workload make_hotspot() {
+  Workload w;
+  w.name = "hotspot";
+  w.ld_src = 4;
+  w.region_hint = "hotspot_openmp.cpp:318";
+  w.polly_reasons = "B";
+
+  Module& m = w.module;
+  const i64 R = 12, C = 16, steps = 2;
+  i64 g_t = m.add_global_init(
+      "temp", random_doubles(static_cast<std::size_t>(R * C), 71));
+  i64 g_p = m.add_global_init(
+      "power", random_doubles(static_cast<std::size_t>(R * C), 72));
+  i64 g_o = m.add_global("out", R * C * 8);
+
+  Function& f = m.add_function("main", 0, "hotspot_openmp.cpp");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(318);
+  Reg t = b.const_(g_t);
+  Reg p = b.const_(g_p);
+  Reg o = b.const_(g_o);
+  Reg n = b.const_(R * C);
+  Reg creg = b.const_(C);
+  Reg stepsr = b.const_(steps);
+  b.counted_loop(0, stepsr, 1, [&](Reg) {
+    b.counted_loop(0, n, 1, [&](Reg idx) {
+      Reg r = b.div(idx, creg);
+      Reg c = b.rem(idx, creg);
+      (void)r;
+      (void)c;
+      // Neighbours with modulo clamping (the "B" non-affine bounds).
+      Reg up = b.addi(idx, -C);
+      Reg upw = b.rem(b.add(up, n), n);
+      Reg dn = b.addi(idx, C);
+      Reg dnw = b.rem(dn, n);
+      Reg lf = b.addi(idx, -1);
+      Reg lfw = b.rem(b.add(lf, n), n);
+      Reg rt = b.addi(idx, 1);
+      Reg rtw = b.rem(rt, n);
+      Reg center = b.load(elem_ptr(b, t, idx));
+      Reg vu = b.load(elem_ptr(b, t, upw));
+      Reg vd = b.load(elem_ptr(b, t, dnw));
+      Reg vl = b.load(elem_ptr(b, t, lfw));
+      Reg vr = b.load(elem_ptr(b, t, rtw));
+      Reg pw = b.load(elem_ptr(b, p, idx));
+      Reg s1 = b.fadd(vu, vd);
+      Reg s2 = b.fadd(vl, vr);
+      Reg s3 = b.fadd(s1, s2);
+      Reg four = b.fconst(4.0);
+      Reg c4 = b.fmul(center, four);
+      Reg lap = b.fsub(s3, c4);
+      Reg k = b.fconst(0.05);
+      Reg dlt = b.fmul(k, lap);
+      Reg dp = b.fadd(dlt, pw);
+      Reg nv = b.fadd(center, dp);
+      b.store(elem_ptr(b, o, idx), nv);
+    });
+    // swap: copy out -> temp
+    b.counted_loop(0, n, 1, [&](Reg idx) {
+      Reg x = b.load(elem_ptr(b, o, idx));
+      b.store(elem_ptr(b, t, idx), x);
+    });
+  });
+  Reg acc = b.const_(0);
+  b.counted_loop(0, n, 1, [&](Reg idx) {
+    Reg x = b.load(elem_ptr(b, t, idx));
+    b.xor_(acc, x, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+// ---- hotspot3D ---------------------------------------------------------
+// The 3-D version indexes arrays properly: a clean, fully affine interior
+// stencil (99% %Aff in the paper).
+Workload make_hotspot3d() {
+  Workload w;
+  w.name = "hotspot3D";
+  w.ld_src = 4;
+  w.region_hint = "3D.c:261";
+  w.polly_reasons = "BF";
+
+  Module& m = w.module;
+  const i64 X = 8, Y = 8, Z = 8, steps = 2;
+  // The grid dimensions live in memory (argv/file in real Rodinia): the
+  // runtime values are constant — POLY-PROF folds everything affinely —
+  // but a static analyzer sees loads feeding the bounds ('B') and the
+  // address arithmetic ('F').
+  i64 g_dims = m.add_global_init("dims3", {X, Y, Z});
+  i64 g_t = m.add_global_init(
+      "temp3", random_doubles(static_cast<std::size_t>(X * Y * Z), 81));
+  i64 g_p = m.add_global_init(
+      "power3", random_doubles(static_cast<std::size_t>(X * Y * Z), 82));
+  i64 g_o = m.add_global("out3", X * Y * Z * 8);
+
+  Function& f = m.add_function("main", 0, "3D.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(261);
+  Reg dims = b.const_(g_dims);
+  Reg yreg = b.load(dims, 8);
+  Reg zreg = b.load(dims, 16);
+  Reg t = b.const_(g_t);
+  Reg p = b.const_(g_p);
+  Reg o = b.const_(g_o);
+  Reg stepsr = b.const_(steps);
+  Reg one = b.const_(1);
+  Reg xe = b.addi(b.load(dims, 0), -1);
+  Reg ye = b.sub(yreg, one);
+  Reg ze = b.sub(zreg, one);
+  // &A[(i*Y + j)*Z + k] with Y, Z as runtime registers.
+  auto ptr3 = [&](Reg base, Reg i, Reg j, Reg k) {
+    Reg iy = b.mul(i, yreg);
+    Reg iyj = b.add(iy, j);
+    Reg iz = b.mul(iyj, zreg);
+    Reg idx = b.add(iz, k);
+    Reg off = b.muli(idx, 8);
+    return b.add(base, off);
+  };
+  b.counted_loop(0, stepsr, 1, [&](Reg) {
+    b.counted_loop(1, xe, 1, [&](Reg i) {
+      b.counted_loop(1, ye, 1, [&](Reg j) {
+        b.counted_loop(1, ze, 1, [&](Reg k) {
+          Reg ctr = ptr3(t, i, j, k);
+          Reg c0 = b.load(ctr);
+          Reg v1 = b.load(ctr, 8);
+          Reg v2 = b.load(ctr, -8);
+          Reg v3 = b.load(ctr, Z * 8);
+          Reg v4 = b.load(ctr, -Z * 8);
+          Reg v5 = b.load(ctr, Y * Z * 8);
+          Reg v6 = b.load(ctr, -Y * Z * 8);
+          Reg pw = b.load(ptr3(p, i, j, k));
+          Reg s1 = b.fadd(v1, v2);
+          Reg s2 = b.fadd(v3, v4);
+          Reg s3 = b.fadd(v5, v6);
+          Reg s4 = b.fadd(s1, s2);
+          Reg s5 = b.fadd(s3, s4);
+          Reg six = b.fconst(6.0);
+          Reg cs = b.fmul(c0, six);
+          Reg lap = b.fsub(s5, cs);
+          Reg k2 = b.fconst(0.02);
+          Reg d = b.fmul(k2, lap);
+          Reg dp = b.fadd(d, pw);
+          Reg nv = b.fadd(c0, dp);
+          b.store(ptr3(o, i, j, k), nv);
+        });
+      });
+    });
+    b.counted_loop(1, xe, 1, [&](Reg i) {
+      b.counted_loop(1, ye, 1, [&](Reg j) {
+        b.counted_loop(1, ze, 1, [&](Reg k) {
+          Reg x = b.load(ptr3(o, i, j, k));
+          b.store(ptr3(t, i, j, k), x);
+        });
+      });
+    });
+  });
+  Reg acc = b.const_(0);
+  Reg n = b.const_(X * Y * Z);
+  b.counted_loop(0, n, 1, [&](Reg idx) {
+    Reg x = b.load(elem_ptr(b, t, idx));
+    b.xor_(acc, x, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+}  // namespace
+
+Workload make_rodinia_a(const std::string& name) {
+  if (name == "bfs") return make_bfs();
+  if (name == "b+tree") return make_btree();
+  if (name == "cfd") return make_cfd();
+  if (name == "heartwall") return make_heartwall();
+  if (name == "hotspot") return make_hotspot();
+  if (name == "hotspot3D") return make_hotspot3d();
+  fatal("unknown rodinia_a workload: " + name);
+}
+
+}  // namespace pp::workloads

@@ -1,0 +1,439 @@
+// Mini-Rodinia, part 2: kmeans, lavaMD, leukocyte, lud, myocyte, nn.
+#include "workloads/util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::workloads {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+namespace {
+
+// ---- kmeans ------------------------------------------------------------
+// points x clusters x features distance computation with an argmin branch
+// and a membership store: the distance nest is fully affine (97% %Aff in
+// the paper); the argmin update is the small data-dependent residue.
+Workload make_kmeans() {
+  Workload w;
+  w.name = "kmeans";
+  w.ld_src = 4;
+  w.region_hint = "kmeans_clustering.c:160";
+  w.polly_reasons = "RFA";
+
+  Module& m = w.module;
+  const i64 npts = 48, nclu = 4, nfeat = 8, iters = 2;
+  i64 g_pts = m.add_global_init(
+      "points", random_doubles(static_cast<std::size_t>(npts * nfeat), 91));
+  i64 g_ctr = m.add_global_init(
+      "centers", random_doubles(static_cast<std::size_t>(nclu * nfeat), 92));
+  i64 g_mem = m.add_global("membership", npts * 8);
+
+  Function& f = m.add_function("main", 0, "kmeans_clustering.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(160);
+  Reg pts = b.const_(g_pts);
+  Reg ctr = b.const_(g_ctr);
+  Reg mem = b.const_(g_mem);
+  Reg np = b.const_(npts);
+  Reg nc = b.const_(nclu);
+  Reg nf = b.const_(nfeat);
+  Reg it = b.const_(iters);
+  b.counted_loop(0, it, 1, [&](Reg) {
+    b.counted_loop(0, np, 1, [&](Reg i) {
+      Reg best = b.fconst(1e30);
+      Reg besti = b.const_(0);
+      b.counted_loop(0, nc, 1, [&](Reg c) {
+        Reg dist = b.fconst(0.0);
+        b.counted_loop(0, nf, 1, [&](Reg d) {
+          Reg pv = b.load(elem_ptr2(b, pts, i, nfeat, d));
+          Reg cv = b.load(elem_ptr2(b, ctr, c, nfeat, d));
+          Reg df = b.fsub(pv, cv);
+          Reg sq = b.fmul(df, df);
+          b.fadd(dist, sq, dist);
+        });
+        // argmin via double compare on the bit patterns through f2i-free
+        // branching: compare as doubles by subtracting and testing sign.
+        Reg diff = b.fsub(dist, best);
+        Reg di = b.f2i(diff);
+        Reg zero = b.const_(0);
+        Reg lt = b.cmp(Op::kCmpLt, di, zero);
+        int upd = b.make_block();
+        int nxt = b.make_block();
+        b.br_cond(lt, upd, nxt);
+        b.set_block(upd);
+        b.mov(dist, best);
+        b.mov(c, besti);
+        b.br(nxt);
+        b.set_block(nxt);
+      });
+      b.store(elem_ptr(b, mem, i), besti);
+    });
+  });
+  Reg acc = b.const_(0);
+  b.counted_loop(0, np, 1, [&](Reg i) {
+    Reg v = b.load(elem_ptr(b, mem, i));
+    b.add(acc, v, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+// ---- lavaMD ------------------------------------------------------------
+// Particles in boxes with neighbour-box lists loaded from memory: every
+// inner access goes through the indirection, so virtually nothing folds
+// affinely (0% %Aff in the paper).
+Workload make_lavamd() {
+  Workload w;
+  w.name = "lavaMD";
+  w.ld_src = 4;
+  w.region_hint = "kernel_cpu.c:123";
+  w.polly_reasons = "BF";
+
+  Module& m = w.module;
+  const i64 nbox = 8, nnb = 3, npar = 6;
+  i64 g_nb = m.add_global_init("box_nb", [&] {
+    Lcg rng(101);
+    std::vector<i64> v;
+    for (i64 bx = 0; bx < nbox; ++bx)
+      for (i64 k = 0; k < nnb; ++k) v.push_back(rng.range(0, nbox - 1));
+    return v;
+  }());
+  i64 g_pos = m.add_global_init(
+      "positions", random_doubles(static_cast<std::size_t>(nbox * npar), 103));
+  i64 g_frc = m.add_global("forces", nbox * npar * 8);
+
+  Function& f = m.add_function("main", 0, "kernel_cpu.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(123);
+  Reg nbtab = b.const_(g_nb);
+  Reg pos = b.const_(g_pos);
+  Reg frc = b.const_(g_frc);
+  Reg nb = b.const_(nbox);
+  Reg nn = b.const_(nnb);
+  Reg np = b.const_(npar);
+  b.counted_loop(0, nb, 1, [&](Reg bx) {
+    b.counted_loop(0, nn, 1, [&](Reg k) {
+      Reg nbi = b.load(elem_ptr2(b, nbtab, bx, nnb, k));  // neighbour box
+      b.counted_loop(0, np, 1, [&](Reg i) {
+        b.counted_loop(0, np, 1, [&](Reg j) {
+          Reg pi = b.load(elem_ptr2(b, pos, bx, npar, i));
+          Reg pj = b.load(elem_ptr2(b, pos, nbi, npar, j));  // indirect
+          Reg d = b.fsub(pi, pj);
+          Reg d2 = b.fmul(d, d);
+          Reg fptr = elem_ptr2(b, frc, bx, npar, i);
+          Reg old = b.load(fptr);
+          Reg nv = b.fadd(old, d2);
+          b.store(fptr, nv);
+        });
+      });
+    });
+  });
+  Reg acc = b.const_(0);
+  Reg total = b.const_(nbox * npar);
+  b.counted_loop(0, total, 1, [&](Reg i) {
+    Reg v = b.load(elem_ptr(b, frc, i));
+    b.xor_(acc, v, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+// ---- leukocyte ---------------------------------------------------------
+// Cell tracking: an affine convolution phase (the GICOV/dilation kernels)
+// plus a data-dependent tracking phase with indirect sampling (~40/60
+// split, the paper reports 39% %Aff).
+Workload make_leukocyte() {
+  Workload w;
+  w.name = "leukocyte";
+  w.ld_src = 4;
+  w.region_hint = "detect_main.c:51";
+  w.polly_reasons = "RCBFAP";
+
+  Module& m = w.module;
+  const i64 H = 10, W = 12, K = 3, ncell = 6, samples = 40;
+  i64 g_img = m.add_global_init(
+      "frame", random_doubles(static_cast<std::size_t>(H * W), 111));
+  i64 g_out = m.add_global("gicov", H * W * 8);
+  i64 g_cellx = m.add_global_init("cellx", random_ints(ncell, 1, W - 2, 113));
+  i64 g_sum = m.add_global("cellsum", ncell * 8);
+
+  Function& f = m.add_function("main", 0, "detect_main.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(51);
+  Reg img = b.const_(g_img);
+  Reg out = b.const_(g_out);
+  // Affine convolution phase.
+  Reg he = b.const_(H - K + 1);
+  Reg we = b.const_(W - K + 1);
+  Reg kk = b.const_(K);
+  b.counted_loop(0, he, 1, [&](Reg i) {
+    b.counted_loop(0, we, 1, [&](Reg j) {
+      Reg acc = b.fconst(0.0);
+      b.counted_loop(0, kk, 1, [&](Reg di) {
+        b.counted_loop(0, kk, 1, [&](Reg dj) {
+          Reg r = b.add(i, di);
+          Reg c = b.add(j, dj);
+          Reg v = b.load(elem_ptr2(b, img, r, W, c));
+          b.fadd(acc, v, acc);
+        });
+      });
+      b.store(elem_ptr2(b, out, i, W, j), acc);
+    });
+  });
+  // Data-dependent tracking phase: sample the image at cell-driven,
+  // memory-loaded coordinates.
+  Reg cellx = b.const_(g_cellx);
+  Reg csum = b.const_(g_sum);
+  Reg ncr = b.const_(ncell);
+  Reg smp = b.const_(samples);
+  Reg wreg = b.const_(W);
+  Reg hw = b.const_(H * W);
+  b.counted_loop(0, ncr, 1, [&](Reg c) {
+    Reg x0 = b.load(elem_ptr(b, cellx, c));
+    b.counted_loop(0, smp, 1, [&](Reg s) {
+      Reg walk = b.mul(s, x0);
+      Reg idx = b.rem(walk, hw);
+      Reg v = b.load(elem_ptr(b, img, idx));
+      (void)wreg;
+      Reg ptr = elem_ptr(b, csum, c);
+      Reg old = b.load(ptr);
+      Reg nv = b.fadd(old, v);
+      b.store(ptr, nv);
+    });
+  });
+  Reg acc = b.const_(0);
+  b.counted_loop(0, ncr, 1, [&](Reg c) {
+    Reg v = b.load(elem_ptr(b, csum, c));
+    b.xor_(acc, v, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+// ---- lud ---------------------------------------------------------------
+// LU decomposition on a linearized matrix. The Rodinia code hand-linearizes
+// the triangular loops with offset arithmetic the folding cannot keep
+// exact everywhere (the paper reports 4% %Aff); we reproduce that by
+// recovering indices with div/rem inside the inner loop.
+Workload make_lud() {
+  Workload w;
+  w.name = "lud";
+  w.ld_src = 5;
+  w.region_hint = "lud.c:121";
+  w.polly_reasons = "BF";
+
+  Module& m = w.module;
+  const i64 N = 12;
+  i64 g_a = m.add_global_init(
+      "A", random_doubles(static_cast<std::size_t>(N * N), 121));
+
+  Function& f = m.add_function("main", 0, "lud.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(121);
+  Reg a = b.const_(g_a);
+  Reg n = b.const_(N);
+  b.counted_loop(0, n, 1, [&](Reg k) {
+    Reg kp1 = b.addi(k, 1);
+    // Update column k below the diagonal, then the trailing submatrix,
+    // both via a single linearized index with div/rem recovery.
+    Reg nk = b.sub(n, kp1);
+    Reg span = b.mul(nk, nk);
+    b.counted_loop(0, span, 1, [&](Reg idx) {
+      Reg di = b.div(idx, nk);
+      Reg dj = b.rem(idx, nk);
+      Reg i = b.add(kp1, di);
+      Reg j = b.add(kp1, dj);
+      Reg aik = b.load(elem_ptr2(b, a, i, N, k));
+      Reg akk = b.load(elem_ptr2(b, a, k, N, k));
+      Reg akj = b.load(elem_ptr2(b, a, k, N, j));
+      Reg l = b.fdiv(aik, akk);
+      Reg prod = b.fmul(l, akj);
+      Reg ptr = elem_ptr2(b, a, i, N, j);
+      Reg old = b.load(ptr);
+      Reg nv = b.fsub(old, prod);
+      b.store(ptr, nv);
+    });
+  });
+  Reg acc = b.const_(0);
+  Reg total = b.const_(N * N);
+  b.counted_loop(0, total, 1, [&](Reg i) {
+    Reg v = b.load(elem_ptr(b, a, i));
+    b.xor_(acc, v, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+// ---- myocyte -----------------------------------------------------------
+// Cardiac myocyte ODE integration: a time loop over an equations loop of
+// scalar FP arithmetic with affine state accesses, plus a small
+// data-dependent solver-step branch (89% %Aff in the paper).
+Workload make_myocyte() {
+  Workload w;
+  w.name = "myocyte";
+  w.ld_src = 4;
+  w.region_hint = "main.c:283";
+  w.polly_reasons = "CBA";
+
+  Module& m = w.module;
+  const i64 neq = 16, steps = 24;
+  i64 g_y = m.add_global_init("y", random_doubles(static_cast<std::size_t>(neq), 131));
+  i64 g_dy = m.add_global("dy", neq * 8);
+
+  Function& f = m.add_function("main", 0, "main.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(283);
+  Reg y = b.const_(g_y);
+  Reg dy = b.const_(g_dy);
+  Reg nr = b.const_(neq);
+  Reg st = b.const_(steps);
+  b.counted_loop(0, st, 1, [&](Reg t) {
+    b.counted_loop(0, nr, 1, [&](Reg e) {
+      Reg v = b.load(elem_ptr(b, y, e));
+      Reg c1 = b.fconst(0.01);
+      Reg c2 = b.fconst(0.99);
+      Reg t1 = b.fmul(v, c2);
+      Reg t2 = b.fmul(v, c1);
+      Reg t3 = b.fmul(t2, v);
+      Reg d = b.fsub(t1, t3);
+      b.store(elem_ptr(b, dy, e), d);
+    });
+    // Data-dependent step-size control: halve the step when y[0] grows
+    // past a threshold (the small non-affine residue).
+    Reg y0 = b.load(y);
+    Reg thr = b.fconst(10.0);
+    Reg diff = b.fsub(y0, thr);
+    Reg di = b.f2i(diff);
+    Reg zero = b.const_(0);
+    Reg big = b.cmp(Op::kCmpGt, di, zero);
+    int damp = b.make_block();
+    int apply = b.make_block();
+    b.br_cond(big, damp, apply);
+    b.set_block(damp);
+    Reg half = b.fconst(0.5);
+    Reg y0h = b.fmul(y0, half);
+    b.store(y, y0h);
+    b.br(apply);
+    b.set_block(apply);
+    b.counted_loop(0, nr, 1, [&](Reg e) {
+      Reg v = b.load(elem_ptr(b, y, e));
+      Reg d = b.load(elem_ptr(b, dy, e));
+      Reg h = b.fconst(0.05);
+      Reg hd = b.fmul(h, d);
+      Reg nv = b.fadd(v, hd);
+      b.store(elem_ptr(b, y, e), nv);
+    });
+    (void)t;
+  });
+  Reg acc = b.const_(0);
+  b.counted_loop(0, nr, 1, [&](Reg e) {
+    Reg v = b.load(elem_ptr(b, y, e));
+    b.xor_(acc, v, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+// ---- nn ----------------------------------------------------------------
+// Nearest neighbour: the actual distance loop is a tiny affine 1-D scan,
+// but the bulk of the execution parses variable-length records
+// (data-dependent char loops) — hence the paper's 1% %Aff with a 31% ops
+// region.
+Workload make_nn() {
+  Workload w;
+  w.name = "nn";
+  w.ld_src = 1;
+  w.region_hint = "nn_openmp.c:119";
+  w.polly_reasons = "RF";
+
+  Module& m = w.module;
+  const i64 nrec = 24;
+  // Records: [len, len words of payload...] variable length.
+  std::vector<i64> blob;
+  std::vector<i64> rec_off;
+  Lcg rng(141);
+  for (i64 r = 0; r < nrec; ++r) {
+    rec_off.push_back(static_cast<i64>(blob.size()) * 8);
+    i64 len = rng.range(4, 12);
+    blob.push_back(len);
+    for (i64 k = 0; k < len; ++k) blob.push_back(rng.range(1, 255));
+  }
+  i64 g_blob = m.add_global_init("records", blob);
+  i64 g_off = m.add_global_init("rec_off", rec_off);
+  i64 g_lat = m.add_global_init("lat", random_doubles(static_cast<std::size_t>(nrec), 143));
+  i64 g_dist = m.add_global("dist", nrec * 8);
+
+  Function& f = m.add_function("main", 0, "nn_openmp.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(100);
+  Reg blobr = b.const_(g_blob);
+  Reg offr = b.const_(g_off);
+  Reg nrecr = b.const_(nrec);
+  // Parse phase: walk every record's payload (data-dependent length),
+  // computing a checksum per record. This dominates dynamic ops.
+  Reg parse_acc = b.const_(0);
+  b.counted_loop(0, nrecr, 1, [&](Reg r) {
+    Reg off = b.load(elem_ptr(b, offr, r));
+    Reg rec = b.add(blobr, off);
+    Reg len = b.load(rec);
+    Reg k = b.fresh();
+    Reg one = b.const_(1);
+    b.mov(one, k);
+    Reg end = b.addi(len, 1);
+    int h = b.make_block();
+    int body = b.make_block();
+    int x = b.make_block();
+    b.br(h);
+    b.set_block(h);
+    Reg c = b.cmp(Op::kCmpLt, k, end);
+    b.br_cond(c, body, x);
+    b.set_block(body);
+    Reg ch = b.load(elem_ptr(b, rec, k));
+    b.add(parse_acc, ch, parse_acc);
+    b.addi(k, 1, k);
+    b.br(h);
+    b.set_block(x);
+  });
+  // The affine distance loop (the region the paper reports at line 119).
+  b.set_line(119);
+  Reg lat = b.const_(g_lat);
+  Reg dist = b.const_(g_dist);
+  Reg target = b.fconst(0.5);
+  b.counted_loop(0, nrecr, 1, [&](Reg r) {
+    Reg v = b.load(elem_ptr(b, lat, r));
+    Reg d = b.fsub(v, target);
+    Reg d2 = b.fmul(d, d);
+    b.store(elem_ptr(b, dist, r), d2);
+  });
+  Reg acc = b.fresh();
+  b.mov(parse_acc, acc);
+  b.counted_loop(0, nrecr, 1, [&](Reg r) {
+    Reg v = b.load(elem_ptr(b, dist, r));
+    b.xor_(acc, v, acc);
+  });
+  b.ret(acc);
+  return w;
+}
+
+}  // namespace
+
+Workload make_rodinia_b(const std::string& name) {
+  if (name == "kmeans") return make_kmeans();
+  if (name == "lavaMD") return make_lavamd();
+  if (name == "leukocyte") return make_leukocyte();
+  if (name == "lud") return make_lud();
+  if (name == "myocyte") return make_myocyte();
+  if (name == "nn") return make_nn();
+  fatal("unknown rodinia_b workload: " + name);
+}
+
+}  // namespace pp::workloads

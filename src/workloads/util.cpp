@@ -1,0 +1,19 @@
+#include "workloads/util.hpp"
+
+namespace pp::workloads {
+
+std::vector<i64> random_doubles(std::size_t n, u64 seed) {
+  Lcg rng(seed);
+  std::vector<i64> out(n);
+  for (auto& w : out) w = rng.unit_double_bits();
+  return out;
+}
+
+std::vector<i64> random_ints(std::size_t n, i64 lo, i64 hi, u64 seed) {
+  Lcg rng(seed);
+  std::vector<i64> out(n);
+  for (auto& w : out) w = rng.range(lo, hi);
+  return out;
+}
+
+}  // namespace pp::workloads

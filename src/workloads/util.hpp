@@ -1,0 +1,65 @@
+// Shared helpers for workload construction: deterministic pseudo-random
+// data (profiling must be reproducible), 2-D/3-D addressing idioms, and
+// common loop shells.
+#pragma once
+
+#include "ir/builder.hpp"
+
+namespace pp::workloads {
+
+/// Deterministic 64-bit LCG for initializer data.
+class Lcg {
+ public:
+  explicit Lcg(u64 seed) : state_(seed * 6364136223846793005ull + 1) {}
+  u64 next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 11;
+  }
+  /// Uniform in [lo, hi].
+  i64 range(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(next() % static_cast<u64>(hi - lo + 1));
+  }
+  /// Bit pattern of a double in [0, 1).
+  i64 unit_double_bits() {
+    double d = static_cast<double>(next() % 1000000) / 1000000.0;
+    i64 bits;
+    __builtin_memcpy(&bits, &d, sizeof bits);
+    return bits;
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Random double-bit words for a global array.
+std::vector<i64> random_doubles(std::size_t n, u64 seed);
+/// Random integer words in [lo, hi].
+std::vector<i64> random_ints(std::size_t n, i64 lo, i64 hi, u64 seed);
+
+/// &base[i] with 8-byte elements: base + 8*i.
+inline ir::Reg elem_ptr(ir::Builder& b, ir::Reg base, ir::Reg i) {
+  ir::Reg off = b.muli(i, 8);
+  return b.add(base, off);
+}
+
+/// &base[i*cols + j].
+inline ir::Reg elem_ptr2(ir::Builder& b, ir::Reg base, ir::Reg i, i64 cols,
+                         ir::Reg j) {
+  ir::Reg rowoff = b.muli(i, cols * 8);
+  ir::Reg rowptr = b.add(base, rowoff);
+  ir::Reg joff = b.muli(j, 8);
+  return b.add(rowptr, joff);
+}
+
+/// &base[(i*ny + j)*nz + k].
+inline ir::Reg elem_ptr3(ir::Builder& b, ir::Reg base, ir::Reg i, i64 ny,
+                         ir::Reg j, i64 nz, ir::Reg k) {
+  ir::Reg ioff = b.muli(i, ny * nz * 8);
+  ir::Reg p = b.add(base, ioff);
+  ir::Reg joff = b.muli(j, nz * 8);
+  p = b.add(p, joff);
+  ir::Reg koff = b.muli(k, 8);
+  return b.add(p, koff);
+}
+
+}  // namespace pp::workloads

@@ -1,0 +1,59 @@
+// The polyprof workload suite: mini-ISA re-creations of the benchmarks the
+// paper evaluates on — the 19 CPU benchmarks of Rodinia 3.1 (Table 5), the
+// GemsFDTD case study (Table 4), and the backprop case study (Fig. 6/7,
+// Tables 1-3). Each kernel preserves the *dependence and control
+// structure* that drives POLY-PROF's metrics (loop nesting across calls,
+// reductions, stencils, wavefronts, pointer chasing, data-dependent
+// control, hand-linearized index arithmetic), at scaled-down sizes.
+//
+// Transformed variants (interchanged / tiled) of the case-study kernels
+// are provided so benches can measure VM-cycle-model speedups the way the
+// paper measures GFlop/s before/after applying the suggested
+// transformation by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace pp::workloads {
+
+/// One benchmark: a module plus the metadata Table 5 needs.
+struct Workload {
+  std::string name;
+  ir::Module module;
+  int ld_src = 0;            ///< source-level max loop depth (paper ld-src)
+  std::string region_hint;   ///< the paper's "Region" column, e.g. "facetrain.c:25"
+  std::string polly_reasons; ///< paper's "Reasons why Polly failed" letters
+  bool interprocedural = false;
+};
+
+/// Names of the 19 mini-Rodinia benchmarks, in Table 5 order.
+const std::vector<std::string>& rodinia_names();
+
+/// Build one mini-Rodinia benchmark by name (throws on unknown name).
+Workload make_rodinia(const std::string& name);
+
+// --- case studies -------------------------------------------------------
+
+/// The exact Fig. 6 kernel: bpnn_layerforward pseudo-assembly with the
+/// paper's inclusive bounds (k: 0..n1, j: 1..n2). Defaults reproduce
+/// Table 2's canonical ranges 0<=ck<=42 and 0<=cj<=15 (43 and 16
+/// iterations respectively).
+ir::Module make_backprop_fig6(i64 n1 = 42, i64 n2 = 16);
+
+/// Full mini-backprop (Fig. 7): layerforward + adjust_weights, each called
+/// twice with different sizes; the big calls are the regions of interest.
+ir::Module make_backprop(i64 hidden = 16, i64 input = 48);
+/// The transformed version: interchange + scalar expansion applied by hand
+/// (what the paper's authors did to get the Table 3 speedups).
+ir::Module make_backprop_transformed(i64 hidden = 16, i64 input = 48);
+
+/// GemsFDTD-style field updates: updateH_homo / updateE_homo 3-D stencils.
+ir::Module make_gemsfdtd(i64 nx = 12, i64 ny = 12, i64 nz = 12);
+/// Tiled (tile all dims, as Table 4's transformation) variant.
+ir::Module make_gemsfdtd_tiled(i64 nx = 12, i64 ny = 12, i64 nz = 12,
+                               i64 tile = 4);
+
+}  // namespace pp::workloads

@@ -1,0 +1,158 @@
+#include "cfg/dynamic_cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cfg/loop_events.hpp"
+#include "cfg/loop_forest.hpp"
+#include "cfg/recursive_components.hpp"
+#include "ir/builder.hpp"
+
+namespace pp::cfg {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+TEST(DynamicCfg, SingleLoopProgram) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block("entry"));
+  Reg n = b.const_(3);
+  b.counted_loop(0, n, 1, [&](Reg) {});
+  b.ret();
+
+  vm::Machine machine(m);
+  DynamicCfgBuilder dyn;
+  machine.set_observer(&dyn);
+  machine.run("main");
+
+  ASSERT_TRUE(dyn.has_cfg(f.id));
+  const FunctionCfg& cfg = dyn.cfg(f.id);
+  // entry -> header -> body -> header -> exit: 4 blocks, with the
+  // back-edge body -> header observed.
+  EXPECT_EQ(cfg.blocks.num_nodes(), 4u);
+  EXPECT_TRUE(cfg.blocks.has_edge(0, 1));  // entry -> header
+  EXPECT_TRUE(cfg.blocks.has_edge(1, 2));  // header -> body
+  EXPECT_TRUE(cfg.blocks.has_edge(2, 1));  // body -> header (back-edge)
+  EXPECT_TRUE(cfg.blocks.has_edge(1, 3));  // header -> exit
+
+  LoopForest lf(cfg);
+  ASSERT_EQ(lf.loops().size(), 1u);
+  EXPECT_EQ(lf.loop(0).header, 1);
+  EXPECT_EQ(lf.loop(0).blocks, (std::set<int>{1, 2}));
+}
+
+TEST(DynamicCfg, OnlyExecutedPathsAppear) {
+  // if (false) then-block else else-block: the then-block never executes
+  // and must not appear in the dynamic CFG.
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  int entry = b.make_block();
+  int then_bb = b.make_block();
+  int else_bb = b.make_block();
+  b.set_block(entry);
+  Reg zero = b.const_(0);
+  b.br_cond(zero, then_bb, else_bb);
+  b.set_block(then_bb);
+  b.ret();
+  b.set_block(else_bb);
+  b.ret();
+
+  vm::Machine machine(m);
+  DynamicCfgBuilder dyn;
+  machine.set_observer(&dyn);
+  machine.run("main");
+  const FunctionCfg& cfg = dyn.cfg(f.id);
+  EXPECT_TRUE(cfg.blocks.has_node(else_bb));
+  EXPECT_FALSE(cfg.blocks.has_node(then_bb));
+}
+
+TEST(DynamicCfg, CallGraphWithSites) {
+  Module m;
+  Function& g = m.add_function("g", 0);
+  {
+    Builder b(m, g);
+    b.set_block(b.make_block());
+    b.ret();
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.call(g, {});
+  b.call(g, {});
+  b.ret();
+
+  vm::Machine machine(m);
+  DynamicCfgBuilder dyn;
+  machine.set_observer(&dyn);
+  machine.run("main");
+
+  EXPECT_TRUE(dyn.call_graph().graph.has_edge(f.id, g.id));
+  auto it = dyn.call_graph().sites.find({f.id, g.id});
+  ASSERT_NE(it, dyn.call_graph().sites.end());
+  EXPECT_EQ(it->second.size(), 2u);  // two distinct call sites
+  EXPECT_TRUE(dyn.has_cfg(g.id));
+}
+
+TEST(DynamicCfg, RecursiveProgramYieldsComponent) {
+  Module m;
+  Function& rec = m.add_function("rec", 1);
+  {
+    Builder b(m, rec);
+    int entry = b.make_block();
+    int base = b.make_block();
+    int again = b.make_block();
+    b.set_block(entry);
+    Reg zero = b.const_(0);
+    Reg done = b.cmp(Op::kCmpLe, 0, zero);
+    b.br_cond(done, base, again);
+    b.set_block(base);
+    b.ret();
+    b.set_block(again);
+    Reg nm1 = b.addi(0, -1);
+    b.call(rec, {nm1});
+    b.ret();
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg n = b.const_(3);
+  b.call(rec, {n});
+  b.ret();
+
+  vm::Machine machine(m);
+  DynamicCfgBuilder dyn;
+  machine.set_observer(&dyn);
+  machine.run("main");
+
+  RecursiveComponentSet rcs(dyn.call_graph(), {f.id});
+  ASSERT_EQ(rcs.components().size(), 1u);
+  EXPECT_EQ(rcs.components()[0].functions, (std::set<int>{rec.id}));
+  EXPECT_EQ(rcs.components()[0].headers, (std::set<int>{rec.id}));
+}
+
+TEST(DynamicCfg, ControlStructureBuild) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg n = b.const_(2);
+  b.counted_loop(0, n, 1, [&](Reg) {});
+  b.ret();
+  vm::Machine machine(m);
+  DynamicCfgBuilder dyn;
+  machine.set_observer(&dyn);
+  machine.run("main");
+  ControlStructure cs = ControlStructure::build(dyn, {f.id});
+  ASSERT_EQ(cs.forests.count(f.id), 1u);
+  EXPECT_EQ(cs.forests.at(f.id).loops().size(), 1u);
+  EXPECT_TRUE(cs.rcs.components().empty());
+}
+
+}  // namespace
+}  // namespace pp::cfg

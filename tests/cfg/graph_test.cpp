@@ -1,0 +1,103 @@
+#include "cfg/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::cfg {
+namespace {
+
+TEST(Digraph, NodesAndEdges) {
+  Digraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_node(7);
+  EXPECT_TRUE(g.has_node(1));
+  EXPECT_TRUE(g.has_node(3));  // added implicitly as edge target
+  EXPECT_TRUE(g.has_node(7));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 1));
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.succs(2).size(), 1u);
+  EXPECT_TRUE(g.succs(99).empty());
+}
+
+TEST(Scc, LinearChainGivesSingletons) {
+  Digraph g;
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  auto sccs = strongly_connected_components(g, g.nodes());
+  EXPECT_EQ(sccs.size(), 3u);
+  for (const auto& c : sccs) EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Scc, SimpleCycle) {
+  Digraph g;
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  auto sccs = strongly_connected_components(g, g.nodes());
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Scc, TwoComponentsReverseTopoOrder) {
+  // 0 <-> 1 -> 2 <-> 3 : SCC {2,3} returned before SCC {0,1}.
+  Digraph g;
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  auto sccs = strongly_connected_components(g, g.nodes());
+  ASSERT_EQ(sccs.size(), 2u);
+  EXPECT_EQ(sccs[0], (std::vector<int>{2, 3}));
+  EXPECT_EQ(sccs[1], (std::vector<int>{0, 1}));
+}
+
+TEST(Scc, RespectsRemovedEdges) {
+  Digraph g;
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  auto sccs = strongly_connected_components(g, g.nodes(), {{1, 0}});
+  EXPECT_EQ(sccs.size(), 2u);
+}
+
+TEST(Scc, RestrictedNodeSet) {
+  Digraph g;
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  auto sccs = strongly_connected_components(g, {1, 2});
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0], (std::vector<int>{1, 2}));
+}
+
+TEST(Scc, SelfLoop) {
+  Digraph g;
+  g.add_edge(5, 5);
+  auto sccs = strongly_connected_components(g, g.nodes());
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_TRUE(component_has_cycle(g, sccs[0], {}));
+  EXPECT_FALSE(component_has_cycle(g, sccs[0], {{5, 5}}));
+}
+
+TEST(Scc, SingletonWithoutSelfLoopHasNoCycle) {
+  Digraph g;
+  g.add_node(3);
+  auto sccs = strongly_connected_components(g, g.nodes());
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_FALSE(component_has_cycle(g, sccs[0], {}));
+}
+
+TEST(Scc, DeepChainDoesNotOverflowStack) {
+  // 50k-node chain with a final cycle back to 0: one big SCC.
+  Digraph g;
+  const int n = 50000;
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  g.add_edge(n - 1, 0);
+  auto sccs = strongly_connected_components(g, g.nodes());
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0].size(), static_cast<std::size_t>(n));
+}
+
+}  // namespace
+}  // namespace pp::cfg

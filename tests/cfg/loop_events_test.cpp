@@ -1,0 +1,293 @@
+#include "cfg/loop_events.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::cfg {
+namespace {
+
+using Kind = LoopEvent::Kind;
+
+// Convenience: build a ControlStructure from explicit CFGs / CG.
+struct Fixture {
+  std::map<int, FunctionCfg> cfgs;
+  CallGraph cg;
+  std::vector<int> roots;
+
+  ControlStructure make() const {
+    ControlStructure cs;
+    for (const auto& [f, cfg] : cfgs) cs.forests.emplace(f, LoopForest(cfg));
+    cs.rcs = RecursiveComponentSet(cg, roots);
+    return cs;
+  }
+};
+
+std::vector<Kind> kinds(const std::vector<LoopEvent>& evs) {
+  std::vector<Kind> out;
+  out.reserve(evs.size());
+  for (const auto& e : evs) out.push_back(e.kind);
+  return out;
+}
+
+TEST(LoopEvents, SimpleLoopEnterIterateExit) {
+  // Function 0: 0 -> 1 (header) -> 2 -> 1, 1 -> 3.
+  Fixture fx;
+  FunctionCfg cfg;
+  cfg.func = 0;
+  cfg.blocks.add_edge(0, 1);
+  cfg.blocks.add_edge(1, 2);
+  cfg.blocks.add_edge(2, 1);
+  cfg.blocks.add_edge(1, 3);
+  fx.cfgs[0] = cfg;
+  fx.roots = {0};
+  ControlStructure cs = fx.make();
+
+  std::vector<LoopEvent> evs;
+  LoopEventMachine lem(cs, [&](const LoopEvent& e) { evs.push_back(e); });
+  // Trace: 0, 1, 2, 1, 2, 1, 3  (two iterations then exit).
+  for (int b : {0, 1, 2, 1, 2, 1, 3}) lem.on_jump(0, b);
+
+  EXPECT_EQ(kinds(evs),
+            (std::vector<Kind>{
+                Kind::kBlock,                 // N(0)
+                Kind::kEnter, Kind::kBlock,   // E(L,1) N(1)
+                Kind::kBlock,                 // N(2)
+                Kind::kIterate, Kind::kBlock, // I(L,1) N(1)
+                Kind::kBlock,                 // N(2)
+                Kind::kIterate, Kind::kBlock, // I(L,1) N(1)
+                Kind::kExit, Kind::kBlock,    // X(L,3) N(3)
+            }));
+  EXPECT_EQ(lem.live_depth(), 0u);
+}
+
+TEST(LoopEvents, NestedLoopsExitInnerOnOuterIteration) {
+  // 0 -> 1(outer hdr) -> 2(inner hdr) -> 2, 2 -> 1, 1 -> 3.
+  Fixture fx;
+  FunctionCfg cfg;
+  cfg.func = 0;
+  cfg.blocks.add_edge(0, 1);
+  cfg.blocks.add_edge(1, 2);
+  cfg.blocks.add_edge(2, 2);
+  cfg.blocks.add_edge(2, 1);
+  cfg.blocks.add_edge(1, 3);
+  fx.cfgs[0] = cfg;
+  fx.roots = {0};
+  ControlStructure cs = fx.make();
+
+  std::vector<LoopEvent> evs;
+  LoopEventMachine lem(cs, [&](const LoopEvent& e) { evs.push_back(e); });
+  // 0, 1, 2, 2, 1, 2, 3 : enter outer, enter inner, iterate inner,
+  // back to outer header (exits inner, iterates outer), inner again, exit.
+  for (int b : {0, 1, 2, 2, 1, 2, 3}) lem.on_jump(0, b);
+
+  EXPECT_EQ(kinds(evs),
+            (std::vector<Kind>{
+                Kind::kBlock,
+                Kind::kEnter, Kind::kBlock,    // outer
+                Kind::kEnter, Kind::kBlock,    // inner
+                Kind::kIterate, Kind::kBlock,  // inner iterates
+                Kind::kExit,                   // inner exits (jump to 1)
+                Kind::kIterate, Kind::kBlock,  // outer iterates
+                Kind::kEnter, Kind::kBlock,    // inner re-entered
+                Kind::kExit, Kind::kExit,      // both exit (jump to 3)
+                Kind::kBlock,
+            }));
+}
+
+TEST(LoopEvents, InterproceduralLoopsStayLiveAcrossCalls) {
+  // Fig. 3 Ex. 1 shape: A's loop L1 (blocks 1,2) calls B; B has its own
+  // loop L2. A = function 0, B = function 1.
+  Fixture fx;
+  FunctionCfg a;
+  a.func = 0;
+  a.blocks.add_edge(0, 1);
+  a.blocks.add_edge(1, 2);
+  a.blocks.add_edge(2, 1);
+  a.blocks.add_edge(1, 3);
+  fx.cfgs[0] = a;
+  FunctionCfg bcfg;
+  bcfg.func = 1;
+  bcfg.blocks.add_edge(0, 1);
+  bcfg.blocks.add_edge(1, 1);
+  bcfg.blocks.add_edge(1, 2);
+  fx.cfgs[1] = bcfg;
+  fx.cg.graph.add_edge(0, 1);
+  fx.roots = {0};
+  ControlStructure cs = fx.make();
+
+  std::vector<LoopEvent> evs;
+  LoopEventMachine lem(cs, [&](const LoopEvent& e) { evs.push_back(e); });
+
+  lem.on_jump(0, 0);      // N(A0)
+  lem.on_jump(0, 1);      // E(L1) N(A1)
+  lem.on_call(0, 1, 0);   // C(B, B0)
+  EXPECT_EQ(lem.live_depth(), 1u);  // A's loop still live during the call
+  lem.on_jump(1, 1);      // E(L2) N(B1)
+  lem.on_jump(1, 1);      // I(L2) N(B1)
+  EXPECT_EQ(lem.live_depth(), 2u);
+  lem.on_jump(1, 2);      // X(L2) N(B2)
+  lem.on_return(1, 0, 1); // R back into A block 1 — but block 1 is a
+                          // header reached by return, not jump: no event.
+  EXPECT_EQ(lem.live_depth(), 1u);
+  lem.on_jump(0, 2);      // N(A2)
+  lem.on_jump(0, 1);      // I(L1) N(A1): A's loop iterates
+  lem.on_jump(0, 3);      // X(L1) N(A3)
+
+  EXPECT_EQ(kinds(evs), (std::vector<Kind>{
+                            Kind::kBlock,                  // A0
+                            Kind::kEnter, Kind::kBlock,    // E(L1) A1
+                            Kind::kCall,                   // C -> B
+                            Kind::kEnter, Kind::kBlock,    // E(L2) B1
+                            Kind::kIterate, Kind::kBlock,  // I(L2) B1
+                            Kind::kExit, Kind::kBlock,     // X(L2) B2
+                            Kind::kRet,                    // R -> A1
+                            Kind::kBlock,                  // A2
+                            Kind::kIterate, Kind::kBlock,  // I(L1) A1
+                            Kind::kExit, Kind::kBlock,     // X(L1) A3
+                        }));
+  EXPECT_EQ(lem.live_depth(), 0u);
+}
+
+TEST(LoopEvents, CalleeLoopExitedOnReturnIfStillLive) {
+  // A function returning from inside its loop: return must exit it.
+  Fixture fx;
+  FunctionCfg callee;
+  callee.func = 1;
+  callee.blocks.add_edge(0, 1);
+  callee.blocks.add_edge(1, 1);
+  callee.blocks.add_edge(1, 2);  // block 2 returns from inside... simulate
+  fx.cfgs[1] = callee;
+  FunctionCfg caller;
+  caller.func = 0;
+  caller.blocks.add_node(0);
+  fx.cfgs[0] = caller;
+  fx.cg.graph.add_edge(0, 1);
+  fx.roots = {0};
+  ControlStructure cs = fx.make();
+
+  std::vector<LoopEvent> evs;
+  LoopEventMachine lem(cs, [&](const LoopEvent& e) { evs.push_back(e); });
+  lem.on_jump(0, 0);
+  lem.on_call(0, 1, 0);
+  lem.on_jump(1, 1);           // E(L)
+  EXPECT_EQ(lem.live_depth(), 1u);
+  lem.on_return(1, 0, 0);      // return with the loop still live
+  EXPECT_EQ(lem.live_depth(), 0u);
+  ASSERT_GE(evs.size(), 2u);
+  EXPECT_EQ(evs[evs.size() - 2].kind, Kind::kExit);
+  EXPECT_EQ(evs.back().kind, Kind::kRet);
+}
+
+TEST(LoopEvents, RecursionFig3Ex2EventSequence) {
+  // Fig. 3 Ex. 2: M=0 calls B=1; B recursively calls itself twice from its
+  // body; the recursive-component iteration counter follows
+  // Ec, Ic, Ic, Ir, Ir, Xr.
+  Fixture fx;
+  FunctionCfg mcfg;
+  mcfg.func = 0;
+  mcfg.blocks.add_node(0);
+  fx.cfgs[0] = mcfg;
+  FunctionCfg bcfg;
+  bcfg.func = 1;
+  bcfg.blocks.add_edge(0, 1);
+  fx.cfgs[1] = bcfg;
+  fx.cg.graph.add_edge(0, 1);
+  fx.cg.graph.add_edge(1, 1);
+  fx.roots = {0};
+  ControlStructure cs = fx.make();
+
+  std::vector<LoopEvent> evs;
+  LoopEventMachine lem(cs, [&](const LoopEvent& e) { evs.push_back(e); });
+
+  lem.on_jump(0, 0);       // N(M0)
+  lem.on_call(0, 1, 0);    // Ec: enter recursive loop
+  lem.on_jump(1, 1);       // N(B1)
+  lem.on_call(1, 1, 0);    // Ic: first recursive call
+  lem.on_jump(1, 1);       // N(B1)
+  lem.on_call(1, 1, 0);    // Ic: second recursive call (depth 3)
+  lem.on_jump(1, 1);       // N(B1)
+  lem.on_return(1, 1, 1);  // Ir
+  lem.on_return(1, 1, 1);  // Ir
+  lem.on_return(1, 0, 0);  // Xr: original call unstacked
+
+  EXPECT_EQ(kinds(evs), (std::vector<Kind>{
+                            Kind::kBlock,
+                            Kind::kEnterRec, Kind::kBlock,
+                            Kind::kIterateRecCall, Kind::kBlock,
+                            Kind::kIterateRecCall, Kind::kBlock,
+                            Kind::kIterateRecRet,
+                            Kind::kIterateRecRet,
+                            Kind::kExitRec,
+                        }));
+  EXPECT_EQ(lem.live_depth(), 0u);
+}
+
+TEST(LoopEvents, RecursiveIterationExitsNestedCfgLoops) {
+  // A CFG loop inside the recursive function must be exited when the
+  // recursion iterates (call to the header function).
+  Fixture fx;
+  FunctionCfg mcfg;
+  mcfg.func = 0;
+  mcfg.blocks.add_node(0);
+  fx.cfgs[0] = mcfg;
+  FunctionCfg bcfg;
+  bcfg.func = 1;
+  bcfg.blocks.add_edge(0, 1);
+  bcfg.blocks.add_edge(1, 1);  // CFG loop at block 1
+  bcfg.blocks.add_edge(1, 2);
+  fx.cfgs[1] = bcfg;
+  fx.cg.graph.add_edge(0, 1);
+  fx.cg.graph.add_edge(1, 1);
+  fx.roots = {0};
+  ControlStructure cs = fx.make();
+
+  std::vector<LoopEvent> evs;
+  LoopEventMachine lem(cs, [&](const LoopEvent& e) { evs.push_back(e); });
+  lem.on_jump(0, 0);
+  lem.on_call(0, 1, 0);   // Ec
+  lem.on_jump(1, 1);      // E(CFG loop), N
+  EXPECT_EQ(lem.live_depth(), 2u);
+  lem.on_call(1, 1, 0);   // Ic: must first X the CFG loop
+  EXPECT_EQ(lem.live_depth(), 1u);
+  std::vector<Kind> ks = kinds(evs);
+  ASSERT_GE(ks.size(), 2u);
+  EXPECT_EQ(ks[ks.size() - 2], Kind::kExit);
+  EXPECT_EQ(ks.back(), Kind::kIterateRecCall);
+}
+
+TEST(LoopEvents, NonHeaderCallInsideComponentIsPlainCall) {
+  // Component {1}, function 2 is called from 1 but is outside the
+  // component: plain C event, recursion stays live.
+  Fixture fx;
+  FunctionCfg f0, f1, f2;
+  f0.func = 0; f0.blocks.add_node(0);
+  f1.func = 1; f1.blocks.add_node(0);
+  f2.func = 2; f2.blocks.add_node(0);
+  fx.cfgs[0] = f0;
+  fx.cfgs[1] = f1;
+  fx.cfgs[2] = f2;
+  fx.cg.graph.add_edge(0, 1);
+  fx.cg.graph.add_edge(1, 1);
+  fx.cg.graph.add_edge(1, 2);
+  fx.roots = {0};
+  ControlStructure cs = fx.make();
+
+  std::vector<LoopEvent> evs;
+  LoopEventMachine lem(cs, [&](const LoopEvent& e) { evs.push_back(e); });
+  lem.on_jump(0, 0);
+  lem.on_call(0, 1, 0);   // Ec
+  lem.on_call(1, 2, 0);   // C (outside component)
+  EXPECT_EQ(evs.back().kind, Kind::kCall);
+  lem.on_return(2, 1, 0); // R
+  EXPECT_EQ(evs.back().kind, Kind::kRet);
+  EXPECT_EQ(lem.live_depth(), 1u);  // recursion still live
+}
+
+TEST(LoopEvents, EventStrRendering) {
+  LoopEvent e{Kind::kEnter, 0, 1, 2, -1};
+  EXPECT_EQ(e.str(), "E(L2,bb1)");
+  LoopEvent r{Kind::kEnterRec, 1, 0, -1, 3};
+  EXPECT_EQ(r.str(), "Ec(RC3,bb0)");
+}
+
+}  // namespace
+}  // namespace pp::cfg

@@ -1,0 +1,156 @@
+#include "cfg/loop_forest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::cfg {
+namespace {
+
+// The paper's Fig. 2(a): blocks A=0, B=1, C=2, D=3, E=4.
+//   A -> B;  B -> C, D;  C -> D, E;  D -> C, B
+// SCC {B,C,D} = loop L1 (header B, back-edge D->B); removing (D,B) leaves
+// sub-SCC {C,D} = loop L2 with entries {C,D}, C chosen header, back-edge
+// (D,C).
+FunctionCfg fig2_cfg() {
+  FunctionCfg cfg;
+  cfg.func = 0;
+  cfg.entry = 0;
+  cfg.blocks.add_edge(0, 1);
+  cfg.blocks.add_edge(1, 2);
+  cfg.blocks.add_edge(1, 3);
+  cfg.blocks.add_edge(2, 3);
+  cfg.blocks.add_edge(2, 4);
+  cfg.blocks.add_edge(3, 2);
+  cfg.blocks.add_edge(3, 1);
+  return cfg;
+}
+
+TEST(LoopForest, Fig2StructureMatchesPaper) {
+  LoopForest lf(fig2_cfg());
+  ASSERT_EQ(lf.loops().size(), 2u);
+
+  int l1 = lf.loop_of_header(1);
+  ASSERT_GE(l1, 0);
+  const Loop& L1 = lf.loop(l1);
+  EXPECT_EQ(L1.header, 1);
+  EXPECT_EQ(L1.blocks, (std::set<int>{1, 2, 3}));
+  EXPECT_EQ(L1.back_edges, (std::set<std::pair<int, int>>{{3, 1}}));
+  EXPECT_EQ(L1.parent, -1);
+  EXPECT_EQ(L1.depth, 1);
+
+  int l2 = lf.loop_of_header(2);
+  ASSERT_GE(l2, 0);
+  const Loop& L2 = lf.loop(l2);
+  EXPECT_EQ(L2.header, 2);  // C chosen among entries {C, D}
+  EXPECT_EQ(L2.blocks, (std::set<int>{2, 3}));
+  EXPECT_EQ(L2.back_edges, (std::set<std::pair<int, int>>{{3, 2}}));
+  EXPECT_EQ(L2.parent, l1);
+  EXPECT_EQ(L2.depth, 2);
+  EXPECT_EQ(L1.children, (std::vector<int>{l2}));
+}
+
+TEST(LoopForest, InnermostLoopMap) {
+  LoopForest lf(fig2_cfg());
+  int l1 = lf.loop_of_header(1);
+  int l2 = lf.loop_of_header(2);
+  EXPECT_EQ(lf.innermost_loop(0), -1);  // A outside all loops
+  EXPECT_EQ(lf.innermost_loop(4), -1);  // E outside all loops
+  EXPECT_EQ(lf.innermost_loop(1), l1);  // B only in L1
+  EXPECT_EQ(lf.innermost_loop(2), l2);  // C in L2
+  EXPECT_EQ(lf.innermost_loop(3), l2);  // D in L2
+  EXPECT_EQ(lf.max_depth(), 2);
+}
+
+TEST(LoopForest, AcyclicCfgHasNoLoops) {
+  FunctionCfg cfg;
+  cfg.blocks.add_edge(0, 1);
+  cfg.blocks.add_edge(0, 2);
+  cfg.blocks.add_edge(1, 3);
+  cfg.blocks.add_edge(2, 3);
+  LoopForest lf(cfg);
+  EXPECT_TRUE(lf.loops().empty());
+  EXPECT_EQ(lf.max_depth(), 0);
+}
+
+TEST(LoopForest, SelfLoopBlock) {
+  FunctionCfg cfg;
+  cfg.blocks.add_edge(0, 1);
+  cfg.blocks.add_edge(1, 1);
+  cfg.blocks.add_edge(1, 2);
+  LoopForest lf(cfg);
+  ASSERT_EQ(lf.loops().size(), 1u);
+  EXPECT_EQ(lf.loop(0).header, 1);
+  EXPECT_EQ(lf.loop(0).blocks, (std::set<int>{1}));
+  EXPECT_EQ(lf.loop(0).back_edges, (std::set<std::pair<int, int>>{{1, 1}}));
+}
+
+TEST(LoopForest, TripleNest) {
+  // while(){ while(){ while(){} } } as: 1 -> 2 -> 3 -> 3, 3 -> 2, 2 -> 1.
+  FunctionCfg cfg;
+  cfg.blocks.add_edge(0, 1);
+  cfg.blocks.add_edge(1, 2);
+  cfg.blocks.add_edge(2, 3);
+  cfg.blocks.add_edge(3, 3);
+  cfg.blocks.add_edge(3, 2);
+  cfg.blocks.add_edge(2, 1);
+  cfg.blocks.add_edge(1, 4);
+  LoopForest lf(cfg);
+  ASSERT_EQ(lf.loops().size(), 3u);
+  EXPECT_EQ(lf.max_depth(), 3);
+  int outer = lf.loop_of_header(1);
+  int mid = lf.loop_of_header(2);
+  int inner = lf.loop_of_header(3);
+  EXPECT_EQ(lf.loop(mid).parent, outer);
+  EXPECT_EQ(lf.loop(inner).parent, mid);
+  EXPECT_EQ(lf.innermost_loop(3), inner);
+}
+
+TEST(LoopForest, TwoSiblingLoops) {
+  // 0 -> 1 (loop) -> 2 (loop) -> 3 with 1->1 and 2->2.
+  FunctionCfg cfg;
+  cfg.blocks.add_edge(0, 1);
+  cfg.blocks.add_edge(1, 1);
+  cfg.blocks.add_edge(1, 2);
+  cfg.blocks.add_edge(2, 2);
+  cfg.blocks.add_edge(2, 3);
+  LoopForest lf(cfg);
+  ASSERT_EQ(lf.loops().size(), 2u);
+  EXPECT_EQ(lf.loop(lf.loop_of_header(1)).parent, -1);
+  EXPECT_EQ(lf.loop(lf.loop_of_header(2)).parent, -1);
+  EXPECT_EQ(lf.max_depth(), 1);
+}
+
+TEST(LoopForest, IrreducibleLoopGetsSingleHeader) {
+  // Classic irreducible region: 0 -> 1, 0 -> 2, 1 <-> 2. The SCC {1,2} has
+  // two entries; exactly one becomes the header.
+  FunctionCfg cfg;
+  cfg.blocks.add_edge(0, 1);
+  cfg.blocks.add_edge(0, 2);
+  cfg.blocks.add_edge(1, 2);
+  cfg.blocks.add_edge(2, 1);
+  LoopForest lf(cfg);
+  ASSERT_EQ(lf.loops().size(), 1u);
+  EXPECT_EQ(lf.loop(0).header, 1);  // lowest-id entry
+  EXPECT_EQ(lf.loop(0).blocks, (std::set<int>{1, 2}));
+}
+
+TEST(LoopForest, EntryBlockInLoop) {
+  // The function entry itself is a loop header: 0 -> 1 -> 0.
+  FunctionCfg cfg;
+  cfg.entry = 0;
+  cfg.blocks.add_edge(0, 1);
+  cfg.blocks.add_edge(1, 0);
+  cfg.blocks.add_edge(1, 2);
+  LoopForest lf(cfg);
+  ASSERT_EQ(lf.loops().size(), 1u);
+  EXPECT_EQ(lf.loop(0).header, 0);
+}
+
+TEST(LoopForest, StrRendering) {
+  LoopForest lf(fig2_cfg());
+  std::string s = lf.str();
+  EXPECT_NE(s.find("header=bb1"), std::string::npos);
+  EXPECT_NE(s.find("header=bb2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pp::cfg

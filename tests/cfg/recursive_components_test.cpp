@@ -1,0 +1,110 @@
+#include "cfg/recursive_components.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::cfg {
+namespace {
+
+// The paper's Fig. 2(c/d): call graph whose SCC {B, C} is entered at B and
+// needs two header-elimination rounds, producing headers {B, C}.
+// Functions: M=0, B=1, C=2 with M->B, B->C, C->B, C->C.
+TEST(RecursiveComponents, Fig2HeadersMatchPaper) {
+  CallGraph cg;
+  cg.graph.add_edge(0, 1);
+  cg.graph.add_edge(1, 2);
+  cg.graph.add_edge(2, 1);
+  cg.graph.add_edge(2, 2);
+  RecursiveComponentSet rcs(cg, {0});
+  ASSERT_EQ(rcs.components().size(), 1u);
+  const RecursiveComponent& rc = rcs.components()[0];
+  EXPECT_EQ(rc.functions, (std::set<int>{1, 2}));
+  EXPECT_EQ(rc.entries, (std::set<int>{1}));
+  EXPECT_EQ(rc.headers, (std::set<int>{1, 2}));
+  EXPECT_EQ(rcs.component_of(1), 0);
+  EXPECT_EQ(rcs.component_of(2), 0);
+  EXPECT_EQ(rcs.component_of(0), -1);
+  EXPECT_TRUE(rcs.is_entry(1));
+  EXPECT_FALSE(rcs.is_entry(2));
+  EXPECT_TRUE(rcs.is_header(1));
+  EXPECT_TRUE(rcs.is_header(2));
+}
+
+TEST(RecursiveComponents, SelfRecursionFig3Ex2) {
+  // Fig. 3(f/g): M -> D -> C, M -> B, B -> B (self), B -> C.
+  // Functions: M=0, B=1, C=2, D=3.
+  CallGraph cg;
+  cg.graph.add_edge(0, 3);
+  cg.graph.add_edge(3, 2);
+  cg.graph.add_edge(0, 1);
+  cg.graph.add_edge(1, 1);
+  cg.graph.add_edge(1, 2);
+  RecursiveComponentSet rcs(cg, {0});
+  ASSERT_EQ(rcs.components().size(), 1u);
+  const RecursiveComponent& rc = rcs.components()[0];
+  EXPECT_EQ(rc.functions, (std::set<int>{1}));
+  EXPECT_EQ(rc.entries, (std::set<int>{1}));
+  EXPECT_EQ(rc.headers, (std::set<int>{1}));
+  // C is called both from inside and outside the component but is not part
+  // of it (matches the paper's discussion of Ex. 2).
+  EXPECT_EQ(rcs.component_of(2), -1);
+}
+
+TEST(RecursiveComponents, NoRecursionNoComponents) {
+  CallGraph cg;
+  cg.graph.add_edge(0, 1);
+  cg.graph.add_edge(0, 2);
+  cg.graph.add_edge(1, 2);
+  RecursiveComponentSet rcs(cg, {0});
+  EXPECT_TRUE(rcs.components().empty());
+  EXPECT_FALSE(rcs.is_header(1));
+  EXPECT_FALSE(rcs.is_entry(1));
+}
+
+TEST(RecursiveComponents, MutualRecursionPair) {
+  // M -> A <-> B: one component {A, B}, entry A, single header breaks it.
+  CallGraph cg;
+  cg.graph.add_edge(0, 1);
+  cg.graph.add_edge(1, 2);
+  cg.graph.add_edge(2, 1);
+  RecursiveComponentSet rcs(cg, {0});
+  ASSERT_EQ(rcs.components().size(), 1u);
+  const RecursiveComponent& rc = rcs.components()[0];
+  EXPECT_EQ(rc.functions, (std::set<int>{1, 2}));
+  EXPECT_EQ(rc.entries, (std::set<int>{1}));
+  EXPECT_EQ(rc.headers, (std::set<int>{1}));
+}
+
+TEST(RecursiveComponents, TwoIndependentComponents) {
+  // M -> A (self), M -> B (self).
+  CallGraph cg;
+  cg.graph.add_edge(0, 1);
+  cg.graph.add_edge(1, 1);
+  cg.graph.add_edge(0, 2);
+  cg.graph.add_edge(2, 2);
+  RecursiveComponentSet rcs(cg, {0});
+  EXPECT_EQ(rcs.components().size(), 2u);
+  EXPECT_NE(rcs.component_of(1), rcs.component_of(2));
+}
+
+TEST(RecursiveComponents, RootItselfRecursive) {
+  // main calls itself: entry via the program root.
+  CallGraph cg;
+  cg.graph.add_edge(0, 0);
+  RecursiveComponentSet rcs(cg, {0});
+  ASSERT_EQ(rcs.components().size(), 1u);
+  EXPECT_EQ(rcs.components()[0].entries, (std::set<int>{0}));
+  EXPECT_EQ(rcs.components()[0].headers, (std::set<int>{0}));
+}
+
+TEST(RecursiveComponents, StrRendering) {
+  CallGraph cg;
+  cg.graph.add_edge(0, 1);
+  cg.graph.add_edge(1, 1);
+  RecursiveComponentSet rcs(cg, {0});
+  std::string s = rcs.str();
+  EXPECT_NE(s.find("component 0"), std::string::npos);
+  EXPECT_NE(s.find("headers={1}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pp::cfg

@@ -1,0 +1,37 @@
+#include "ddg/shadow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::ddg {
+namespace {
+
+TEST(ShadowMemory, LastWriterWins) {
+  ShadowMemory sm;
+  EXPECT_EQ(sm.read(64), nullptr);
+  sm.write(64, {1, {0}});
+  sm.write(64, {2, {3}});
+  const Occurrence* w = sm.read(64);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->stmt, 2);
+  EXPECT_EQ(w->coords, (std::vector<i64>{3}));
+}
+
+TEST(ShadowMemory, AddressesAreIndependent) {
+  ShadowMemory sm;
+  sm.write(0, {1, {}});
+  sm.write(8, {2, {}});
+  EXPECT_EQ(sm.read(0)->stmt, 1);
+  EXPECT_EQ(sm.read(8)->stmt, 2);
+  EXPECT_EQ(sm.tracked_words(), 2u);
+  sm.clear();
+  EXPECT_EQ(sm.read(0), nullptr);
+}
+
+TEST(ShadowFrame, RegistersStartUnset) {
+  ShadowFrame f(4);
+  EXPECT_EQ(f.regs.size(), 4u);
+  for (const auto& r : f.regs) EXPECT_FALSE(r.has_value());
+}
+
+}  // namespace
+}  // namespace pp::ddg

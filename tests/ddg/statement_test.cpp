@@ -1,0 +1,61 @@
+#include "ddg/statement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::ddg {
+namespace {
+
+iiv::ContextKey ctx(int bb) {
+  return iiv::ContextKey{{{iiv::CtxElem::block(0, bb)}}};
+}
+
+ir::Instr add_instr() { return {.op = ir::Op::kAdd, .dst = 0, .a = 1, .b = 2}; }
+
+TEST(StatementTable, InternsAndCounts) {
+  StatementTable t;
+  ir::Instr in = add_instr();
+  int a = t.touch(ctx(0), {0, 0, 0}, in);
+  int b = t.touch(ctx(0), {0, 0, 0}, in);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.stmt(a).executions, 2u);
+  EXPECT_EQ(t.total_executions(), 2u);
+}
+
+TEST(StatementTable, DistinctCodeRefsDistinctStatements) {
+  StatementTable t;
+  ir::Instr in = add_instr();
+  int a = t.touch(ctx(0), {0, 0, 0}, in);
+  int b = t.touch(ctx(0), {0, 0, 1}, in);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(StatementTable, DistinctContextsDistinctStatements) {
+  // Same static instruction in two calling contexts = two statements.
+  StatementTable t;
+  ir::Instr in = add_instr();
+  iiv::ContextKey c1{{{iiv::CtxElem::block(0, 0), iiv::CtxElem::block(1, 0)}}};
+  iiv::ContextKey c2{{{iiv::CtxElem::block(0, 2), iiv::CtxElem::block(1, 0)}}};
+  int a = t.touch(c1, {1, 0, 0}, in);
+  int b = t.touch(c2, {1, 0, 0}, in);
+  EXPECT_NE(a, b);
+}
+
+TEST(StatementTable, MetadataCaptured) {
+  StatementTable t;
+  ir::Instr in{.op = ir::Op::kStore, .a = 0, .b = 1, .line = 42};
+  iiv::ContextKey deep{{{iiv::CtxElem::block(0, 0), iiv::CtxElem::loop(0, 0)},
+                        {iiv::CtxElem::block(0, 1)}}};
+  int id = t.touch(deep, {0, 1, 0}, in);
+  const Statement& s = t.stmt(id);
+  EXPECT_EQ(s.op, ir::Op::kStore);
+  EXPECT_EQ(s.line, 42);
+  EXPECT_EQ(s.depth, 1u);
+  EXPECT_TRUE(s.is_memory);
+  EXPECT_TRUE(s.writes_memory);
+  EXPECT_FALSE(s.is_fp);
+}
+
+}  // namespace
+}  // namespace pp::ddg

@@ -1,0 +1,78 @@
+#include "feedback/flamegraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::feedback {
+namespace {
+
+iiv::DynScheduleTree sample_tree() {
+  iiv::DynScheduleTree t;
+  // main -> loop -> stmt (+ a small sibling)
+  t.insert({{{iiv::CtxElem::block(0, 0), iiv::CtxElem::loop(0, 1)},
+             {iiv::CtxElem::block(0, 2)}}},
+           900);
+  t.insert({{{iiv::CtxElem::block(0, 0)}}}, 100);
+  return t;
+}
+
+TEST(FlameGraph, SvgStructure) {
+  iiv::DynScheduleTree t = sample_tree();
+  std::string svg = render_flamegraph_svg(t, nullptr);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("total ops: 1000"), std::string::npos);
+  // Loop nodes orange, block nodes blue.
+  EXPECT_NE(svg.find("#f28e2b"), std::string::npos);
+  EXPECT_NE(svg.find("#4e79a7"), std::string::npos);
+  // Tooltips carry percentages.
+  EXPECT_NE(svg.find("90%"), std::string::npos);
+}
+
+TEST(FlameGraph, GrayedNodesUseGray) {
+  iiv::DynScheduleTree t = sample_tree();
+  FlameGraphOptions opts;
+  for (int i = 1; i < static_cast<int>(t.size()); ++i) opts.grayed.insert(i);
+  std::string svg = render_flamegraph_svg(t, nullptr, opts);
+  EXPECT_NE(svg.find("#9a9a9a"), std::string::npos);
+  EXPECT_EQ(svg.find("#f28e2b"), std::string::npos);
+}
+
+TEST(FlameGraph, TitleIsXmlEscaped) {
+  iiv::DynScheduleTree t = sample_tree();
+  FlameGraphOptions opts;
+  opts.title = "a<b & \"c\"";
+  std::string svg = render_flamegraph_svg(t, nullptr, opts);
+  EXPECT_NE(svg.find("a&lt;b &amp; &quot;c&quot;"), std::string::npos);
+  EXPECT_EQ(svg.find("a<b"), std::string::npos);
+}
+
+TEST(FlameGraph, SliversHidden) {
+  iiv::DynScheduleTree t;
+  t.insert({{{iiv::CtxElem::block(0, 0)}}}, 100000);
+  t.insert({{{iiv::CtxElem::block(0, 1)}}}, 1);  // 0.001%: below threshold
+  std::string svg = render_flamegraph_svg(t, nullptr);
+  EXPECT_NE(svg.find("f0:bb0"), std::string::npos);
+  EXPECT_EQ(svg.find("f0:bb1"), std::string::npos);
+}
+
+TEST(FlameGraph, AsciiRendersAllNodes) {
+  iiv::DynScheduleTree t = sample_tree();
+  std::string a = render_flamegraph_ascii(t, nullptr);
+  EXPECT_NE(a.find("loop L1"), std::string::npos);
+  EXPECT_NE(a.find("f0:bb0"), std::string::npos);
+  EXPECT_NE(a.find("900"), std::string::npos);
+}
+
+TEST(FlameGraph, RecursionNodesMarked) {
+  iiv::DynScheduleTree t;
+  t.insert({{{iiv::CtxElem::block(0, 0), iiv::CtxElem::comp(0)},
+             {iiv::CtxElem::block(1, 0)}}},
+           10);
+  std::string a = render_flamegraph_ascii(t, nullptr);
+  EXPECT_NE(a.find("rec RC0"), std::string::npos);
+  std::string svg = render_flamegraph_svg(t, nullptr);
+  EXPECT_NE(svg.find("#e15759"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pp::feedback

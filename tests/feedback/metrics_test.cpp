@@ -1,0 +1,187 @@
+#include "feedback/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::feedback {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Reg;
+
+// NOTE: the module must outlive the ProfileResult (it holds a pointer to
+// it for name lookups), so tests keep a named Module in scope.
+core::ProfileResult profile(const Module& m) {
+  core::Pipeline pipe(m);
+  return pipe.run();
+}
+
+// A stride-friendly 1-D streaming kernel: everything parallel, perfect
+// reuse.
+Module stream_kernel(i64 n) {
+  Module m;
+  i64 ga = m.add_global("a", n * 8);
+  i64 gb = m.add_global("b", n * 8);
+  Function& f = m.add_function("main", 0, "stream.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(ga);
+  Reg bb = b.const_(gb);
+  Reg nr = b.const_(n);
+  b.set_line(5);
+  b.counted_loop(0, nr, 1, [&](Reg i) {
+    Reg off = b.muli(i, 8);
+    Reg pa = b.add(a, off);
+    Reg pb = b.add(bb, off);
+    Reg v = b.load(pa);
+    Reg w = b.fmul(v, v);
+    b.store(pb, w);
+  });
+  b.ret();
+  return m;
+}
+
+TEST(Metrics, MakeProblemExcludesScev) {
+  Module m = stream_kernel(32);
+  core::ProfileResult r = profile(m);
+  std::vector<int> all;
+  int scev_count = 0;
+  for (const auto& s : r.program.statements) {
+    all.push_back(s.meta.id);
+    if (s.is_scev) ++scev_count;
+  }
+  scheduler::Problem p = make_problem(r.program, all);
+  EXPECT_GT(scev_count, 0);
+  EXPECT_EQ(p.statements.size(), all.size() - static_cast<std::size_t>(scev_count));
+}
+
+TEST(Metrics, StreamKernelFullyParallelWithPerfectReuse) {
+  Module m = stream_kernel(32);
+  core::ProfileResult r = profile(m);
+  auto regions = r.hot_regions(0.2);
+  ASSERT_GE(regions.size(), 1u);
+  RegionMetrics mx = analyze_region(r.program, regions[0]);
+  EXPECT_EQ(mx.max_loop_depth, 1);
+  EXPECT_GT(mx.parallel_ops, 0u);
+  EXPECT_EQ(mx.parallel_ops, mx.simd_ops);  // 1-D parallel loop: both
+  EXPECT_EQ(mx.reuse_mem_ops, mx.mem_ops);  // stride-8 loads/stores
+  EXPECT_EQ(mx.preuse_mem_ops, mx.mem_ops);
+  EXPECT_FALSE(mx.skew_used);
+  EXPECT_TRUE(mx.schedulable);
+}
+
+TEST(Metrics, PercentAffineStrictVsExtended) {
+  // A kernel with an interleaved piecewise access pattern: extended
+  // affinity credits it, strict does not.
+  const i64 n = 24, wrap = 16;
+  Module m;
+  i64 g = m.add_global("a", n * 8);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(g);
+  Reg nr = b.const_(n);
+  Reg wr = b.const_(wrap);
+  b.counted_loop(0, nr, 1, [&](Reg i) {
+    Reg wrapped = b.rem(i, wr);  // 0..15, 0..7: piecewise affine
+    Reg off = b.muli(wrapped, 8);
+    Reg p = b.add(a, off);
+    b.load(p);
+  });
+  b.ret();
+  core::ProfileResult r = profile(m);
+  double strict = percent_affine(r.program, true);
+  double extended = percent_affine(r.program, false);
+  EXPECT_LT(strict, extended);
+}
+
+TEST(Metrics, EstimatedSpeedupAboveOneForBadStrides) {
+  // Column-major walk: the model must predict an interchange win.
+  const i64 n = 16;
+  Module m;
+  i64 g = m.add_global("mat", n * n * 8);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(g);
+  Reg nr = b.const_(n);
+  b.counted_loop(0, nr, 1, [&](Reg j) {
+    b.counted_loop(0, nr, 1, [&](Reg i) {
+      Reg row = b.mul(i, nr);
+      Reg cell = b.add(row, j);
+      Reg off = b.muli(cell, 8);
+      Reg p = b.add(a, off);
+      Reg v = b.load(p);
+      b.store(p, v);
+    });
+  });
+  b.ret();
+  core::ProfileResult r = profile(m);
+  auto regions = r.hot_regions(0.2);
+  ASSERT_GE(regions.size(), 1u);
+  RegionMetrics mx = analyze_region(r.program, regions[0]);
+  EXPECT_GT(mx.preuse_mem_ops, mx.reuse_mem_ops);
+  EXPECT_GT(mx.est_speedup, 1.5);
+}
+
+TEST(Metrics, AnalyzeRespectsSchedulerOptions) {
+  Module m = stream_kernel(16);
+  core::ProfileResult r = profile(m);
+  auto regions = r.hot_regions(0.2);
+  ASSERT_GE(regions.size(), 1u);
+  AnalyzeOptions maxfuse;
+  maxfuse.sched.fusion = scheduler::FusionHeuristic::kMaxFuse;
+  RegionMetrics mx = analyze_region(r.program, regions[0], maxfuse);
+  EXPECT_EQ(mx.fusion, 'M');
+  AnalyzeOptions smart;
+  RegionMetrics ms = analyze_region(r.program, regions[0], smart);
+  EXPECT_EQ(ms.fusion, 'S');
+  EXPECT_LE(mx.sched.groups.size(), ms.sched.groups.size());
+}
+
+TEST(Metrics, PercentHelpers) {
+  RegionMetrics m;
+  m.ops = 200;
+  m.mem_ops = 50;
+  EXPECT_DOUBLE_EQ(m.pct(100), 50.0);
+  EXPECT_DOUBLE_EQ(m.pct_mem(25), 50.0);
+  RegionMetrics zero;
+  EXPECT_DOUBLE_EQ(zero.pct(10), 0.0);
+  EXPECT_DOUBLE_EQ(zero.pct_mem(10), 0.0);
+}
+
+TEST(Metrics, IdentityOnlySchedulingStillReportsParallelism) {
+  Module m = stream_kernel(16);
+  core::ProfileResult r = profile(m);
+  auto regions = r.hot_regions(0.2);
+  AnalyzeOptions approx;
+  approx.sched.identity_only = true;
+  RegionMetrics mx = analyze_region(r.program, regions[0], approx);
+  EXPECT_GT(mx.parallel_ops, 0u);  // the identity row is already parallel
+}
+
+TEST(Metrics, LargeDomainsGetParameterized) {
+  // A 2000-iteration loop: the domain constant exceeds the threshold and
+  // one parameter is introduced (paper §6).
+  Module m = stream_kernel(2000);
+  core::ProfileResult r = profile(m);
+  auto regions = r.hot_regions(0.2);
+  ASSERT_GE(regions.size(), 1u);
+  RegionMetrics mx = analyze_region(r.program, regions[0]);
+  EXPECT_GE(mx.domain_parameters, 1);
+
+  // A tiny loop needs none.
+  Module small = stream_kernel(8);
+  core::ProfileResult rs = profile(small);
+  auto rsmall = rs.hot_regions(0.2);
+  RegionMetrics ms = analyze_region(rs.program, rsmall[0]);
+  EXPECT_EQ(ms.domain_parameters, 0);
+}
+
+}  // namespace
+}  // namespace pp::feedback

@@ -1,0 +1,153 @@
+#include "feedback/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "ir/builder.hpp"
+
+namespace pp::feedback {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Reg;
+
+Reg elem_ptr_helper(Builder& b, Reg base, Reg i) {
+  Reg off = b.muli(i, 8);
+  return b.add(base, off);
+}
+
+// A 2-D nest with a reduction: exercises all AST decorations.
+Module reduction_nest() {
+  Module m;
+  i64 g = m.add_global("a", 16 * 16 * 8);
+  Function& f = m.add_function("main", 0, "red.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(g);
+  Reg n = b.const_(16);
+  b.set_line(3);
+  b.counted_loop(0, n, 1, [&](Reg i) {
+    Reg acc = b.fconst(0.0);
+    b.set_line(4);
+    b.counted_loop(0, n, 1, [&](Reg j) {
+      Reg row = b.mul(i, n);
+      Reg cell = b.add(row, j);
+      Reg off = b.muli(cell, 8);
+      Reg p = b.add(a, off);
+      Reg v = b.load(p);
+      b.fadd(acc, v, acc);
+    });
+    Reg off = b.muli(i, 8);
+    Reg p = b.add(a, off);
+    b.store(p, acc);
+  });
+  b.ret();
+  return m;
+}
+
+TEST(Report, AstShowsLoopsStatementsAndBands) {
+  Module m = reduction_nest();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  auto regions = r.hot_regions(0.2);
+  ASSERT_GE(regions.size(), 1u);
+  RegionMetrics mx = analyze_region(r.program, regions[0]);
+  std::string ast = render_ast(mx, r.program, &m);
+  EXPECT_NE(ast.find("for t0"), std::string::npos);
+  EXPECT_NE(ast.find("for t1"), std::string::npos);
+  EXPECT_NE(ast.find("red.c"), std::string::npos);
+  EXPECT_NE(ast.find("[load]"), std::string::npos);
+  EXPECT_NE(ast.find("fully permutable: tilable"), std::string::npos);
+  // Execution counts are shown per statement.
+  EXPECT_NE(ast.find("x256"), std::string::npos);
+}
+
+TEST(Report, SummaryContainsAllMetricLines) {
+  Module m = reduction_nest();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  auto regions = r.hot_regions(0.2);
+  RegionMetrics mx = analyze_region(r.program, regions[0]);
+  std::string s = summarize(mx);
+  for (const char* needle :
+       {"ops=", "loop depth (binary)=", "tile depth=", "parallel ops=",
+        "reuse=", "components:", "estimated speedup"}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+TEST(Report, UnschedulableRegionSaysSo) {
+  // Scatter writes through a pseudo-random permutation, then read back in
+  // index order: the memory dependence's source coordinates are the
+  // inverse permutation — non-affine, so the dependence folder collapses
+  // and the scheduler must refuse the region.
+  const i64 n = 160;
+  Module m;
+  std::vector<i64> perm(static_cast<std::size_t>(n));
+  // Multiplicative permutation with a large multiplier: consecutive
+  // labels wrap nearly every step, so the dependence folder exceeds its
+  // piece budget and collapses to an over-approximation.
+  for (i64 i = 0; i < n; ++i)
+    perm[static_cast<std::size_t>(i)] = (i * 79) % n;
+  i64 g_perm = m.add_global_init("perm", perm);
+  std::vector<i64> scratch_init(static_cast<std::size_t>(n), 1);
+  i64 g_scr = m.add_global_init("scratch", scratch_init);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg pbase = b.const_(g_perm);
+  Reg sbase = b.const_(g_scr);
+  Reg nr = b.const_(n);
+  Reg acc = b.const_(0);
+  // Scatter and gather in the SAME loop: iteration i reads scratch[i]
+  // (written by the permuted store of an arbitrary earlier iteration) and
+  // stores to scratch[perm[i]].
+  b.counted_loop(0, nr, 1, [&](Reg i) {
+    Reg v = b.load(elem_ptr_helper(b, sbase, i));
+    b.add(acc, v, acc);
+    Reg tgt = b.load(elem_ptr_helper(b, pbase, i));
+    Reg sp = elem_ptr_helper(b, sbase, tgt);
+    b.store(sp, acc);
+  });
+  b.ret(acc);
+
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  feedback::Region whole = r.whole_program();
+  RegionMetrics mx = analyze_region(r.program, whole);
+  ASSERT_FALSE(mx.schedulable);
+  std::string ast = render_ast(mx, r.program, &m);
+  EXPECT_NE(ast.find("NOT schedulable"), std::string::npos);
+  bool has_note = false;
+  for (const auto& sg : mx.suggestions)
+    if (sg.find("non-affine") != std::string::npos) has_note = true;
+  EXPECT_TRUE(has_note);
+}
+
+TEST(Report, DecoratedTreeMapsSourceLines) {
+  Module m = reduction_nest();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  std::string tree = render_decorated_tree(r.schedule_tree, r.program, &m);
+  EXPECT_NE(tree.find("<program> 100%"), std::string::npos);
+  EXPECT_NE(tree.find("loop("), std::string::npos);
+  EXPECT_NE(tree.find("red.c:4"), std::string::npos);  // inner loop line
+  EXPECT_NE(tree.find("red.c:3"), std::string::npos);  // outer loop line
+}
+
+TEST(Report, FullReportBundlesEverything) {
+  Module m = reduction_nest();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  std::string rep = core::full_report(r);
+  for (const char* needle :
+       {"poly-prof feedback report", "SCEV-pruned", "decorated schedule tree",
+        "regions of interest", "estimated speedup", "for t0"}) {
+    EXPECT_NE(rep.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+}  // namespace
+}  // namespace pp::feedback

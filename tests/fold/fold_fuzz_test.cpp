@@ -1,0 +1,170 @@
+// Property fuzzing of the streaming folder: whatever the input stream,
+// the output must SOUNDLY describe it —
+//  * every observed point lies in some output piece;
+//  * every piece marked exact reconstructs its labels exactly on every
+//    lattice point of its domain;
+//  * the sum of observed_points equals the stream length;
+//  * a piece is never marked exact when its domain holds lattice points
+//    that were not observed.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fold/folder.hpp"
+
+namespace pp::fold {
+namespace {
+
+struct Stream {
+  std::vector<std::vector<i64>> points;
+  std::vector<std::vector<i64>> labels;
+};
+
+// Deterministic RNG.
+struct Rng {
+  u64 state;
+  explicit Rng(u64 seed) : state(seed * 6364136223846793005ull + 1) {}
+  i64 range(i64 lo, i64 hi) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return lo + static_cast<i64>((state >> 33) % static_cast<u64>(hi - lo + 1));
+  }
+};
+
+// Checks the soundness contract of a fold against its input stream.
+void check_sound(const Stream& in, const poly::PolySet& out,
+                 std::size_t label_dim) {
+  u64 total = 0;
+  for (const auto& piece : out.pieces()) total += piece.observed_points;
+  EXPECT_EQ(total, in.points.size());
+
+  // Exact pieces reconstruct labels on the points they claim; since we
+  // cannot ask which piece absorbed which point, check the weaker but
+  // still sharp property: for every input point, SOME piece contains it,
+  // and every exact piece containing it predicts its label.
+  for (std::size_t k = 0; k < in.points.size(); ++k) {
+    const auto& pt = in.points[k];
+    bool contained = false;
+    bool exact_match = false;
+    bool any_exact_contains = false;
+    for (const auto& piece : out.pieces()) {
+      if (!piece.domain.contains(pt)) continue;
+      contained = true;
+      if (!piece.exact) continue;
+      any_exact_contains = true;
+      auto lab = piece.label_fn.eval(pt);
+      bool ok = true;
+      for (std::size_t j = 0; j < label_dim; ++j)
+        if (lab[j] != in.labels[k][j]) ok = false;
+      if (ok) exact_match = true;
+    }
+    EXPECT_TRUE(contained) << "point escaped the fold";
+    if (any_exact_contains) {
+      EXPECT_TRUE(exact_match)
+          << "no exact piece containing the point predicts its label";
+    }
+  }
+
+  // Exact pieces must not cover unobserved lattice points: their combined
+  // lattice size equals their combined observed count only if each piece
+  // individually matches (checked per piece).
+  for (const auto& piece : out.pieces()) {
+    if (!piece.exact) continue;
+    auto n = piece.domain.count_points();
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, piece.observed_points);
+  }
+}
+
+class FoldFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldFuzz, InterleavedPiecewiseStreams) {
+  Rng rng(static_cast<u64>(GetParam()) * 7919 + 13);
+  // K interleaved affine branches selected by (i + j) % K — an adversarial
+  // piecewise pattern.
+  const i64 K = rng.range(1, 3);
+  const i64 ni = rng.range(2, 10), nj = rng.range(2, 10);
+  std::vector<std::array<i64, 3>> fns;
+  for (i64 k = 0; k < K; ++k)
+    fns.push_back({rng.range(-4, 4), rng.range(-4, 4), rng.range(-40, 40)});
+  Stream in;
+  Folder f(2, 1);
+  for (i64 i = 0; i < ni; ++i) {
+    for (i64 j = 0; j < nj; ++j) {
+      auto& fn = fns[static_cast<std::size_t>((i + j) % K)];
+      i64 lab = fn[0] * i + fn[1] * j + fn[2];
+      in.points.push_back({i, j});
+      in.labels.push_back({lab});
+      i64 pt[2] = {i, j};
+      i64 lb[1] = {lab};
+      f.add(pt, lb);
+    }
+  }
+  check_sound(in, f.finish(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldFuzz, ::testing::Range(0, 40));
+
+class FoldFuzzHoles : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldFuzzHoles, RandomSubsetsNeverClaimExactness) {
+  Rng rng(static_cast<u64>(GetParam()) * 104729 + 7);
+  // Random ~50% subset of a box, constant labels: domains with holes.
+  Stream in;
+  Folder f(2, 1);
+  for (i64 i = 0; i < 8; ++i) {
+    for (i64 j = 0; j < 8; ++j) {
+      if (rng.range(0, 1) == 0) continue;
+      in.points.push_back({i, j});
+      in.labels.push_back({7});
+      i64 pt[2] = {i, j};
+      i64 lb[1] = {7};
+      f.add(pt, lb);
+    }
+  }
+  if (in.points.empty()) return;
+  poly::PolySet out = f.finish();
+  check_sound(in, out, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldFuzzHoles, ::testing::Range(0, 40));
+
+class FoldFuzz3D : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldFuzz3D, AffineVectorLabelsRoundTrip) {
+  Rng rng(static_cast<u64>(GetParam()) * 31337 + 3);
+  const i64 a = rng.range(1, 5), bdim = rng.range(1, 5), c = rng.range(1, 4);
+  std::array<std::array<i64, 4>, 2> fns;
+  for (auto& fn : fns)
+    fn = {rng.range(-3, 3), rng.range(-3, 3), rng.range(-3, 3),
+          rng.range(-20, 20)};
+  Folder f(3, 2);
+  u64 n = 0;
+  for (i64 x = 0; x < a; ++x)
+    for (i64 y = 0; y < bdim; ++y)
+      for (i64 z = 0; z < c; ++z) {
+        i64 pt[3] = {x, y, z};
+        i64 lb[2] = {fns[0][0] * x + fns[0][1] * y + fns[0][2] * z + fns[0][3],
+                     fns[1][0] * x + fns[1][1] * y + fns[1][2] * z + fns[1][3]};
+        f.add(pt, lb);
+        ++n;
+      }
+  poly::PolySet out = f.finish();
+  ASSERT_EQ(out.pieces().size(), 1u);
+  const auto& piece = out.pieces()[0];
+  EXPECT_TRUE(piece.exact);
+  EXPECT_EQ(piece.observed_points, n);
+  auto pts = piece.domain.enumerate();
+  ASSERT_TRUE(pts.has_value());
+  for (const auto& pt : *pts) {
+    auto lab = piece.label_fn.eval(pt);
+    EXPECT_EQ(lab[0],
+              fns[0][0] * pt[0] + fns[0][1] * pt[1] + fns[0][2] * pt[2] + fns[0][3]);
+    EXPECT_EQ(lab[1],
+              fns[1][0] * pt[0] + fns[1][1] * pt[1] + fns[1][2] * pt[2] + fns[1][3]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldFuzz3D, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pp::fold

@@ -1,0 +1,217 @@
+#include "fold/folder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::fold {
+namespace {
+
+using poly::PolySet;
+
+void add1(Folder& f, i64 x, std::vector<i64> label) {
+  i64 pt[1] = {x};
+  f.add(pt, label);
+}
+
+void add2(Folder& f, i64 x, i64 y, std::vector<i64> label) {
+  i64 pt[2] = {x, y};
+  f.add(pt, label);
+}
+
+TEST(Folder, FoldsAffine1DStreamExactly) {
+  Folder f(1, 1);
+  for (i64 i = 0; i < 10; ++i) add1(f, i, {2 * i + 3});
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 1u);
+  const auto& p = s.pieces()[0];
+  EXPECT_TRUE(p.exact);
+  EXPECT_EQ(p.observed_points, 10u);
+  auto bounds = p.domain.var_bounds(0);
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->first, 0);
+  EXPECT_EQ(bounds->second, 9);
+  // Label function = 2x + 3.
+  EXPECT_EQ(p.label_fn.output(0).coeff(0), 2);
+  EXPECT_EQ(p.label_fn.output(0).const_term(), 3);
+}
+
+TEST(Folder, FoldsTriangularDomainExactly) {
+  // {(i,j) : 0 <= j <= i <= 4}, label = 10i + j. Triangles need the
+  // octagon template rows (i - j >= 0).
+  Folder f(2, 1);
+  for (i64 i = 0; i <= 4; ++i)
+    for (i64 j = 0; j <= i; ++j) add2(f, i, j, {10 * i + j});
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 1u);
+  const auto& p = s.pieces()[0];
+  EXPECT_TRUE(p.exact);
+  EXPECT_EQ(p.observed_points, 15u);
+  EXPECT_EQ(p.domain.count_points().value(), 15u);
+  EXPECT_EQ(p.label_fn.output(0).coeff(0), 10);
+  EXPECT_EQ(p.label_fn.output(0).coeff(1), 1);
+}
+
+TEST(Folder, RectangularLoopNestMatchesPaperTable2Shape) {
+  // backprop's layerforward loop shape: 0<=cj<=15, 0<=ck<=42, dependence
+  // label (cj', ck') = (cj, ck-1) — the paper's I4->I4 row of Table 2.
+  Folder f(2, 2);
+  for (i64 cj = 0; cj <= 15; ++cj)
+    for (i64 ck = 1; ck <= 42; ++ck) add2(f, cj, ck, {cj, ck - 1});
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 1u);
+  const auto& p = s.pieces()[0];
+  EXPECT_TRUE(p.exact);
+  // Domain: 0<=cj<=15 and 1<=ck<=42.
+  EXPECT_EQ(p.domain.var_bounds(0)->first, 0);
+  EXPECT_EQ(p.domain.var_bounds(0)->second, 15);
+  EXPECT_EQ(p.domain.var_bounds(1)->first, 1);
+  EXPECT_EQ(p.domain.var_bounds(1)->second, 42);
+  // cj' = cj + 0ck ; ck' = 0cj + ck - 1.
+  EXPECT_EQ(p.label_fn.output(0).coeff(0), 1);
+  EXPECT_EQ(p.label_fn.output(0).coeff(1), 0);
+  EXPECT_EQ(p.label_fn.output(1).coeff(1), 1);
+  EXPECT_EQ(p.label_fn.output(1).const_term(), -1);
+}
+
+TEST(Folder, PiecewiseLabelsSplitIntoTwoPieces) {
+  Folder f(1, 1);
+  for (i64 i = 0; i < 5; ++i) add1(f, i, {i});
+  for (i64 i = 5; i < 10; ++i) add1(f, i, {100 + i});
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 2u);
+  EXPECT_TRUE(s.pieces()[0].exact);
+  EXPECT_TRUE(s.pieces()[1].exact);
+  EXPECT_EQ(s.pieces()[0].observed_points, 5u);
+  EXPECT_EQ(s.pieces()[1].observed_points, 5u);
+  EXPECT_EQ(s.pieces()[1].label_fn.output(0).const_term(), 100);
+}
+
+TEST(Folder, DomainWithHolesIsOverApproximated) {
+  // Even points only: the template polyhedron [0,8] has 9 lattice points
+  // but only 5 were observed -> certified over-approximation.
+  Folder f(1, 0);
+  for (i64 i = 0; i <= 8; i += 2) {
+    i64 pt[1] = {i};
+    f.add(pt, {});
+  }
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 1u);
+  EXPECT_FALSE(s.pieces()[0].exact);
+  EXPECT_EQ(s.pieces()[0].observed_points, 5u);
+  EXPECT_FALSE(s.all_exact());
+}
+
+TEST(Folder, NonAffineLabelsNeverReportExactSinglePiece) {
+  Folder f(1, 1);
+  for (i64 i = 0; i < 32; ++i) add1(f, i, {i * i});
+  PolySet s = f.finish();
+  // Quadratic labels fragment into many pieces (or collapse); whatever the
+  // piece structure, the fold must not claim a single exact affine piece.
+  ASSERT_GE(s.pieces().size(), 1u);
+  if (s.pieces().size() == 1) {
+    EXPECT_FALSE(s.pieces()[0].exact);
+  }
+}
+
+TEST(Folder, MaxPiecesCollapsesToOverApproximation) {
+  FolderOptions opts;
+  opts.max_pieces = 4;
+  Folder f(1, 1, opts);
+  // Random-ish labels force a chunk break at nearly every point.
+  for (i64 i = 0; i < 64; ++i) add1(f, i, {(i * 7919) % 1000});
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 1u);
+  EXPECT_FALSE(s.pieces()[0].exact);
+  EXPECT_EQ(s.pieces()[0].observed_points, 64u);
+  // The collapsed domain still covers the full range.
+  auto b = s.pieces()[0].domain.var_bounds(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->first, 0);
+  EXPECT_EQ(b->second, 63);
+}
+
+TEST(Folder, ZeroDimensionalSinglePoint) {
+  Folder f(0, 1);
+  f.add({}, std::vector<i64>{42});
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 1u);
+  EXPECT_TRUE(s.pieces()[0].exact);
+  EXPECT_EQ(s.pieces()[0].label_fn.output(0).const_term(), 42);
+}
+
+TEST(Folder, DuplicatePointForfeitsExactness) {
+  Folder f(0, 0);
+  f.add({}, {});
+  f.add({}, {});  // a 0-dim statement observed twice: not a unique instance
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 1u);
+  EXPECT_FALSE(s.pieces()[0].exact);
+}
+
+TEST(Folder, SkewedDiagonalDomainFoldsExactly) {
+  // Wavefront-style band: points (i, j) with j = i (diagonal). The octagon
+  // template pins i - j == 0 as an equality.
+  Folder f(2, 0);
+  for (i64 i = 0; i < 6; ++i) add2(f, i, i, {});
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 1u);
+  EXPECT_TRUE(s.pieces()[0].exact);
+  EXPECT_EQ(s.pieces()[0].domain.count_points().value(), 6u);
+}
+
+TEST(Folder, ContinuesStreamingAfterFinish) {
+  Folder f(1, 1);
+  for (i64 i = 0; i < 4; ++i) add1(f, i, {i});
+  PolySet s1 = f.finish();
+  EXPECT_EQ(s1.pieces().size(), 1u);
+  for (i64 i = 0; i < 4; ++i) add1(f, i, {5 * i});
+  PolySet s2 = f.finish();
+  ASSERT_EQ(s2.pieces().size(), 1u);
+  EXPECT_EQ(s2.pieces()[0].label_fn.output(0).coeff(0), 5);
+}
+
+TEST(Folder, ArityMismatchThrows) {
+  Folder f(2, 1);
+  i64 pt[1] = {0};
+  EXPECT_THROW(f.add(pt, std::vector<i64>{1}), Error);
+}
+
+// Property sweep: random affine label over a random 2-D loop nest folds to
+// a single exact piece that reconstructs the label everywhere.
+class FoldRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldRoundTrip, ReconstructsAffineLabels) {
+  u64 state = static_cast<u64>(GetParam()) * 1442695040888963407ULL + 11;
+  auto next = [&](int lo, int hi) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lo + static_cast<int>((state >> 33) % static_cast<u64>(hi - lo + 1));
+  };
+  int ni = next(1, 8), nj = next(1, 8);
+  i64 a = next(-5, 5), b = next(-5, 5), c = next(-50, 50);
+  bool triangular = next(0, 1) == 1;
+  Folder f(2, 1);
+  u64 expected_pts = 0;
+  for (i64 i = 0; i < ni; ++i) {
+    for (i64 j = 0; j < (triangular ? i + 1 : nj); ++j) {
+      add2(f, i, j, {a * i + b * j + c});
+      ++expected_pts;
+    }
+  }
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 1u);
+  const auto& p = s.pieces()[0];
+  EXPECT_TRUE(p.exact);
+  EXPECT_EQ(p.observed_points, expected_pts);
+  // Verify the reconstructed function on every lattice point.
+  auto pts = p.domain.enumerate();
+  ASSERT_TRUE(pts.has_value());
+  EXPECT_EQ(pts->size(), expected_pts);
+  for (const auto& pt : *pts) {
+    auto out = p.label_fn.eval(pt);
+    EXPECT_EQ(out[0], a * pt[0] + b * pt[1] + c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldRoundTrip, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace pp::fold

@@ -1,0 +1,102 @@
+#include "iiv/cct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace pp::iiv {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+TEST(Cct, DistinguishesCallSites) {
+  // Two calls to g from different instructions create two CCT nodes.
+  Module m;
+  Function& g = m.add_function("g", 0);
+  {
+    Builder b(m, g);
+    b.set_block(b.make_block());
+    b.ret();
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.call(g, {});
+  b.call(g, {});
+  b.ret();
+
+  vm::Machine machine(m);
+  CallingContextTree cct;
+  machine.set_observer(&cct);
+  machine.run("main");
+  EXPECT_EQ(cct.size(), 3u);  // root + two contexts
+  EXPECT_EQ(cct.max_depth(), 1);
+  std::string s = cct.str(&m);
+  EXPECT_NE(s.find("main"), std::string::npos);
+  EXPECT_NE(s.find("g (from"), std::string::npos);
+}
+
+TEST(Cct, RepeatedCallsFromSameSiteShareNode) {
+  Module m;
+  Function& g = m.add_function("g", 0);
+  {
+    Builder b(m, g);
+    b.set_block(b.make_block());
+    b.ret();
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg n = b.const_(5);
+  b.counted_loop(0, n, 1, [&](Reg) { b.call(g, {}); });
+  b.ret();
+
+  vm::Machine machine(m);
+  CallingContextTree cct;
+  machine.set_observer(&cct);
+  machine.run("main");
+  EXPECT_EQ(cct.size(), 2u);  // one shared context node
+  EXPECT_EQ(cct.node(1).calls, 5u);
+}
+
+TEST(Cct, RecursionGrowsDepthLinearly) {
+  // The known CCT weakness the paper contrasts with the dynamic IIV: depth
+  // proportional to recursion depth.
+  Module m;
+  Function& rec = m.add_function("rec", 1);
+  {
+    Builder b(m, rec);
+    int entry = b.make_block();
+    int base = b.make_block();
+    int again = b.make_block();
+    b.set_block(entry);
+    Reg zero = b.const_(0);
+    Reg done = b.cmp(Op::kCmpLe, 0, zero);
+    b.br_cond(done, base, again);
+    b.set_block(base);
+    b.ret();
+    b.set_block(again);
+    Reg nm1 = b.addi(0, -1);
+    b.call(rec, {nm1});
+    b.ret();
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg n = b.const_(8);
+  b.call(rec, {n});
+  b.ret();
+
+  vm::Machine machine(m);
+  CallingContextTree cct;
+  machine.set_observer(&cct);
+  machine.run("main");
+  EXPECT_EQ(cct.max_depth(), 9);  // main -> rec x9 contexts
+}
+
+}  // namespace
+}  // namespace pp::iiv

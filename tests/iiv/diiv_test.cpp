@@ -1,0 +1,202 @@
+#include "iiv/diiv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::iiv {
+namespace {
+
+using cfg::LoopEvent;
+using Kind = LoopEvent::Kind;
+
+// Shorthand constructors for synthetic loop events.
+LoopEvent N(int f, int b) { return {Kind::kBlock, f, b, -1, -1}; }
+LoopEvent C(int f, int b) { return {Kind::kCall, f, b, -1, -1}; }
+LoopEvent R(int f, int b) { return {Kind::kRet, f, b, -1, -1}; }
+LoopEvent E(int f, int b, int l) { return {Kind::kEnter, f, b, l, -1}; }
+LoopEvent I(int f, int b, int l) { return {Kind::kIterate, f, b, l, -1}; }
+LoopEvent X(int f, int b, int l) { return {Kind::kExit, f, b, l, -1}; }
+LoopEvent Ec(int f, int b, int c) { return {Kind::kEnterRec, f, b, -1, c}; }
+LoopEvent Ic(int f, int b, int c) {
+  return {Kind::kIterateRecCall, f, b, -1, c};
+}
+LoopEvent Ir(int f, int b, int c) {
+  return {Kind::kIterateRecRet, f, b, -1, c};
+}
+LoopEvent Xr(int f, int b, int c) { return {Kind::kExitRec, f, b, -1, c}; }
+
+TEST(DynamicIiv, BlockEventsTrackCurrentBlock) {
+  DynamicIiv d;
+  d.apply(N(0, 0));
+  EXPECT_EQ(d.depth(), 0u);
+  EXPECT_EQ(d.str(), "(f0:bb0)");
+  d.apply(N(0, 2));
+  EXPECT_EQ(d.str(), "(f0:bb2)");
+}
+
+TEST(DynamicIiv, CallPushesReturnPops) {
+  // Paper's worked example: C(C0) on (M1/D0) then R back.
+  DynamicIiv d;
+  d.apply(N(0, 1));   // (M1)
+  d.apply(C(3, 0));   // call D -> (M1/D0)
+  EXPECT_EQ(d.str(), "(f0:bb1/f3:bb0)");
+  d.apply(C(2, 0));   // call C -> (M1/D0/C0)
+  EXPECT_EQ(d.str(), "(f0:bb1/f3:bb0/f2:bb0)");
+  d.apply(R(3, 0));   // return into D block 0
+  EXPECT_EQ(d.str(), "(f0:bb1/f3:bb0)");
+  d.apply(R(0, 1));   // return into M block 1
+  EXPECT_EQ(d.str(), "(f0:bb1)");
+}
+
+TEST(DynamicIiv, LoopEnterAddsDimension) {
+  // E(L1, A1) applied to (M0/A0-ish): header slot replaced by loop id,
+  // fresh dimension opens at 0 (paper Fig. 3d step 3).
+  DynamicIiv d;
+  d.apply(N(0, 0));  // (M0)
+  d.apply(C(1, 0));  // call A -> (M0/A0)
+  d.apply(E(1, 1, 0));  // A jumps to header A1 of L0
+  EXPECT_EQ(d.depth(), 1u);
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{0}));
+  EXPECT_EQ(d.str(), "(f0:bb0/f1:L0, 0, f1:bb1)");
+}
+
+TEST(DynamicIiv, IterateIncrementsInnermost) {
+  DynamicIiv d;
+  d.apply(N(0, 0));
+  d.apply(E(0, 1, 0));
+  d.apply(N(0, 2));
+  d.apply(I(0, 1, 0));
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{1}));
+  d.apply(N(0, 2));
+  d.apply(I(0, 1, 0));
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{2}));
+}
+
+TEST(DynamicIiv, ExitRemovesDimensionPaperExample) {
+  // X(L2, B3) applied to (M0/L1, 0, A1/L2, 1, B2) -> (M0/L1, 0, A1/B3).
+  DynamicIiv d;
+  d.apply(N(0, 0));     // (M0)
+  d.apply(E(0, 1, 1));  // -> (M0->L1, 0, bb1): use func 0 loop 1 as "L1"
+  d.apply(N(0, 1));
+  d.apply(E(0, 2, 2));  // inner loop L2 headered at bb2... build shape:
+  // now (f0:L1, 0, f0:L2, 0, f0:bb2); iterate inner once
+  d.apply(I(0, 2, 2));
+  EXPECT_EQ(d.str(), "(f0:L1, 0, f0:L2, 1, f0:bb2)");
+  d.apply(X(0, 3, 2));
+  EXPECT_EQ(d.str(), "(f0:L1, 0, f0:bb3)");
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{0}));
+}
+
+TEST(DynamicIiv, TwoDimensionalInterproceduralNest) {
+  // Fig. 3 Ex. 1: loop L1 in A contains a call to B containing loop L2:
+  // instructions in B's loop body carry a 2-deep IIV.
+  DynamicIiv d;
+  d.apply(N(0, 0));      // M0
+  d.apply(C(1, 0));      // call A
+  d.apply(E(1, 1, 0));   // A enters L1 (loop 0 of func 1)
+  d.apply(C(2, 0));      // A1 calls B
+  d.apply(E(2, 1, 0));   // B enters L2 (loop 0 of func 2)
+  EXPECT_EQ(d.depth(), 2u);
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{0, 0}));
+  EXPECT_EQ(d.str(), "(f0:bb0/f1:L0, 0, f1:bb1/f2:L0, 0, f2:bb1)");
+  d.apply(I(2, 1, 0));
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{0, 1}));
+  // Exit inner, return to A, iterate outer.
+  d.apply(X(2, 2, 0));
+  d.apply(R(1, 1));
+  d.apply(N(1, 2));
+  d.apply(I(1, 1, 0));
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{1}));
+  EXPECT_EQ(d.depth(), 1u);
+}
+
+TEST(DynamicIiv, RecursionFig3Ex2IvSequence) {
+  // The recursive-loop induction variable keeps increasing across calls
+  // AND returns (paper: "It does not go up and down. It keeps increasing").
+  DynamicIiv d;
+  d.apply(N(0, 1));        // (M1)
+  d.apply(Ec(1, 0, 0));    // enter recursive loop -> (M1/RC0, 0, B0)
+  EXPECT_EQ(d.str(), "(f0:bb1/RC0, 0, f1:bb0)");
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{0}));
+  d.apply(N(1, 1));        // B1
+  d.apply(Ic(1, 0, 0));    // first recursive call
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{1}));
+  d.apply(N(1, 1));
+  d.apply(Ic(1, 0, 0));    // second recursive call
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{2}));
+  d.apply(N(1, 1));
+  d.apply(Ir(1, 5, 0));    // return from header: iv keeps increasing
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{3}));
+  d.apply(Ir(1, 5, 0));
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{4}));
+  d.apply(Xr(0, 1, 0));    // unstacked: loop exits
+  EXPECT_EQ(d.depth(), 0u);
+  EXPECT_EQ(d.str(), "(f0:bb1)");
+}
+
+TEST(DynamicIiv, RecursionDepthDoesNotGrowIivLength) {
+  DynamicIiv d;
+  d.apply(N(0, 0));
+  d.apply(Ec(1, 0, 0));
+  for (int k = 0; k < 100; ++k) {
+    d.apply(N(1, 1));
+    d.apply(Ic(1, 0, 0));
+  }
+  EXPECT_EQ(d.depth(), 1u);  // NOT 100: the whole point of the RCS
+  EXPECT_EQ(d.coordinates(), (std::vector<i64>{100}));
+}
+
+TEST(DynamicIiv, CallInsideRecursiveLoopNests) {
+  // Fig. 3 Ex. 2, block C0 called from B1: IIV (M1/L1, i1, B1/C0).
+  DynamicIiv d;
+  d.apply(N(0, 1));
+  d.apply(Ec(1, 0, 0));
+  d.apply(N(1, 1));
+  d.apply(C(2, 0));  // call C from B1
+  EXPECT_EQ(d.str(), "(f0:bb1/RC0, 0, f1:bb1/f2:bb0)");
+  d.apply(R(1, 1));
+  d.apply(Ic(1, 0, 0));
+  d.apply(N(1, 1));
+  d.apply(C(2, 0));
+  EXPECT_EQ(d.str(), "(f0:bb1/RC0, 1, f1:bb1/f2:bb0)");
+}
+
+TEST(DynamicIiv, ContextKeySeparatesDimensions) {
+  DynamicIiv d;
+  d.apply(N(0, 0));
+  d.apply(E(0, 1, 0));
+  ContextKey k = d.context();
+  ASSERT_EQ(k.parts.size(), 2u);
+  EXPECT_EQ(k.depth(), 1u);
+  EXPECT_EQ(k.parts[0].back(), CtxElem::loop(0, 0));
+  EXPECT_EQ(k.parts[1].back(), CtxElem::block(0, 1));
+}
+
+TEST(DynamicIiv, ContextKeyEqualityAcrossIterations) {
+  // The context (non-numerical part) must be identical across iterations
+  // of the same loop — only the coordinates change.
+  DynamicIiv d;
+  d.apply(N(0, 0));
+  d.apply(E(0, 1, 0));
+  d.apply(N(0, 2));
+  ContextKey k1 = d.context();
+  auto c1 = d.coordinates();
+  d.apply(I(0, 1, 0));
+  d.apply(N(0, 2));
+  ContextKey k2 = d.context();
+  auto c2 = d.coordinates();
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(c1, c2);
+  ContextKeyHash h;
+  EXPECT_EQ(h(k1), h(k2));
+}
+
+TEST(DynamicIiv, ErrorsOnMalformedStreams) {
+  DynamicIiv d;
+  EXPECT_THROW(d.apply(I(0, 0, 0)), Error);   // iterate with no dimension
+  EXPECT_THROW(d.apply(X(0, 0, 0)), Error);   // exit with no dimension
+  DynamicIiv d2;
+  EXPECT_THROW(d2.apply(R(0, 0)), Error);     // return with empty context
+}
+
+}  // namespace
+}  // namespace pp::iiv

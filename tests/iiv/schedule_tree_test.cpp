@@ -1,0 +1,97 @@
+#include "iiv/schedule_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::iiv {
+namespace {
+
+ContextKey key(std::vector<std::vector<CtxElem>> parts) {
+  return ContextKey{std::move(parts)};
+}
+
+TEST(ScheduleTree, InsertBuildsPath) {
+  DynScheduleTree t;
+  // (M0/L1, i, S)
+  t.insert(key({{CtxElem::block(0, 0), CtxElem::loop(0, 1)},
+                {CtxElem::block(0, 2)}}),
+           10);
+  EXPECT_EQ(t.size(), 4u);  // root + M0 + L1 + bb2
+  EXPECT_EQ(t.total_weight(), 10u);
+  EXPECT_EQ(t.max_depth(), 3);
+}
+
+TEST(ScheduleTree, SharedPrefixesMerge) {
+  DynScheduleTree t;
+  auto s = key({{CtxElem::block(0, 0), CtxElem::loop(0, 1)},
+                {CtxElem::block(0, 2)}});
+  auto u = key({{CtxElem::block(0, 0), CtxElem::loop(0, 1)},
+                {CtxElem::block(0, 3)}});
+  t.insert(s, 5);
+  t.insert(u, 7);
+  // root, M0, L1 shared; two leaves.
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.total_weight(), 12u);
+  // The loop node's weight aggregates both statements.
+  const auto& root = t.root();
+  const auto& m0 = t.node(root.children[0]);
+  const auto& l1 = t.node(m0.children[0]);
+  EXPECT_EQ(l1.weight, 12u);
+  EXPECT_EQ(l1.children.size(), 2u);
+}
+
+TEST(ScheduleTree, StaticIndicesFollowFirstAppearance) {
+  // Fused vs fissioned orderings (Fig. 4): sibling statement order is the
+  // numeric static index of Kelly's mapping.
+  DynScheduleTree t;
+  auto s = key({{CtxElem::block(0, 0), CtxElem::loop(0, 1)},
+                {CtxElem::block(0, 2)}});
+  auto u = key({{CtxElem::block(0, 0), CtxElem::loop(0, 1)},
+                {CtxElem::block(0, 3)}});
+  t.insert(s);
+  t.insert(u);
+  auto ks = t.kelly_mapping(s);
+  auto ku = t.kelly_mapping(u);
+  // [idx(M0), idx(L1), i0, idx(S)]: S got index 0, T index 1.
+  EXPECT_EQ(ks, (std::vector<std::string>{"0", "0", "i0", "0"}));
+  EXPECT_EQ(ku, (std::vector<std::string>{"0", "0", "i0", "1"}));
+}
+
+TEST(ScheduleTree, FissionedLoopsGetDistinctIndices) {
+  // Two sibling loops: [0, i, ...] vs [1, i', ...] as in Fig. 4c right.
+  DynScheduleTree t;
+  auto s = key({{CtxElem::block(0, 0), CtxElem::loop(0, 1)},
+                {CtxElem::block(0, 2)}});
+  auto u = key({{CtxElem::block(0, 0), CtxElem::loop(0, 5)},
+                {CtxElem::block(0, 6)}});
+  t.insert(s);
+  t.insert(u);
+  auto ks = t.kelly_mapping(s);
+  auto ku = t.kelly_mapping(u);
+  EXPECT_EQ(ks[1], "0");  // first loop
+  EXPECT_EQ(ku[1], "1");  // second loop
+}
+
+TEST(ScheduleTree, KellyMappingUnknownContextThrows) {
+  DynScheduleTree t;
+  EXPECT_THROW(t.kelly_mapping(key({{CtxElem::block(9, 9)}})), Error);
+}
+
+TEST(ScheduleTree, SelfWeightOnLeafOnly) {
+  DynScheduleTree t;
+  auto s = key({{CtxElem::block(0, 0)}});
+  t.insert(s, 3);
+  const auto& leaf = t.node(t.root().children[0]);
+  EXPECT_EQ(leaf.self_weight, 3u);
+  EXPECT_EQ(t.root().self_weight, 0u);
+}
+
+TEST(ScheduleTree, StrShowsWeights) {
+  DynScheduleTree t;
+  t.insert(key({{CtxElem::block(0, 0)}}), 4);
+  std::string s = t.str();
+  EXPECT_NE(s.find("w=4"), std::string::npos);
+  EXPECT_NE(s.find("<root>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pp::iiv

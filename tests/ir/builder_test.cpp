@@ -1,0 +1,94 @@
+#include "ir/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::ir {
+namespace {
+
+TEST(Builder, EmitsIntoCurrentBlock) {
+  Module m;
+  Function& f = m.add_function("f", 1);
+  Builder b(m, f);
+  int entry = b.make_block("entry");
+  b.set_block(entry);
+  Reg x = b.addi(0, 5);
+  b.ret(x);
+  EXPECT_NO_THROW(verify(m));
+  EXPECT_EQ(f.blocks[0].instrs.size(), 2u);
+  EXPECT_EQ(f.blocks[0].instrs[0].op, Op::kAddI);
+}
+
+TEST(Builder, RejectsEmissionAfterTerminator) {
+  Module m;
+  Function& f = m.add_function("f", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.ret();
+  EXPECT_THROW(b.const_(1), Error);
+}
+
+TEST(Builder, RejectsEmissionWithoutBlock) {
+  Module m;
+  Function& f = m.add_function("f", 0);
+  Builder b(m, f);
+  EXPECT_THROW(b.const_(1), Error);
+}
+
+TEST(Builder, FreshRegistersAreDistinct) {
+  Module m;
+  Function& f = m.add_function("f", 2);
+  Builder b(m, f);
+  Reg a = b.fresh();
+  Reg c = b.fresh();
+  EXPECT_NE(a, c);
+  EXPECT_GE(a, 2);  // args occupy r0, r1
+}
+
+TEST(Builder, LineInfoAttaches) {
+  Module m;
+  Function& f = m.add_function("f", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.set_line(99);
+  b.const_(7);
+  b.ret();
+  EXPECT_EQ(f.blocks[0].instrs[0].line, 99);
+}
+
+TEST(Builder, CountedLoopShape) {
+  // sum = 0; for (i = 0; i < n; ++i) sum += i; return sum
+  Module m;
+  Function& f = m.add_function("sum_to_n", 1);
+  Builder b(m, f);
+  int entry = b.make_block("entry");
+  b.set_block(entry);
+  Reg sum = b.const_(0);
+  b.counted_loop(0, /*end=*/0 /* r0 = n */, 1,
+                 [&](Reg iv) { b.add(sum, iv, sum); });
+  b.ret(sum);
+  EXPECT_NO_THROW(verify(m));
+  // Loop structure: entry + header + body + exit = 4 blocks.
+  EXPECT_EQ(f.blocks.size(), 4u);
+}
+
+TEST(Builder, CallHelper) {
+  Module m;
+  Function& callee = m.add_function("callee", 1);
+  {
+    Builder cb(m, callee);
+    cb.set_block(cb.make_block());
+    Reg out = cb.addi(0, 1);
+    cb.ret(out);
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg arg = b.const_(41);
+  Reg r = b.call(callee, {arg}, /*want_result=*/true);
+  b.ret(r);
+  EXPECT_NO_THROW(verify(m));
+  EXPECT_NE(r, kNoReg);
+}
+
+}  // namespace
+}  // namespace pp::ir

@@ -1,0 +1,123 @@
+#include "ir/ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace pp::ir {
+namespace {
+
+Module tiny_module() {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  int entry = b.make_block("entry");
+  b.set_block(entry);
+  Reg r = b.const_(42);
+  b.ret(r);
+  return m;
+}
+
+TEST(Ir, VerifyAcceptsValidModule) {
+  Module m = tiny_module();
+  EXPECT_NO_THROW(verify(m));
+}
+
+TEST(Ir, VerifyRejectsEmptyFunction) {
+  Module m;
+  m.add_function("empty", 0);
+  EXPECT_THROW(verify(m), Error);
+}
+
+TEST(Ir, VerifyRejectsUnterminatedBlock) {
+  Module m;
+  Function& f = m.add_function("f", 0);
+  f.blocks.push_back({0, "entry", {{.op = Op::kConst, .dst = 0, .imm = 1}}});
+  f.num_regs = 1;
+  EXPECT_THROW(verify(m), Error);
+}
+
+TEST(Ir, VerifyRejectsBadRegister) {
+  Module m;
+  Function& f = m.add_function("f", 0);
+  f.num_regs = 1;
+  f.blocks.push_back(
+      {0, "entry", {{.op = Op::kMov, .dst = 0, .a = 5}, {.op = Op::kRet}}});
+  EXPECT_THROW(verify(m), Error);
+}
+
+TEST(Ir, VerifyRejectsBadBranchTarget) {
+  Module m;
+  Function& f = m.add_function("f", 0);
+  f.blocks.push_back({0, "entry", {{.op = Op::kBr, .imm = 7}}});
+  EXPECT_THROW(verify(m), Error);
+}
+
+TEST(Ir, VerifyRejectsCallArityMismatch) {
+  Module m;
+  Function& callee = m.add_function("callee", 2);
+  Builder cb(m, callee);
+  cb.set_block(cb.make_block());
+  cb.ret();
+  Function& f = m.add_function("f", 0);
+  f.blocks.push_back(
+      {0, "entry", {{.op = Op::kCall, .imm = callee.id, .args = {}},
+                    {.op = Op::kRet}}});
+  EXPECT_THROW(verify(m), Error);
+}
+
+TEST(Ir, VerifyRejectsDuplicateFunctionNames) {
+  Module m = tiny_module();
+  Function& dup = m.add_function("main", 0);
+  Builder b(m, dup);
+  b.set_block(b.make_block());
+  b.ret();
+  EXPECT_THROW(verify(m), Error);
+}
+
+TEST(Ir, GlobalsAllocateAlignedAddresses) {
+  Module m;
+  i64 a = m.add_global("a", 12);  // rounds to 16
+  i64 b = m.add_global("b", 8);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 16);
+  EXPECT_EQ(m.data_segment_size, 24);
+  EXPECT_NE(m.find_global("a"), nullptr);
+  EXPECT_EQ(m.find_global("zzz"), nullptr);
+}
+
+TEST(Ir, GlobalInitWords) {
+  Module m;
+  i64 addr = m.add_global_init("tbl", {1, 2, 3});
+  EXPECT_EQ(addr, 0);
+  EXPECT_EQ(m.globals[0].size_bytes, 24);
+  EXPECT_EQ(m.globals[0].init_words.size(), 3u);
+}
+
+TEST(Ir, FindFunction) {
+  Module m = tiny_module();
+  EXPECT_NE(m.find_function("main"), nullptr);
+  EXPECT_EQ(m.find_function("nope"), nullptr);
+}
+
+TEST(Ir, PrintContainsStructure) {
+  Module m = tiny_module();
+  std::string s = print(m);
+  EXPECT_NE(s.find("func main"), std::string::npos);
+  EXPECT_NE(s.find("const r0, 42"), std::string::npos);
+  EXPECT_NE(s.find("ret r0"), std::string::npos);
+}
+
+TEST(Ir, OpClassification) {
+  EXPECT_TRUE(op_is_terminator(Op::kBr));
+  EXPECT_TRUE(op_is_terminator(Op::kRet));
+  EXPECT_FALSE(op_is_terminator(Op::kCall));
+  EXPECT_TRUE(op_is_fp(Op::kFMul));
+  EXPECT_FALSE(op_is_fp(Op::kMul));
+  EXPECT_TRUE(op_is_memory(Op::kLoad));
+  EXPECT_TRUE(op_is_memory(Op::kStore));
+  EXPECT_FALSE(op_is_memory(Op::kAdd));
+}
+
+}  // namespace
+}  // namespace pp::ir

@@ -1,0 +1,141 @@
+#include "ir/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "vm/vm.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::ir {
+namespace {
+
+TEST(Parser, ParsesMinimalModule) {
+  const char* text =
+      "func main(0 args, 1 regs)\n"
+      "bb0:\n"
+      "  const r0, 42\n"
+      "  ret r0\n";
+  Module m = parse(text);
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "main");
+  vm::Machine machine(m);
+  EXPECT_EQ(machine.run("main").exit_value, 42);
+}
+
+TEST(Parser, ParsesGlobalsWithAddresses) {
+  const char* text =
+      "global a @0 size 16\n"
+      "global b @16 size 8\n"
+      "func main(0 args, 1 regs)\n"
+      "bb0:\n"
+      "  ret\n";
+  Module m = parse(text);
+  EXPECT_EQ(m.globals.size(), 2u);
+  EXPECT_EQ(m.find_global("b")->address, 16);
+  EXPECT_EQ(m.data_segment_size, 24);
+}
+
+TEST(Parser, ParsesControlFlowAndCalls) {
+  const char* text =
+      "func helper(1 args, 2 regs)\n"
+      "bb0:\n"
+      "  addi r1, r0, 1\n"
+      "  ret r1\n"
+      "func main(0 args, 3 regs)\n"
+      "bb0:\n"
+      "  const r0, 5\n"
+      "  call r1 = helper(r0)\n"
+      "  brcond r1, bb1, bb2\n"
+      "bb1:\n"
+      "  ret r1\n"
+      "bb2:\n"
+      "  const r2, -1\n"
+      "  ret r2\n";
+  Module m = parse(text);
+  vm::Machine machine(m);
+  EXPECT_EQ(machine.run("main").exit_value, 6);
+}
+
+TEST(Parser, ParsesMemoryWithOffsets) {
+  const char* text =
+      "global buf @0 size 32\n"
+      "func main(0 args, 3 regs)\n"
+      "bb0:\n"
+      "  const r0, 0\n"
+      "  const r1, 7\n"
+      "  store [r0 + 8], r1\n"
+      "  load r2, [r0 + 8]\n"
+      "  ret r2\n";
+  Module m = parse(text);
+  vm::Machine machine(m);
+  EXPECT_EQ(machine.run("main").exit_value, 7);
+}
+
+TEST(Parser, LineDebugInfoPreserved) {
+  const char* text =
+      "func main(0 args, 1 regs)\n"
+      "bb0:\n"
+      "  const r0, 1   ; line 99\n"
+      "  ret r0\n";
+  Module m = parse(text);
+  EXPECT_EQ(m.functions[0].blocks[0].instrs[0].line, 99);
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse("func broken\n"), Error);
+  EXPECT_THROW(parse("func f(0 args, 1 regs)\nbb0:\n  bogus r0\n  ret\n"),
+               Error);
+  EXPECT_THROW(parse("func f(0 args, 1 regs)\nbb0:\n  const r0\n  ret\n"),
+               Error);
+  EXPECT_THROW(
+      parse("func f(0 args, 1 regs)\nbb0:\n  call r0 = nosuch()\n  ret\n"),
+      Error);
+  // Instruction outside any block.
+  EXPECT_THROW(parse("func f(0 args, 1 regs)\n  const r0, 1\n"), Error);
+}
+
+TEST(Parser, FconstRoundTripsExactly) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg x = b.fconst(0.1);           // not exactly representable in decimal
+  Reg y = b.fconst(1.0 / 3.0);
+  Reg s = b.fadd(x, y);
+  Reg r = b.f2i(b.fmul(s, b.fconst(1e6)));
+  b.ret(r);
+  Module m2 = parse(print(m));
+  vm::Machine v1(m), v2(m2);
+  EXPECT_EQ(v1.run("main").exit_value, v2.run("main").exit_value);
+}
+
+// The strong property: print -> parse -> print is a fixpoint, and the
+// reparsed module computes the same result, for every mini-Rodinia
+// benchmark and both case-study programs.
+class ParserRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParserRoundTrip, PrintParsePrintFixpoint) {
+  workloads::Workload w = workloads::make_rodinia(GetParam());
+  std::string text = print(w.module);
+  Module reparsed = parse(text);
+  EXPECT_EQ(print(reparsed), text);
+  // Semantics: same instruction count (data initializers are not part of
+  // the textual form, so exit values may differ; structure must match).
+  EXPECT_EQ(reparsed.functions.size(), w.module.functions.size());
+  for (std::size_t i = 0; i < reparsed.functions.size(); ++i) {
+    EXPECT_EQ(reparsed.functions[i].blocks.size(),
+              w.module.functions[i].blocks.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParserRoundTrip,
+                         ::testing::ValuesIn(workloads::rodinia_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '+') c = 'p';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace pp::ir

@@ -1,0 +1,78 @@
+#include "poly/affine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::poly {
+namespace {
+
+TEST(AffineExpr, EvalAndOps) {
+  // 2x - y + 3
+  AffineExpr e({2, -1}, 3);
+  std::vector<i64> p = {4, 1};
+  EXPECT_EQ(e.eval(p), 10);
+  AffineExpr f = e + AffineExpr({1, 1}, -3);  // 3x + 0y + 0
+  EXPECT_EQ(f.eval(p), 12);
+  EXPECT_EQ((e * 2).eval(p), 20);
+  EXPECT_EQ((-e).eval(p), -10);
+  EXPECT_EQ((e + 5).eval(p), 15);
+  EXPECT_EQ((e - 5).eval(p), 5);
+}
+
+TEST(AffineExpr, Factories) {
+  AffineExpr v = AffineExpr::var(3, 1);
+  std::vector<i64> p = {7, 8, 9};
+  EXPECT_EQ(v.eval(p), 8);
+  AffineExpr k = AffineExpr::constant(3, 42);
+  EXPECT_EQ(k.eval(p), 42);
+  EXPECT_TRUE(k.is_constant());
+  EXPECT_FALSE(v.is_constant());
+}
+
+TEST(AffineExpr, Str) {
+  EXPECT_EQ(AffineExpr({2, -1}, 3).str(), "2*x0 - x1 + 3");
+  EXPECT_EQ(AffineExpr({0, 0}, -7).str(), "-7");
+  EXPECT_EQ(AffineExpr({1, 0}, 0).str(), "x0");
+  EXPECT_EQ(AffineExpr({-1, 0}, 0).str(), "-x0");
+  std::vector<std::string> names = {"i", "j"};
+  EXPECT_EQ(AffineExpr({1, 1}, -1).str(names), "i + j - 1");
+}
+
+TEST(AffineExpr, DimensionMismatchThrows) {
+  AffineExpr a(2), b(3);
+  EXPECT_THROW(a + b, Error);
+  std::vector<i64> p = {1};
+  EXPECT_THROW(a.eval(p), Error);
+}
+
+TEST(Constraint, Holds) {
+  // x - y >= 0
+  Constraint ge = Constraint::ge0(AffineExpr({1, -1}, 0));
+  std::vector<i64> in = {3, 2}, border = {2, 2}, out = {1, 2};
+  EXPECT_TRUE(ge.holds(in));
+  EXPECT_TRUE(ge.holds(border));
+  EXPECT_FALSE(ge.holds(out));
+  Constraint eq = Constraint::eq0(AffineExpr({1, -1}, 0));
+  EXPECT_FALSE(eq.holds(in));
+  EXPECT_TRUE(eq.holds(border));
+}
+
+TEST(AffineMap, IdentityAndEval) {
+  AffineMap id = AffineMap::identity(2);
+  std::vector<i64> p = {5, -3};
+  auto out = id.eval(p);
+  EXPECT_EQ(out[0], 5);
+  EXPECT_EQ(out[1], -3);
+  // (i + j, i - 1)
+  AffineMap m(2, {AffineExpr({1, 1}, 0), AffineExpr({1, 0}, -1)});
+  out = m.eval(p);
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[1], 4);
+  EXPECT_EQ(m.str(), "(x0 + x1, x0 - 1)");
+}
+
+TEST(AffineMap, OutputDimMismatchThrows) {
+  EXPECT_THROW(AffineMap(2, {AffineExpr(3)}), Error);
+}
+
+}  // namespace
+}  // namespace pp::poly

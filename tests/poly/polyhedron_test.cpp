@@ -1,0 +1,253 @@
+#include "poly/polyhedron.hpp"
+
+#include <gtest/gtest.h>
+
+#include "poly/poly_set.hpp"
+
+namespace pp::poly {
+namespace {
+
+Polyhedron triangle(i64 n) {
+  // {(i, j) : 0 <= j <= i <= n}
+  Polyhedron p(2);
+  p.add_ge0(AffineExpr::var(2, 1));                                // j >= 0
+  p.add_ge0(AffineExpr::var(2, 0) - AffineExpr::var(2, 1));        // i >= j
+  p.add_ge0(AffineExpr::constant(2, n) - AffineExpr::var(2, 0));   // i <= n
+  return p;
+}
+
+TEST(Polyhedron, BoxContainment) {
+  Polyhedron b = Polyhedron::box({{0, 4}, {-2, 2}});
+  std::vector<i64> in = {2, 0}, edge = {4, -2}, out = {5, 0};
+  EXPECT_TRUE(b.contains(in));
+  EXPECT_TRUE(b.contains(edge));
+  EXPECT_FALSE(b.contains(out));
+}
+
+TEST(Polyhedron, EmptinessRational) {
+  Polyhedron p(1);
+  p.bound_var(0, 3, 1);  // 3 <= x <= 1: empty
+  EXPECT_TRUE(p.is_rational_empty());
+  Polyhedron q = Polyhedron::box({{0, 0}});
+  EXPECT_FALSE(q.is_rational_empty());
+  EXPECT_FALSE(Polyhedron::universe(2).is_rational_empty());
+}
+
+TEST(Polyhedron, IntegerEmptyButRationallyNonEmpty) {
+  // 1 <= 2x <= 1 has the rational point 1/2 but no integer point.
+  Polyhedron p(1);
+  p.add_ge0(AffineExpr({2}, -1));   // 2x - 1 >= 0
+  p.add_ge0(AffineExpr({-2}, 1));   // 1 - 2x >= 0
+  EXPECT_FALSE(p.is_rational_empty());
+  EXPECT_TRUE(p.is_integer_empty());
+}
+
+TEST(Polyhedron, MinimizeMaximize) {
+  Polyhedron t = triangle(10);
+  AffineExpr diff = AffineExpr::var(2, 0) - AffineExpr::var(2, 1);
+  BoundResult lo = t.minimize(diff);
+  ASSERT_EQ(lo.status, LpStatus::kOptimal);
+  EXPECT_EQ(lo.value, Rat(0));
+  BoundResult hi = t.maximize(diff);
+  ASSERT_EQ(hi.status, LpStatus::kOptimal);
+  EXPECT_EQ(hi.value, Rat(10));
+  // Constant terms must flow through.
+  BoundResult shifted = t.minimize(diff + 5);
+  EXPECT_EQ(shifted.value, Rat(5));
+}
+
+TEST(Polyhedron, VarBounds) {
+  Polyhedron t = triangle(7);
+  auto bi = t.var_bounds(0);
+  ASSERT_TRUE(bi.has_value());
+  EXPECT_EQ(bi->first, 0);
+  EXPECT_EQ(bi->second, 7);
+  EXPECT_FALSE(Polyhedron::universe(1).var_bounds(0).has_value());
+}
+
+TEST(Polyhedron, CountTrianglePoints) {
+  // Triangle with n=4: sum_{i=0..4} (i+1) = 15 points.
+  auto n = triangle(4).count_points();
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 15u);
+}
+
+TEST(Polyhedron, EnumerateLexOrder) {
+  Polyhedron b = Polyhedron::box({{0, 1}, {0, 1}});
+  auto pts = b.enumerate();
+  ASSERT_TRUE(pts.has_value());
+  ASSERT_EQ(pts->size(), 4u);
+  EXPECT_EQ((*pts)[0], (std::vector<i64>{0, 0}));
+  EXPECT_EQ((*pts)[1], (std::vector<i64>{0, 1}));
+  EXPECT_EQ((*pts)[2], (std::vector<i64>{1, 0}));
+  EXPECT_EQ((*pts)[3], (std::vector<i64>{1, 1}));
+}
+
+TEST(Polyhedron, EnumerateUnboundedReturnsNullopt) {
+  Polyhedron p(1);
+  p.add_ge0(AffineExpr::var(1, 0));  // x >= 0, unbounded above
+  EXPECT_FALSE(p.enumerate().has_value());
+  EXPECT_FALSE(p.count_points().has_value());
+}
+
+TEST(Polyhedron, EnumerateCapReturnsNullopt) {
+  Polyhedron b = Polyhedron::box({{0, 99}});
+  EXPECT_FALSE(b.count_points(10).has_value());
+  EXPECT_TRUE(b.count_points(100).has_value());
+}
+
+TEST(Polyhedron, ZeroDimensional) {
+  Polyhedron p(0);
+  EXPECT_EQ(p.count_points().value(), 1u);
+  EXPECT_EQ(p.enumerate()->size(), 1u);
+}
+
+TEST(Polyhedron, EqualityConstraintSlices) {
+  // Box with diagonal equality: x == y gives 5 points on the diagonal.
+  Polyhedron p = Polyhedron::box({{0, 4}, {0, 4}});
+  p.add_eq0(AffineExpr::var(2, 0) - AffineExpr::var(2, 1));
+  EXPECT_EQ(p.count_points().value(), 5u);
+}
+
+TEST(Polyhedron, ModuloLikeEqualityEmptyRange) {
+  // 2x == 5 has no integer solution inside [0, 10].
+  Polyhedron p = Polyhedron::box({{0, 10}});
+  p.add_eq0(AffineExpr({2}, -5));
+  EXPECT_EQ(p.count_points().value(), 0u);
+}
+
+TEST(Polyhedron, IntersectAndRedundant) {
+  Polyhedron a = Polyhedron::box({{0, 10}});
+  Polyhedron b = Polyhedron::box({{5, 20}});
+  Polyhedron c = a.intersect(b);
+  auto bounds = c.var_bounds(0);
+  ASSERT_TRUE(bounds.has_value());
+  EXPECT_EQ(bounds->first, 5);
+  EXPECT_EQ(bounds->second, 10);
+  c.remove_redundant();
+  EXPECT_EQ(c.num_constraints(), 2u);  // only x >= 5 and x <= 10 survive
+}
+
+TEST(Polyhedron, ProjectOutTriangle) {
+  // Projecting j out of the triangle {0<=j<=i<=5} gives {0<=i<=5}.
+  Polyhedron t = triangle(5);
+  Polyhedron p = t.project_out(1);
+  EXPECT_EQ(p.dim(), 1u);
+  auto b = p.var_bounds(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->first, 0);
+  EXPECT_EQ(b->second, 5);
+}
+
+TEST(Polyhedron, ProjectOutWithEqualities) {
+  // {x == 2y, 0 <= x <= 8}: projecting x gives 0 <= 2y <= 8.
+  Polyhedron p(2);
+  p.add_eq0(AffineExpr({1, -2}, 0));
+  p.bound_var(0, 0, 8);
+  Polyhedron q = p.project_out(0);
+  auto b = q.var_bounds(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->first, 0);
+  EXPECT_EQ(b->second, 4);
+}
+
+TEST(Polyhedron, StrRendering) {
+  Polyhedron t = triangle(3);
+  std::vector<std::string> names = {"i", "j"};
+  std::string s = t.str(names);
+  EXPECT_NE(s.find("j >= 0"), std::string::npos);
+  EXPECT_NE(s.find("i - j >= 0"), std::string::npos);
+}
+
+TEST(Polyhedron, LexminBox) {
+  Polyhedron b = Polyhedron::box({{2, 5}, {-3, 4}});
+  auto lm = b.lexmin();
+  ASSERT_TRUE(lm.has_value());
+  EXPECT_EQ(*lm, (std::vector<i64>{2, -3}));
+}
+
+TEST(Polyhedron, LexminTriangle) {
+  Polyhedron t = triangle(5);
+  auto lm = t.lexmin();
+  ASSERT_TRUE(lm.has_value());
+  EXPECT_EQ(*lm, (std::vector<i64>{0, 0}));
+}
+
+TEST(Polyhedron, LexminSkipsNonIntegralRationalMin) {
+  // 1 <= 2x <= 7: rational min 1/2, integer lexmin x = 1.
+  Polyhedron p(1);
+  p.add_ge0(AffineExpr({2}, -1));
+  p.add_ge0(AffineExpr({-2}, 7));
+  auto lm = p.lexmin();
+  ASSERT_TRUE(lm.has_value());
+  EXPECT_EQ(*lm, (std::vector<i64>{1}));
+}
+
+TEST(Polyhedron, LexminEmptyAndUnbounded) {
+  Polyhedron empty(1);
+  empty.bound_var(0, 3, 1);
+  EXPECT_FALSE(empty.lexmin().has_value());
+  Polyhedron unbounded(1);
+  unbounded.add_ge0(-AffineExpr::var(1, 0));  // x <= 0, unbounded below
+  EXPECT_FALSE(unbounded.lexmin().has_value());
+}
+
+TEST(Polyhedron, LexminIsFirstEnumerated) {
+  // lexmin must agree with the first point of lexicographic enumeration.
+  Polyhedron p = Polyhedron::box({{0, 3}, {0, 3}});
+  p.add_ge0(AffineExpr({1, 1}, -3));  // x + y >= 3
+  auto lm = p.lexmin();
+  auto pts = p.enumerate();
+  ASSERT_TRUE(lm && pts && !pts->empty());
+  EXPECT_EQ(*lm, pts->front());
+}
+
+TEST(PolySet, PiecesAndContainment) {
+  PolySet s(1);
+  Piece p1{Polyhedron::box({{0, 3}}), AffineMap::identity(1), true, true, 4};
+  Piece p2{Polyhedron::box({{10, 12}}), AffineMap::identity(1), false, true, 3};
+  s.add_piece(p1);
+  s.add_piece(p2);
+  std::vector<i64> a = {2}, b = {11}, c = {7};
+  EXPECT_TRUE(s.contains(a));
+  EXPECT_TRUE(s.contains(b));
+  EXPECT_FALSE(s.contains(c));
+  EXPECT_FALSE(s.all_exact());
+  EXPECT_EQ(s.total_observed(), 7u);
+  EXPECT_NE(s.str().find("(approx)"), std::string::npos);
+}
+
+// Property sweep: count_points on random template polyhedra must match a
+// brute-force scan of the bounding box.
+class CountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountSweep, MatchesBruteForce) {
+  u64 state = static_cast<u64>(GetParam()) * 987654321u + 3;
+  auto next = [&](int lo, int hi) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lo + static_cast<int>((state >> 33) % static_cast<u64>(hi - lo + 1));
+  };
+  Polyhedron p(2);
+  int xlo = next(-4, 0), xhi = next(0, 5);
+  int ylo = next(-4, 0), yhi = next(0, 5);
+  p.bound_var(0, xlo, xhi);
+  p.bound_var(1, ylo, yhi);
+  // One random octagon constraint: a*x + b*y + c >= 0 with a, b in ±1.
+  int a = next(0, 1) ? 1 : -1;
+  int b = next(0, 1) ? 1 : -1;
+  int c = next(-3, 3);
+  p.add_ge0(AffineExpr({a, b}, c));
+  u64 expected = 0;
+  for (i64 x = xlo; x <= xhi; ++x) {
+    for (i64 y = ylo; y <= yhi; ++y) {
+      std::vector<i64> pt = {x, y};
+      if (p.contains(pt)) ++expected;
+    }
+  }
+  EXPECT_EQ(p.count_points().value(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CountSweep, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace pp::poly

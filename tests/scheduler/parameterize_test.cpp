@@ -1,0 +1,54 @@
+#include "scheduler/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::scheduler {
+namespace {
+
+TEST(Parameterize, SmallConstantsUntouched) {
+  auto r = parameterize_constants({0, 1, -5, 100});
+  for (const auto& a : r) EXPECT_EQ(a.param, -1);
+}
+
+TEST(Parameterize, LargeConstantGetsParameter) {
+  auto r = parameterize_constants({1024});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].param, 0);
+  EXPECT_EQ(r[0].offset, 0);
+}
+
+TEST(Parameterize, WindowSharesParameter) {
+  // The paper's example: x in [1024-s, 1024+s] (s = 20) is rewritten as
+  // n + (x - 1024).
+  auto r = parameterize_constants({1024, 1030, 1004, 1044});
+  EXPECT_EQ(r[0].param, 0);
+  EXPECT_EQ(r[1].param, 0);
+  EXPECT_EQ(r[1].offset, 6);
+  EXPECT_EQ(r[2].param, 0);
+  EXPECT_EQ(r[2].offset, -20);
+  EXPECT_EQ(r[3].param, 0);
+  EXPECT_EQ(r[3].offset, 20);
+}
+
+TEST(Parameterize, OutsideWindowNewParameter) {
+  auto r = parameterize_constants({1024, 1045, 2048});
+  EXPECT_EQ(r[0].param, 0);
+  EXPECT_EQ(r[1].param, 1);  // 21 away: outside +-20
+  EXPECT_EQ(r[2].param, 2);
+}
+
+TEST(Parameterize, NegativeConstants) {
+  auto r = parameterize_constants({-1024, -1030});
+  EXPECT_EQ(r[0].param, 0);
+  EXPECT_EQ(r[1].param, 0);
+  EXPECT_EQ(r[1].offset, -6);
+}
+
+TEST(Parameterize, CustomThresholdAndWindow) {
+  auto r = parameterize_constants({100, 103}, /*threshold=*/50, /*window=*/2);
+  EXPECT_EQ(r[0].param, 0);
+  EXPECT_EQ(r[1].param, 1);  // 3 > window 2
+}
+
+}  // namespace
+}  // namespace pp::scheduler

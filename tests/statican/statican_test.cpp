@@ -1,0 +1,297 @@
+#include "statican/statican.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::statican {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+TEST(StaticCfg, CapturesAllEdges) {
+  Module m;
+  Function& f = m.add_function("f", 0);
+  Builder b(m, f);
+  int e = b.make_block();
+  int t = b.make_block();
+  int el = b.make_block();
+  b.set_block(e);
+  Reg c = b.const_(0);
+  b.br_cond(c, t, el);
+  b.set_block(t);
+  b.ret();
+  b.set_block(el);
+  b.ret();
+  cfg::FunctionCfg g = static_cfg(f);
+  // Unlike the dynamic CFG, BOTH branch targets appear.
+  EXPECT_TRUE(g.blocks.has_edge(e, t));
+  EXPECT_TRUE(g.blocks.has_edge(e, el));
+}
+
+TEST(Statican, CleanAffineLoopIsModeled) {
+  // for (i = 0; i < 10; ++i) a[i] = i with a global base: fully affine.
+  Module m;
+  i64 g = m.add_global("a", 80);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(g);
+  Reg n = b.const_(10);
+  b.counted_loop(0, n, 1, [&](Reg iv) {
+    Reg off = b.muli(iv, 8);
+    Reg p = b.add(base, off);
+    b.store(p, iv);
+  });
+  b.ret();
+  FunctionVerdict v = analyze_function(m, f);
+  EXPECT_TRUE(v.affine_modeled) << reasons_str(v.reasons);
+}
+
+TEST(Statican, CallTriggersR) {
+  Module m;
+  Function& g = m.add_function("g", 0);
+  {
+    Builder b(m, g);
+    b.set_block(b.make_block());
+    b.ret();
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  b.call(g, {});
+  b.ret();
+  FunctionVerdict v = analyze_function(m, f);
+  EXPECT_TRUE(v.reasons.count('R'));
+}
+
+TEST(Statican, MultipleReturnsTriggerC) {
+  Module m;
+  Function& f = m.add_function("main", 1);
+  Builder b(m, f);
+  int e = b.make_block();
+  int t = b.make_block();
+  int el = b.make_block();
+  b.set_block(e);
+  Reg z = b.const_(0);
+  Reg c = b.cmp(Op::kCmpLt, 0, z);
+  b.br_cond(c, t, el);
+  b.set_block(t);
+  b.ret();
+  b.set_block(el);
+  b.ret();
+  FunctionVerdict v = analyze_function(m, f);
+  EXPECT_TRUE(v.reasons.count('C'));
+}
+
+TEST(Statican, DataDependentBoundTriggersB) {
+  // while (a[i] != 0) ++i : the loop condition depends on loaded data.
+  Module m;
+  i64 g = m.add_global_init("a", {1, 2, 0});
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  int entry = b.make_block();
+  int header = b.make_block();
+  int body = b.make_block();
+  int exit_bb = b.make_block();
+  b.set_block(entry);
+  Reg base = b.const_(g);
+  Reg i = b.const_(0);
+  b.br(header);
+  b.set_block(header);
+  Reg off = b.muli(i, 8);
+  Reg p = b.add(base, off);
+  Reg val = b.load(p);
+  Reg zero = b.const_(0);
+  Reg ne = b.cmp(Op::kCmpNe, val, zero);
+  b.br_cond(ne, body, exit_bb);
+  b.set_block(body);
+  b.addi(i, 1, i);
+  b.br(header);
+  b.set_block(exit_bb);
+  b.ret();
+  FunctionVerdict v = analyze_function(m, f);
+  EXPECT_TRUE(v.reasons.count('B')) << reasons_str(v.reasons);
+}
+
+TEST(Statican, PointerIndirectionTriggersF) {
+  // Access through a loaded pointer: p = load(t); load(p).
+  Module m;
+  i64 g = m.add_global_init("t", {8, 0});
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(g);
+  Reg p = b.load(base);
+  b.load(p);
+  b.ret();
+  FunctionVerdict v = analyze_function(m, f);
+  EXPECT_TRUE(v.reasons.count('F'));
+}
+
+TEST(Statican, TwoArgumentBasesTriggerA) {
+  // kernel(dst, src): stores through one argument, loads through another —
+  // no static no-alias proof.
+  Module m;
+  Function& f = m.add_function("kernel", 2);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg v = b.load(1);
+  b.store(0, v);
+  b.ret();
+  FunctionVerdict verdict = analyze_function(m, f);
+  EXPECT_TRUE(verdict.reasons.count('A')) << reasons_str(verdict.reasons);
+}
+
+TEST(Statican, SwappedBasePointerTriggersP) {
+  // pathfinder-style src/dst swap inside the outer loop.
+  Module m;
+  i64 ga = m.add_global("bufA", 64);
+  i64 gb = m.add_global("bufB", 64);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(ga);
+  Reg bb_ = b.const_(gb);
+  Reg src = b.fresh();
+  Reg dst = b.fresh();
+  b.mov(a, src);
+  b.mov(bb_, dst);
+  Reg n = b.const_(4);
+  b.counted_loop(0, n, 1, [&](Reg) {
+    Reg v = b.load(src);
+    b.store(dst, v);
+    Reg tmp = b.fresh();
+    b.mov(src, tmp);
+    b.mov(dst, src);
+    b.mov(tmp, dst);
+  });
+  b.ret();
+  FunctionVerdict v = analyze_function(m, f);
+  EXPECT_TRUE(v.reasons.count('P') || v.reasons.count('F'))
+      << reasons_str(v.reasons);
+}
+
+TEST(Statican, ReasonsStrOrdering) {
+  EXPECT_EQ(reasons_str({'F', 'R', 'B'}), "RBF");
+  EXPECT_EQ(reasons_str({}), "-");
+  EXPECT_EQ(reasons_str({'P', 'A', 'C'}), "CAP");
+}
+
+TEST(Statican, RegionUnionsReasons) {
+  Module m;
+  Function& g = m.add_function("g", 2);
+  {
+    Builder b(m, g);
+    b.set_block(b.make_block());
+    Reg v = b.load(1);
+    b.store(0, v);
+    b.ret();
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg z = b.const_(0);
+  b.call(g, {z, z});
+  b.ret();
+  auto reasons = analyze_region(m, {f.id, g.id});
+  EXPECT_TRUE(reasons.count('R'));
+  EXPECT_TRUE(reasons.count('A'));
+}
+
+TEST(Statican, SubregionVerdictsCountModeledLoops) {
+  // An affine 2-D nest followed by a pointer-chasing loop: the nest (both
+  // levels) is modelable, the chase is not.
+  Module m;
+  i64 g = m.add_global("a", 16 * 16 * 8);
+  i64 g_list = m.add_global_init("list", {8, 16, 0});
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(g);
+  Reg n = b.const_(16);
+  b.counted_loop(0, n, 1, [&](Reg i) {
+    b.counted_loop(0, n, 1, [&](Reg j) {
+      Reg row = b.mul(i, n);
+      Reg cell = b.add(row, j);
+      Reg off = b.muli(cell, 8);
+      Reg p = b.add(a, off);
+      b.store(p, cell);
+    });
+  });
+  // Pointer chase: load a pointer, follow it.
+  Reg cur = b.fresh();
+  Reg base = b.const_(g_list);
+  b.mov(base, cur);
+  int h = b.make_block();
+  int body = b.make_block();
+  int x = b.make_block();
+  b.br(h);
+  b.set_block(h);
+  Reg nxt = b.load(cur);
+  Reg zero = b.const_(0);
+  Reg done = b.cmp(Op::kCmpEq, nxt, zero);
+  b.br_cond(done, x, body);
+  b.set_block(body);
+  Reg p2 = b.add(base, nxt);
+  b.mov(p2, cur);
+  b.br(h);
+  b.set_block(x);
+  b.ret();
+
+  FunctionVerdict v = analyze_function(m, f);
+  EXPECT_FALSE(v.affine_modeled);       // the chase poisons the function
+  EXPECT_EQ(v.num_loops, 3);            // 2-D nest + chase loop
+  EXPECT_EQ(v.num_modeled_loops, 2);    // both nest levels are clean
+  EXPECT_EQ(v.max_modeled_nest_depth, 2);
+}
+
+TEST(Statican, FullyCleanFunctionModelsAllLoops) {
+  Module m;
+  i64 g = m.add_global("a", 64);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(g);
+  Reg n = b.const_(8);
+  b.counted_loop(0, n, 1, [&](Reg i) {
+    Reg off = b.muli(i, 8);
+    Reg p = b.add(a, off);
+    b.store(p, i);
+  });
+  b.ret();
+  FunctionVerdict v = analyze_function(m, f);
+  EXPECT_TRUE(v.affine_modeled);
+  EXPECT_EQ(v.num_modeled_loops, v.num_loops);
+  EXPECT_EQ(v.max_modeled_nest_depth, 1);
+}
+
+// Experiment II's headline: Polly-like analysis cannot model the whole
+// region of interest for ANY of the 19 Rodinia benchmarks.
+class StaticanRodinia : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StaticanRodinia, WholeRegionNeverModeled) {
+  workloads::Workload w = workloads::make_rodinia(GetParam());
+  std::vector<int> funcs;
+  for (const auto& f : w.module.functions) funcs.push_back(f.id);
+  auto reasons = analyze_region(w.module, funcs);
+  EXPECT_FALSE(reasons.empty())
+      << GetParam() << " unexpectedly fully modeled statically";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, StaticanRodinia,
+                         ::testing::ValuesIn(workloads::rodinia_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '+') c = 'p';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace pp::statican

@@ -1,0 +1,76 @@
+#include "support/int_math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp {
+namespace {
+
+TEST(IntMath, GcdBasics) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(12, -18), 6);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(5, 0), 5);
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(gcd(7, 13), 1);
+}
+
+TEST(IntMath, Lcm) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(0, 6), 0);
+  EXPECT_EQ(lcm(-4, 6), 12);
+}
+
+TEST(IntMath, FloorDivAllSignCombinations) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 2), 3);
+  EXPECT_EQ(floor_div(-6, 2), -3);
+}
+
+TEST(IntMath, CeilDivAllSignCombinations) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(7, -2), -3);
+  EXPECT_EQ(ceil_div(-7, -2), 4);
+  EXPECT_EQ(ceil_div(6, 2), 3);
+}
+
+TEST(IntMath, FloorCeilAgreeOnExactDivision) {
+  for (int a = -20; a <= 20; ++a) {
+    for (int b : {-3, -1, 1, 3}) {
+      if (a % b == 0) {
+        EXPECT_EQ(floor_div(a, b), ceil_div(a, b));
+      }
+      EXPECT_LE(floor_div(a, b), ceil_div(a, b));
+    }
+  }
+}
+
+TEST(IntMath, CheckedOpsThrowOnOverflow) {
+  i128 big = i128(1) << 126;
+  EXPECT_THROW(add_checked(big, big), Error);
+  EXPECT_THROW(mul_checked(big, 4), Error);
+  EXPECT_THROW(sub_checked(-big - big, big), Error);
+  EXPECT_EQ(add_checked(big, -big), 0);
+}
+
+TEST(IntMath, ToString128) {
+  EXPECT_EQ(to_string_i128(0), "0");
+  EXPECT_EQ(to_string_i128(42), "42");
+  EXPECT_EQ(to_string_i128(-42), "-42");
+  i128 big = i128(1000000000000000000LL) * 1000;
+  EXPECT_EQ(to_string_i128(big), "1000000000000000000000");
+  EXPECT_EQ(to_string_i128(-big), "-1000000000000000000000");
+}
+
+TEST(IntMath, NarrowI64) {
+  EXPECT_EQ(narrow_i64(i128(INT64_MAX)), INT64_MAX);
+  EXPECT_EQ(narrow_i64(i128(INT64_MIN)), INT64_MIN);
+  EXPECT_THROW(narrow_i64(i128(INT64_MAX) + 1), Error);
+}
+
+}  // namespace
+}  // namespace pp

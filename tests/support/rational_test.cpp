@@ -1,0 +1,99 @@
+#include "support/rational.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp {
+namespace {
+
+TEST(Rational, CanonicalForm) {
+  Rat r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+  Rat neg(3, -4);
+  EXPECT_EQ(neg.num(), -3);
+  EXPECT_EQ(neg.den(), 4);
+  Rat zero(0, 17);
+  EXPECT_EQ(zero.num(), 0);
+  EXPECT_EQ(zero.den(), 1);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rat(1, 2) + Rat(1, 3), Rat(5, 6));
+  EXPECT_EQ(Rat(1, 2) - Rat(1, 3), Rat(1, 6));
+  EXPECT_EQ(Rat(2, 3) * Rat(3, 4), Rat(1, 2));
+  EXPECT_EQ(Rat(2, 3) / Rat(4, 3), Rat(1, 2));
+  EXPECT_EQ(-Rat(2, 3), Rat(-2, 3));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rat(1) / Rat(0), Error);
+  EXPECT_THROW(Rat(1, 0), Error);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rat(1, 3), Rat(1, 2));
+  EXPECT_GT(Rat(-1, 3), Rat(-1, 2));
+  EXPECT_LE(Rat(2, 4), Rat(1, 2));
+  EXPECT_EQ(Rat(2, 4), Rat(1, 2));
+  EXPECT_NE(Rat(1, 3), Rat(1, 2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rat(7, 2).floor(), 3);
+  EXPECT_EQ(Rat(7, 2).ceil(), 4);
+  EXPECT_EQ(Rat(-7, 2).floor(), -4);
+  EXPECT_EQ(Rat(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rat(4).floor(), 4);
+  EXPECT_EQ(Rat(4).ceil(), 4);
+}
+
+TEST(Rational, StrAndPredicates) {
+  EXPECT_EQ(Rat(7, 3).str(), "7/3");
+  EXPECT_EQ(Rat(4).str(), "4");
+  EXPECT_EQ(Rat(-1, 2).str(), "-1/2");
+  EXPECT_TRUE(Rat(0).is_zero());
+  EXPECT_TRUE(Rat(4).is_integer());
+  EXPECT_FALSE(Rat(1, 2).is_integer());
+  EXPECT_EQ(Rat(-5).sign(), -1);
+  EXPECT_EQ(Rat(0).sign(), 0);
+  EXPECT_EQ(Rat(5).sign(), 1);
+}
+
+TEST(Rational, AbsAndCompound) {
+  EXPECT_EQ(Rat(-3, 4).abs(), Rat(3, 4));
+  Rat r(1, 2);
+  r += Rat(1, 2);
+  EXPECT_EQ(r, Rat(1));
+  r *= Rat(3);
+  EXPECT_EQ(r, Rat(3));
+  r -= Rat(1, 3);
+  EXPECT_EQ(r, Rat(8, 3));
+  r /= Rat(2);
+  EXPECT_EQ(r, Rat(4, 3));
+}
+
+TEST(Rational, FieldAxiomsSweep) {
+  // Exhaustive small-value sweep of commutativity/associativity/
+  // distributivity — the rational kernel must be a field, exactly.
+  std::vector<Rat> vals;
+  for (int n = -3; n <= 3; ++n)
+    for (int d = 1; d <= 3; ++d) vals.emplace_back(n, d);
+  for (const Rat& a : vals) {
+    for (const Rat& b : vals) {
+      EXPECT_EQ(a + b, b + a);
+      EXPECT_EQ(a * b, b * a);
+      for (const Rat& c : vals) {
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+      }
+    }
+  }
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rat(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rat(-3).to_double(), -3.0);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,363 @@
+#include "vm/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace pp::vm {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+// A trace-recording observer used across the tests.
+struct Recorder : Observer {
+  std::vector<std::pair<int, int>> jumps;  // (func, bb)
+  std::vector<std::pair<CodeRef, int>> calls;
+  std::vector<std::pair<int, CodeRef>> returns;
+  u64 instr_events = 0;
+  std::vector<i64> load_addresses;
+
+  void on_local_jump(int func, int dst_bb) override {
+    jumps.emplace_back(func, dst_bb);
+  }
+  void on_call(CodeRef site, int callee) override {
+    calls.emplace_back(site, callee);
+  }
+  void on_return(int callee, CodeRef into) override {
+    returns.emplace_back(callee, into);
+  }
+  void on_instr(const InstrEvent& ev) override {
+    ++instr_events;
+    if (ev.instr->op == Op::kLoad) load_addresses.push_back(ev.address);
+  }
+};
+
+Module arith_module() {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(6);
+  Reg c = b.const_(7);
+  Reg r = b.mul(a, c);
+  b.ret(r);
+  return m;
+}
+
+TEST(Vm, BasicArithmetic) {
+  Module m = arith_module();
+  Machine vm(m);
+  RunResult r = vm.run("main");
+  EXPECT_EQ(r.exit_value, 42);
+  EXPECT_EQ(r.stats.instructions, 4u);
+}
+
+TEST(Vm, AllIntOps) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(13);
+  Reg c = b.const_(5);
+  Reg sum = b.add(a, c);           // 18
+  Reg diff = b.sub(sum, c);        // 13
+  Reg quot = b.div(diff, c);       // 2
+  Reg remv = b.rem(diff, c);       // 3
+  Reg mixed = b.mul(quot, remv);   // 6
+  Reg r = b.addi(mixed, 100);      // 106
+  b.ret(r);
+  Machine vm(m);
+  EXPECT_EQ(vm.run("main").exit_value, 106);
+}
+
+TEST(Vm, ComparisonsAndBranching) {
+  // return (10 < 20) ? 1 : 2 via brcond
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  int entry = b.make_block();
+  int then_bb = b.make_block();
+  int else_bb = b.make_block();
+  b.set_block(entry);
+  Reg a = b.const_(10);
+  Reg c = b.const_(20);
+  Reg lt = b.cmp(Op::kCmpLt, a, c);
+  b.br_cond(lt, then_bb, else_bb);
+  b.set_block(then_bb);
+  Reg one = b.const_(1);
+  b.ret(one);
+  b.set_block(else_bb);
+  Reg two = b.const_(2);
+  b.ret(two);
+  Machine vm(m);
+  EXPECT_EQ(vm.run("main").exit_value, 1);
+}
+
+TEST(Vm, FloatingPointOps) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg x = b.fconst(1.5);
+  Reg y = b.fconst(2.5);
+  Reg s = b.fadd(x, y);      // 4.0
+  Reg p = b.fmul(s, y);      // 10.0
+  Reg i = b.f2i(p);          // 10
+  b.ret(i);
+  Machine vm(m);
+  RunResult r = vm.run("main");
+  EXPECT_EQ(r.exit_value, 10);
+  EXPECT_EQ(r.stats.fp_ops, 2u);
+}
+
+TEST(Vm, LoadStoreGlobals) {
+  Module m;
+  i64 addr = m.add_global_init("tbl", {10, 20, 30});
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(addr);
+  Reg v1 = b.load(base, 8);    // 20
+  Reg v2 = b.load(base, 16);   // 30
+  Reg s = b.add(v1, v2);       // 50
+  b.store(base, s, 0);
+  b.ret(s);
+  Machine vm(m);
+  RunResult r = vm.run("main");
+  EXPECT_EQ(r.exit_value, 50);
+  EXPECT_EQ(vm.read_word(addr), 50);
+  EXPECT_EQ(r.stats.loads, 2u);
+  EXPECT_EQ(r.stats.stores, 1u);
+}
+
+TEST(Vm, LoopExecutesNTimes) {
+  // return sum of 0..9 = 45
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg sum = b.const_(0);
+  Reg n = b.const_(10);
+  b.counted_loop(0, n, 1, [&](Reg iv) { b.add(sum, iv, sum); });
+  b.ret(sum);
+  Machine vm(m);
+  EXPECT_EQ(vm.run("main").exit_value, 45);
+}
+
+TEST(Vm, CallsAndReturnValues) {
+  Module m;
+  Function& sq = m.add_function("square", 1);
+  {
+    Builder b(m, sq);
+    b.set_block(b.make_block());
+    Reg r = b.mul(0, 0);
+    b.ret(r);
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg x = b.const_(9);
+  Reg r = b.call(sq, {x}, true);
+  b.ret(r);
+  Machine vm(m);
+  RunResult res = vm.run("main");
+  EXPECT_EQ(res.exit_value, 81);
+  EXPECT_EQ(res.stats.calls, 1u);
+}
+
+TEST(Vm, RecursionFactorial) {
+  Module m;
+  Function& fact = m.add_function("fact", 1);
+  {
+    Builder b(m, fact);
+    int entry = b.make_block();
+    int base = b.make_block();
+    int rec = b.make_block();
+    b.set_block(entry);
+    Reg one = b.const_(1);
+    Reg le = b.cmp(Op::kCmpLe, 0, one);
+    b.br_cond(le, base, rec);
+    b.set_block(base);
+    Reg c1 = b.const_(1);
+    b.ret(c1);
+    b.set_block(rec);
+    Reg nm1 = b.addi(0, -1);
+    Reg sub = b.call(fact, {nm1}, true);
+    Reg r = b.mul(0, sub);
+    b.ret(r);
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg n = b.const_(6);
+  Reg r = b.call(fact, {n}, true);
+  b.ret(r);
+  Machine vm(m);
+  EXPECT_EQ(vm.run("main").exit_value, 720);
+}
+
+TEST(Vm, EntryArguments) {
+  Module m;
+  Function& f = m.add_function("main", 2);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg r = b.sub(0, 1);
+  b.ret(r);
+  Machine vm(m);
+  EXPECT_EQ(vm.run("main", {50, 8}).exit_value, 42);
+}
+
+TEST(Vm, ObserverSeesControlEvents) {
+  Module m;
+  Function& g = m.add_function("g", 0);
+  {
+    Builder b(m, g);
+    b.set_block(b.make_block());
+    b.ret();
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  int entry = b.make_block();
+  int next = b.make_block();
+  b.set_block(entry);
+  b.call(g, {});
+  b.br(next);
+  b.set_block(next);
+  b.ret();
+  Machine vm(m);
+  Recorder rec;
+  vm.set_observer(&rec);
+  vm.run("main");
+  // Initial jump into main bb0, then jump to bb1.
+  ASSERT_GE(rec.jumps.size(), 2u);
+  EXPECT_EQ(rec.jumps[0], std::make_pair(f.id, 0));
+  EXPECT_EQ(rec.jumps.back(), std::make_pair(f.id, 1));
+  ASSERT_EQ(rec.calls.size(), 1u);
+  EXPECT_EQ(rec.calls[0].second, g.id);
+  ASSERT_EQ(rec.returns.size(), 1u);
+  EXPECT_EQ(rec.returns[0].first, g.id);
+  EXPECT_EQ(rec.returns[0].second.func, f.id);
+  EXPECT_GT(rec.instr_events, 0u);
+}
+
+TEST(Vm, ObserverSeesLoadAddresses) {
+  Module m;
+  i64 addr = m.add_global("buf", 64);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(addr);
+  Reg n = b.const_(4);
+  b.counted_loop(0, n, 1, [&](Reg iv) {
+    Reg off = b.muli(iv, 8);
+    Reg p = b.add(base, off);
+    b.load(p);
+  });
+  b.ret();
+  Machine vm(m);
+  Recorder rec;
+  vm.set_observer(&rec);
+  vm.run("main");
+  EXPECT_EQ(rec.load_addresses,
+            (std::vector<i64>{addr, addr + 8, addr + 16, addr + 24}));
+}
+
+TEST(Vm, TrapsOnBadAddress) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg bad = b.const_(-8);
+  b.load(bad);
+  b.ret();
+  Machine vm(m);
+  EXPECT_THROW(vm.run("main"), Error);
+}
+
+TEST(Vm, TrapsOnUnalignedAddress) {
+  Module m;
+  m.add_global("buf", 64);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg bad = b.const_(3);
+  b.load(bad);
+  b.ret();
+  Machine vm(m);
+  EXPECT_THROW(vm.run("main"), Error);
+}
+
+TEST(Vm, TrapsOnDivisionByZero) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(1);
+  Reg z = b.const_(0);
+  b.div(a, z);
+  b.ret();
+  Machine vm(m);
+  EXPECT_THROW(vm.run("main"), Error);
+}
+
+TEST(Vm, StepLimitGuardsInfiniteLoops) {
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  int entry = b.make_block();
+  b.set_block(entry);
+  b.br(entry);
+  Machine vm(m);
+  EXPECT_THROW(vm.run("main", {}, /*max_steps=*/1000), Error);
+}
+
+TEST(Vm, CacheModelCountsMisses) {
+  // Stride-8 (one word) walk over 4 KiB touches 64 lines -> 64 misses;
+  // a second pass over the same data (fits in cache) hits.
+  Module m;
+  i64 addr = m.add_global("buf", 4096);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(addr);
+  Reg n = b.const_(512);
+  b.counted_loop(0, n, 1, [&](Reg iv) {
+    Reg off = b.muli(iv, 8);
+    Reg p = b.add(base, off);
+    b.load(p);
+  });
+  b.counted_loop(0, n, 1, [&](Reg iv) {
+    Reg off = b.muli(iv, 8);
+    Reg p = b.add(base, off);
+    b.load(p);
+  });
+  b.ret();
+  Machine vm(m);
+  RunResult r = vm.run("main");
+  EXPECT_EQ(r.stats.cache_misses, 64u);
+}
+
+TEST(Vm, PerFunctionInstructionCounts) {
+  Module m = arith_module();
+  Machine vm(m);
+  RunResult r = vm.run("main");
+  ASSERT_EQ(r.stats.per_function_instrs.size(), 1u);
+  EXPECT_EQ(r.stats.per_function_instrs[0], r.stats.instructions);
+}
+
+TEST(Vm, DeterministicAcrossRuns) {
+  Module m = arith_module();
+  Machine vm(m);
+  RunResult a = vm.run("main");
+  RunResult b = vm.run("main");
+  EXPECT_EQ(a.exit_value, b.exit_value);
+  EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+}
+
+}  // namespace
+}  // namespace pp::vm

@@ -1,0 +1,93 @@
+#include "workloads/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vm/vm.hpp"
+
+namespace pp::workloads {
+namespace {
+
+TEST(Workloads, RegistryHasAllNineteen) {
+  EXPECT_EQ(rodinia_names().size(), 19u);
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(make_rodinia("doom3"), Error);
+}
+
+// Parameterized over the whole suite: every benchmark verifies, runs to
+// completion deterministically, and actually executes a nontrivial amount
+// of work.
+class RodiniaSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RodiniaSuite, BuildsVerifiesAndRuns) {
+  Workload w = make_rodinia(GetParam());
+  EXPECT_EQ(w.name, GetParam());
+  EXPECT_GT(w.ld_src, 0);
+  EXPECT_FALSE(w.region_hint.empty());
+  ASSERT_NO_THROW(ir::verify(w.module));
+
+  vm::Machine vm1(w.module);
+  vm::RunResult r1 = vm1.run("main");
+  EXPECT_GT(r1.stats.instructions, 1000u);
+
+  vm::Machine vm2(w.module);
+  vm::RunResult r2 = vm2.run("main");
+  EXPECT_EQ(r1.exit_value, r2.exit_value);
+  EXPECT_EQ(r1.stats.instructions, r2.stats.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, RodiniaSuite,
+                         ::testing::ValuesIn(rodinia_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '+') c = 'p';
+                           return n;
+                         });
+
+TEST(Workloads, Fig6KernelRuns) {
+  ir::Module m = make_backprop_fig6();
+  ASSERT_NO_THROW(ir::verify(m));
+  vm::Machine vm(m);
+  vm::RunResult r = vm.run("main");
+  // 16 columns x 43 rows of inner work.
+  EXPECT_GE(r.stats.loads, 16u * 43u * 3u);
+}
+
+TEST(Workloads, BackpropTransformedComputesSameResult) {
+  // The hand-applied transformation must preserve semantics: identical
+  // checksums.
+  ir::Module base = make_backprop();
+  ir::Module tx = make_backprop_transformed();
+  vm::Machine v1(base), v2(tx);
+  EXPECT_EQ(v1.run("main").exit_value, v2.run("main").exit_value);
+}
+
+TEST(Workloads, BackpropTransformedIsFasterInCycleModel) {
+  ir::Module base = make_backprop(16, 48);
+  ir::Module tx = make_backprop_transformed(16, 48);
+  vm::Machine v1(base), v2(tx);
+  u64 c1 = v1.run("main").stats.cycles;
+  u64 c2 = v2.run("main").stats.cycles;
+  EXPECT_LT(c2, c1);  // interchange + expansion wins in the cache model
+}
+
+TEST(Workloads, GemsFdtdVariantsAgree) {
+  ir::Module base = make_gemsfdtd();
+  ir::Module tiled = make_gemsfdtd_tiled();
+  vm::Machine v1(base), v2(tiled);
+  EXPECT_EQ(v1.run("main").exit_value, v2.run("main").exit_value);
+}
+
+TEST(Workloads, GemsFdtdTilingReducesMisses) {
+  ir::Module base = make_gemsfdtd(16, 16, 16);
+  ir::Module tiled = make_gemsfdtd_tiled(16, 16, 16, 4);
+  vm::Machine v1(base), v2(tiled);
+  u64 m1 = v1.run("main").stats.cache_misses;
+  u64 m2 = v2.run("main").stats.cache_misses;
+  EXPECT_LT(m2, m1);
+}
+
+}  // namespace
+}  // namespace pp::workloads
