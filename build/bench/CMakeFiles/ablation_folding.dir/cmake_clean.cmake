@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_folding.dir/ablation_folding.cpp.o"
+  "CMakeFiles/ablation_folding.dir/ablation_folding.cpp.o.d"
+  "ablation_folding"
+  "ablation_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expII_static_baseline.dir/expII_static_baseline.cpp.o"
+  "CMakeFiles/expII_static_baseline.dir/expII_static_baseline.cpp.o.d"
+  "expII_static_baseline"
+  "expII_static_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expII_static_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_control_structure.dir/fig2_control_structure.cpp.o"
+  "CMakeFiles/fig2_control_structure.dir/fig2_control_structure.cpp.o.d"
+  "fig2_control_structure"
+  "fig2_control_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_control_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_iiv.dir/fig3_iiv.cpp.o"
+  "CMakeFiles/fig3_iiv.dir/fig3_iiv.cpp.o.d"
+  "fig3_iiv"
+  "fig3_iiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_iiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_flamegraph.dir/fig7_flamegraph.cpp.o"
+  "CMakeFiles/fig7_flamegraph.dir/fig7_flamegraph.cpp.o.d"
+  "fig7_flamegraph"
+  "fig7_flamegraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_flamegraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_profiling.dir/overhead_profiling.cpp.o"
+  "CMakeFiles/overhead_profiling.dir/overhead_profiling.cpp.o.d"
+  "overhead_profiling"
+  "overhead_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

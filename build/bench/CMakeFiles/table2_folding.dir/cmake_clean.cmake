@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_folding.dir/table2_folding.cpp.o"
+  "CMakeFiles/table2_folding.dir/table2_folding.cpp.o.d"
+  "table2_folding"
+  "table2_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

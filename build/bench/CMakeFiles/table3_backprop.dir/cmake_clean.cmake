@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_backprop.dir/table3_backprop.cpp.o"
+  "CMakeFiles/table3_backprop.dir/table3_backprop.cpp.o.d"
+  "table3_backprop"
+  "table3_backprop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_backprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_gemsfdtd.cpp" "bench/CMakeFiles/table4_gemsfdtd.dir/table4_gemsfdtd.cpp.o" "gcc" "bench/CMakeFiles/table4_gemsfdtd.dir/table4_gemsfdtd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/statican/CMakeFiles/pp_statican.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/pp_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/pp_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/fold/CMakeFiles/pp_fold.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/pp_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddg/CMakeFiles/pp_ddg.dir/DependInfo.cmake"
+  "/root/repo/build/src/iiv/CMakeFiles/pp_iiv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

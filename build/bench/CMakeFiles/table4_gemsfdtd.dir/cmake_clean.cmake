@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_gemsfdtd.dir/table4_gemsfdtd.cpp.o"
+  "CMakeFiles/table4_gemsfdtd.dir/table4_gemsfdtd.cpp.o.d"
+  "table4_gemsfdtd"
+  "table4_gemsfdtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_gemsfdtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

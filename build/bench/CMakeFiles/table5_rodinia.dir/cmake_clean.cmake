@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_rodinia.dir/table5_rodinia.cpp.o"
+  "CMakeFiles/table5_rodinia.dir/table5_rodinia.cpp.o.d"
+  "table5_rodinia"
+  "table5_rodinia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rodinia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

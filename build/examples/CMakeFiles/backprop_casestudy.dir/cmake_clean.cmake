@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backprop_casestudy.dir/backprop_casestudy.cpp.o"
+  "CMakeFiles/backprop_casestudy.dir/backprop_casestudy.cpp.o.d"
+  "backprop_casestudy"
+  "backprop_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backprop_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flamegraph_export.dir/flamegraph_export.cpp.o"
+  "CMakeFiles/flamegraph_export.dir/flamegraph_export.cpp.o.d"
+  "flamegraph_export"
+  "flamegraph_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flamegraph_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemsfdtd_casestudy.dir/gemsfdtd_casestudy.cpp.o"
+  "CMakeFiles/gemsfdtd_casestudy.dir/gemsfdtd_casestudy.cpp.o.d"
+  "gemsfdtd_casestudy"
+  "gemsfdtd_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemsfdtd_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

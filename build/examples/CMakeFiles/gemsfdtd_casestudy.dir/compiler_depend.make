@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gemsfdtd_casestudy.
+# This may be replaced when dependencies are built.

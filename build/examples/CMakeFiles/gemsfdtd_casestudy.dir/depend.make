@@ -1,0 +1,2 @@
+# Empty dependencies file for gemsfdtd_casestudy.
+# This may be replaced when dependencies are built.

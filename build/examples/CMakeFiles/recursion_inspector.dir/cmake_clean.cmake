@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursion_inspector.dir/recursion_inspector.cpp.o"
+  "CMakeFiles/recursion_inspector.dir/recursion_inspector.cpp.o.d"
+  "recursion_inspector"
+  "recursion_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursion_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

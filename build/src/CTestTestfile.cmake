@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("poly")
+subdirs("ir")
+subdirs("vm")
+subdirs("cfg")
+subdirs("iiv")
+subdirs("ddg")
+subdirs("fold")
+subdirs("scheduler")
+subdirs("feedback")
+subdirs("statican")
+subdirs("workloads")
+subdirs("core")

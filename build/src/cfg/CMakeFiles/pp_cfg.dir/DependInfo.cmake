@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/dynamic_cfg.cpp" "src/cfg/CMakeFiles/pp_cfg.dir/dynamic_cfg.cpp.o" "gcc" "src/cfg/CMakeFiles/pp_cfg.dir/dynamic_cfg.cpp.o.d"
+  "/root/repo/src/cfg/graph.cpp" "src/cfg/CMakeFiles/pp_cfg.dir/graph.cpp.o" "gcc" "src/cfg/CMakeFiles/pp_cfg.dir/graph.cpp.o.d"
+  "/root/repo/src/cfg/loop_events.cpp" "src/cfg/CMakeFiles/pp_cfg.dir/loop_events.cpp.o" "gcc" "src/cfg/CMakeFiles/pp_cfg.dir/loop_events.cpp.o.d"
+  "/root/repo/src/cfg/loop_forest.cpp" "src/cfg/CMakeFiles/pp_cfg.dir/loop_forest.cpp.o" "gcc" "src/cfg/CMakeFiles/pp_cfg.dir/loop_forest.cpp.o.d"
+  "/root/repo/src/cfg/recursive_components.cpp" "src/cfg/CMakeFiles/pp_cfg.dir/recursive_components.cpp.o" "gcc" "src/cfg/CMakeFiles/pp_cfg.dir/recursive_components.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/pp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_cfg.dir/dynamic_cfg.cpp.o"
+  "CMakeFiles/pp_cfg.dir/dynamic_cfg.cpp.o.d"
+  "CMakeFiles/pp_cfg.dir/graph.cpp.o"
+  "CMakeFiles/pp_cfg.dir/graph.cpp.o.d"
+  "CMakeFiles/pp_cfg.dir/loop_events.cpp.o"
+  "CMakeFiles/pp_cfg.dir/loop_events.cpp.o.d"
+  "CMakeFiles/pp_cfg.dir/loop_forest.cpp.o"
+  "CMakeFiles/pp_cfg.dir/loop_forest.cpp.o.d"
+  "CMakeFiles/pp_cfg.dir/recursive_components.cpp.o"
+  "CMakeFiles/pp_cfg.dir/recursive_components.cpp.o.d"
+  "libpp_cfg.a"
+  "libpp_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

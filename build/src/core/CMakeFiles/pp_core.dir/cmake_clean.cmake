@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pp_core.dir/pipeline.cpp.o.d"
+  "libpp_core.a"
+  "libpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_ddg.dir/ddg_builder.cpp.o"
+  "CMakeFiles/pp_ddg.dir/ddg_builder.cpp.o.d"
+  "CMakeFiles/pp_ddg.dir/statement.cpp.o"
+  "CMakeFiles/pp_ddg.dir/statement.cpp.o.d"
+  "libpp_ddg.a"
+  "libpp_ddg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_ddg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

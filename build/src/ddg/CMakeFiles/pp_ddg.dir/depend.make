@@ -1,0 +1,2 @@
+# Empty dependencies file for pp_ddg.
+# This may be replaced when dependencies are built.

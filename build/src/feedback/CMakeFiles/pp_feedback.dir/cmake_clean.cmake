@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_feedback.dir/flamegraph.cpp.o"
+  "CMakeFiles/pp_feedback.dir/flamegraph.cpp.o.d"
+  "CMakeFiles/pp_feedback.dir/metrics.cpp.o"
+  "CMakeFiles/pp_feedback.dir/metrics.cpp.o.d"
+  "CMakeFiles/pp_feedback.dir/report.cpp.o"
+  "CMakeFiles/pp_feedback.dir/report.cpp.o.d"
+  "libpp_feedback.a"
+  "libpp_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

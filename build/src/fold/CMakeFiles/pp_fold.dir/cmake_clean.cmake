@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_fold.dir/folded_ddg.cpp.o"
+  "CMakeFiles/pp_fold.dir/folded_ddg.cpp.o.d"
+  "CMakeFiles/pp_fold.dir/folder.cpp.o"
+  "CMakeFiles/pp_fold.dir/folder.cpp.o.d"
+  "libpp_fold.a"
+  "libpp_fold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_fold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pp_fold.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_iiv.dir/cct.cpp.o"
+  "CMakeFiles/pp_iiv.dir/cct.cpp.o.d"
+  "CMakeFiles/pp_iiv.dir/diiv.cpp.o"
+  "CMakeFiles/pp_iiv.dir/diiv.cpp.o.d"
+  "CMakeFiles/pp_iiv.dir/schedule_tree.cpp.o"
+  "CMakeFiles/pp_iiv.dir/schedule_tree.cpp.o.d"
+  "libpp_iiv.a"
+  "libpp_iiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_iiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

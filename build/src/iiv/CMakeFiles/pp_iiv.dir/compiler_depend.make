@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pp_iiv.
+# This may be replaced when dependencies are built.

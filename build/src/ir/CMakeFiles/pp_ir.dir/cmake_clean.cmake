@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_ir.dir/builder.cpp.o"
+  "CMakeFiles/pp_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/ir.cpp.o"
+  "CMakeFiles/pp_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/pp_ir.dir/parser.cpp.o"
+  "CMakeFiles/pp_ir.dir/parser.cpp.o.d"
+  "libpp_ir.a"
+  "libpp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/affine.cpp" "src/poly/CMakeFiles/pp_poly.dir/affine.cpp.o" "gcc" "src/poly/CMakeFiles/pp_poly.dir/affine.cpp.o.d"
+  "/root/repo/src/poly/poly_set.cpp" "src/poly/CMakeFiles/pp_poly.dir/poly_set.cpp.o" "gcc" "src/poly/CMakeFiles/pp_poly.dir/poly_set.cpp.o.d"
+  "/root/repo/src/poly/polyhedron.cpp" "src/poly/CMakeFiles/pp_poly.dir/polyhedron.cpp.o" "gcc" "src/poly/CMakeFiles/pp_poly.dir/polyhedron.cpp.o.d"
+  "/root/repo/src/poly/simplex.cpp" "src/poly/CMakeFiles/pp_poly.dir/simplex.cpp.o" "gcc" "src/poly/CMakeFiles/pp_poly.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

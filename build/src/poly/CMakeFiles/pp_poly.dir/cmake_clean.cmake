@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_poly.dir/affine.cpp.o"
+  "CMakeFiles/pp_poly.dir/affine.cpp.o.d"
+  "CMakeFiles/pp_poly.dir/poly_set.cpp.o"
+  "CMakeFiles/pp_poly.dir/poly_set.cpp.o.d"
+  "CMakeFiles/pp_poly.dir/polyhedron.cpp.o"
+  "CMakeFiles/pp_poly.dir/polyhedron.cpp.o.d"
+  "CMakeFiles/pp_poly.dir/simplex.cpp.o"
+  "CMakeFiles/pp_poly.dir/simplex.cpp.o.d"
+  "libpp_poly.a"
+  "libpp_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

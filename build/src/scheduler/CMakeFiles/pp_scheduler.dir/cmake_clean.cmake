@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_scheduler.dir/scheduler.cpp.o"
+  "CMakeFiles/pp_scheduler.dir/scheduler.cpp.o.d"
+  "libpp_scheduler.a"
+  "libpp_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_statican.dir/statican.cpp.o"
+  "CMakeFiles/pp_statican.dir/statican.cpp.o.d"
+  "libpp_statican.a"
+  "libpp_statican.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_statican.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/int_math.cpp" "src/support/CMakeFiles/pp_support.dir/int_math.cpp.o" "gcc" "src/support/CMakeFiles/pp_support.dir/int_math.cpp.o.d"
+  "/root/repo/src/support/matrix.cpp" "src/support/CMakeFiles/pp_support.dir/matrix.cpp.o" "gcc" "src/support/CMakeFiles/pp_support.dir/matrix.cpp.o.d"
+  "/root/repo/src/support/rational.cpp" "src/support/CMakeFiles/pp_support.dir/rational.cpp.o" "gcc" "src/support/CMakeFiles/pp_support.dir/rational.cpp.o.d"
+  "/root/repo/src/support/str.cpp" "src/support/CMakeFiles/pp_support.dir/str.cpp.o" "gcc" "src/support/CMakeFiles/pp_support.dir/str.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

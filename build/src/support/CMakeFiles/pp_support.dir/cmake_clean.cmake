@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_support.dir/int_math.cpp.o"
+  "CMakeFiles/pp_support.dir/int_math.cpp.o.d"
+  "CMakeFiles/pp_support.dir/matrix.cpp.o"
+  "CMakeFiles/pp_support.dir/matrix.cpp.o.d"
+  "CMakeFiles/pp_support.dir/rational.cpp.o"
+  "CMakeFiles/pp_support.dir/rational.cpp.o.d"
+  "CMakeFiles/pp_support.dir/str.cpp.o"
+  "CMakeFiles/pp_support.dir/str.cpp.o.d"
+  "libpp_support.a"
+  "libpp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

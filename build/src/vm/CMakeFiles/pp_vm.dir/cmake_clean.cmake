@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_vm.dir/vm.cpp.o"
+  "CMakeFiles/pp_vm.dir/vm.cpp.o.d"
+  "libpp_vm.a"
+  "libpp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

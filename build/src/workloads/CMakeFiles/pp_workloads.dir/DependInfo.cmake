@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backprop.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/backprop.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/backprop.cpp.o.d"
+  "/root/repo/src/workloads/gemsfdtd.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/gemsfdtd.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/gemsfdtd.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/rodinia_a.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/rodinia_a.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/rodinia_a.cpp.o.d"
+  "/root/repo/src/workloads/rodinia_b.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/rodinia_b.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/rodinia_b.cpp.o.d"
+  "/root/repo/src/workloads/rodinia_c.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/rodinia_c.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/rodinia_c.cpp.o.d"
+  "/root/repo/src/workloads/util.cpp" "src/workloads/CMakeFiles/pp_workloads.dir/util.cpp.o" "gcc" "src/workloads/CMakeFiles/pp_workloads.dir/util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_workloads.dir/backprop.cpp.o"
+  "CMakeFiles/pp_workloads.dir/backprop.cpp.o.d"
+  "CMakeFiles/pp_workloads.dir/gemsfdtd.cpp.o"
+  "CMakeFiles/pp_workloads.dir/gemsfdtd.cpp.o.d"
+  "CMakeFiles/pp_workloads.dir/registry.cpp.o"
+  "CMakeFiles/pp_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/pp_workloads.dir/rodinia_a.cpp.o"
+  "CMakeFiles/pp_workloads.dir/rodinia_a.cpp.o.d"
+  "CMakeFiles/pp_workloads.dir/rodinia_b.cpp.o"
+  "CMakeFiles/pp_workloads.dir/rodinia_b.cpp.o.d"
+  "CMakeFiles/pp_workloads.dir/rodinia_c.cpp.o"
+  "CMakeFiles/pp_workloads.dir/rodinia_c.cpp.o.d"
+  "CMakeFiles/pp_workloads.dir/util.cpp.o"
+  "CMakeFiles/pp_workloads.dir/util.cpp.o.d"
+  "libpp_workloads.a"
+  "libpp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_dynamic_cfg_test.dir/dynamic_cfg_test.cpp.o"
+  "CMakeFiles/cfg_dynamic_cfg_test.dir/dynamic_cfg_test.cpp.o.d"
+  "cfg_dynamic_cfg_test"
+  "cfg_dynamic_cfg_test.pdb"
+  "cfg_dynamic_cfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_dynamic_cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

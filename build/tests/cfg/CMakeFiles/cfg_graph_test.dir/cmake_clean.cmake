@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_graph_test.dir/graph_test.cpp.o"
+  "CMakeFiles/cfg_graph_test.dir/graph_test.cpp.o.d"
+  "cfg_graph_test"
+  "cfg_graph_test.pdb"
+  "cfg_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

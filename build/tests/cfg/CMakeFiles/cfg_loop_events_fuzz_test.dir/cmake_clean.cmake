@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_loop_events_fuzz_test.dir/loop_events_fuzz_test.cpp.o"
+  "CMakeFiles/cfg_loop_events_fuzz_test.dir/loop_events_fuzz_test.cpp.o.d"
+  "cfg_loop_events_fuzz_test"
+  "cfg_loop_events_fuzz_test.pdb"
+  "cfg_loop_events_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_loop_events_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

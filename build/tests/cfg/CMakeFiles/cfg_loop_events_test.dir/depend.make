@@ -1,0 +1,2 @@
+# Empty dependencies file for cfg_loop_events_test.
+# This may be replaced when dependencies are built.

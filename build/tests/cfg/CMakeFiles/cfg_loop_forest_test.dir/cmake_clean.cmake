@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_loop_forest_test.dir/loop_forest_test.cpp.o"
+  "CMakeFiles/cfg_loop_forest_test.dir/loop_forest_test.cpp.o.d"
+  "cfg_loop_forest_test"
+  "cfg_loop_forest_test.pdb"
+  "cfg_loop_forest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_loop_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_recursive_components_test.dir/recursive_components_test.cpp.o"
+  "CMakeFiles/cfg_recursive_components_test.dir/recursive_components_test.cpp.o.d"
+  "cfg_recursive_components_test"
+  "cfg_recursive_components_test.pdb"
+  "cfg_recursive_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_recursive_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

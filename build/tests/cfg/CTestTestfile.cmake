@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cfg
+# Build directory: /root/repo/build/tests/cfg
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cfg/cfg_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg/cfg_loop_forest_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg/cfg_recursive_components_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg/cfg_dynamic_cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg/cfg_loop_events_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg/cfg_loop_events_fuzz_test[1]_include.cmake")

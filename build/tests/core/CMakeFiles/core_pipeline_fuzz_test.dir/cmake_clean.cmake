@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pipeline_fuzz_test.dir/pipeline_fuzz_test.cpp.o"
+  "CMakeFiles/core_pipeline_fuzz_test.dir/pipeline_fuzz_test.cpp.o.d"
+  "core_pipeline_fuzz_test"
+  "core_pipeline_fuzz_test.pdb"
+  "core_pipeline_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pipeline_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddg_builder_test.dir/ddg_builder_test.cpp.o"
+  "CMakeFiles/ddg_builder_test.dir/ddg_builder_test.cpp.o.d"
+  "ddg_builder_test"
+  "ddg_builder_test.pdb"
+  "ddg_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddg_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

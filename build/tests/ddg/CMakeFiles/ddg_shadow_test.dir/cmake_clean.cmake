@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddg_shadow_test.dir/shadow_test.cpp.o"
+  "CMakeFiles/ddg_shadow_test.dir/shadow_test.cpp.o.d"
+  "ddg_shadow_test"
+  "ddg_shadow_test.pdb"
+  "ddg_shadow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddg_shadow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

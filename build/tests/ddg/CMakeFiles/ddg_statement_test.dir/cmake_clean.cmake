@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddg_statement_test.dir/statement_test.cpp.o"
+  "CMakeFiles/ddg_statement_test.dir/statement_test.cpp.o.d"
+  "ddg_statement_test"
+  "ddg_statement_test.pdb"
+  "ddg_statement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddg_statement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ddg
+# Build directory: /root/repo/build/tests/ddg
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ddg/ddg_statement_test[1]_include.cmake")
+include("/root/repo/build/tests/ddg/ddg_shadow_test[1]_include.cmake")
+include("/root/repo/build/tests/ddg/ddg_builder_test[1]_include.cmake")

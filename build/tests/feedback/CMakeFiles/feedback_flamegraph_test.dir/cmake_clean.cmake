@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_flamegraph_test.dir/flamegraph_test.cpp.o"
+  "CMakeFiles/feedback_flamegraph_test.dir/flamegraph_test.cpp.o.d"
+  "feedback_flamegraph_test"
+  "feedback_flamegraph_test.pdb"
+  "feedback_flamegraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_flamegraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

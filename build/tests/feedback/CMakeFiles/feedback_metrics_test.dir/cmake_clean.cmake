@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_metrics_test.dir/metrics_test.cpp.o"
+  "CMakeFiles/feedback_metrics_test.dir/metrics_test.cpp.o.d"
+  "feedback_metrics_test"
+  "feedback_metrics_test.pdb"
+  "feedback_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

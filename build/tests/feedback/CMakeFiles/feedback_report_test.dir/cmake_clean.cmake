@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_report_test.dir/report_test.cpp.o"
+  "CMakeFiles/feedback_report_test.dir/report_test.cpp.o.d"
+  "feedback_report_test"
+  "feedback_report_test.pdb"
+  "feedback_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/feedback
+# Build directory: /root/repo/build/tests/feedback
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/feedback/feedback_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/feedback/feedback_flamegraph_test[1]_include.cmake")
+include("/root/repo/build/tests/feedback/feedback_report_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fold_folded_ddg_test.dir/folded_ddg_test.cpp.o"
+  "CMakeFiles/fold_folded_ddg_test.dir/folded_ddg_test.cpp.o.d"
+  "fold_folded_ddg_test"
+  "fold_folded_ddg_test.pdb"
+  "fold_folded_ddg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fold_folded_ddg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fold_folder_test.dir/folder_test.cpp.o"
+  "CMakeFiles/fold_folder_test.dir/folder_test.cpp.o.d"
+  "fold_folder_test"
+  "fold_folder_test.pdb"
+  "fold_folder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fold_folder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fold_fuzz_test.dir/fold_fuzz_test.cpp.o"
+  "CMakeFiles/fold_fuzz_test.dir/fold_fuzz_test.cpp.o.d"
+  "fold_fuzz_test"
+  "fold_fuzz_test.pdb"
+  "fold_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fold_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fold
+# Build directory: /root/repo/build/tests/fold
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fold/fold_folder_test[1]_include.cmake")
+include("/root/repo/build/tests/fold/fold_folded_ddg_test[1]_include.cmake")
+include("/root/repo/build/tests/fold/fold_fuzz_test[1]_include.cmake")

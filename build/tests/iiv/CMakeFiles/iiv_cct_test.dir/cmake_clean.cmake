@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iiv_cct_test.dir/cct_test.cpp.o"
+  "CMakeFiles/iiv_cct_test.dir/cct_test.cpp.o.d"
+  "iiv_cct_test"
+  "iiv_cct_test.pdb"
+  "iiv_cct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iiv_cct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iiv_diiv_test.dir/diiv_test.cpp.o"
+  "CMakeFiles/iiv_diiv_test.dir/diiv_test.cpp.o.d"
+  "iiv_diiv_test"
+  "iiv_diiv_test.pdb"
+  "iiv_diiv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iiv_diiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iiv_kelly_test.dir/kelly_test.cpp.o"
+  "CMakeFiles/iiv_kelly_test.dir/kelly_test.cpp.o.d"
+  "iiv_kelly_test"
+  "iiv_kelly_test.pdb"
+  "iiv_kelly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iiv_kelly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iiv_schedule_tree_test.dir/schedule_tree_test.cpp.o"
+  "CMakeFiles/iiv_schedule_tree_test.dir/schedule_tree_test.cpp.o.d"
+  "iiv_schedule_tree_test"
+  "iiv_schedule_tree_test.pdb"
+  "iiv_schedule_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iiv_schedule_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

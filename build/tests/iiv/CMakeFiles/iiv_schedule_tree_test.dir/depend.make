@@ -1,0 +1,2 @@
+# Empty dependencies file for iiv_schedule_tree_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/iiv
+# Build directory: /root/repo/build/tests/iiv
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/iiv/iiv_diiv_test[1]_include.cmake")
+include("/root/repo/build/tests/iiv/iiv_schedule_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/iiv/iiv_cct_test[1]_include.cmake")
+include("/root/repo/build/tests/iiv/iiv_kelly_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_builder_test.dir/builder_test.cpp.o"
+  "CMakeFiles/ir_builder_test.dir/builder_test.cpp.o.d"
+  "ir_builder_test"
+  "ir_builder_test.pdb"
+  "ir_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

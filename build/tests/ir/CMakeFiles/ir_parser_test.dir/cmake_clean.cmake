@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_parser_test.dir/parser_test.cpp.o"
+  "CMakeFiles/ir_parser_test.dir/parser_test.cpp.o.d"
+  "ir_parser_test"
+  "ir_parser_test.pdb"
+  "ir_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

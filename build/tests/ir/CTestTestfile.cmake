@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ir
+# Build directory: /root/repo/build/tests/ir
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ir/ir_ir_test[1]_include.cmake")
+include("/root/repo/build/tests/ir/ir_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/ir/ir_parser_test[1]_include.cmake")

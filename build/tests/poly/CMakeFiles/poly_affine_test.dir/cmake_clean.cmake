@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_affine_test.dir/affine_test.cpp.o"
+  "CMakeFiles/poly_affine_test.dir/affine_test.cpp.o.d"
+  "poly_affine_test"
+  "poly_affine_test.pdb"
+  "poly_affine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_affine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

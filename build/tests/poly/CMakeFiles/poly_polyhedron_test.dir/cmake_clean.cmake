@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_polyhedron_test.dir/polyhedron_test.cpp.o"
+  "CMakeFiles/poly_polyhedron_test.dir/polyhedron_test.cpp.o.d"
+  "poly_polyhedron_test"
+  "poly_polyhedron_test.pdb"
+  "poly_polyhedron_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_polyhedron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

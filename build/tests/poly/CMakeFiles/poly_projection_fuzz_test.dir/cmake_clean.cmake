@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_projection_fuzz_test.dir/projection_fuzz_test.cpp.o"
+  "CMakeFiles/poly_projection_fuzz_test.dir/projection_fuzz_test.cpp.o.d"
+  "poly_projection_fuzz_test"
+  "poly_projection_fuzz_test.pdb"
+  "poly_projection_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_projection_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_simplex_test.dir/simplex_test.cpp.o"
+  "CMakeFiles/poly_simplex_test.dir/simplex_test.cpp.o.d"
+  "poly_simplex_test"
+  "poly_simplex_test.pdb"
+  "poly_simplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

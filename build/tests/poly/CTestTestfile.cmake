@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/poly
+# Build directory: /root/repo/build/tests/poly
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/poly/poly_simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/poly/poly_affine_test[1]_include.cmake")
+include("/root/repo/build/tests/poly/poly_polyhedron_test[1]_include.cmake")
+include("/root/repo/build/tests/poly/poly_projection_fuzz_test[1]_include.cmake")

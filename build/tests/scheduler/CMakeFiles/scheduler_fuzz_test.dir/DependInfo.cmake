@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scheduler/scheduler_fuzz_test.cpp" "tests/scheduler/CMakeFiles/scheduler_fuzz_test.dir/scheduler_fuzz_test.cpp.o" "gcc" "tests/scheduler/CMakeFiles/scheduler_fuzz_test.dir/scheduler_fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scheduler/CMakeFiles/pp_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/pp_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_fuzz_test.dir/scheduler_fuzz_test.cpp.o"
+  "CMakeFiles/scheduler_fuzz_test.dir/scheduler_fuzz_test.cpp.o.d"
+  "scheduler_fuzz_test"
+  "scheduler_fuzz_test.pdb"
+  "scheduler_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_parameterize_test.dir/parameterize_test.cpp.o"
+  "CMakeFiles/scheduler_parameterize_test.dir/parameterize_test.cpp.o.d"
+  "scheduler_parameterize_test"
+  "scheduler_parameterize_test.pdb"
+  "scheduler_parameterize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_parameterize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/scheduler
+# Build directory: /root/repo/build/tests/scheduler
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/scheduler/scheduler_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler/scheduler_parameterize_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler/scheduler_fuzz_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statican_statican_test.dir/statican_test.cpp.o"
+  "CMakeFiles/statican_statican_test.dir/statican_test.cpp.o.d"
+  "statican_statican_test"
+  "statican_statican_test.pdb"
+  "statican_statican_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statican_statican_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_int_math_test.dir/int_math_test.cpp.o"
+  "CMakeFiles/support_int_math_test.dir/int_math_test.cpp.o.d"
+  "support_int_math_test"
+  "support_int_math_test.pdb"
+  "support_int_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_int_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_matrix_test.dir/matrix_test.cpp.o"
+  "CMakeFiles/support_matrix_test.dir/matrix_test.cpp.o.d"
+  "support_matrix_test"
+  "support_matrix_test.pdb"
+  "support_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_rational_test.dir/rational_test.cpp.o"
+  "CMakeFiles/support_rational_test.dir/rational_test.cpp.o.d"
+  "support_rational_test"
+  "support_rational_test.pdb"
+  "support_rational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_rational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/support
+# Build directory: /root/repo/build/tests/support
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support/support_rational_test[1]_include.cmake")
+include("/root/repo/build/tests/support/support_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/support/support_int_math_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_opcode_sweep_test.dir/opcode_sweep_test.cpp.o"
+  "CMakeFiles/vm_opcode_sweep_test.dir/opcode_sweep_test.cpp.o.d"
+  "vm_opcode_sweep_test"
+  "vm_opcode_sweep_test.pdb"
+  "vm_opcode_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_opcode_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/vm
+# Build directory: /root/repo/build/tests/vm
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/vm/vm_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/vm/vm_opcode_sweep_test[1]_include.cmake")

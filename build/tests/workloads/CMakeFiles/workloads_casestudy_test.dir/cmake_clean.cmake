@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_casestudy_test.dir/casestudy_test.cpp.o"
+  "CMakeFiles/workloads_casestudy_test.dir/casestudy_test.cpp.o.d"
+  "workloads_casestudy_test"
+  "workloads_casestudy_test.pdb"
+  "workloads_casestudy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_casestudy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

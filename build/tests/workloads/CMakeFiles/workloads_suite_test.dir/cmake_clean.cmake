@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_suite_test.dir/suite_test.cpp.o"
+  "CMakeFiles/workloads_suite_test.dir/suite_test.cpp.o.d"
+  "workloads_suite_test"
+  "workloads_suite_test.pdb"
+  "workloads_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

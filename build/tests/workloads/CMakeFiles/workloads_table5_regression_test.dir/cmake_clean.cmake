@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_table5_regression_test.dir/table5_regression_test.cpp.o"
+  "CMakeFiles/workloads_table5_regression_test.dir/table5_regression_test.cpp.o.d"
+  "workloads_table5_regression_test"
+  "workloads_table5_regression_test.pdb"
+  "workloads_table5_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_table5_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/workloads
+# Build directory: /root/repo/build/tests/workloads
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/workloads/workloads_suite_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/workloads_casestudy_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads/workloads_table5_regression_test[1]_include.cmake")
