@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "fold/folder.hpp"
+#include "trace_replay.hpp"
 
 namespace pp {
 namespace {
@@ -40,6 +41,41 @@ void print_overheads() {
     });
     std::printf("%-14s %12.2f %12.2f %14.2f %9.1fx\n", name, native, stage1,
                 full, native > 0 ? full / native : 0.0);
+  }
+  std::printf("\n");
+}
+
+// Stage-2 (Instrumentation II) throughput: the recorded VM event stream
+// replayed straight into DdgBuilder, so the number is the DDG builder's
+// own events/second — shadow memory, iteration-vector interning and
+// statement identification — without interpreter or folding cost. This is
+// the hot path the page-table shadow + CoordPool rewrite targets.
+void print_stage2_throughput() {
+  std::printf("== Stage-2 DDG throughput (trace replay, anti/output on) ==\n");
+  std::printf("%-14s %12s %14s %14s %12s\n", "benchmark", "events",
+              "events/sec", "shadow pages", "coord words");
+  for (const char* name : {"backprop", "hotspot", "kmeans", "nw", "srad_v2"}) {
+    bench::Trace trace = bench::record_trace(name);
+    const int reps = 10;
+    u64 sunk = 0;
+    std::size_t pages = 0, coord_words = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      bench::CountingSink sink;
+      ddg::DdgBuilder builder(trace.module, trace.cs, &sink,
+                              {.track_anti_output = true});
+      bench::replay(trace, builder);
+      sunk += sink.seen;
+      pages = builder.shadow().pages_live();
+      coord_words = builder.coord_pool().size_words();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double sec = std::chrono::duration<double>(t1 - t0).count();
+    double evs = static_cast<double>(trace.events.size()) * reps / sec;
+    std::printf("%-14s %12zu %14s %14zu %12zu\n", name, trace.events.size(),
+                (bench::human(static_cast<u64>(evs)) + "/s").c_str(), pages,
+                coord_words);
+    benchmark::DoNotOptimize(sunk);
   }
   std::printf("\n");
 }
@@ -91,6 +127,7 @@ BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   pp::print_overheads();
+  pp::print_stage2_throughput();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

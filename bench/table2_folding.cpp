@@ -20,13 +20,17 @@ struct StreamSample : ddg::DdgSink {
   std::vector<Rec> sample;
   u64 total = 0;
 
-  void on_instruction(const ddg::Statement&, const ddg::Occurrence&, bool,
+  void on_instruction(const ddg::Statement&, std::span<const i64>, bool,
                       i64, bool, i64) override {}
-  void on_dependence(ddg::DepKind, const ddg::Occurrence& src,
-                     const ddg::Occurrence& dst, int) override {
+  void on_dependence(ddg::DepKind, int src_stmt,
+                     std::span<const i64> src_coords, int dst_stmt,
+                     std::span<const i64> dst_coords, int) override {
     ++total;
-    if (sample.size() < 6 && src.coords.size() == 2 && dst.coords.size() == 2)
-      sample.push_back({src.stmt, dst.stmt, src.coords, dst.coords});
+    if (sample.size() < 6 && src_coords.size() == 2 && dst_coords.size() == 2)
+      sample.push_back({src_stmt,
+                        dst_stmt,
+                        {src_coords.begin(), src_coords.end()},
+                        {dst_coords.begin(), dst_coords.end()}});
   }
 };
 

@@ -1,0 +1,91 @@
+// Stage-2 trace replay harness shared by the bench binaries: record one
+// workload's full VM event stream (jumps, calls, returns, retired
+// instructions), then drive it straight into a DdgBuilder. Replay
+// isolates Instrumentation II from interpreter cost, which is the right
+// lens for shadow-memory / iteration-vector hot-path work — the VM would
+// otherwise dominate and hide a 2-3x stage-2 change.
+#pragma once
+
+#include <vector>
+
+#include "cfg/dynamic_cfg.hpp"
+#include "ddg/ddg_builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::bench {
+
+struct TraceEvent {
+  enum Kind { kJump, kCall, kReturn, kInstr } kind;
+  int a = 0, b = 0;
+  vm::CodeRef ref;
+  vm::InstrEvent instr;
+};
+
+struct Trace {
+  ir::Module module;
+  cfg::ControlStructure cs;
+  std::vector<TraceEvent> events;
+};
+
+struct Tracer : vm::Observer {
+  std::vector<TraceEvent>* out;
+  explicit Tracer(std::vector<TraceEvent>* o) : out(o) {}
+  void on_local_jump(int f, int b) override {
+    out->push_back({TraceEvent::kJump, f, b, {}, {}});
+  }
+  void on_call(vm::CodeRef site, int callee) override {
+    out->push_back({TraceEvent::kCall, callee, 0, site, {}});
+  }
+  void on_return(int callee, vm::CodeRef into) override {
+    out->push_back({TraceEvent::kReturn, callee, 0, into, {}});
+  }
+  void on_instr(const vm::InstrEvent& ev) override {
+    out->push_back({TraceEvent::kInstr, 0, 0, {}, ev});
+  }
+};
+
+/// Swallows the DDG stream while counting it (a "perfect" sink: zero
+/// per-event work, so the builder itself is what gets timed).
+struct CountingSink : ddg::DdgSink {
+  u64 seen = 0;
+  void on_instruction(const ddg::Statement&, std::span<const i64>, bool, i64,
+                      bool, i64) override {
+    ++seen;
+  }
+  void on_dependence(ddg::DepKind, int, std::span<const i64>, int,
+                     std::span<const i64>, int) override {
+    ++seen;
+  }
+};
+
+inline Trace record_trace(const char* workload) {
+  Trace t;
+  workloads::Workload w = workloads::make_rodinia(workload);
+  t.module = std::move(w.module);
+  {
+    vm::Machine machine(t.module);
+    cfg::DynamicCfgBuilder dyn;
+    machine.set_observer(&dyn);
+    machine.run("main");
+    t.cs =
+        cfg::ControlStructure::build(dyn, {t.module.find_function("main")->id});
+  }
+  Tracer tracer(&t.events);
+  vm::Machine machine(t.module);
+  machine.set_observer(&tracer);
+  machine.run("main");
+  return t;
+}
+
+inline void replay(const Trace& t, ddg::DdgBuilder& b) {
+  for (const TraceEvent& e : t.events) {
+    switch (e.kind) {
+      case TraceEvent::kJump: b.on_local_jump(e.a, e.b); break;
+      case TraceEvent::kCall: b.on_call(e.ref, e.a); break;
+      case TraceEvent::kReturn: b.on_return(e.a, e.ref); break;
+      case TraceEvent::kInstr: b.on_instr(e.instr); break;
+    }
+  }
+}
+
+}  // namespace pp::bench

@@ -60,6 +60,9 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
     res.exit_value = rr.exit_value;
   }
   res.statements = builder.statements();
+  res.ddg_dependences = builder.dependences_emitted();
+  res.shadow_pages = builder.shadow().pages_live();
+  res.coord_pool_words = builder.coord_pool().size_words();
   res.program = sink.finalize(res.statements);
 
   // Dynamic schedule tree, weighted by per-statement dynamic ops.
@@ -203,6 +206,9 @@ std::string full_report(const ProfileResult& r, double min_fraction) {
      << "  statements: " << r.program.statements.size()
      << "  dependence edges: " << r.program.deps.size()
      << " (SCEV-pruned: " << r.program.pruned_dep_edges << ")\n";
+  os << "stage-2 state: " << r.ddg_dependences << " dynamic deps, "
+     << r.shadow_pages << " shadow pages, " << r.coord_pool_words
+     << " interned coord words\n";
   os << "fully affine (strict): "
      << static_cast<int>(feedback::percent_affine(r.program, true))
      << "%   (extended): "

@@ -44,6 +44,13 @@ struct ProfileResult {
   vm::RunStats stats;
   i64 exit_value = 0;
 
+  /// Stage-2 instrumentation accounting (drives the overhead report):
+  /// dynamic dependences streamed, shadow pages materialized, and words
+  /// of interned iteration-vector storage.
+  u64 ddg_dependences = 0;
+  std::size_t shadow_pages = 0;
+  std::size_t coord_pool_words = 0;
+
   /// Mine regions of interest, heaviest first, keeping those above
   /// `min_fraction` of all dynamic ops. A region boundary is a loop /
   /// recursive component or a call site; `depth` controls how many

@@ -20,11 +20,13 @@ DdgBuilder::DdgBuilder(const ir::Module& m, const cfg::ControlStructure& cs,
       opts_(opts) {}
 
 void DdgBuilder::on_local_jump(int func, int dst_bb) {
-  if (frames_.empty()) {
+  if (depth_ == 0) {
     // First event of the run: materialize the entry frame.
     const ir::Function& f = module_.functions[static_cast<std::size_t>(func)];
-    frames_.push_back(
-        {ShadowFrame(static_cast<std::size_t>(f.num_regs)), ir::kNoReg});
+    frames_.emplace_back();
+    frames_.back().shadow.reset(static_cast<std::size_t>(f.num_regs));
+    frames_.back().ret_dst = ir::kNoReg;
+    depth_ = 1;
   }
   lem_.on_jump(func, dst_bb);
 }
@@ -34,55 +36,73 @@ void DdgBuilder::on_call(vm::CodeRef callsite, int callee) {
   const ir::Instr& in = module_.functions[static_cast<std::size_t>(callsite.func)]
                             .blocks[static_cast<std::size_t>(callsite.block)]
                             .instrs[static_cast<std::size_t>(callsite.instr)];
-  FrameCtl nf{ShadowFrame(static_cast<std::size_t>(cf.num_regs)), in.dst};
+  if (depth_ == frames_.size()) frames_.emplace_back();
+  FrameCtl& nf = frames_[depth_];
+  nf.shadow.reset(static_cast<std::size_t>(cf.num_regs));
+  nf.ret_dst = in.dst;
   // Argument pass-through: the callee's parameter registers inherit the
   // caller's producers, so calling-convention moves do not create DDG
   // nodes (the dependence materializes at first real use).
-  const ShadowFrame& caller = frames_.back().shadow;
+  const ShadowFrame& caller = frames_[depth_ - 1].shadow;
   for (std::size_t i = 0; i < in.args.size(); ++i)
     nf.shadow.regs[i] = caller.regs[static_cast<std::size_t>(in.args[i])];
-  frames_.push_back(std::move(nf));
+  ++depth_;
   lem_.on_call(callsite.func, callee, 0);
 }
 
 void DdgBuilder::on_return(int callee, vm::CodeRef into) {
-  PP_CHECK(frames_.size() > 1, "DDG return underflow");
-  ir::Reg dst = frames_.back().ret_dst;
-  frames_.pop_back();
-  if (dst != ir::kNoReg && pending_ret_)
-    frames_.back().shadow.regs[static_cast<std::size_t>(dst)] = *pending_ret_;
-  pending_ret_.reset();
+  PP_CHECK(depth_ > 1, "DDG return underflow");
+  ir::Reg dst = frames_[depth_ - 1].ret_dst;
+  --depth_;
+  if (dst != ir::kNoReg && pending_ret_.valid())
+    frames_[depth_ - 1].shadow.regs[static_cast<std::size_t>(dst)] =
+        pending_ret_;
+  pending_ret_ = Occurrence{};
   lem_.on_return(callee, into.func, into.block);
 }
 
 void DdgBuilder::reg_dep(const ShadowFrame& frame, ir::Reg r,
-                         const Occurrence& dst, int slot) {
+                         const Occurrence& dst,
+                         std::span<const i64> dst_coords, int slot) {
   if (r == ir::kNoReg) return;
-  const auto& prod = frame.regs[static_cast<std::size_t>(r)];
-  if (!prod) return;  // value predates profiling (e.g. entry arguments)
+  const Occurrence& prod = frame.regs[static_cast<std::size_t>(r)];
+  if (!prod.valid()) return;  // value predates profiling (e.g. entry args)
   ++deps_emitted_;
-  sink_->on_dependence(DepKind::kRegFlow, *prod, dst, slot);
+  sink_->on_dependence(DepKind::kRegFlow, prod.stmt, pool_.get(prod.coords),
+                       dst.stmt, dst_coords, slot);
+}
+
+void DdgBuilder::mem_dep(DepKind kind, const Occurrence& src,
+                         const Occurrence& dst,
+                         std::span<const i64> dst_coords) {
+  ++deps_emitted_;
+  sink_->on_dependence(kind, src.stmt, pool_.get(src.coords), dst.stmt,
+                       dst_coords, 0);
 }
 
 void DdgBuilder::on_instr(const vm::InstrEvent& ev) {
   const ir::Instr& in = *ev.instr;
-  PP_CHECK(!frames_.empty(), "instruction with no frame");
-  ShadowFrame& frame = frames_.back().shadow;
+  PP_CHECK(depth_ > 0, "instruction with no frame");
+  ShadowFrame& frame = frames_[depth_ - 1].shadow;
 
   if (diiv_.version() != ctx_version_) {
-    ctx_cache_ = diiv_.context();
+    diiv_.context_into(ctx_cache_);
+    ctx_id_ = table_.intern_context(ctx_cache_);
+    diiv_.coordinates_into(coord_scratch_);
+    coord_cache_ = pool_.intern(coord_scratch_);
     ctx_version_ = diiv_.version();
   }
-  int stmt = table_.touch(ctx_cache_, ev.ref, in);
+  int stmt = table_.touch(ctx_id_, ev.ref, in);
   const Statement& s = table_.stmt(stmt);
 
   bool clamped = false;
   if (opts_.clamp_instances != 0 && s.executions > opts_.clamp_instances) {
-    clamped_.insert(stmt);
+    if (s.executions == opts_.clamp_instances + 1) clamped_.insert(stmt);
     clamped = true;
   }
 
-  Occurrence occ{stmt, diiv_.coordinates()};
+  Occurrence occ{stmt, coord_cache_};
+  std::span<const i64> coords = pool_.get(coord_cache_);
 
   if (!clamped) {
     // Register-operand dependences.
@@ -106,42 +126,47 @@ void DdgBuilder::on_instr(const vm::InstrEvent& ev) {
       case ir::Op::kF2I:
       case ir::Op::kAddI:
       case ir::Op::kMulI:
-        reg_dep(frame, in.a, occ, 0);
+        reg_dep(frame, in.a, occ, coords, 0);
         break;
       case ir::Op::kStore:
-        reg_dep(frame, in.a, occ, 0);
-        reg_dep(frame, in.b, occ, 1);
+        reg_dep(frame, in.a, occ, coords, 0);
+        reg_dep(frame, in.b, occ, coords, 1);
         break;
       default:  // all two-operand arithmetic/compares
-        reg_dep(frame, in.a, occ, 0);
-        reg_dep(frame, in.b, occ, 1);
+        reg_dep(frame, in.a, occ, coords, 0);
+        reg_dep(frame, in.b, occ, coords, 1);
         break;
     }
 
-    // Memory dependences through shadow memory.
-    if (in.op == ir::Op::kLoad) {
-      if (const Occurrence* w = shadow_.read(ev.address)) {
-        ++deps_emitted_;
-        sink_->on_dependence(DepKind::kMemFlow, *w, occ, 0);
-      }
-      if (opts_.track_anti_output) last_reader_[ev.address] = occ;
-    } else if (in.op == ir::Op::kStore) {
-      if (opts_.track_anti_output) {
-        if (const Occurrence* w = shadow_.read(ev.address)) {
-          ++deps_emitted_;
-          sink_->on_dependence(DepKind::kOutput, *w, occ, 0);
-        }
-        auto it = last_reader_.find(ev.address);
-        if (it != last_reader_.end()) {
-          ++deps_emitted_;
-          sink_->on_dependence(DepKind::kAnti, it->second, occ, 0);
-        }
-      }
-      shadow_.write(ev.address, occ);
-    }
-
-    sink_->on_instruction(s, occ, ev.has_result, ev.result,
+    sink_->on_instruction(s, coords, ev.has_result, ev.result,
                           ir::op_is_memory(in.op), ev.address);
+  }
+
+  // Memory dependences through shadow memory. Shadow state is updated
+  // even when clamped — a skipped update would leave a stale last-writer
+  // (or a stale last-reader) and misattribute every later dependence on
+  // this word. Only the *emission* is gated on !clamped.
+  if (in.op == ir::Op::kLoad) {
+    PP_CHECK((ev.address & 7) == 0, "unaligned VM load address");
+    if (opts_.track_anti_output) {
+      ShadowMemory::Record& r = shadow_.touch(ev.address);
+      if (!clamped && r.writer.valid()) mem_dep(DepKind::kMemFlow, r.writer, occ, coords);
+      r.reader = occ;
+    } else if (!clamped) {
+      if (const Occurrence* w = shadow_.read(ev.address))
+        mem_dep(DepKind::kMemFlow, *w, occ, coords);
+    }
+  } else if (in.op == ir::Op::kStore) {
+    PP_CHECK((ev.address & 7) == 0, "unaligned VM store address");
+    ShadowMemory::Record& r = shadow_.touch(ev.address);
+    if (!clamped && opts_.track_anti_output) {
+      if (r.writer.valid()) mem_dep(DepKind::kOutput, r.writer, occ, coords);
+      if (r.reader.valid()) mem_dep(DepKind::kAnti, r.reader, occ, coords);
+    }
+    r.writer = occ;
+    // The store kills the pending read: the next store to this word must
+    // not report an anti dependence from a reader that preceded this one.
+    r.reader = Occurrence{};
   }
 
   // Producer bookkeeping (always, even when clamped — later instances
@@ -150,7 +175,7 @@ void DdgBuilder::on_instr(const vm::InstrEvent& ev) {
     if (in.a != ir::kNoReg)
       pending_ret_ = frame.regs[static_cast<std::size_t>(in.a)];
     else
-      pending_ret_.reset();
+      pending_ret_ = Occurrence{};
   } else if (in.op != ir::Op::kCall && in.op != ir::Op::kStore &&
              in.op != ir::Op::kBr && in.op != ir::Op::kBrCond &&
              in.dst != ir::kNoReg) {

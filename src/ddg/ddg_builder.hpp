@@ -5,14 +5,23 @@
 // edge between two tagged instances. Vertices and edges are streamed to a
 // DdgSink — in the real pipeline that sink is the folding stage, so the
 // full graph never materializes (the paper's scalability requirement).
+//
+// Hot-path design: this observer runs once per retired instruction, so
+// its steady state is allocation-free — iteration vectors are interned in
+// a CoordPool (one entry per IIV state change, not per event), shadow
+// memory is a flat page table keyed by 8-byte word, contexts are interned
+// once per loop event, and call frames are pooled. Sinks receive
+// coordinates as spans into the pool, valid for the duration of the call.
 #pragma once
 
 #include <set>
+#include <span>
 
 #include "cfg/loop_events.hpp"
 #include "ddg/shadow.hpp"
 #include "ddg/statement.hpp"
 #include "iiv/diiv.hpp"
+#include "support/coord_pool.hpp"
 
 namespace pp::ddg {
 
@@ -25,29 +34,35 @@ enum class DepKind : std::uint8_t {
 
 const char* dep_kind_name(DepKind k);
 
-/// Consumer of the DDG event stream (the folding stage, or a test recorder).
+/// Consumer of the DDG event stream (the folding stage, or a test
+/// recorder). Coordinate spans point into the builder's CoordPool and are
+/// only guaranteed valid for the duration of the callback.
 class DdgSink {
  public:
   virtual ~DdgSink() = default;
-  /// A dynamic instance of `s` at coordinates `occ.coords`; `value` is the
-  /// produced register value (SCEV detection), `address` the effective
-  /// address of a load/store (access-function recovery).
-  virtual void on_instruction(const Statement& s, const Occurrence& occ,
+  /// A dynamic instance of `s` at iteration coordinates `coords`; `value`
+  /// is the produced register value (SCEV detection), `address` the
+  /// effective address of a load/store (access-function recovery).
+  virtual void on_instruction(const Statement& s, std::span<const i64> coords,
                               bool has_value, i64 value, bool has_address,
                               i64 address) = 0;
-  /// A dynamic dependence dst <- src. `slot` identifies the consuming
-  /// operand position (0 = first register operand / memory, 1 = second
-  /// register operand), so that an instruction reading the same producer
-  /// statement through two operands folds as two separate affine edges.
-  virtual void on_dependence(DepKind kind, const Occurrence& src,
-                             const Occurrence& dst, int slot) = 0;
+  /// A dynamic dependence dst <- src between statement instances. `slot`
+  /// identifies the consuming operand position (0 = first register operand
+  /// / memory, 1 = second register operand), so that an instruction
+  /// reading the same producer statement through two operands folds as two
+  /// separate affine edges.
+  virtual void on_dependence(DepKind kind, int src_stmt,
+                             std::span<const i64> src_coords, int dst_stmt,
+                             std::span<const i64> dst_coords, int slot) = 0;
 };
 
 struct DdgOptions {
   bool track_anti_output = false;  ///< also emit WAR/WAW edges
   /// "Clamping" (paper Fig. 1): stop streaming a statement's instances
   /// after this many (0 = unlimited). Bounds profiling cost on huge loops;
-  /// clamped statements are flagged.
+  /// clamped statements are flagged. Clamping gates *emission* only:
+  /// shadow/producer state is always kept current, so the instances that
+  /// are streamed never cite a stale producer.
   u64 clamp_instances = 0;
 };
 
@@ -67,17 +82,22 @@ class DdgBuilder : public vm::Observer {
   const std::set<int>& clamped_statements() const { return clamped_; }
   u64 dependences_emitted() const { return deps_emitted_; }
 
+  /// Introspection for benchmarks / reports.
+  const support::CoordPool& coord_pool() const { return pool_; }
+  const ShadowMemory& shadow() const { return shadow_; }
+
  private:
   void reg_dep(const ShadowFrame& frame, ir::Reg r, const Occurrence& dst,
-               int slot);
-  void set_producer(ir::Reg r, Occurrence occ);
+               std::span<const i64> dst_coords, int slot);
+  void mem_dep(DepKind kind, const Occurrence& src, const Occurrence& dst,
+               std::span<const i64> dst_coords);
 
   const ir::Module& module_;
   cfg::LoopEventMachine lem_;
   iiv::DynamicIiv diiv_;
   StatementTable table_;
   ShadowMemory shadow_;
-  std::unordered_map<i64, Occurrence> last_reader_;  ///< for WAR edges
+  support::CoordPool pool_;
   DdgSink* sink_;
   DdgOptions opts_;
 
@@ -85,12 +105,20 @@ class DdgBuilder : public vm::Observer {
     ShadowFrame shadow;
     ir::Reg ret_dst = ir::kNoReg;  ///< caller register receiving the result
   };
+  // Pooled frame stack: depth_ is the live height; slots above it keep
+  // their register-vector capacity for reuse (no allocation per call once
+  // the deepest point of the run has been visited).
   std::vector<FrameCtl> frames_;
-  std::optional<Occurrence> pending_ret_;  ///< producer of the return value
-  // Context cache: the IIV context is invariant between loop events, so
-  // recomputing it per instruction would dominate profiling cost.
+  std::size_t depth_ = 0;
+  Occurrence pending_ret_;  ///< producer of the return value (stmt < 0: none)
+  // Context cache: the IIV context, coordinates and interned ids are
+  // invariant between loop events, so recomputing them per instruction
+  // would dominate profiling cost.
   u64 ctx_version_ = ~0ull;
   iiv::ContextKey ctx_cache_;
+  int ctx_id_ = -1;
+  support::CoordRef coord_cache_;
+  std::vector<i64> coord_scratch_;
   std::set<int> clamped_;
   u64 deps_emitted_ = 0;
 };

@@ -1,0 +1,41 @@
+#include "ddg/shadow.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pp::ddg {
+
+std::int32_t ShadowMemory::grab_page() {
+  if (!free_.empty()) {
+    std::int32_t pi = free_.back();
+    free_.pop_back();
+    Page& p = *pages_[static_cast<std::size_t>(pi)];
+    std::fill(std::begin(p.words), std::end(p.words), Record{});
+    return pi;
+  }
+  PP_CHECK(pages_.size() < static_cast<std::size_t>(
+                               std::numeric_limits<std::int32_t>::max()),
+           "shadow page index overflow");
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<std::int32_t>(pages_.size() - 1);
+}
+
+std::size_t ShadowMemory::tracked_words() const {
+  std::size_t n = 0;
+  for (std::int32_t pi : dir_) {
+    if (pi < 0) continue;
+    const Page& p = *pages_[static_cast<std::size_t>(pi)];
+    for (const Record& r : p.words)
+      if (r.writer.valid()) ++n;
+  }
+  return n;
+}
+
+void ShadowMemory::clear() {
+  for (std::int32_t& pi : dir_) {
+    if (pi >= 0) free_.push_back(pi);
+    pi = -1;
+  }
+}
+
+}  // namespace pp::ddg

@@ -1,48 +1,122 @@
 // Shadow memory for dependence tracking (paper §9 "Shadow memory records a
 // piece of information for each storage location — for dependency tracking
 // this is usually the last dynamic instruction that modified that
-// location"). One record per 8-byte word: the last writing statement and
-// its iteration coordinates.
+// location"). One record per 8-byte word — keys are normalized to word
+// granularity (addr >> 3) — holding the last writing occurrence and, when
+// anti/output tracking is on, the last reading occurrence.
+//
+// Layout: a two-level page table instead of a hash map. The directory maps
+// (word >> kPageBits) to a lazily-allocated fixed-size page of records, so
+// the per-access path is two indexed loads with no hashing, no probing and
+// no per-record heap allocation — the flat shadow organization the paper's
+// instrumentation (and every production race detector) relies on for
+// throughput. clear() is O(pages): pages are parked on a free list and
+// re-zeroed only when reused, so a ShadowMemory recycled across profiling
+// runs stops allocating entirely.
 #pragma once
 
-#include <optional>
-#include <unordered_map>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
+#include "support/coord_pool.hpp"
 #include "support/int_math.hpp"
 
 namespace pp::ddg {
 
-/// A dynamic instance: statement id + iteration vector coordinates.
+/// A dynamic instance: statement id + interned iteration coordinates.
+/// Trivially copyable by design — occurrences are stored by value in
+/// shadow words, register slots and call frames on the profiling hot path.
 struct Occurrence {
-  int stmt = -1;
-  std::vector<i64> coords;
+  int stmt = -1;  ///< < 0 means "no occurrence recorded"
+  support::CoordRef coords;
+
+  bool valid() const { return stmt >= 0; }
 };
+
+static_assert(std::is_trivially_copyable_v<Occurrence>);
 
 class ShadowMemory {
  public:
+  /// Shadow state of one 8-byte word.
+  struct Record {
+    Occurrence writer;  ///< last store to the word
+    Occurrence reader;  ///< last load since that store (WAR tracking)
+  };
+
+  static constexpr std::size_t kPageBits = 12;  ///< 4096 words = 32 KiB span
+  static constexpr std::size_t kPageWords = std::size_t{1} << kPageBits;
+
+  /// Record of the word containing byte address `addr`, or nullptr if its
+  /// page was never touched. Never allocates.
+  const Record* find(i64 addr) const {
+    std::size_t word = word_of(addr);
+    std::size_t top = word >> kPageBits;
+    if (top >= dir_.size() || dir_[top] < 0) return nullptr;
+    return &pages_[static_cast<std::size_t>(dir_[top])]
+                ->words[word & (kPageWords - 1)];
+  }
+
+  /// Find-or-create the record of the word containing `addr`.
+  Record& touch(i64 addr) {
+    std::size_t word = word_of(addr);
+    std::size_t top = word >> kPageBits;
+    if (top >= dir_.size()) dir_.resize(top + 1, -1);
+    std::int32_t pi = dir_[top];
+    if (pi < 0) pi = dir_[top] = grab_page();
+    return pages_[static_cast<std::size_t>(pi)]->words[word & (kPageWords - 1)];
+  }
+
   /// Record `w` as the last writer of the word at `addr`.
-  void write(i64 addr, Occurrence w) { last_writer_[addr] = std::move(w); }
+  void write(i64 addr, Occurrence w) { touch(addr).writer = w; }
 
   /// Last writer of `addr`, if any write was observed.
   const Occurrence* read(i64 addr) const {
-    auto it = last_writer_.find(addr);
-    return it == last_writer_.end() ? nullptr : &it->second;
+    const Record* r = find(addr);
+    return r != nullptr && r->writer.valid() ? &r->writer : nullptr;
   }
 
-  std::size_t tracked_words() const { return last_writer_.size(); }
-  void clear() { last_writer_.clear(); }
+  /// Words with a recorded writer. O(pages · kPageWords): diagnostics and
+  /// tests only, never on the profiling path.
+  std::size_t tracked_words() const;
+
+  /// Park every live page on the free list; the directory empties in
+  /// O(pages). Parked pages are re-zeroed lazily on reuse.
+  void clear();
+
+  std::size_t pages_live() const { return pages_.size() - free_.size(); }
+  std::size_t pages_allocated() const { return pages_.size(); }
+  std::size_t pages_free() const { return free_.size(); }
 
  private:
-  std::unordered_map<i64, Occurrence> last_writer_;
+  struct Page {
+    Record words[kPageWords];
+  };
+
+  /// Word index of a byte address: keys are word-granular so byte aliases
+  /// of the same 8-byte word share one record.
+  static std::size_t word_of(i64 addr) {
+    PP_CHECK(addr >= 0, "shadow memory address must be non-negative");
+    return static_cast<std::size_t>(addr) >> 3;
+  }
+
+  std::int32_t grab_page();
+
+  std::vector<std::int32_t> dir_;  ///< word >> kPageBits -> page index, -1 if absent
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<std::int32_t> free_;  ///< parked page indices (cleared lazily)
 };
 
 /// Shadow state for one frame's registers: last producing occurrence per
 /// virtual register (pass-through across calls/returns, so moves through
-/// the calling convention do not appear as extra DDG nodes).
+/// the calling convention do not appear as extra DDG nodes). An invalid
+/// occurrence (stmt < 0) marks a register whose value predates profiling.
 struct ShadowFrame {
-  std::vector<std::optional<Occurrence>> regs;
+  std::vector<Occurrence> regs;
+  ShadowFrame() = default;
   explicit ShadowFrame(std::size_t num_regs) : regs(num_regs) {}
+  /// Reinitialize in place (frame pooling: reuse keeps capacity).
+  void reset(std::size_t num_regs) { regs.assign(num_regs, Occurrence{}); }
 };
 
 }  // namespace pp::ddg

@@ -2,14 +2,23 @@
 
 namespace pp::ddg {
 
-int StatementTable::touch(const iiv::ContextKey& ctx, vm::CodeRef code,
-                          const ir::Instr& in) {
-  Key k{ctx, code};
+int StatementTable::intern_context(const iiv::ContextKey& ctx) {
+  auto it = ctx_index_.find(ctx);
+  if (it != ctx_index_.end()) return it->second;
+  int id = static_cast<int>(contexts_.size());
+  ctx_index_.emplace(ctx, id);
+  contexts_.push_back(ctx);
+  return id;
+}
+
+int StatementTable::touch(int ctx_id, vm::CodeRef code, const ir::Instr& in) {
+  Key k{ctx_id, code};
   auto it = index_.find(k);
   if (it != index_.end()) {
     ++stmts_[static_cast<std::size_t>(it->second)].executions;
     return it->second;
   }
+  const iiv::ContextKey& ctx = contexts_[static_cast<std::size_t>(ctx_id)];
   Statement s;
   s.id = static_cast<int>(stmts_.size());
   s.context = ctx;
@@ -23,7 +32,7 @@ int StatementTable::touch(const iiv::ContextKey& ctx, vm::CodeRef code,
   s.writes_memory = in.op == ir::Op::kStore;
   int id = s.id;
   stmts_.push_back(std::move(s));
-  index_.emplace(std::move(k), id);
+  index_.emplace(k, id);
   return id;
 }
 

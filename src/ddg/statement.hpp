@@ -29,10 +29,25 @@ struct Statement {
 };
 
 /// Interns (context, code) pairs into dense statement ids.
+///
+/// Contexts are interned separately from statements: hashing a ContextKey
+/// walks every element of every part, which is far too expensive to pay
+/// per retired instruction. The DDG builder interns the context once per
+/// IIV state change (contexts are invariant between loop events) and then
+/// touches statements under a cheap (ctx id, CodeRef) integer key.
 class StatementTable {
  public:
-  /// Find-or-create; bumps the execution counter.
-  int touch(const iiv::ContextKey& ctx, vm::CodeRef code, const ir::Instr& in);
+  /// Intern a context part; stable dense id.
+  int intern_context(const iiv::ContextKey& ctx);
+
+  /// Find-or-create under a pre-interned context; bumps the execution
+  /// counter. This is the hot-path entry: no ContextKey hashing.
+  int touch(int ctx_id, vm::CodeRef code, const ir::Instr& in);
+
+  /// Convenience overload (tests, one-shot callers).
+  int touch(const iiv::ContextKey& ctx, vm::CodeRef code, const ir::Instr& in) {
+    return touch(intern_context(ctx), code, in);
+  }
 
   const Statement& stmt(int id) const {
     return stmts_[static_cast<std::size_t>(id)];
@@ -48,21 +63,23 @@ class StatementTable {
 
  private:
   struct Key {
-    iiv::ContextKey ctx;
+    int ctx_id;
     vm::CodeRef code;
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
-      std::size_t h = iiv::ContextKeyHash{}(k.ctx);
+      std::size_t h = static_cast<std::size_t>(k.ctx_id) * 0x165667b19e3779f9ull;
       h ^= static_cast<std::size_t>(k.code.func) * 0x9e3779b97f4a7c15ull;
       h ^= static_cast<std::size_t>(k.code.block) * 0xc2b2ae3d27d4eb4full;
-      h ^= static_cast<std::size_t>(k.code.instr) * 0x165667b19e3779f9ull;
+      h ^= static_cast<std::size_t>(k.code.instr + 1) * 0x165667b19e3779f9ull;
       return h;
     }
   };
 
   std::vector<Statement> stmts_;
+  std::vector<iiv::ContextKey> contexts_;  ///< id -> context (copy-safe)
+  std::unordered_map<iiv::ContextKey, int, iiv::ContextKeyHash> ctx_index_;
   std::unordered_map<Key, int, KeyHash> index_;
 };
 

@@ -111,34 +111,35 @@ u64 FoldedProgram::fully_affine_ops() const {
 FoldingSink::FoldingSink(FolderOptions opts) : opts_(opts) {}
 
 void FoldingSink::on_instruction(const ddg::Statement& s,
-                                 const ddg::Occurrence& occ, bool has_value,
+                                 std::span<const i64> coords, bool has_value,
                                  i64 value, bool has_address, i64 address) {
   auto& streams = stmts_[s.id];
-  std::size_t d = occ.coords.size();
+  std::size_t d = coords.size();
   if (!streams.domain)
     streams.domain = std::make_unique<Folder>(d, 0, opts_);
-  streams.domain->add(occ.coords, {});
+  streams.domain->add(coords, {});
   if (has_value && scev_candidate(s.op)) {
     if (!streams.value)
       streams.value = std::make_unique<Folder>(d, 1, opts_);
     i64 lab[1] = {value};
-    streams.value->add(occ.coords, lab);
+    streams.value->add(coords, lab);
   }
   if (has_address) {
     if (!streams.address)
       streams.address = std::make_unique<Folder>(d, 1, opts_);
     i64 lab[1] = {address};
-    streams.address->add(occ.coords, lab);
+    streams.address->add(coords, lab);
   }
 }
 
-void FoldingSink::on_dependence(ddg::DepKind kind, const ddg::Occurrence& src,
-                                const ddg::Occurrence& dst, int slot) {
-  DepKey key{src.stmt, dst.stmt, kind, slot};
+void FoldingSink::on_dependence(ddg::DepKind kind, int src_stmt,
+                                std::span<const i64> src_coords, int dst_stmt,
+                                std::span<const i64> dst_coords, int slot) {
+  DepKey key{src_stmt, dst_stmt, kind, slot};
   auto& f = deps_[key];
   if (!f)
-    f = std::make_unique<Folder>(dst.coords.size(), src.coords.size(), opts_);
-  f->add(dst.coords, src.coords);
+    f = std::make_unique<Folder>(dst_coords.size(), src_coords.size(), opts_);
+  f->add(dst_coords, src_coords);
 }
 
 FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {

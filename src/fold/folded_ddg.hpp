@@ -85,11 +85,12 @@ class FoldingSink : public ddg::DdgSink {
  public:
   explicit FoldingSink(FolderOptions opts = {});
 
-  void on_instruction(const ddg::Statement& s, const ddg::Occurrence& occ,
+  void on_instruction(const ddg::Statement& s, std::span<const i64> coords,
                       bool has_value, i64 value, bool has_address,
                       i64 address) override;
-  void on_dependence(ddg::DepKind kind, const ddg::Occurrence& src,
-                     const ddg::Occurrence& dst, int slot) override;
+  void on_dependence(ddg::DepKind kind, int src_stmt,
+                     std::span<const i64> src_coords, int dst_stmt,
+                     std::span<const i64> dst_coords, int slot) override;
 
   /// Fold everything and build the program. `table` must be the
   /// DdgBuilder's statement table from the same run.

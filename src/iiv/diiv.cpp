@@ -110,17 +110,27 @@ void DynamicIiv::apply(const cfg::LoopEvent& ev) {
 
 std::vector<i64> DynamicIiv::coordinates() const {
   std::vector<i64> out;
+  coordinates_into(out);
+  return out;
+}
+
+void DynamicIiv::coordinates_into(std::vector<i64>& out) const {
+  out.clear();
   out.reserve(dims_.size());
   for (const auto& d : dims_) out.push_back(d.iv);
-  return out;
 }
 
 ContextKey DynamicIiv::context() const {
   ContextKey k;
-  k.parts.reserve(dims_.size() + 1);
-  for (const auto& d : dims_) k.parts.push_back(d.ctx);
-  k.parts.push_back(inner_);
+  context_into(k);
   return k;
+}
+
+void DynamicIiv::context_into(ContextKey& out) const {
+  // resize + element-wise assign reuses the inner vectors' capacity.
+  out.parts.resize(dims_.size() + 1);
+  for (std::size_t i = 0; i < dims_.size(); ++i) out.parts[i] = dims_[i].ctx;
+  out.parts.back() = inner_;
 }
 
 std::string DynamicIiv::str() const {

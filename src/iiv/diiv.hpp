@@ -67,8 +67,17 @@ class DynamicIiv {
   /// Numerical part: the canonical induction variables, outermost first.
   std::vector<i64> coordinates() const;
 
+  /// Allocation-free variant for hot paths: overwrite `out` with the
+  /// current coordinates, reusing its capacity.
+  void coordinates_into(std::vector<i64>& out) const;
+
   /// Non-numerical part (dimension-preserving).
   ContextKey context() const;
+
+  /// Allocation-free variant: overwrite `out`, reusing the capacity of its
+  /// parts (the context is recomputed once per loop event on the DDG hot
+  /// path, so steady-state recomputation must not allocate).
+  void context_into(ContextKey& out) const;
 
   /// Rendering like "(M0/L1, 0, A1/L2, 1, B1)" used in the paper's Fig. 3.
   std::string str() const;

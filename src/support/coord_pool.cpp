@@ -1,0 +1,21 @@
+#include "support/coord_pool.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pp::support {
+
+CoordRef CoordPool::intern(std::span<const i64> coords) {
+  if (coords.size() == last_.len &&
+      std::equal(coords.begin(), coords.end(), arena_.data() + last_.offset))
+    return last_;
+  PP_CHECK(arena_.size() + coords.size() <=
+               std::numeric_limits<std::uint32_t>::max(),
+           "CoordPool arena overflow");
+  CoordRef r{static_cast<std::uint32_t>(arena_.size()), static_cast<std::uint32_t>(coords.size())};
+  arena_.insert(arena_.end(), coords.begin(), coords.end());
+  last_ = r;
+  return r;
+}
+
+}  // namespace pp::support

@@ -1,0 +1,62 @@
+// Arena interning for iteration-vector coordinates. The DDG hot path
+// stamps every dynamic instruction with its current iteration vector;
+// materializing a std::vector<i64> per event (and copying it into shadow
+// memory, register producers and the sink stream) is exactly the per-event
+// heap traffic a shadow-memory profiler cannot afford. Coordinates change
+// only at loop events, so the builder interns each distinct vector once
+// into a flat arena and passes around a trivially-copyable CoordRef.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/diag.hpp"
+#include "support/int_math.hpp"
+
+namespace pp::support {
+
+/// Stable handle into a CoordPool arena: (offset, length) in words.
+/// The default-constructed ref denotes the empty vector (depth 0) and is
+/// valid against any pool.
+struct CoordRef {
+  std::uint32_t offset = 0;
+  std::uint32_t len = 0;
+  bool operator==(const CoordRef&) const = default;
+};
+
+static_assert(sizeof(CoordRef) == 8);
+
+/// Append-only arena of i64 coordinate vectors. Handles stay valid until
+/// clear(); clear() keeps the arena capacity, so a pool reused across
+/// profiling runs reaches a steady state with no allocation at all.
+class CoordPool {
+ public:
+  /// Intern a copy of `coords`. Consecutive identical vectors (the common
+  /// case: most loop events update only the context part of the IIV, not
+  /// the induction variables) collapse onto the previous handle.
+  CoordRef intern(std::span<const i64> coords);
+
+  /// Resolve a handle. The span stays valid until clear() (the arena grows
+  /// but offsets never move logically; resolution re-reads the base).
+  std::span<const i64> get(CoordRef r) const {
+    PP_CHECK(static_cast<std::size_t>(r.offset) + r.len <= arena_.size(),
+             "CoordRef out of pool bounds");
+    return {arena_.data() + r.offset, r.len};
+  }
+
+  /// Drop all handles but keep the allocated capacity for reuse.
+  void clear() {
+    arena_.clear();
+    last_ = CoordRef{};
+  }
+
+  std::size_t size_words() const { return arena_.size(); }
+  std::size_t capacity_words() const { return arena_.capacity(); }
+
+ private:
+  std::vector<i64> arena_;
+  CoordRef last_;  ///< most recent intern (dedupe target)
+};
+
+}  // namespace pp::support

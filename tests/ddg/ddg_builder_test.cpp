@@ -32,15 +32,25 @@ struct Recorder : DdgSink {
   std::vector<InstrRec> instrs;
   std::vector<DepRec> deps;
 
-  void on_instruction(const Statement& s, const Occurrence& occ,
+  void on_instruction(const Statement& s, std::span<const i64> coords,
                       bool has_value, i64 value, bool has_address,
                       i64 address) override {
-    instrs.push_back({s.id, occ.coords, has_value, value, has_address, address});
+    instrs.push_back({s.id,
+                      {coords.begin(), coords.end()},
+                      has_value,
+                      value,
+                      has_address,
+                      address});
   }
-  void on_dependence(DepKind kind, const Occurrence& src,
-                     const Occurrence& dst, int slot) override {
+  void on_dependence(DepKind kind, int src_stmt,
+                     std::span<const i64> src_coords, int dst_stmt,
+                     std::span<const i64> dst_coords, int slot) override {
     (void)slot;
-    deps.push_back({kind, src.stmt, src.coords, dst.stmt, dst.coords});
+    deps.push_back({kind,
+                    src_stmt,
+                    {src_coords.begin(), src_coords.end()},
+                    dst_stmt,
+                    {dst_coords.begin(), dst_coords.end()}});
   }
 
   std::vector<DepRec> deps_of_kind(DepKind k) const {
@@ -329,6 +339,110 @@ TEST(DdgBuilder, ClampingBoundsStreamedInstances) {
   std::map<int, int> counts;
   for (const auto& r : p.rec.instrs) counts[r.stmt]++;
   for (const auto& [stmt, count] : counts) EXPECT_LE(count, 10);
+}
+
+TEST(DdgBuilder, ClampedStoreStillUpdatesShadow) {
+  // Regression: a store past clamp_instances used to skip the shadow
+  // update entirely, leaving the clamp-boundary instance as the word's
+  // last writer. A later (unclamped) load then reported a flow dependence
+  // from the wrong occurrence. The clamp must gate emission only.
+  Module m;
+  i64 g = m.add_global("x", 8);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(g);
+  Reg n = b.const_(5);
+  b.counted_loop(0, n, 1, [&](Reg iv) { b.store(base, iv); });
+  b.load(base);
+  b.ret();
+
+  Profiled p;
+  profile(m, p, {.clamp_instances = 2});
+  auto mem = p.rec.deps_of_kind(DepKind::kMemFlow);
+  ASSERT_EQ(mem.size(), 1u);
+  // The load depends on the *final* store instance (i = 4), not on the
+  // last unclamped one (i = 1).
+  EXPECT_EQ(mem[0].src_coords, (std::vector<i64>{4}));
+  EXPECT_TRUE(mem[0].dst_coords.empty());
+}
+
+TEST(DdgBuilder, ClampedLoadStillUpdatesReader) {
+  // Same rule for the last-reader half of the record: a clamped load must
+  // still register as the word's pending reader, so a later store's anti
+  // dependence cites the true most-recent read.
+  Module m;
+  i64 g = m.add_global("x", 8);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(g);
+  Reg v = b.const_(1);
+  b.store(base, v);
+  Reg n = b.const_(5);
+  Reg sink = b.fresh();
+  b.counted_loop(0, n, 1, [&](Reg) { b.mov(b.load(base), sink); });
+  Reg v2 = b.const_(2);
+  b.store(base, v2);
+  b.ret();
+
+  Profiled p;
+  profile(m, p, {.track_anti_output = true, .clamp_instances = 2});
+  auto anti = p.rec.deps_of_kind(DepKind::kAnti);
+  ASSERT_EQ(anti.size(), 1u);
+  EXPECT_EQ(anti[0].src_coords, (std::vector<i64>{4}));
+}
+
+TEST(DdgBuilder, StoreKillsPendingAntiRead) {
+  // Regression: the last-reader record was never cleared on store, so a
+  // second store to the same word emitted a spurious anti dependence from
+  // a read that already preceded the first store.
+  Module m;
+  i64 g = m.add_global("x", 8);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(g);
+  Reg v1 = b.const_(1);
+  b.store(base, v1);   // W1
+  b.load(base);        // R
+  Reg v2 = b.const_(2);
+  b.store(base, v2);   // W2: anti dep R -> W2 (consumes the pending read)
+  Reg v3 = b.const_(3);
+  b.store(base, v3);   // W3: output dep only — R precedes W2
+  b.ret();
+
+  Profiled p;
+  profile(m, p, {.track_anti_output = true});
+  EXPECT_EQ(p.rec.deps_of_kind(DepKind::kAnti).size(), 1u);
+  EXPECT_EQ(p.rec.deps_of_kind(DepKind::kOutput).size(), 2u);
+  EXPECT_EQ(p.rec.deps_of_kind(DepKind::kMemFlow).size(), 1u);
+}
+
+TEST(DdgBuilder, SteadyStateKeepsCoordPoolCompact) {
+  // The interned-coordinate arena grows per IIV state change, never per
+  // instruction: a straight-line loop body of k instructions adds one
+  // vector per iteration, not k.
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg n = b.const_(100);
+  Reg sink = b.fresh();
+  b.counted_loop(0, n, 1, [&](Reg iv) {
+    b.mov(iv, sink);
+    b.mov(iv, sink);
+    b.mov(iv, sink);
+  });
+  b.ret();
+
+  Profiled p;
+  profile(m, p);
+  u64 instrs = p.builder->statements().total_executions();
+  ASSERT_GT(instrs, 300u);
+  // Depth <= 1 everywhere: one interned word per loop iteration plus a
+  // handful of boundary states; far below one entry per instruction.
+  EXPECT_LT(p.builder->coord_pool().size_words(), 150u);
 }
 
 TEST(DdgBuilder, StatementsDistinguishedByCallingContext) {

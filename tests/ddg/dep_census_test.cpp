@@ -1,0 +1,104 @@
+// Dependence-count invariance of the shadow-memory implementation: the
+// page-table shadow + interned coordinates must stream exactly the same
+// dynamic dependences as the reference hash-map shadow (with the clamp /
+// anti-dependence bugs fixed). The goldens below were captured from that
+// bug-fixed reference implementation on the mini-Rodinia workloads; any
+// drift means the shadow rewrite changed profiling semantics, not just
+// its data layout.
+#include <gtest/gtest.h>
+
+#include "cfg/dynamic_cfg.hpp"
+#include "ddg/ddg_builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::ddg {
+namespace {
+
+struct Census {
+  u64 instrs = 0;
+  u64 reg_flow = 0;
+  u64 mem_flow = 0;
+  u64 anti = 0;
+  u64 output = 0;
+  u64 total = 0;
+};
+
+struct CountSink : DdgSink {
+  Census c;
+  void on_instruction(const Statement&, std::span<const i64>, bool, i64, bool,
+                      i64) override {
+    ++c.instrs;
+  }
+  void on_dependence(DepKind kind, int, std::span<const i64>, int,
+                     std::span<const i64>, int) override {
+    switch (kind) {
+      case DepKind::kRegFlow: ++c.reg_flow; break;
+      case DepKind::kMemFlow: ++c.mem_flow; break;
+      case DepKind::kAnti: ++c.anti; break;
+      case DepKind::kOutput: ++c.output; break;
+    }
+  }
+};
+
+Census census(const char* name, DdgOptions opts) {
+  workloads::Workload w = workloads::make_rodinia(name);
+  cfg::ControlStructure cs;
+  {
+    vm::Machine machine(w.module);
+    cfg::DynamicCfgBuilder dyn;
+    machine.set_observer(&dyn);
+    machine.run("main");
+    cs = cfg::ControlStructure::build(dyn, {w.module.find_function("main")->id});
+  }
+  CountSink sink;
+  DdgBuilder builder(w.module, cs, &sink, opts);
+  {
+    vm::Machine machine(w.module);
+    machine.set_observer(&builder);
+    machine.run("main");
+  }
+  sink.c.total = builder.dependences_emitted();
+  EXPECT_EQ(sink.c.total,
+            sink.c.reg_flow + sink.c.mem_flow + sink.c.anti + sink.c.output);
+  return sink.c;
+}
+
+TEST(DepCensus, BackpropPlainMatchesReference) {
+  Census c = census("backprop", {});
+  EXPECT_EQ(c.instrs, 44514u);
+  EXPECT_EQ(c.reg_flow, 62366u);
+  EXPECT_EQ(c.mem_flow, 1687u);
+  EXPECT_EQ(c.anti, 0u);
+  EXPECT_EQ(c.output, 0u);
+}
+
+TEST(DepCensus, BackpropAntiOutputMatchesReference) {
+  Census c = census("backprop", {.track_anti_output = true});
+  EXPECT_EQ(c.instrs, 44514u);
+  EXPECT_EQ(c.reg_flow, 62366u);
+  EXPECT_EQ(c.mem_flow, 1687u);
+  EXPECT_EQ(c.anti, 1619u);
+  EXPECT_EQ(c.output, 833u);
+}
+
+TEST(DepCensus, BackpropClampedMatchesReference) {
+  Census c =
+      census("backprop", {.track_anti_output = true, .clamp_instances = 16});
+  EXPECT_EQ(c.instrs, 2673u);
+  EXPECT_EQ(c.reg_flow, 3299u);
+  EXPECT_EQ(c.mem_flow, 144u);
+  EXPECT_EQ(c.anti, 80u);
+  EXPECT_EQ(c.output, 63u);
+}
+
+TEST(DepCensus, NwMatchesReference) {
+  Census c = census("nw", {.track_anti_output = true});
+  EXPECT_EQ(c.instrs, 23938u);
+  EXPECT_EQ(c.reg_flow, 32830u);
+  EXPECT_EQ(c.mem_flow, 1729u);
+  EXPECT_EQ(c.anti, 0u);
+  EXPECT_EQ(c.output, 1u);
+}
+
+}  // namespace
+}  // namespace pp::ddg

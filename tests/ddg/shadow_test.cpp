@@ -5,15 +5,21 @@
 namespace pp::ddg {
 namespace {
 
+support::CoordRef ref(support::CoordPool& pool, std::vector<i64> coords) {
+  return pool.intern(coords);
+}
+
 TEST(ShadowMemory, LastWriterWins) {
+  support::CoordPool pool;
   ShadowMemory sm;
   EXPECT_EQ(sm.read(64), nullptr);
-  sm.write(64, {1, {0}});
-  sm.write(64, {2, {3}});
+  sm.write(64, {1, ref(pool, {0})});
+  sm.write(64, {2, ref(pool, {3})});
   const Occurrence* w = sm.read(64);
   ASSERT_NE(w, nullptr);
   EXPECT_EQ(w->stmt, 2);
-  EXPECT_EQ(w->coords, (std::vector<i64>{3}));
+  std::span<const i64> got = pool.get(w->coords);
+  EXPECT_EQ(std::vector<i64>(got.begin(), got.end()), (std::vector<i64>{3}));
 }
 
 TEST(ShadowMemory, AddressesAreIndependent) {
@@ -25,12 +31,96 @@ TEST(ShadowMemory, AddressesAreIndependent) {
   EXPECT_EQ(sm.tracked_words(), 2u);
   sm.clear();
   EXPECT_EQ(sm.read(0), nullptr);
+  EXPECT_EQ(sm.tracked_words(), 0u);
+}
+
+TEST(ShadowMemory, ByteAddressesOfTheSameWordAlias) {
+  // Keys are word-granular (addr >> 3): any byte address inside an 8-byte
+  // word resolves to the same record. The old hash-map shadow keyed raw
+  // byte addresses, contradicting its own "one record per word" contract.
+  ShadowMemory sm;
+  sm.write(64, {7, {}});
+  for (i64 b = 64; b < 72; ++b) {
+    const Occurrence* w = sm.read(b);
+    ASSERT_NE(w, nullptr) << "byte " << b;
+    EXPECT_EQ(w->stmt, 7);
+  }
+  EXPECT_EQ(sm.read(63), nullptr);
+  EXPECT_EQ(sm.read(72), nullptr);
+  EXPECT_EQ(sm.tracked_words(), 1u);
+  // And writes through a byte alias update the word's record.
+  sm.write(71, {8, {}});
+  EXPECT_EQ(sm.read(64)->stmt, 8);
+  EXPECT_EQ(sm.tracked_words(), 1u);
+}
+
+TEST(ShadowMemory, FindNeverAllocatesPages) {
+  ShadowMemory sm;
+  EXPECT_EQ(sm.find(1 << 20), nullptr);
+  EXPECT_EQ(sm.pages_allocated(), 0u);
+  sm.touch(1 << 20);
+  EXPECT_EQ(sm.pages_allocated(), 1u);
+  EXPECT_NE(sm.find(1 << 20), nullptr);
+  // A fresh record is empty in both roles.
+  const ShadowMemory::Record* r = sm.find(1 << 20);
+  EXPECT_FALSE(r->writer.valid());
+  EXPECT_FALSE(r->reader.valid());
+}
+
+TEST(ShadowMemory, SparseAddressesShareNothing) {
+  ShadowMemory sm;
+  // Two addresses one page-span apart land on distinct pages.
+  constexpr i64 kPageSpan = i64{8} * ShadowMemory::kPageWords;
+  sm.write(0, {1, {}});
+  sm.write(kPageSpan, {2, {}});
+  EXPECT_EQ(sm.pages_live(), 2u);
+  EXPECT_EQ(sm.read(0)->stmt, 1);
+  EXPECT_EQ(sm.read(kPageSpan)->stmt, 2);
+}
+
+TEST(ShadowMemory, ClearRecyclesPagesThroughFreeList) {
+  ShadowMemory sm;
+  constexpr i64 kPageSpan = i64{8} * ShadowMemory::kPageWords;
+  sm.write(0, {1, {}});
+  sm.write(kPageSpan, {2, {}});
+  sm.write(3 * kPageSpan, {3, {}});
+  EXPECT_EQ(sm.pages_allocated(), 3u);
+  EXPECT_EQ(sm.pages_live(), 3u);
+
+  sm.clear();
+  EXPECT_EQ(sm.pages_live(), 0u);
+  EXPECT_EQ(sm.pages_free(), 3u);
+  EXPECT_EQ(sm.read(0), nullptr);
+  EXPECT_EQ(sm.tracked_words(), 0u);
+
+  // Reuse: the next touches pull parked pages instead of allocating, and
+  // recycled pages come back zeroed.
+  sm.write(kPageSpan, {4, {}});
+  sm.write(2 * kPageSpan, {5, {}});
+  EXPECT_EQ(sm.pages_allocated(), 3u);
+  EXPECT_EQ(sm.pages_free(), 1u);
+  EXPECT_EQ(sm.read(kPageSpan)->stmt, 4);
+  EXPECT_EQ(sm.read(0), nullptr);
+  EXPECT_EQ(sm.tracked_words(), 2u);
+}
+
+TEST(ShadowMemory, NegativeAddressTraps) {
+  ShadowMemory sm;
+  EXPECT_THROW(sm.touch(-8), Error);
 }
 
 TEST(ShadowFrame, RegistersStartUnset) {
   ShadowFrame f(4);
   EXPECT_EQ(f.regs.size(), 4u);
-  for (const auto& r : f.regs) EXPECT_FALSE(r.has_value());
+  for (const auto& r : f.regs) EXPECT_FALSE(r.valid());
+}
+
+TEST(ShadowFrame, ResetReinitializesInPlace) {
+  ShadowFrame f(2);
+  f.regs[0] = {5, {}};
+  f.reset(3);
+  EXPECT_EQ(f.regs.size(), 3u);
+  for (const auto& r : f.regs) EXPECT_FALSE(r.valid());
 }
 
 }  // namespace

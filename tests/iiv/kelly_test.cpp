@@ -84,7 +84,7 @@ struct Profiled {
 
 struct CtxSink : ddg::DdgSink {
   std::vector<std::pair<int, ContextKey>> stores;
-  void on_instruction(const ddg::Statement& s, const ddg::Occurrence&,
+  void on_instruction(const ddg::Statement& s, std::span<const i64>,
                       bool, i64, bool, i64) override {
     if (s.op == Op::kStore) {
       for (const auto& [id, _] : stores)
@@ -92,8 +92,8 @@ struct CtxSink : ddg::DdgSink {
       stores.emplace_back(s.id, s.context);
     }
   }
-  void on_dependence(ddg::DepKind, const ddg::Occurrence&,
-                     const ddg::Occurrence&, int) override {}
+  void on_dependence(ddg::DepKind, int, std::span<const i64>, int,
+                     std::span<const i64>, int) override {}
 };
 
 Profiled profile(const Module& m) {
@@ -173,13 +173,14 @@ struct OrderSink : ddg::DdgSink {
     int code_instr;
   };
   std::vector<Inst> stores;
-  void on_instruction(const ddg::Statement& s, const ddg::Occurrence& occ,
+  void on_instruction(const ddg::Statement& s, std::span<const i64> coords,
                       bool, i64, bool, i64) override {
     if (s.op == Op::kStore)
-      stores.push_back({s.context, occ.coords, s.code.instr});
+      stores.push_back(
+          {s.context, {coords.begin(), coords.end()}, s.code.instr});
   }
-  void on_dependence(ddg::DepKind, const ddg::Occurrence&,
-                     const ddg::Occurrence&, int) override {}
+  void on_dependence(ddg::DepKind, int, std::span<const i64>, int,
+                     std::span<const i64>, int) override {}
 };
 
 TEST(Kelly, LexOrderOfInterleavedVectorsIsExecutionOrder) {

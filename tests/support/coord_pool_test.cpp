@@ -1,0 +1,76 @@
+#include "support/coord_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::support {
+namespace {
+
+std::vector<i64> vec(std::span<const i64> s) { return {s.begin(), s.end()}; }
+
+TEST(CoordPool, InternRoundTrips) {
+  CoordPool pool;
+  CoordRef a = pool.intern(std::vector<i64>{1, 2, 3});
+  CoordRef b = pool.intern(std::vector<i64>{4});
+  EXPECT_EQ(vec(pool.get(a)), (std::vector<i64>{1, 2, 3}));
+  EXPECT_EQ(vec(pool.get(b)), (std::vector<i64>{4}));
+}
+
+TEST(CoordPool, EmptyVectorIsTheDefaultRef) {
+  CoordPool pool;
+  CoordRef empty;
+  EXPECT_TRUE(pool.get(empty).empty());
+  CoordRef interned = pool.intern({});
+  EXPECT_TRUE(pool.get(interned).empty());
+}
+
+TEST(CoordPool, ConsecutiveDuplicatesCollapse) {
+  // Most loop events only update the context part of the IIV; the
+  // numerical coordinates repeat and must not grow the arena.
+  CoordPool pool;
+  CoordRef a = pool.intern(std::vector<i64>{7, 7});
+  std::size_t words = pool.size_words();
+  CoordRef b = pool.intern(std::vector<i64>{7, 7});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.size_words(), words);
+  // A different vector does intern fresh storage...
+  CoordRef c = pool.intern(std::vector<i64>{7, 8});
+  EXPECT_NE(a, c);
+  // ...and only the most recent entry is a dedupe target (the pool is an
+  // arena, not a hash set).
+  CoordRef d = pool.intern(std::vector<i64>{7, 7});
+  EXPECT_NE(a, d);
+  EXPECT_EQ(vec(pool.get(d)), (std::vector<i64>{7, 7}));
+}
+
+TEST(CoordPool, HandlesStayValidAcrossArenaGrowth) {
+  CoordPool pool;
+  CoordRef first = pool.intern(std::vector<i64>{42, -1});
+  // Force many reallocations of the backing arena.
+  for (i64 i = 0; i < 10000; ++i) pool.intern(std::vector<i64>{i, i + 1, i + 2});
+  EXPECT_EQ(vec(pool.get(first)), (std::vector<i64>{42, -1}));
+}
+
+TEST(CoordPool, ClearKeepsCapacityForReuse) {
+  CoordPool pool;
+  for (i64 i = 0; i < 1000; ++i) pool.intern(std::vector<i64>{i, i});
+  std::size_t cap = pool.capacity_words();
+  ASSERT_GT(cap, 0u);
+  pool.clear();
+  EXPECT_EQ(pool.size_words(), 0u);
+  EXPECT_EQ(pool.capacity_words(), cap);
+  // A reused pool hands out handles from the recycled storage.
+  CoordRef r = pool.intern(std::vector<i64>{9});
+  EXPECT_EQ(r.offset, 0u);
+  EXPECT_EQ(vec(pool.get(r)), (std::vector<i64>{9}));
+  EXPECT_EQ(pool.capacity_words(), cap);
+}
+
+TEST(CoordPool, OutOfBoundsRefTraps) {
+  CoordPool pool;
+  pool.intern(std::vector<i64>{1});
+  CoordRef bogus{0, 5};
+  EXPECT_THROW(pool.get(bogus), Error);
+}
+
+}  // namespace
+}  // namespace pp::support
