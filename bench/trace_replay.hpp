@@ -77,7 +77,7 @@ inline Trace record_trace(const char* workload) {
   return t;
 }
 
-inline void replay(const Trace& t, ddg::DdgBuilder& b) {
+inline void replay(const Trace& t, vm::Observer& b) {
   for (const TraceEvent& e : t.events) {
     switch (e.kind) {
       case TraceEvent::kJump: b.on_local_jump(e.a, e.b); break;

@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "vm/event_validator.hpp"
+
 namespace pp::core {
 
 namespace {
@@ -37,33 +39,135 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   ProfileResult res;
   res.module = &module_;
 
-  // Stage 1 (Instrumentation I): dynamic control structure + CCT.
+  // Setup validation BEFORE any replay: a bad entry must not cost a full
+  // stage-1 run only to throw afterwards.
+  const ir::Function* entry = module_.find_function(opts.entry);
+  if (entry == nullptr) {
+    res.truncated = true;
+    res.diagnostics.error(support::Stage::kSetup,
+                          "entry function '" + opts.entry +
+                              "' not found — nothing profiled");
+    return res;
+  }
+  if (static_cast<int>(opts.args.size()) != entry->num_args) {
+    res.truncated = true;
+    res.diagnostics.error(support::Stage::kSetup,
+                          "entry '" + opts.entry + "' takes " +
+                              std::to_string(entry->num_args) +
+                              " argument(s), got " +
+                              std::to_string(opts.args.size()) +
+                              " — nothing profiled");
+    return res;
+  }
+
+  support::RunBudget budget = opts.budget;
+  budget.arm();
+  u64 max_steps = opts.max_steps;
+  if (budget.vm_steps != 0) max_steps = std::min(max_steps, budget.vm_steps);
+
+  // Stage 1 (Instrumentation I): dynamic control structure + CCT. The
+  // validator guarantees the builders only ever see a well-formed prefix;
+  // a VM trap leaves the prefix collected so far usable.
   cfg::DynamicCfgBuilder dyn;
   {
     vm::Machine machine(module_);
     TeeObserver tee({&dyn, &res.cct});
-    machine.set_observer(&tee);
-    machine.run(opts.entry, opts.args, opts.max_steps);
+    vm::EventValidator validator(module_, &tee, &res.diagnostics,
+                                 support::Stage::kControl);
+    machine.set_observer(&validator);
+    try {
+      vm::RunResult rr = machine.run(opts.entry, opts.args, max_steps);
+      if (rr.truncated) {
+        res.truncated = true;
+        res.diagnostics.warn(support::Stage::kControl,
+                             "stage 1 replay truncated: " + rr.truncate_reason);
+      }
+    } catch (const Error& e) {
+      res.truncated = true;
+      res.diagnostics.error(
+          support::Stage::kControl,
+          std::string("stage 1 VM trap: ") + e.what() +
+              " — control structure built from the partial trace");
+    }
+    if (!validator.ok()) res.truncated = true;
   }
-  const ir::Function* entry = module_.find_function(opts.entry);
-  PP_CHECK(entry != nullptr, "entry function not found");
-  res.control = cfg::ControlStructure::build(dyn, {entry->id});
+  try {
+    res.control = cfg::ControlStructure::build(dyn, {entry->id});
+  } catch (const Error& e) {
+    res.truncated = true;
+    res.diagnostics.error(
+        support::Stage::kControl,
+        std::string("control-structure construction failed: ") + e.what() +
+            " — stage 2 skipped, CCT retained");
+    return res;
+  }
 
   // Stage 2+3 (Instrumentation II + folding): DDG streamed into folders.
+  // Observer chain: Machine -> chaos (tests only) -> validator -> builder,
+  // so injected faults hit the validator exactly like real corruption
+  // would, and the builder never sees a malformed event.
   fold::FoldingSink sink(opts.fold);
-  ddg::DdgBuilder builder(module_, res.control, &sink, opts.ddg);
+  sink.set_diagnostics(&res.diagnostics);
+  ddg::DdgOptions ddg_opts = opts.ddg;
+  ddg_opts.budget = &budget;
+  ddg_opts.diag = &res.diagnostics;
+  ddg::DdgBuilder builder(module_, res.control, &sink, ddg_opts);
   {
     vm::Machine machine(module_);
-    machine.set_observer(&builder);
-    vm::RunResult rr = machine.run(opts.entry, opts.args, opts.max_steps);
-    res.stats = rr.stats;
-    res.exit_value = rr.exit_value;
+    vm::EventValidator validator(module_, &builder, &res.diagnostics,
+                                 support::Stage::kDdg);
+    vm::ChaosObserver chaos(&validator, opts.chaos);
+    machine.set_observer(&chaos);
+    bool trapped = false;
+    try {
+      vm::RunResult rr = machine.run(opts.entry, opts.args, max_steps);
+      res.stats = rr.stats;
+      res.exit_value = rr.exit_value;
+      if (rr.truncated) {
+        res.truncated = true;
+        res.diagnostics.warn(support::Stage::kDdg,
+                             "stage 2 replay truncated: " + rr.truncate_reason);
+      }
+    } catch (const Error& e) {
+      // Partial stats survive the unwind; the DDG holds every event up to
+      // the trap.
+      res.stats = machine.stats();
+      res.truncated = true;
+      trapped = true;
+      res.diagnostics.error(support::Stage::kDdg,
+                            std::string("stage 2 VM trap: ") + e.what() +
+                                " — DDG truncated at last well-formed event");
+    }
+    if (!validator.ok()) {
+      res.truncated = true;  // the validator already logged the rejection
+    } else if (!trapped && validator.instr_events() < res.stats.instructions) {
+      // Silent truncation: the instrumentation layer stopped forwarding
+      // without producing a malformed event.
+      res.truncated = true;
+      res.diagnostics.warn(
+          support::Stage::kDdg,
+          "instrumentation stream silently truncated: observed " +
+              std::to_string(validator.instr_events()) + " of " +
+              std::to_string(res.stats.instructions) +
+              " retired instructions");
+    }
+    if (builder.budget_exhausted()) res.truncated = true;
   }
   res.statements = builder.statements();
   res.ddg_dependences = builder.dependences_emitted();
   res.shadow_pages = builder.shadow().pages_live();
   res.coord_pool_words = builder.coord_pool().size_words();
-  res.program = sink.finalize(res.statements);
+  sink.mark_degraded(builder.degraded_statements());
+  try {
+    res.program = sink.finalize(res.statements);
+  } catch (const Error& e) {
+    res.truncated = true;
+    res.diagnostics.error(support::Stage::kFold,
+                          std::string("folding failed: ") + e.what() +
+                              " — polyhedral DDG unavailable");
+    res.program = fold::FoldedProgram{};
+    res.program.total_dynamic_ops = res.statements.total_executions();
+  }
 
   // Dynamic schedule tree, weighted by per-statement dynamic ops.
   for (const auto& s : res.statements.all())
@@ -192,7 +296,23 @@ feedback::Region ProfileResult::whole_program() const {
 feedback::RegionMetrics ProfileResult::analyze(
     const feedback::Region& region,
     const feedback::AnalyzeOptions& opts) const {
-  return feedback::analyze_region(program, region, opts);
+  try {
+    return feedback::analyze_region(program, region, opts);
+  } catch (const Error& e) {
+    // Per-region isolation: one region's feedback fault must not take
+    // down the report for every other region.
+    feedback::RegionMetrics m;
+    m.region = region;
+    m.analyzable = false;
+    m.schedulable = false;
+    m.degrade_reason = e.what();
+    for (int id : region.stmts) {
+      if (id >= 0 && static_cast<std::size_t>(id) < program.statements.size())
+        m.ops += program.stmt(id).meta.executions;
+    }
+    m.suggestions.push_back(std::string("region unanalyzable: ") + e.what());
+    return m;
+  }
 }
 
 double ProfileResult::percent_affine() const {
@@ -202,6 +322,7 @@ double ProfileResult::percent_affine() const {
 std::string full_report(const ProfileResult& r, double min_fraction) {
   std::ostringstream os;
   os << "==== poly-prof feedback report ====\n";
+  if (r.truncated) os << "!! PARTIAL PROFILE (trace truncated) !!\n";
   os << "dynamic ops: " << r.program.total_dynamic_ops
      << "  statements: " << r.program.statements.size()
      << "  dependence edges: " << r.program.deps.size()
@@ -261,6 +382,20 @@ std::string full_report(const ProfileResult& r, double min_fraction) {
          << " ops vs " << rest
          << " elsewhere); transform the hot clone only\n";
     }
+  }
+
+  // Degradation summary — always present and deterministic, so reports
+  // from faulty runs stay golden-testable.
+  os << "\n-- degradations --\n";
+  if (!r.truncated && r.diagnostics.empty() &&
+      r.program.degraded_statements == 0) {
+    os << "none\n";
+  } else {
+    if (r.truncated) os << "trace truncated: results are a partial profile\n";
+    if (r.program.degraded_statements > 0)
+      os << r.program.degraded_statements
+         << " statement(s) degraded to over-approximation\n";
+    os << r.diagnostics.render();
   }
   return os.str();
 }

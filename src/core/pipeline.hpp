@@ -19,6 +19,8 @@
 #include "feedback/report.hpp"
 #include "iiv/cct.hpp"
 #include "iiv/schedule_tree.hpp"
+#include "support/budget.hpp"
+#include "vm/chaos.hpp"
 
 namespace pp::core {
 
@@ -28,6 +30,15 @@ struct PipelineOptions {
   u64 max_steps = 500'000'000;
   ddg::DdgOptions ddg;
   fold::FolderOptions fold;
+  /// Resource caps for the whole run (0 = unlimited). `vm_steps` tightens
+  /// `max_steps`; the shadow/pool/wall caps degrade stage 2 mid-replay.
+  /// Exhaustion never aborts: the result is flagged `truncated` and the
+  /// affected statements fold as over-approximations.
+  support::RunBudget budget;
+  /// Fault injection into the stage-2 instrumentation stream (testing the
+  /// degrade paths; kNone in production). Stage 1 is never chaos-wrapped,
+  /// so the control structure stays intact under injected faults.
+  vm::ChaosOptions chaos;
 };
 
 /// Everything the profiler learned about one execution.
@@ -43,6 +54,15 @@ struct ProfileResult {
   iiv::CallingContextTree cct;
   vm::RunStats stats;
   i64 exit_value = 0;
+
+  /// The profile is partial: a replay trapped, the event stream was
+  /// rejected/truncated, or a budget cap tripped. Everything present is
+  /// still well-formed — stage-1 results survive stage-2 faults, and
+  /// degraded statements are certified over-approximations, never
+  /// silently wrong.
+  bool truncated = false;
+  /// Structured record of every degradation, in pipeline order.
+  support::DiagnosticLog diagnostics;
 
   /// Stage-2 instrumentation accounting (drives the overhead report):
   /// dynamic dependences streamed, shadow pages materialized, and words
@@ -63,7 +83,9 @@ struct ProfileResult {
   /// The whole program as a single region.
   feedback::Region whole_program() const;
 
-  /// Run the polyhedral feedback stage on one region.
+  /// Run the polyhedral feedback stage on one region. A fault inside the
+  /// feedback stage degrades the region to "unanalyzable" (metrics with
+  /// analyzable=false and the fault reason) instead of throwing.
   feedback::RegionMetrics analyze(
       const feedback::Region& region,
       const feedback::AnalyzeOptions& opts = {}) const;
@@ -83,6 +105,12 @@ class Pipeline {
   explicit Pipeline(const ir::Module& m) : module_(m) {}
 
   /// Runs the program twice (Instrumentation I then II) and folds.
+  ///
+  /// Degrade-don't-die: run() never lets a pp::Error escape. A VM trap, a
+  /// malformed event stream or an exhausted budget truncates the trace at
+  /// the last well-formed event and yields a ProfileResult with the
+  /// stages completed so far, `truncated` set, and the reasons in
+  /// `diagnostics`.
   ProfileResult run(const PipelineOptions& opts = {});
 
  private:

@@ -95,9 +95,36 @@ void DdgBuilder::on_instr(const vm::InstrEvent& ev) {
   int stmt = table_.touch(ctx_id_, ev.ref, in);
   const Statement& s = table_.stmt(stmt);
 
+  // Budget checks on the hot path. Cheap counters (shadow pages, pool
+  // words) every event; the wall clock — a syscall-backed read — every
+  // 8192 events. Exhaustion is one-way and degrades exactly like clamping:
+  // emission stops, shadow/producer state stays current.
+  ++events_;
+  if (opts_.budget != nullptr && !budget_exhausted_) {
+    const char* why = nullptr;
+    if (opts_.budget->shadow_exceeded(shadow_.pages_live()))
+      why = "shadow-page budget exhausted";
+    else if (opts_.budget->pool_exceeded(pool_.size_words()))
+      why = "coordinate-pool budget exhausted";
+    else if ((events_ & 8191) == 0 && opts_.budget->wall_exceeded())
+      why = "wall-clock budget exhausted";
+    if (why != nullptr) {
+      budget_exhausted_ = true;
+      if (opts_.diag != nullptr)
+        opts_.diag->warn(support::Stage::kDdg,
+                         std::string(why) +
+                             " — degrading subsequent statements to "
+                             "over-approximation");
+    }
+  }
+
   bool clamped = false;
   if (opts_.clamp_instances != 0 && s.executions > opts_.clamp_instances) {
     if (s.executions == opts_.clamp_instances + 1) clamped_.insert(stmt);
+    clamped = true;
+  }
+  if (budget_exhausted_) {
+    degraded_.insert(stmt);
     clamped = true;
   }
 

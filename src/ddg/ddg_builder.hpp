@@ -21,6 +21,7 @@
 #include "ddg/shadow.hpp"
 #include "ddg/statement.hpp"
 #include "iiv/diiv.hpp"
+#include "support/budget.hpp"
 #include "support/coord_pool.hpp"
 
 namespace pp::ddg {
@@ -64,6 +65,14 @@ struct DdgOptions {
   /// shadow/producer state is always kept current, so the instances that
   /// are streamed never cite a stale producer.
   u64 clamp_instances = 0;
+  /// Resource budget checked on the hot path (shadow pages and coordinate
+  /// words every event, wall clock every 8192 events). Exhaustion degrades
+  /// like clamping — emission stops, shadow/producer state stays current —
+  /// and every statement touched afterwards is recorded as degraded so the
+  /// folder can demote it to an over-approximation. Null = no budget.
+  const support::RunBudget* budget = nullptr;
+  /// Destination for the (single) budget-exhaustion diagnostic.
+  support::DiagnosticLog* diag = nullptr;
 };
 
 /// The Instrumentation-II observer. Wire it into a vm::Machine run after
@@ -81,6 +90,12 @@ class DdgBuilder : public vm::Observer {
   const StatementTable& statements() const { return table_; }
   const std::set<int>& clamped_statements() const { return clamped_; }
   u64 dependences_emitted() const { return deps_emitted_; }
+
+  /// True once a RunBudget cap tripped mid-replay.
+  bool budget_exhausted() const { return budget_exhausted_; }
+  /// Statements touched after exhaustion — their streamed instance sets are
+  /// incomplete and must fold as over-approximations, never as exact/affine.
+  const std::set<int>& degraded_statements() const { return degraded_; }
 
   /// Introspection for benchmarks / reports.
   const support::CoordPool& coord_pool() const { return pool_; }
@@ -121,6 +136,9 @@ class DdgBuilder : public vm::Observer {
   std::vector<i64> coord_scratch_;
   std::set<int> clamped_;
   u64 deps_emitted_ = 0;
+  bool budget_exhausted_ = false;
+  std::set<int> degraded_;
+  u64 events_ = 0;  ///< instruction events seen (wall-clock check cadence)
 };
 
 }  // namespace pp::ddg

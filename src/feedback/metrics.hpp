@@ -55,6 +55,13 @@ struct RegionMetrics {
   int components_after = 0;   ///< Comp.
   char fusion = 'S';          ///< fusion heuristic used: 'M' / 'S'
 
+  /// False when the feedback stage itself faulted on this region: the
+  /// metrics above are zero/defaults and `degrade_reason` says why. A
+  /// per-region fault never escapes ProfileResult::analyze — the region
+  /// degrades to "unanalyzable" (the bottom of the degradation lattice).
+  bool analyzable = true;
+  std::string degrade_reason;
+
   std::vector<std::string> suggestions;  ///< human-readable transformation list
   double est_speedup = 1.0;   ///< locality/SIMD cost-model estimate
 

@@ -78,6 +78,11 @@ std::string render_ast(const RegionMetrics& m, const fold::FoldedProgram& prog,
 std::string summarize(const RegionMetrics& m) {
   std::ostringstream os;
   os << "region " << m.region.name << "\n";
+  if (!m.analyzable) {
+    os << "  UNANALYZABLE: " << m.degrade_reason << "\n";
+    os << "  ops=" << m.ops << " (counted; no metrics derived)\n";
+    return os.str();
+  }
   os << "  ops=" << m.ops << " mem=" << m.mem_ops << " fp=" << m.fp_ops
      << " affine=" << static_cast<int>(m.pct(m.affine_ops)) << "%\n";
   os << "  loop depth (binary)=" << m.max_loop_depth

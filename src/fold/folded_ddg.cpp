@@ -110,6 +110,24 @@ u64 FoldedProgram::fully_affine_ops() const {
 
 FoldingSink::FoldingSink(FolderOptions opts) : opts_(opts) {}
 
+void FoldingSink::mark_degraded(const std::set<int>& stmt_ids) {
+  degraded_.insert(stmt_ids.begin(), stmt_ids.end());
+}
+
+namespace {
+
+/// Force every piece of a folded set over-approximate: the stream behind
+/// it is known incomplete, so neither the domains nor the label fits are
+/// certified — even when the partial points happened to fold exactly.
+void taint_pieces(poly::PolySet& set) {
+  for (auto& p : set.pieces()) {
+    p.exact = false;
+    p.label_exact = false;
+  }
+}
+
+}  // namespace
+
 void FoldingSink::on_instruction(const ddg::Statement& s,
                                  std::span<const i64> coords, bool has_value,
                                  i64 value, bool has_address, i64 address) {
@@ -150,12 +168,23 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
   for (const auto& meta : table.all()) {
     FoldedStatement fs;
     fs.meta = meta;
+    bool degraded = degraded_.count(meta.id) != 0;
     auto it = stmts_.find(meta.id);
     if (it != stmts_.end()) {
       auto& streams = it->second;
-      if (streams.domain) fs.domain = streams.domain->finish();
-      if (streams.value) fs.values = streams.value->finish();
-      if (streams.address) fs.addresses = streams.address->finish();
+      // Per-stream fault isolation: a folder fault loses this statement's
+      // folds, not the whole program.
+      try {
+        if (streams.domain) fs.domain = streams.domain->finish();
+        if (streams.value) fs.values = streams.value->finish();
+        if (streams.address) fs.addresses = streams.address->finish();
+      } catch (const Error& e) {
+        degraded = true;
+        if (diag_ != nullptr)
+          diag_->error(support::Stage::kFold,
+                       std::string("statement fold failed: ") + e.what(),
+                       meta.id);
+      }
     }
     fs.domain_exact = !fs.domain.empty() && fs.domain.all_exact();
     // SCEV recognition, phase 1 (value shape): the produced values of a
@@ -166,6 +195,19 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
                  fs.values.pieces().size() <= 2 && fs.values.all_exact() &&
                  fs.domain_exact &&
                  fs.values.total_observed() == meta.executions;
+    if (degraded) {
+      // Demotion happens HERE, before chain-rule demotion and SCEV
+      // pruning: a truncated stream's partial points can fold exactly and
+      // would otherwise certify the statement as affine bookkeeping.
+      degraded_.insert(meta.id);
+      fs.degraded = true;
+      fs.domain_exact = false;
+      fs.is_scev = false;
+      taint_pieces(fs.domain);
+      taint_pieces(fs.values);
+      taint_pieces(fs.addresses);
+      ++prog.degraded_statements;
+    }
     prog.statements.push_back(std::move(fs));
   }
 
@@ -207,13 +249,42 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
     Folder* folder = deps_.at(key).get();
     auto [src, dst, kind, slot] = key;
     (void)slot;
-    poly::PolySet rel = folder->finish();
+    poly::PolySet rel;
+    try {
+      rel = folder->finish();
+    } catch (const Error& e) {
+      // Degrade the edge to the maximal over-approximation: one inexact
+      // universe piece carrying the observed instance count, so the edge
+      // (and its weight) survives for the scheduler while %Aff accounting
+      // sees it as inexact.
+      rel = poly::PolySet(folder->in_dim());
+      poly::Piece p;
+      p.domain = poly::Polyhedron::universe(folder->in_dim());
+      p.label_fn = poly::AffineMap(
+          folder->in_dim(),
+          std::vector<poly::AffineExpr>(folder->label_dim(),
+                                        poly::AffineExpr(folder->in_dim())));
+      p.exact = false;
+      p.label_exact = false;
+      p.observed_points = folder->points_seen();
+      rel.add_piece(std::move(p));
+      if (diag_ != nullptr)
+        diag_->error(support::Stage::kFold,
+                     std::string("dependence fold failed (S") +
+                         std::to_string(src) + " -> S" + std::to_string(dst) +
+                         "): " + e.what());
+    }
     if (prog.statements[static_cast<std::size_t>(src)].is_scev ||
         prog.statements[static_cast<std::size_t>(dst)].is_scev) {
       ++prog.pruned_dep_edges;
       prog.pruned_dep_instances += rel.total_observed();
       continue;
     }
+    // Edges incident to a degraded statement carry relations fitted on an
+    // incomplete stream: force them inexact so affine_flags() taints both
+    // endpoints and must_relation() drops them.
+    if (degraded_.count(src) != 0 || degraded_.count(dst) != 0)
+      taint_pieces(rel);
     auto mk = std::make_pair(src, dst);
     auto it = merged.find(mk);
     if (it == merged.end()) {

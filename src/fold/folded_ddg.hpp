@@ -7,10 +7,12 @@
 
 #include <map>
 #include <memory>
+#include <set>
 
 #include "ddg/ddg_builder.hpp"
 #include "fold/folder.hpp"
 #include "poly/dep_relation.hpp"
+#include "support/budget.hpp"
 
 namespace pp::fold {
 
@@ -22,6 +24,11 @@ struct FoldedStatement {
   poly::PolySet addresses;      ///< effective addresses as labels (mem ops)
   bool is_scev = false;         ///< recognized scalar-evolution instruction
   bool domain_exact = false;    ///< no over-approximation in the domain
+  /// Degraded by a budget cap or a per-stream fold fault: the streamed
+  /// instance set is incomplete, so every fold for this statement is
+  /// forced over-approximate (domain_exact=false, all pieces inexact,
+  /// never SCEV) regardless of how affine the partial points looked.
+  bool degraded = false;
 
   /// The access function of a memory statement, when it folded into a
   /// single exact affine piece; nullptr otherwise.
@@ -58,6 +65,7 @@ struct FoldedProgram {
   u64 pruned_dep_edges = 0;   ///< edges removed by SCEV pruning
   u64 pruned_dep_instances = 0;
   u64 total_dynamic_ops = 0;
+  u64 degraded_statements = 0;  ///< statements demoted to over-approximation
 
   /// Per-statement affinity verdict: true when the statement's domain and
   /// (for memory ops) access function folded exactly AND every incident
@@ -92,8 +100,17 @@ class FoldingSink : public ddg::DdgSink {
                      std::span<const i64> src_coords, int dst_stmt,
                      std::span<const i64> dst_coords, int slot) override;
 
+  /// Declare statements whose streams are incomplete (builder budget
+  /// exhaustion). finalize() demotes them to over-approximations BEFORE
+  /// SCEV recognition and pruning — a truncated stream can look affine.
+  void mark_degraded(const std::set<int>& stmt_ids);
+  /// Destination for per-stream fold-fault diagnostics (may be null).
+  void set_diagnostics(support::DiagnosticLog* diag) { diag_ = diag; }
+
   /// Fold everything and build the program. `table` must be the
-  /// DdgBuilder's statement table from the same run.
+  /// DdgBuilder's statement table from the same run. A pp::Error thrown by
+  /// one statement's (or edge's) folder degrades that statement (or edge)
+  /// to an over-approximate placeholder instead of escaping.
   FoldedProgram finalize(const ddg::StatementTable& table);
 
  private:
@@ -115,6 +132,8 @@ class FoldingSink : public ddg::DdgSink {
   FolderOptions opts_;
   std::map<int, StmtStreams> stmts_;
   std::unordered_map<DepKey, std::unique_ptr<Folder>, DepKeyHash> deps_;
+  std::set<int> degraded_;
+  support::DiagnosticLog* diag_ = nullptr;
 };
 
 /// True when `op` is a scalar-evolution candidate: integer register

@@ -1,0 +1,137 @@
+#include "vm/event_validator.hpp"
+
+namespace pp::vm {
+
+bool EventValidator::func_ok(int func) const {
+  return func >= 0 && static_cast<std::size_t>(func) < module_.functions.size();
+}
+
+bool EventValidator::block_ok(int func, int block) const {
+  if (!func_ok(func)) return false;
+  const auto& f = module_.functions[static_cast<std::size_t>(func)];
+  return block >= 0 && static_cast<std::size_t>(block) < f.blocks.size();
+}
+
+void EventValidator::reject(const std::string& reason) {
+  if (!fault_.empty()) return;
+  fault_ = reason;
+  if (diag_)
+    diag_->error(stage_, "event stream rejected: " + reason +
+                             " — trace truncated at last well-formed event");
+}
+
+void EventValidator::on_local_jump(int func, int dst_bb) {
+  if (!ok()) return;
+  if (!func_ok(func)) {
+    reject("jump names out-of-range function f" + std::to_string(func));
+    return;
+  }
+  if (!block_ok(func, dst_bb)) {
+    reject("jump targets out-of-range block b" + std::to_string(dst_bb) +
+           " of f" + std::to_string(func));
+    return;
+  }
+  if (frames_.empty()) {
+    // First event of the run: the entry frame materializes here.
+    frames_.push_back({func, dst_bb, 0});
+  } else {
+    if (frames_.back().func != func) {
+      reject("local jump crosses functions (f" +
+             std::to_string(frames_.back().func) + " -> f" +
+             std::to_string(func) + ")");
+      return;
+    }
+    frames_.back().block = dst_bb;
+    frames_.back().next_instr = 0;
+  }
+  inner_->on_local_jump(func, dst_bb);
+}
+
+void EventValidator::on_call(CodeRef callsite, int callee) {
+  if (!ok()) return;
+  if (!func_ok(callee)) {
+    reject("call to out-of-range function f" + std::to_string(callee));
+    return;
+  }
+  if (!block_ok(callsite.func, callsite.block) || callsite.instr < 0) {
+    reject("call from out-of-range site");
+    return;
+  }
+  if (frames_.empty()) {
+    reject("call before any control event");
+    return;
+  }
+  frames_.push_back({callee, 0, 0});
+  inner_->on_call(callsite, callee);
+}
+
+void EventValidator::on_return(int callee, CodeRef into) {
+  if (!ok()) return;
+  // The entry frame never returns through the observer, so a return must
+  // leave at least one frame behind.
+  if (frames_.size() < 2) {
+    reject("unmatched return from f" + std::to_string(callee));
+    return;
+  }
+  if (frames_.back().func != callee) {
+    reject("return from f" + std::to_string(callee) +
+           " does not match innermost call (f" +
+           std::to_string(frames_.back().func) + ")");
+    return;
+  }
+  frames_.pop_back();
+  if (into.func != frames_.back().func) {
+    reject("return lands in f" + std::to_string(into.func) +
+           " instead of caller f" + std::to_string(frames_.back().func));
+    return;
+  }
+  inner_->on_return(callee, into);
+}
+
+void EventValidator::on_instr(const InstrEvent& ev) {
+  if (!ok()) return;
+  if (frames_.empty()) {
+    reject("instruction before any control event");
+    return;
+  }
+  Frame& fr = frames_.back();
+  if (!block_ok(ev.ref.func, ev.ref.block)) {
+    reject("instruction in out-of-range location f" +
+           std::to_string(ev.ref.func) + ":b" + std::to_string(ev.ref.block));
+    return;
+  }
+  const auto& bb = module_.functions[static_cast<std::size_t>(ev.ref.func)]
+                       .blocks[static_cast<std::size_t>(ev.ref.block)];
+  if (ev.ref.instr < 0 ||
+      static_cast<std::size_t>(ev.ref.instr) >= bb.instrs.size()) {
+    reject("instruction index i" + std::to_string(ev.ref.instr) +
+           " out of range for f" + std::to_string(ev.ref.func) + ":b" +
+           std::to_string(ev.ref.block));
+    return;
+  }
+  if (ev.ref.func != fr.func || ev.ref.block != fr.block ||
+      ev.ref.instr != fr.next_instr) {
+    reject("non-monotone event ordering: expected f" +
+           std::to_string(fr.func) + ":b" + std::to_string(fr.block) + ":i" +
+           std::to_string(fr.next_instr) + ", got f" +
+           std::to_string(ev.ref.func) + ":b" + std::to_string(ev.ref.block) +
+           ":i" + std::to_string(ev.ref.instr));
+    return;
+  }
+  if (ev.instr != nullptr && ir::op_is_memory(ev.instr->op)) {
+    if (ev.address < 0) {
+      reject("negative effective address " + std::to_string(ev.address));
+      return;
+    }
+    if ((ev.address & 7) != 0) {
+      reject("misaligned effective address " + std::to_string(ev.address) +
+             " (8-byte alignment required)");
+      return;
+    }
+  }
+  ++fr.next_instr;
+  ++instr_events_;
+  inner_->on_instr(ev);
+}
+
+}  // namespace pp::vm

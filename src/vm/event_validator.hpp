@@ -1,0 +1,72 @@
+// Event-stream validation — the pipeline's first line of defense against a
+// corrupted instrumentation stream (cf. "Parallel Binary Code Analysis",
+// which treats malformed inputs as the common case). The validator sits
+// between the event producer (the VM, or a fault-injecting wrapper) and a
+// real observer (DynamicCfgBuilder, DdgBuilder) and forwards only a
+// well-formed prefix: on the first malformed event it records a structured
+// Diagnostic and silently drops everything after it, so downstream
+// observers always see a consistent — possibly truncated — trace and the
+// pipeline can still assemble a partial result.
+//
+// Checked invariants:
+//  * function / basic-block / instruction ids are in range for the module,
+//  * calls and returns balance (a return must match the innermost call),
+//  * load/store effective addresses are non-negative and 8-byte aligned,
+//  * instruction events advance monotonically: each frame retires
+//    consecutive instructions, restarted only by an observed jump, call or
+//    return (the VM's precise emission contract).
+#pragma once
+
+#include "support/budget.hpp"
+#include "vm/vm.hpp"
+
+namespace pp::vm {
+
+class EventValidator : public Observer {
+ public:
+  /// Forward validated events to `inner`; record rejections in `diag`
+  /// (nullable) under `stage`.
+  EventValidator(const ir::Module& m, Observer* inner,
+                 support::DiagnosticLog* diag = nullptr,
+                 support::Stage stage = support::Stage::kDdg)
+      : module_(m), inner_(inner), diag_(diag), stage_(stage) {}
+
+  void on_local_jump(int func, int dst_bb) override;
+  void on_call(CodeRef callsite, int callee) override;
+  void on_return(int callee, CodeRef into) override;
+  void on_instr(const InstrEvent& ev) override;
+
+  /// False once a malformed event was seen (stream is truncated there).
+  bool ok() const { return fault_.empty(); }
+  const std::string& fault() const { return fault_; }
+
+  /// Instruction events forwarded before any fault. The pipeline compares
+  /// this against the VM's retired-instruction count to detect a silently
+  /// truncated stream (e.g. an instrumentation layer that stopped
+  /// forwarding without any malformed event).
+  u64 instr_events() const { return instr_events_; }
+
+  /// Open (unreturned) calls, including the entry frame once running.
+  std::size_t frame_depth() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    int func = -1;
+    int block = -1;
+    int next_instr = 0;  ///< expected instr index of the next event
+  };
+
+  bool func_ok(int func) const;
+  bool block_ok(int func, int block) const;
+  void reject(const std::string& reason);
+
+  const ir::Module& module_;
+  Observer* inner_;
+  support::DiagnosticLog* diag_;
+  support::Stage stage_;
+  std::vector<Frame> frames_;
+  std::string fault_;
+  u64 instr_events_ = 0;
+};
+
+}  // namespace pp::vm

@@ -18,6 +18,19 @@ i64 as_bits(double d) {
   return bits;
 }
 
+// Guest integer arithmetic wraps (two's complement), like the machine
+// code the VM stands in for — guest LCGs and hash mixers overflow i64 on
+// purpose. Computing in u64 keeps that defined under UBSan.
+i64 wrap_add(i64 a, i64 b) {
+  return static_cast<i64>(static_cast<u64>(a) + static_cast<u64>(b));
+}
+i64 wrap_sub(i64 a, i64 b) {
+  return static_cast<i64>(static_cast<u64>(a) - static_cast<u64>(b));
+}
+i64 wrap_mul(i64 a, i64 b) {
+  return static_cast<i64>(static_cast<u64>(a) * static_cast<u64>(b));
+}
+
 }  // namespace
 
 Machine::Machine(const ir::Module& m, i64 extra_heap_bytes) : module_(m) {
@@ -99,13 +112,19 @@ RunResult Machine::run(const std::string& entry, const std::vector<i64>& args,
 
   i64 exit_value = 0;
   u64 steps = 0;
+  bool truncated = false;
   while (!stack.empty()) {
     Frame& fr = stack.back();
     const ir::Function& f = module_.functions[static_cast<std::size_t>(fr.func)];
     const ir::BasicBlock& bb = f.blocks[static_cast<std::size_t>(fr.block)];
     const ir::Instr& in = bb.instrs[static_cast<std::size_t>(fr.instr)];
 
-    if (++steps > max_steps) fatal("VM step limit exceeded");
+    if (++steps > max_steps) {
+      // Degrade, don't die: a step-capped run yields partial stats and a
+      // truncation status instead of discarding everything collected.
+      truncated = true;
+      break;
+    }
     ++stats_.instructions;
     ++stats_.per_function_instrs[static_cast<std::size_t>(fr.func)];
     ++stats_.cycles;
@@ -134,9 +153,9 @@ RunResult Machine::run(const std::string& entry, const std::vector<i64>& args,
       case ir::Op::kMov:
         set(in.dst, get(in.a));
         break;
-      case ir::Op::kAdd: set(in.dst, get(in.a) + get(in.b)); break;
-      case ir::Op::kSub: set(in.dst, get(in.a) - get(in.b)); break;
-      case ir::Op::kMul: set(in.dst, get(in.a) * get(in.b)); break;
+      case ir::Op::kAdd: set(in.dst, wrap_add(get(in.a), get(in.b))); break;
+      case ir::Op::kSub: set(in.dst, wrap_sub(get(in.a), get(in.b))); break;
+      case ir::Op::kMul: set(in.dst, wrap_mul(get(in.a), get(in.b))); break;
       case ir::Op::kDiv: {
         i64 d = get(in.b);
         if (d == 0) fatal("division by zero");
@@ -149,8 +168,8 @@ RunResult Machine::run(const std::string& entry, const std::vector<i64>& args,
         set(in.dst, get(in.a) % d);
         break;
       }
-      case ir::Op::kAddI: set(in.dst, get(in.a) + in.imm); break;
-      case ir::Op::kMulI: set(in.dst, get(in.a) * in.imm); break;
+      case ir::Op::kAddI: set(in.dst, wrap_add(get(in.a), in.imm)); break;
+      case ir::Op::kMulI: set(in.dst, wrap_mul(get(in.a), in.imm)); break;
       case ir::Op::kAnd: set(in.dst, get(in.a) & get(in.b)); break;
       case ir::Op::kOr: set(in.dst, get(in.a) | get(in.b)); break;
       case ir::Op::kXor: set(in.dst, get(in.a) ^ get(in.b)); break;
@@ -263,6 +282,10 @@ RunResult Machine::run(const std::string& entry, const std::vector<i64>& args,
   RunResult res;
   res.exit_value = exit_value;
   res.stats = stats_;
+  res.truncated = truncated;
+  if (truncated)
+    res.truncate_reason =
+        "VM step limit (" + std::to_string(max_steps) + ") exceeded";
   return res;
 }
 

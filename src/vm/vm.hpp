@@ -75,6 +75,11 @@ struct RunStats {
 struct RunResult {
   i64 exit_value = 0;
   RunStats stats;
+  /// The run stopped at the step cap instead of program exit. Partial
+  /// stats are still valid — step-capped profiling reports partial
+  /// results rather than dying (degrade-don't-die).
+  bool truncated = false;
+  std::string truncate_reason;
 };
 
 /// Cost-model configuration: a set-associative LRU cache (associativity
@@ -98,9 +103,14 @@ class Machine {
   void set_cost_model(const CostModel& cm) { cost_ = cm; }
 
   /// Run `entry` with the given arguments; throws pp::Error on traps
-  /// (bad address, division by zero, step limit).
+  /// (bad address, division by zero). Exhausting `max_steps` is NOT a
+  /// trap: the run stops and returns a truncated RunResult.
   RunResult run(const std::string& entry, const std::vector<i64>& args = {},
                 u64 max_steps = 500'000'000);
+
+  /// Stats accumulated by the current/last run. Valid even after a trap
+  /// unwound run() — the pipeline recovers partial accounting from here.
+  const RunStats& stats() const { return stats_; }
 
   /// Direct word access for test setup/inspection (byte address, 8-aligned).
   i64 read_word(i64 addr) const;

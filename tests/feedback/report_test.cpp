@@ -144,9 +144,56 @@ TEST(Report, FullReportBundlesEverything) {
   std::string rep = core::full_report(r);
   for (const char* needle :
        {"poly-prof feedback report", "SCEV-pruned", "decorated schedule tree",
-        "regions of interest", "estimated speedup", "for t0"}) {
+        "regions of interest", "estimated speedup", "for t0",
+        "-- degradations --"}) {
     EXPECT_NE(rep.find(needle), std::string::npos) << "missing " << needle;
   }
+  // A clean run's degradation section is exactly "none".
+  EXPECT_NE(rep.find("-- degradations --\nnone\n"), std::string::npos);
+}
+
+TEST(Report, DegradationsRenderDeterministically) {
+  // Golden check: the same faulty run renders the identical degradation
+  // section twice, and the section carries the flag, the degraded-
+  // statement count and every diagnostic line in insertion order.
+  Module m = reduction_nest();
+  core::PipelineOptions opts;
+  opts.budget.coord_pool_words = 32;  // trips early in the 16x16 nest
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run(opts);
+  ASSERT_TRUE(r.truncated);
+  ASSERT_GT(r.program.degraded_statements, 0u);
+
+  std::string rep1 = core::full_report(r);
+  std::string rep2 = core::full_report(r);
+  EXPECT_EQ(rep1, rep2);
+
+  std::size_t at = rep1.find("-- degradations --");
+  ASSERT_NE(at, std::string::npos);
+  std::string section = rep1.substr(at);
+  EXPECT_NE(section.find("trace truncated: results are a partial profile"),
+            std::string::npos);
+  EXPECT_NE(section.find("statement(s) degraded to over-approximation"),
+            std::string::npos);
+  EXPECT_NE(section.find("[warn] ddg: coordinate-pool budget exhausted"),
+            std::string::npos);
+  // And the whole run is reproducible: a second faulty run renders the
+  // same report (seeded, deterministic degradation order).
+  core::ProfileResult r2 = pipe.run(opts);
+  EXPECT_EQ(rep1, core::full_report(r2));
+}
+
+TEST(Report, UnanalyzableRegionSummaryRenders) {
+  RegionMetrics m;
+  m.region.name = "bad.c:1 (broken)";
+  m.analyzable = false;
+  m.degrade_reason = "scheduler fault";
+  m.ops = 123;
+  std::string s = summarize(m);
+  EXPECT_EQ(s,
+            "region bad.c:1 (broken)\n"
+            "  UNANALYZABLE: scheduler fault\n"
+            "  ops=123 (counted; no metrics derived)\n");
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+#include "vm/event_validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace pp::vm {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Reg;
+
+/// Counts forwarded events (what a downstream builder would see).
+struct Recorder : Observer {
+  u64 jumps = 0, calls = 0, returns = 0, instrs = 0;
+  void on_local_jump(int, int) override { ++jumps; }
+  void on_call(CodeRef, int) override { ++calls; }
+  void on_return(int, CodeRef) override { ++returns; }
+  void on_instr(const InstrEvent&) override { ++instrs; }
+  u64 total() const { return jumps + calls + returns + instrs; }
+};
+
+/// main { g = global; for i in 0..4: store g[i] = load g[i] } with a callee.
+Module looped_module() {
+  Module m;
+  i64 g = m.add_global("g", 8 * 8);
+  Function& leaf = m.add_function("leaf", 1);
+  {
+    Builder b(m, leaf);
+    b.set_block(b.make_block());
+    Reg two = b.muli(0, 2);
+    b.ret(two);
+  }
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(g);
+  Reg n = b.const_(4);
+  b.counted_loop(0, n, 1, [&](Reg i) {
+    Reg off = b.muli(i, 8);
+    Reg p = b.add(base, off);
+    Reg v = b.load(p);
+    Reg d = b.call(leaf, {v}, true);
+    b.store(p, d);
+  });
+  b.ret();
+  return m;
+}
+
+TEST(EventValidator, ValidStreamPassesThroughUnchanged) {
+  Module m = looped_module();
+  Recorder direct;
+  {
+    Machine vm(m);
+    vm.set_observer(&direct);
+    vm.run("main");
+  }
+  Recorder through;
+  support::DiagnosticLog diag;
+  {
+    Machine vm(m);
+    EventValidator val(m, &through, &diag);
+    vm.set_observer(&val);
+    vm.run("main");
+    EXPECT_TRUE(val.ok());
+    EXPECT_EQ(val.instr_events(), through.instrs);
+    EXPECT_EQ(val.frame_depth(), 1u);  // only the entry frame left open
+  }
+  EXPECT_EQ(direct.jumps, through.jumps);
+  EXPECT_EQ(direct.calls, through.calls);
+  EXPECT_EQ(direct.returns, through.returns);
+  EXPECT_EQ(direct.instrs, through.instrs);
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(EventValidator, RejectsOutOfRangeFunction) {
+  Module m = looped_module();
+  Recorder rec;
+  support::DiagnosticLog diag;
+  EventValidator val(m, &rec, &diag);
+  val.on_local_jump(99, 0);
+  EXPECT_FALSE(val.ok());
+  EXPECT_NE(val.fault().find("out-of-range function"), std::string::npos);
+  ASSERT_EQ(diag.size(), 1u);
+  EXPECT_EQ(diag.all()[0].severity, support::Severity::kError);
+  EXPECT_EQ(rec.total(), 0u);  // nothing forwarded
+}
+
+TEST(EventValidator, RejectsOutOfRangeBlock) {
+  Module m = looped_module();
+  Recorder rec;
+  EventValidator val(m, &rec);
+  int main_id = m.find_function("main")->id;
+  val.on_local_jump(main_id, 1'000'000);
+  EXPECT_FALSE(val.ok());
+  EXPECT_NE(val.fault().find("out-of-range block"), std::string::npos);
+}
+
+TEST(EventValidator, RejectsUnmatchedReturn) {
+  Module m = looped_module();
+  Recorder rec;
+  support::DiagnosticLog diag;
+  EventValidator val(m, &rec, &diag);
+  int main_id = m.find_function("main")->id;
+  val.on_local_jump(main_id, 0);  // entry frame
+  val.on_return(main_id, CodeRef{main_id, 0, 0});  // no call to match
+  EXPECT_FALSE(val.ok());
+  EXPECT_NE(val.fault().find("unmatched return"), std::string::npos);
+  EXPECT_EQ(rec.returns, 0u);
+}
+
+TEST(EventValidator, RejectsReturnFromWrongCallee) {
+  Module m = looped_module();
+  Recorder rec;
+  EventValidator val(m, &rec);
+  int main_id = m.find_function("main")->id;
+  int leaf_id = m.find_function("leaf")->id;
+  val.on_local_jump(main_id, 0);
+  val.on_call(CodeRef{main_id, 0, 0}, leaf_id);
+  val.on_return(main_id, CodeRef{main_id, 0, 0});  // should be leaf
+  EXPECT_FALSE(val.ok());
+  EXPECT_NE(val.fault().find("does not match innermost call"),
+            std::string::npos);
+}
+
+TEST(EventValidator, RejectsMisalignedAddress) {
+  Module m = looped_module();
+  Recorder rec;
+  EventValidator val(m, &rec);
+  int main_id = m.find_function("main")->id;
+  const auto& f = m.functions[static_cast<std::size_t>(main_id)];
+  // Locate the first load and replay its block's prefix faithfully, then
+  // hand the validator a misaligned address for the load itself.
+  int load_bb = -1, load_idx = -1;
+  for (std::size_t bi = 0; bi < f.blocks.size() && load_bb < 0; ++bi)
+    for (std::size_t ii = 0; ii < f.blocks[bi].instrs.size(); ++ii)
+      if (f.blocks[bi].instrs[ii].op == ir::Op::kLoad) {
+        load_bb = static_cast<int>(bi);
+        load_idx = static_cast<int>(ii);
+        break;
+      }
+  ASSERT_GE(load_bb, 0);
+  val.on_local_jump(main_id, load_bb);
+  for (int i = 0; i <= load_idx; ++i) {
+    InstrEvent ev;
+    ev.ref = {main_id, load_bb, i};
+    ev.instr = &f.blocks[static_cast<std::size_t>(load_bb)]
+                    .instrs[static_cast<std::size_t>(i)];
+    if (i == load_idx) ev.address = 12 + 3;  // not 8-byte aligned
+    val.on_instr(ev);
+  }
+  EXPECT_FALSE(val.ok());
+  EXPECT_NE(val.fault().find("misaligned"), std::string::npos);
+}
+
+TEST(EventValidator, RejectsNonMonotoneOrdering) {
+  Module m = looped_module();
+  Recorder rec;
+  EventValidator val(m, &rec);
+  int main_id = m.find_function("main")->id;
+  const auto& entry_bb =
+      m.functions[static_cast<std::size_t>(main_id)].blocks[0];
+  ASSERT_GE(entry_bb.instrs.size(), 2u);
+  val.on_local_jump(main_id, 0);
+  InstrEvent ev;
+  ev.ref = {main_id, 0, 1};  // skips instr 0
+  ev.instr = &entry_bb.instrs[1];
+  val.on_instr(ev);
+  EXPECT_FALSE(val.ok());
+  EXPECT_NE(val.fault().find("non-monotone"), std::string::npos);
+}
+
+TEST(EventValidator, DropsEverythingAfterFirstFault) {
+  Module m = looped_module();
+  Recorder rec;
+  support::DiagnosticLog diag;
+  EventValidator val(m, &rec, &diag);
+  val.on_local_jump(99, 0);  // fault
+  ASSERT_FALSE(val.ok());
+  int main_id = m.find_function("main")->id;
+  val.on_local_jump(main_id, 0);  // would be valid, but the stream is dead
+  val.on_call(CodeRef{main_id, 0, 0}, main_id);
+  EXPECT_EQ(rec.total(), 0u);
+  EXPECT_EQ(diag.size(), 1u);  // only the first fault is recorded
+}
+
+}  // namespace
+}  // namespace pp::vm

@@ -304,7 +304,7 @@ TEST(Vm, TrapsOnDivisionByZero) {
   EXPECT_THROW(vm.run("main"), Error);
 }
 
-TEST(Vm, StepLimitGuardsInfiniteLoops) {
+TEST(Vm, StepLimitTruncatesInfiniteLoops) {
   Module m;
   Function& f = m.add_function("main", 0);
   Builder b(m, f);
@@ -312,7 +312,12 @@ TEST(Vm, StepLimitGuardsInfiniteLoops) {
   b.set_block(entry);
   b.br(entry);
   Machine vm(m);
-  EXPECT_THROW(vm.run("main", {}, /*max_steps=*/1000), Error);
+  // Exhausting the step cap is a truncation, not a trap: the run stops
+  // and the partial stats survive.
+  RunResult rr = vm.run("main", {}, /*max_steps=*/1000);
+  EXPECT_TRUE(rr.truncated);
+  EXPECT_NE(rr.truncate_reason.find("step limit"), std::string::npos);
+  EXPECT_EQ(rr.stats.instructions, 1000u);
 }
 
 TEST(Vm, CacheModelCountsMisses) {
