@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Repo-wide check gate: format check, clang-tidy over src/verify/, and the
+# test suite in BOTH build flavors (default and POLYPROF_SANITIZE).
+#
+# clang-format / clang-tidy are optional: when a tool is missing the step
+# is reported as SKIPPED instead of failing, so the script stays usable in
+# minimal containers that only carry the compiler toolchain.
+#
+# Usage: scripts/check.sh [--no-tests]
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+RUN_TESTS=1
+[[ "${1:-}" == "--no-tests" ]] && RUN_TESTS=0
+
+FAIL=0
+note() { printf '== %s\n' "$*"; }
+
+# ---- 1. format check (whole tree, advisory-by-availability) -------------
+if command -v clang-format >/dev/null 2>&1; then
+  note "clang-format --dry-run over src/ tests/ bench/"
+  mapfile -t FILES < <(find src tests bench -name '*.cpp' -o -name '*.hpp')
+  if ! clang-format --dry-run --Werror "${FILES[@]}"; then
+    note "clang-format: FAILED"
+    FAIL=1
+  else
+    note "clang-format: OK (${#FILES[@]} files)"
+  fi
+else
+  note "clang-format: SKIPPED (not installed)"
+fi
+
+# ---- 2. clang-tidy on the verify subsystem ------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  note "clang-tidy over src/verify/ (compile_commands from build/)"
+  if [[ ! -f build/compile_commands.json ]]; then
+    cmake -S . -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  if ! clang-tidy -p build src/verify/*.cpp; then
+    note "clang-tidy: FAILED"
+    FAIL=1
+  else
+    note "clang-tidy: OK"
+  fi
+else
+  note "clang-tidy: SKIPPED (not installed)"
+fi
+
+# ---- 3. build + test, both flavors --------------------------------------
+if [[ $RUN_TESTS -eq 1 ]]; then
+  flavor() {
+    local dir="$1"; shift
+    local label="$1"; shift
+    note "configure+build+test: $label ($dir)"
+    cmake -S . -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@" >/dev/null || { FAIL=1; return; }
+    cmake --build "$dir" -j "$(nproc)" >/dev/null || { FAIL=1; return; }
+    if ! ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"; then
+      note "$label tests: FAILED"
+      FAIL=1
+    else
+      note "$label tests: OK"
+    fi
+  }
+  flavor build default
+  flavor build-asan sanitize -DPOLYPROF_SANITIZE=ON
+fi
+
+if [[ $FAIL -ne 0 ]]; then
+  note "check.sh: FAILURES above"
+  exit 1
+fi
+note "check.sh: all checks passed (skipped steps noted above)"

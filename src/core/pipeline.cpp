@@ -5,6 +5,9 @@
 #include <set>
 #include <sstream>
 
+#include "statican/statican.hpp"
+#include "verify/oracle.hpp"
+#include "verify/verifier.hpp"
 #include "vm/event_validator.hpp"
 
 namespace pp::core {
@@ -38,6 +41,24 @@ class TeeObserver : public vm::Observer {
 ProfileResult Pipeline::run(const PipelineOptions& opts) {
   ProfileResult res;
   res.module = &module_;
+
+  // IR verification BEFORE any replay: an ill-formed module is rejected
+  // with the full structured issue list instead of trapping (or worse,
+  // silently misbehaving) somewhere mid-profile.
+  if (opts.verify_module) {
+    verify::VerifyReport vr = verify::verify_module(module_);
+    if (!vr.ok()) {
+      res.truncated = true;
+      vr.to_log(res.diagnostics);
+      res.diagnostics.error(
+          support::Stage::kVerify,
+          "module rejected by the IR verifier (" +
+              std::to_string(vr.issues.size()) +
+              " issue(s)) — nothing profiled; set "
+              "PipelineOptions::verify_module=false to bypass");
+      return res;
+    }
+  }
 
   // Setup validation BEFORE any replay: a bad entry must not cost a full
   // stage-1 run only to throw afterwards.
@@ -335,14 +356,53 @@ std::string full_report(const ProfileResult& r, double min_fraction) {
      << "%   (extended): "
      << static_cast<int>(feedback::percent_affine(r.program, false))
      << "%\n\n";
+
+  // The Exp. II contrast: what a purely static (Polly-style) analysis can
+  // model of each function, next to what the dynamic profile recovered.
+  os << "-- static baseline --\n";
+  if (r.module == nullptr) {
+    os << "unavailable (module not retained)\n";
+  } else {
+    for (const auto& f : r.module->functions) {
+      if (f.blocks.empty()) continue;
+      statican::FunctionModel fm = statican::model_function(*r.module, f);
+      std::size_t modeled = 0;
+      for (const auto& a : fm.accesses)
+        if (a.modeled) ++modeled;
+      os << f.name << ": "
+         << (fm.verdict.affine_modeled ? "affine"
+                                       : statican::reasons_str(fm.verdict.reasons))
+         << "  loops " << fm.verdict.num_modeled_loops << "/"
+         << fm.verdict.num_loops << "  nest-depth "
+         << fm.verdict.max_modeled_nest_depth << "  accesses " << modeled
+         << "/" << fm.accesses.size() << "\n";
+    }
+  }
+  os << "\n";
   os << "-- decorated schedule tree (ops share, source refs) --\n";
   os << feedback::render_decorated_tree(r.schedule_tree, r.program, r.module);
   os << "\n-- regions of interest --\n";
-  for (const auto& region : r.hot_regions(min_fraction)) {
-    feedback::RegionMetrics mx = r.analyze(region);
+  std::vector<feedback::RegionMetrics> metrics;
+  for (const auto& region : r.hot_regions(min_fraction))
+    metrics.push_back(r.analyze(region));
+
+  // Differential soundness oracle: run BEFORE rendering so a downgraded
+  // parallel claim is reflected in the summaries it contradicts.
+  std::string oracle_line = "skipped (module not retained)";
+  if (r.module != nullptr) {
+    std::vector<feedback::RegionMetrics*> ptrs;
+    ptrs.reserve(metrics.size());
+    for (auto& m : metrics) ptrs.push_back(&m);
+    verify::OracleReport oracle = verify::run_oracle(*r.module, r.program, ptrs);
+    oracle_line = oracle.verdict_line();
+  }
+
+  for (auto& mx : metrics) {
     os << "\n" << feedback::summarize(mx);
     os << feedback::render_ast(mx, r.program, r.module);
   }
+
+  os << "\n-- soundness oracle --\n" << oracle_line << "\n";
 
   // Specialization hints (the paper's Fig. 7 annotation "specialize
   // adjustweight (2nd call)"): a function reached from several distinct

@@ -39,6 +39,11 @@ struct PipelineOptions {
   /// degrade paths; kNone in production). Stage 1 is never chaos-wrapped,
   /// so the control structure stays intact under injected faults.
   vm::ChaosOptions chaos;
+  /// Run the pp::verify module verifier before any replay (the default).
+  /// An ill-formed module is rejected with structured diagnostics instead
+  /// of trapping mid-execution. Opt out for deliberately malformed inputs
+  /// (e.g. profiling how far a broken module gets).
+  bool verify_module = true;
 };
 
 /// Everything the profiler learned about one execution.

@@ -106,6 +106,57 @@ double percent_affine(const fold::FoldedProgram& prog, bool strict) {
          static_cast<double>(prog.total_dynamic_ops);
 }
 
+void refresh_schedule_metrics(RegionMetrics& m) {
+  m.tile_depth = 0;
+  m.skew_used = false;
+  m.schedulable = true;
+  m.parallel_ops = m.simd_ops = m.tilable_ops = 0;
+  u64 grouped_ops = 0, parallel_grouped = 0, simd_grouped = 0,
+      tilable_grouped = 0;
+  for (const auto& g : m.sched.groups) {
+    if (g.levels.empty()) continue;
+    grouped_ops += g.ops;
+    m.tile_depth = std::max(m.tile_depth, g.tile_depth());
+    m.skew_used = m.skew_used || g.uses_skew();
+    m.schedulable = m.schedulable && g.schedulable;
+    if (!g.schedulable) continue;
+    tilable_grouped += g.ops;
+    // Coarse parallelism: some parallel level exists that is (or can be
+    // permuted) non-innermost, or the single loop level is parallel.
+    bool any_parallel = false, inner_band_parallel = false;
+    std::size_t band_start = 0;
+    for (std::size_t i = 0; i < g.levels.size(); ++i)
+      if (g.levels[i].new_band) band_start = i;
+    for (std::size_t i = 0; i < g.levels.size(); ++i) {
+      if (!g.levels[i].parallel) continue;
+      any_parallel = true;
+      if (i >= band_start) inner_band_parallel = true;
+    }
+    // Wavefront rule (paper §8): "tiled code can always be also
+    // coarse-grain parallelized using wavefront parallelism" — a tilable
+    // band counts as parallelizable even without a parallel row, at the
+    // price of skewing the tile schedule.
+    bool wavefront = g.tile_depth() >= 2 && !any_parallel;
+    if (any_parallel || wavefront) parallel_grouped += g.ops;
+    if (wavefront) m.skew_used = true;
+    if (inner_band_parallel) simd_grouped += g.ops;
+  }
+  // Scale the grouped verdicts to the full region: the paper counts ALL
+  // dynamic operations of a parallel loop ("all its operations are
+  // considered to be parallelizable"), including the pruned SCEV
+  // bookkeeping inside it — attribute it proportionally.
+  if (grouped_ops > 0) {
+    auto scale = [&](u64 part) {
+      return static_cast<u64>(static_cast<double>(m.ops) *
+                              static_cast<double>(part) /
+                              static_cast<double>(grouped_ops));
+    };
+    m.parallel_ops = scale(parallel_grouped);
+    m.simd_ops = scale(simd_grouped);
+    m.tilable_ops = scale(tilable_grouped);
+  }
+}
+
 RegionMetrics analyze_region(const fold::FoldedProgram& prog, Region region,
                              const AnalyzeOptions& opts) {
   RegionMetrics m;
@@ -159,50 +210,7 @@ RegionMetrics analyze_region(const fold::FoldedProgram& prog, Region region,
   for (const auto& g : m.sched.groups)
     for (int id : g.stmts) group_of[id] = &g;
 
-  u64 grouped_ops = 0, parallel_grouped = 0, simd_grouped = 0,
-      tilable_grouped = 0;
-  for (const auto& g : m.sched.groups) {
-    if (g.levels.empty()) continue;
-    grouped_ops += g.ops;
-    m.tile_depth = std::max(m.tile_depth, g.tile_depth());
-    m.skew_used = m.skew_used || g.uses_skew();
-    m.schedulable = m.schedulable && g.schedulable;
-    if (!g.schedulable) continue;
-    tilable_grouped += g.ops;
-    // Coarse parallelism: some parallel level exists that is (or can be
-    // permuted) non-innermost, or the single loop level is parallel.
-    bool any_parallel = false, inner_band_parallel = false;
-    std::size_t band_start = 0;
-    for (std::size_t i = 0; i < g.levels.size(); ++i)
-      if (g.levels[i].new_band) band_start = i;
-    for (std::size_t i = 0; i < g.levels.size(); ++i) {
-      if (!g.levels[i].parallel) continue;
-      any_parallel = true;
-      if (i >= band_start) inner_band_parallel = true;
-    }
-    // Wavefront rule (paper §8): "tiled code can always be also
-    // coarse-grain parallelized using wavefront parallelism" — a tilable
-    // band counts as parallelizable even without a parallel row, at the
-    // price of skewing the tile schedule.
-    bool wavefront = g.tile_depth() >= 2 && !any_parallel;
-    if (any_parallel || wavefront) parallel_grouped += g.ops;
-    if (wavefront) m.skew_used = true;
-    if (inner_band_parallel) simd_grouped += g.ops;
-  }
-  // Scale the grouped verdicts to the full region: the paper counts ALL
-  // dynamic operations of a parallel loop ("all its operations are
-  // considered to be parallelizable"), including the pruned SCEV
-  // bookkeeping inside it — attribute it proportionally.
-  if (grouped_ops > 0) {
-    auto scale = [&](u64 part) {
-      return static_cast<u64>(static_cast<double>(m.ops) *
-                              static_cast<double>(part) /
-                              static_cast<double>(grouped_ops));
-    };
-    m.parallel_ops = scale(parallel_grouped);
-    m.simd_ops = scale(simd_grouped);
-    m.tilable_ops = scale(tilable_grouped);
-  }
+  refresh_schedule_metrics(m);
 
   // Reuse / potential reuse and the locality cost model.
   for (int id : region.stmts) {

@@ -90,6 +90,13 @@ struct AnalyzeOptions {
 RegionMetrics analyze_region(const fold::FoldedProgram& prog, Region region,
                              const AnalyzeOptions& opts = {});
 
+/// Recompute the schedule-derived counters (tile_depth, skew_used,
+/// schedulable, parallel/simd/tilable ops) of `m` from `m.sched` and
+/// `m.ops`. Called by analyze_region, and again by anything that edits the
+/// schedule's level flags afterwards (pp::verify downgrades contradicted
+/// parallel claims).
+void refresh_schedule_metrics(RegionMetrics& m);
+
 /// Program-wide %Aff (Table 5 first metric): fully affine dynamic ops over
 /// all dynamic ops. `strict` (the default, used for Table 5) requires
 /// single-piece folds as the paper's lattice-less folding does; extended

@@ -240,7 +240,10 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
   // Fold dependences; drop edges touching SCEV statements (their whole
   // computation chains are bookkeeping — keeping them "greatly and
   // unnecessarily constrains possible code transformations", §5).
-  std::map<std::pair<int, int>, FoldedDep> merged;
+  // Merging keeps the dependence KIND in the key: a reg-flow and a mem-flow
+  // edge between the same statement pair stay separate edges, so consumers
+  // (scalar-expansion hints, the soundness oracle) see faithful kinds.
+  std::map<std::tuple<int, int, ddg::DepKind>, FoldedDep> merged;
   std::vector<DepKey> keys;
   keys.reserve(deps_.size());
   for (const auto& [key, _] : deps_) keys.push_back(key);
@@ -285,7 +288,7 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
     // endpoints and must_relation() drops them.
     if (degraded_.count(src) != 0 || degraded_.count(dst) != 0)
       taint_pieces(rel);
-    auto mk = std::make_pair(src, dst);
+    auto mk = std::make_tuple(src, dst, kind);
     auto it = merged.find(mk);
     if (it == merged.end()) {
       FoldedDep fd;

@@ -83,7 +83,10 @@ void collect_defs(Analysis& a) {
 
 // Identify canonical induction variables: a register with exactly one
 // self-increment (addi r, c, r) inside loop L and all other defs outside L.
+// A register that qualifies for two different loops is ambiguous (its
+// abstract value would conflate distinct iteration spaces) and is dropped.
 void find_ivs(Analysis& a) {
+  std::map<Reg, std::set<int>> candidates;
   for (const auto& bb : a.func.blocks) {
     int loop = innermost_loop(a, bb.id);
     if (loop < 0) continue;
@@ -102,9 +105,11 @@ void find_ivs(Analysis& a) {
           }
         }
       }
-      if (ok) a.iv_of_reg[in.dst] = loop;
+      if (ok) candidates[in.dst].insert(loop);
     }
   }
+  for (const auto& [r, loops] : candidates)
+    if (loops.size() == 1) a.iv_of_reg[r] = *loops.begin();
 }
 
 AbsVal lookup(Analysis& a, Reg r) {
@@ -259,6 +264,89 @@ void eval_instr(Analysis& a, const ir::BasicBlock& bb, const Instr& in) {
   }
 }
 
+// Record every kLoad/kStore with whatever affine structure the abstract
+// environment recovered for its address. Uses the final environment, which
+// is sound because multi-defined non-IV registers have already collapsed to
+// opaque.
+void collect_accesses(Analysis& a, FunctionModel& out) {
+  for (const auto& bb : a.func.blocks) {
+    for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+      const Instr& in = bb.instrs[i];
+      if (!ir::op_is_memory(in.op)) continue;
+      AccessInfo acc;
+      acc.block = bb.id;
+      acc.instr = static_cast<int>(i);
+      acc.is_store = in.op == Op::kStore;
+      AbsVal addr = lookup(a, in.a);
+      if (addr.has_base && addr.base_arg >= 0) {
+        // Direct argument base: numeric value unknown, but the offset
+        // relative to the argument is the constant displacement.
+        acc.affine = true;
+        acc.base_arg = addr.base_arg;
+        acc.offset = in.imm;
+      } else if (addr.has_base && addr.is_affine_like()) {
+        // Global base: konst already contains the absolute base address.
+        acc.affine = true;
+        acc.base_arg = -1;
+        acc.base_addr = addr.base_addr;
+        acc.coeffs = addr.coeffs;
+        acc.offset = addr.konst + in.imm;
+      }
+      out.accesses.push_back(std::move(acc));
+    }
+  }
+}
+
+// Recover the IV value range of each canonical counted loop: `lo` from the
+// single out-of-loop kConst def, the step from the in-loop self-increment,
+// `hi` from a header guard `brcond (cmplt|cmple iv, n)` with a constant
+// bound and an exiting target. `hi` is widened by one step so the IV's exit
+// value (visible to code after the loop) stays inside the range; the range
+// is an over-approximation of the values the IV takes, which is all a
+// Banerjee-style test needs.
+void recover_bounds(Analysis& a, FunctionModel& out) {
+  for (const auto& [reg, loopid] : a.iv_of_reg) {
+    const cfg::Loop& loop = a.forest.loop(loopid);
+    const Instr* self_inc = nullptr;
+    i64 step = 0;
+    for (int blk : loop.blocks) {
+      for (const auto& in : a.func.block(blk).instrs) {
+        if (in.op == Op::kAddI && in.dst == reg && in.a == reg) {
+          self_inc = &in;
+          step = in.imm;
+        }
+      }
+    }
+    if (!self_inc || step <= 0) continue;
+    const Instr* init = nullptr;
+    int other_defs = 0;
+    for (const Instr* d : a.defs[reg]) {
+      if (d == self_inc) continue;
+      ++other_defs;
+      init = d;
+    }
+    if (other_defs != 1 || init->op != Op::kConst) continue;
+    const auto& hdr = a.func.block(loop.header);
+    if (hdr.instrs.empty()) continue;
+    const Instr& t = hdr.instrs.back();
+    if (t.op != Op::kBrCond || a.defs[t.a].size() != 1) continue;
+    const Instr* cmp = a.defs[t.a][0];
+    if ((cmp->op != Op::kCmpLt && cmp->op != Op::kCmpLe) || cmp->a != reg)
+      continue;
+    AbsVal bound = lookup(a, cmp->b);
+    if (bound.kind != AbsVal::Kind::kConst) continue;
+    bool exits = loop.blocks.count(static_cast<int>(t.imm)) == 0 ||
+                 loop.blocks.count(static_cast<int>(t.imm2)) == 0;
+    if (!exits) continue;
+    i64 hi = (cmp->op == Op::kCmpLt ? bound.konst - 1 : bound.konst) + step;
+    LoopBounds b;
+    b.known = true;
+    b.lo = init->imm;
+    b.hi = std::max(b.lo, hi);
+    out.bounds[loopid] = b;
+  }
+}
+
 }  // namespace
 
 cfg::FunctionCfg static_cfg(const ir::Function& f) {
@@ -280,6 +368,10 @@ cfg::FunctionCfg static_cfg(const ir::Function& f) {
 }
 
 FunctionVerdict analyze_function(const ir::Module& m, const ir::Function& f) {
+  return model_function(m, f).verdict;
+}
+
+FunctionModel model_function(const ir::Module& m, const ir::Function& f) {
   Analysis a(m, f);
   collect_defs(a);
   find_ivs(a);
@@ -302,10 +394,12 @@ FunctionVerdict analyze_function(const ir::Module& m, const ir::Function& f) {
       if (in.op == Op::kRet) ++rets;
   if (rets > 1) a.reasons.insert('C');
   for (const auto& loop : a.forest.loops()) {
-    std::set<int> exits;
+    // Count exiting EDGES, not distinct targets: two breaks converging on
+    // the same join block are still break-like control flow.
+    std::set<std::pair<int, int>> exits;
     for (int b : loop.blocks)
       for (int s : a.cfg.blocks.succs(b))
-        if (loop.blocks.count(s) == 0) exits.insert(s);
+        if (loop.blocks.count(s) == 0) exits.insert({b, s});
     if (exits.size() > 1) a.flag('C', loop.header);
   }
 
@@ -362,7 +456,18 @@ FunctionVerdict analyze_function(const ir::Module& m, const ir::Function& f) {
     v.max_modeled_nest_depth =
         std::max(v.max_modeled_nest_depth, height(loop));
   }
-  return v;
+
+  FunctionModel out;
+  out.verdict = v;
+  collect_accesses(a, out);
+  recover_bounds(a, out);
+  out.block_reasons = a.block_reasons;
+  for (auto& acc : out.accesses) {
+    auto it = out.block_reasons.find(acc.block);
+    bool clean = it == out.block_reasons.end() || it->second.empty();
+    acc.modeled = acc.affine && clean;
+  }
+  return out;
 }
 
 std::set<char> analyze_region(const ir::Module& m,

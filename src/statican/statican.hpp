@@ -12,8 +12,10 @@
 // contrast POLY-PROF's dynamic analysis is designed to overcome.
 #pragma once
 
+#include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "cfg/loop_forest.hpp"
 #include "ir/ir.hpp"
@@ -37,8 +39,55 @@ struct FunctionVerdict {
 /// not, unlike the dynamic CFGs of stage 1.
 cfg::FunctionCfg static_cfg(const ir::Function& f);
 
+/// One statically recovered memory access (kLoad / kStore). The address is
+/// modeled in *IV-value space*: addr = base + sum(coeffs[l] * iv_l) + offset
+/// where iv_l is the runtime VALUE of loop l's canonical induction variable
+/// (not its iteration count). For a global base the base address is folded
+/// into `offset` (absolute addressing); for an argument base the offset is
+/// relative to the unknown argument value.
+struct AccessInfo {
+  int block = -1;            ///< basic block id
+  int instr = -1;            ///< index within the block
+  bool is_store = false;
+  /// Address fully recovered as base + affine(IVs). Accesses through
+  /// non-affine arithmetic (or lost bases) have affine == false.
+  bool affine = false;
+  /// Affine AND the enclosing block carries no R/C/B/F/A/P reason — the
+  /// access participates in static dependence testing.
+  bool modeled = false;
+  int base_arg = -1;         ///< argument index, or -1 for a global base
+  i64 base_addr = 0;         ///< global base address (base_arg < 0)
+  std::map<int, i64> coeffs; ///< loop id -> byte coefficient per IV value
+  i64 offset = 0;            ///< constant byte term (absolute for globals)
+};
+
+/// Recovered value range of a loop's canonical IV, inclusive. `hi` is
+/// widened by one step so uses of the IV *after* the loop (its exit value)
+/// stay inside the range; bounds are only a sound over-approximation of the
+/// values the IV takes, which is all Banerjee-style testing needs.
+struct LoopBounds {
+  bool known = false;
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+/// Full static model of one function: the verdict plus everything a
+/// dependence tester needs (access functions, IV ranges, per-block failure
+/// attribution).
+struct FunctionModel {
+  FunctionVerdict verdict;
+  std::vector<AccessInfo> accesses;           ///< program order
+  std::map<int, LoopBounds> bounds;           ///< loop id -> IV value range
+  std::map<int, std::set<char>> block_reasons;
+};
+
 /// Try to model one function as an affine program.
 FunctionVerdict analyze_function(const ir::Module& m, const ir::Function& f);
+
+/// Like analyze_function, but also exposes the recovered access functions
+/// and loop bounds (the raw material for pp::verify's static dependence
+/// tester).
+FunctionModel model_function(const ir::Module& m, const ir::Function& f);
 
 /// Region verdict: union of the verdicts of all functions in the region
 /// (the paper inlines kernels so Polly sees the same region; calls to

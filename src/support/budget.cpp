@@ -16,6 +16,7 @@ const char* severity_name(Severity s) {
 const char* stage_name(Stage s) {
   switch (s) {
     case Stage::kSetup: return "setup";
+    case Stage::kVerify: return "verify";
     case Stage::kControl: return "control";
     case Stage::kDdg: return "ddg";
     case Stage::kFold: return "fold";

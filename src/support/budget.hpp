@@ -70,6 +70,7 @@ const char* severity_name(Severity s);
 /// Pipeline stage a diagnostic originates from.
 enum class Stage : std::uint8_t {
   kSetup,     ///< option/entry validation before any replay
+  kVerify,    ///< pipeline-entry IR verification (pp::verify)
   kControl,   ///< stage 1: dynamic control structure
   kDdg,       ///< stage 2: DDG construction (VM replay + shadow memory)
   kFold,      ///< stage 3: polyhedral folding

@@ -1,0 +1,248 @@
+#include "verify/mutator.hpp"
+
+#include "verify/dataflow.hpp"
+
+namespace pp::verify {
+
+using ir::Function;
+using ir::Instr;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+const char* defect_class_name(DefectClass c) {
+  switch (c) {
+    case DefectClass::kDanglingBranch: return "dangling-branch";
+    case DefectClass::kMissingTerminator: return "missing-terminator";
+    case DefectClass::kUseBeforeDef: return "use-before-def";
+    case DefectClass::kBadCallArity: return "bad-call-arity";
+    case DefectClass::kOutOfRangeRegister: return "out-of-range-register";
+  }
+  return "?";
+}
+
+IssueCode expected_issue(DefectClass c) {
+  switch (c) {
+    case DefectClass::kDanglingBranch: return IssueCode::kBadBranchTarget;
+    case DefectClass::kMissingTerminator: return IssueCode::kMissingTerminator;
+    case DefectClass::kUseBeforeDef: return IssueCode::kUseBeforeDef;
+    case DefectClass::kBadCallArity: return IssueCode::kBadCallArity;
+    case DefectClass::kOutOfRangeRegister: return IssueCode::kBadRegister;
+  }
+  return IssueCode::kNoBlocks;
+}
+
+namespace {
+
+// splitmix64: tiny, seedable, no global state.
+struct Rng {
+  u64 s;
+  u64 next() {
+    s += 0x9e3779b97f4a7c15ull;
+    u64 z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+};
+
+Function& pick_function(Module& m, Rng& rng) {
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < m.functions.size(); ++i)
+    if (!m.functions[i].blocks.empty()) eligible.push_back(i);
+  PP_CHECK(!eligible.empty(), "mutate: module has no function with blocks");
+  return m.functions[eligible[rng.below(eligible.size())]];
+}
+
+Mutation dangling_branch(Module& m, Rng& rng) {
+  // Corrupt an existing branch when one exists, else replace a terminator
+  // with an out-of-range kBr.
+  struct Site { Function* f; int b; int i; };
+  std::vector<Site> branches;
+  for (auto& f : m.functions)
+    for (auto& bb : f.blocks)
+      for (std::size_t i = 0; i < bb.instrs.size(); ++i)
+        if (bb.instrs[i].op == Op::kBr || bb.instrs[i].op == Op::kBrCond)
+          branches.push_back({&f, bb.id, static_cast<int>(i)});
+  Mutation mu;
+  mu.cls = DefectClass::kDanglingBranch;
+  if (!branches.empty()) {
+    Site s = branches[rng.below(branches.size())];
+    Instr& in = s.f->blocks[static_cast<std::size_t>(s.b)]
+                    .instrs[static_cast<std::size_t>(s.i)];
+    i64 bogus = static_cast<i64>(s.f->blocks.size()) +
+                static_cast<i64>(rng.below(7));
+    in.imm = bogus;
+    mu.func = s.f->id;
+    mu.block = s.b;
+    mu.instr = s.i;
+    mu.description = "branch target set to bb" + std::to_string(bogus);
+    return mu;
+  }
+  Function& f = pick_function(m, rng);
+  auto& bb = f.blocks[rng.below(f.blocks.size())];
+  Instr br;
+  br.op = Op::kBr;
+  br.imm = static_cast<i64>(f.blocks.size()) + 3;
+  bb.instrs.back() = br;
+  mu.func = f.id;
+  mu.block = bb.id;
+  mu.instr = static_cast<int>(bb.instrs.size()) - 1;
+  mu.description = "terminator replaced by br to bb" + std::to_string(br.imm);
+  return mu;
+}
+
+Mutation missing_terminator(Module& m, Rng& rng) {
+  Function& f = pick_function(m, rng);
+  auto& bb = f.blocks[rng.below(f.blocks.size())];
+  if (f.num_regs == 0) f.num_regs = 1;
+  Instr filler;
+  filler.op = Op::kConst;
+  filler.dst = 0;
+  filler.imm = 0;
+  bb.instrs.back() = filler;  // block now ends in a plain kConst
+  Mutation mu;
+  mu.cls = DefectClass::kMissingTerminator;
+  mu.func = f.id;
+  mu.block = bb.id;
+  mu.instr = static_cast<int>(bb.instrs.size()) - 1;
+  mu.description = "terminator replaced by const";
+  return mu;
+}
+
+Mutation use_before_def(Module& m, Rng& rng) {
+  Function& f = pick_function(m, rng);
+  // A fresh register read at the very top of the entry block: no path can
+  // define it first.
+  Reg fresh = f.num_regs;
+  f.num_regs += 1;
+  Instr use;
+  use.op = Op::kMov;
+  use.dst = fresh;
+  use.a = fresh;
+  auto& entry = f.blocks.front();
+  entry.instrs.insert(entry.instrs.begin(), use);
+  Mutation mu;
+  mu.cls = DefectClass::kUseBeforeDef;
+  mu.func = f.id;
+  mu.block = entry.id;
+  mu.instr = 0;
+  mu.description = "mov r" + std::to_string(fresh) + ", r" +
+                   std::to_string(fresh) + " inserted at entry";
+  return mu;
+}
+
+Mutation bad_call_arity(Module& m, Rng& rng) {
+  struct Site { Function* f; int b; int i; };
+  std::vector<Site> calls;
+  for (auto& f : m.functions)
+    for (auto& bb : f.blocks)
+      for (std::size_t i = 0; i < bb.instrs.size(); ++i)
+        if (bb.instrs[i].op == Op::kCall)
+          calls.push_back({&f, bb.id, static_cast<int>(i)});
+  Mutation mu;
+  mu.cls = DefectClass::kBadCallArity;
+  if (!calls.empty()) {
+    Site s = calls[rng.below(calls.size())];
+    Function& f = *s.f;
+    if (f.num_regs == 0) f.num_regs = 1;
+    Instr& in = f.blocks[static_cast<std::size_t>(s.b)]
+                    .instrs[static_cast<std::size_t>(s.i)];
+    in.args.push_back(0);  // one extra (in-range) argument
+    mu.func = f.id;
+    mu.block = s.b;
+    mu.instr = s.i;
+    mu.description = "extra call argument appended";
+    return mu;
+  }
+  // No call anywhere: inject one with the wrong arity before a terminator.
+  Function& f = pick_function(m, rng);
+  Function& callee = m.functions[rng.below(m.functions.size())];
+  if (f.num_regs == 0) f.num_regs = 1;
+  Instr call;
+  call.op = Op::kCall;
+  call.imm = callee.id;
+  call.args.assign(static_cast<std::size_t>(callee.num_args) + 1, 0);
+  auto& bb = f.blocks[rng.below(f.blocks.size())];
+  bb.instrs.insert(bb.instrs.end() - 1, call);
+  Mutation mu2;
+  mu2.cls = DefectClass::kBadCallArity;
+  mu2.func = f.id;
+  mu2.block = bb.id;
+  mu2.instr = static_cast<int>(bb.instrs.size()) - 2;
+  mu2.description = "call to " + callee.name + " injected with arity+1";
+  return mu2;
+}
+
+Mutation out_of_range_register(Module& m, Rng& rng) {
+  // Corrupt a random register slot (destination or used operand).
+  struct Site { Function* f; int b; int i; int slot; };  // slot: -1 dst, 0 a, 1 b
+  std::vector<Site> sites;
+  for (auto& f : m.functions) {
+    for (auto& bb : f.blocks) {
+      for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+        const Instr& in = bb.instrs[i];
+        if (instr_writes(in))
+          sites.push_back({&f, bb.id, static_cast<int>(i), -1});
+        std::vector<Reg> uses = instr_uses(in);
+        // Only direct a/b slots are corrupted (call args are handled by the
+        // arity class).
+        if (in.op != Op::kCall) {
+          if (!uses.empty()) sites.push_back({&f, bb.id, static_cast<int>(i), 0});
+          if (uses.size() > 1) sites.push_back({&f, bb.id, static_cast<int>(i), 1});
+        }
+      }
+    }
+  }
+  Mutation mu;
+  mu.cls = DefectClass::kOutOfRangeRegister;
+  if (!sites.empty()) {
+    Site s = sites[rng.below(sites.size())];
+    Instr& in = s.f->blocks[static_cast<std::size_t>(s.b)]
+                    .instrs[static_cast<std::size_t>(s.i)];
+    Reg bogus = s.f->num_regs + static_cast<Reg>(rng.below(5));
+    if (s.slot == -1)
+      in.dst = bogus;
+    else if (s.slot == 0)
+      in.a = bogus;
+    else
+      in.b = bogus;
+    mu.func = s.f->id;
+    mu.block = s.b;
+    mu.instr = s.i;
+    mu.description = "register slot set to r" + std::to_string(bogus);
+    return mu;
+  }
+  // Degenerate module (only br/ret with no value): inject a const to an
+  // out-of-range destination.
+  Function& f = pick_function(m, rng);
+  Instr k;
+  k.op = Op::kConst;
+  k.dst = f.num_regs + 2;
+  auto& bb = f.blocks.front();
+  bb.instrs.insert(bb.instrs.end() - 1, k);
+  mu.func = f.id;
+  mu.block = bb.id;
+  mu.instr = static_cast<int>(bb.instrs.size()) - 2;
+  mu.description = "const to out-of-range register injected";
+  return mu;
+}
+
+}  // namespace
+
+Mutation mutate(Module& m, DefectClass cls, u64 seed) {
+  Rng rng{seed * 0x9e3779b97f4a7c15ull + static_cast<u64>(cls) + 1};
+  switch (cls) {
+    case DefectClass::kDanglingBranch: return dangling_branch(m, rng);
+    case DefectClass::kMissingTerminator: return missing_terminator(m, rng);
+    case DefectClass::kUseBeforeDef: return use_before_def(m, rng);
+    case DefectClass::kBadCallArity: return bad_call_arity(m, rng);
+    case DefectClass::kOutOfRangeRegister: return out_of_range_register(m, rng);
+  }
+  fatal("mutate: unknown defect class");
+}
+
+}  // namespace pp::verify

@@ -1,0 +1,47 @@
+// Seeded IR mutator for verifier mutation testing: injects exactly one
+// defect of a chosen class into a module. Deterministic in (module, class,
+// seed) — the RNG is a splitmix64 stream, no wall-clock anywhere — and
+// total: defects are *injected* (synthesized) when no existing site can be
+// corrupted, so every class applies to every structurally valid module.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "verify/verifier.hpp"
+
+namespace pp::verify {
+
+enum class DefectClass : std::uint8_t {
+  kDanglingBranch,      ///< branch target past the last block
+  kMissingTerminator,   ///< block no longer ends in a terminator
+  kUseBeforeDef,        ///< read of a register with no def on any path
+  kBadCallArity,        ///< call with the wrong argument count
+  kOutOfRangeRegister,  ///< register operand past num_regs
+};
+
+inline constexpr std::array<DefectClass, 5> kAllDefectClasses = {
+    DefectClass::kDanglingBranch, DefectClass::kMissingTerminator,
+    DefectClass::kUseBeforeDef, DefectClass::kBadCallArity,
+    DefectClass::kOutOfRangeRegister};
+
+const char* defect_class_name(DefectClass c);
+
+/// The verifier issue code a defect of this class must produce.
+IssueCode expected_issue(DefectClass c);
+
+/// Where and what was mutated (for test diagnostics).
+struct Mutation {
+  DefectClass cls{};
+  int func = -1;
+  int block = -1;
+  int instr = -1;
+  std::string description;
+};
+
+/// Apply one seeded defect of class `cls` to `m` in place. Requires a
+/// module with at least one function with at least one block.
+Mutation mutate(ir::Module& m, DefectClass cls, u64 seed);
+
+}  // namespace pp::verify

@@ -1,0 +1,408 @@
+#include "verify/oracle.hpp"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "verify/dataflow.hpp"
+
+namespace pp::verify {
+
+using poly::AffineExpr;
+using poly::LpStatus;
+using poly::Polyhedron;
+
+// ---------------------------------------------------------------------------
+// Part (a): dynamic ⊆ static.
+
+namespace {
+
+/// Per-function machinery for the containment check, built lazily: most
+/// modules execute only a few of their functions.
+struct FuncOracle {
+  BlockGraph graph;
+  ReachingDefs reaching;
+  MayDepSet may;
+  std::set<ir::Reg> call_results;  ///< dsts of kCall (value pass-through)
+
+  FuncOracle(const ir::Module& m, const ir::Function& f)
+      : graph(f), reaching(f, graph), may(m, f) {
+    for (const auto& bb : f.blocks)
+      for (const auto& in : bb.instrs)
+        if (in.op == ir::Op::kCall && instr_writes(in))
+          call_results.insert(in.dst);
+  }
+};
+
+bool in_range(const ir::Function& f, const vm::CodeRef& r) {
+  if (r.block < 0 || static_cast<std::size_t>(r.block) >= f.blocks.size())
+    return false;
+  const auto& bb = f.blocks[static_cast<std::size_t>(r.block)];
+  return r.instr >= 0 && static_cast<std::size_t>(r.instr) < bb.instrs.size();
+}
+
+/// Can the register value `dst_ref` read have been produced by `src_ref`,
+/// as far as the static CFG can tell? The DDG routes values through calls
+/// (callee params inherit caller producers, returns flow into the call
+/// dst), so parameter registers and call-result registers are wildcards —
+/// their producer may legitimately be any same-function instruction.
+bool reg_flow_plausible(const ir::Function& f, const FuncOracle& fo,
+                        const vm::CodeRef& src_ref, const ir::Instr& src,
+                        const vm::CodeRef& dst_ref, const ir::Instr& dst) {
+  for (ir::Reg r : instr_uses(dst)) {
+    if (r < f.num_args) return true;            // param pass-through
+    if (fo.call_results.count(r)) return true;  // value through a call
+    if (instr_writes(src) && src.dst == r &&
+        fo.reaching.def_reaches(src_ref.block, src_ref.instr, dst_ref.block,
+                                dst_ref.instr))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CoverageReport check_dynamic_coverage(const ir::Module& m,
+                                      const fold::FoldedProgram& prog) {
+  CoverageReport rep;
+  std::map<int, std::unique_ptr<FuncOracle>> cache;
+  auto oracle_for = [&](int func) -> FuncOracle& {
+    auto& slot = cache[func];
+    if (!slot)
+      slot = std::make_unique<FuncOracle>(
+          m, m.functions[static_cast<std::size_t>(func)]);
+    return *slot;
+  };
+
+  for (std::size_t i = 0; i < prog.deps.size(); ++i) {
+    const fold::FoldedDep& d = prog.deps[i];
+    const vm::CodeRef s = prog.stmt(d.src).meta.code;
+    const vm::CodeRef t = prog.stmt(d.dst).meta.code;
+    // Interprocedural edges (value plumbing through calls, cross-function
+    // memory reuse) have no intraprocedural static counterpart.
+    if (s.func != t.func || s.func < 0 ||
+        static_cast<std::size_t>(s.func) >= m.functions.size()) {
+      ++rep.skipped;
+      continue;
+    }
+    const ir::Function& f = m.functions[static_cast<std::size_t>(s.func)];
+    if (!in_range(f, s) || !in_range(f, t)) {
+      ++rep.skipped;
+      continue;
+    }
+    FuncOracle& fo = oracle_for(s.func);
+    const ir::Instr& si =
+        f.blocks[static_cast<std::size_t>(s.block)]
+            .instrs[static_cast<std::size_t>(s.instr)];
+    const ir::Instr& ti =
+        f.blocks[static_cast<std::size_t>(t.block)]
+            .instrs[static_cast<std::size_t>(t.instr)];
+
+    bool covered = true;
+    if (d.kind == ddg::DepKind::kRegFlow) {
+      covered = reg_flow_plausible(f, fo, s, si, t, ti);
+      ++rep.checked;
+    } else {
+      // Memory kinds: only pairs statican fully models carry a verdict.
+      if (!fo.may.modeled(s.block, s.instr) ||
+          !fo.may.modeled(t.block, t.instr)) {
+        ++rep.skipped;
+        continue;
+      }
+      covered = fo.may.may_depend(s.block, s.instr, t.block, t.instr);
+      ++rep.checked;
+    }
+    if (!covered) {
+      CoverageViolation v;
+      v.dep_index = static_cast<int>(i);
+      v.src_stmt = d.src;
+      v.dst_stmt = d.dst;
+      v.kind = d.kind;
+      std::ostringstream os;
+      os << ddg::dep_kind_name(d.kind) << " edge s" << d.src << " -> s"
+         << d.dst << " (" << f.name << " b" << s.block << ":i" << s.instr
+         << " -> b" << t.block << ":i" << t.instr
+         << ") observed dynamically but statically impossible";
+      v.message = os.str();
+      rep.violations.push_back(std::move(v));
+    }
+  }
+  return rep;
+}
+
+std::string CoverageReport::str() const {
+  std::ostringstream os;
+  os << "coverage: " << (ok() ? "ok" : "VIOLATED") << " (" << checked
+     << " edges checked, " << skipped << " skipped";
+  if (!ok()) os << ", " << violations.size() << " uncovered";
+  os << ")";
+  for (const auto& v : violations) os << "\n  " << v.message;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Part (b): parallel / permutable claims vs. the must-dependences.
+
+namespace {
+
+/// Loop depth shared by two statements: matching context-part prefix,
+/// capped by both depths. Dependences are only enforced on the shared
+/// prefix (beyond it, statement order satisfies them).
+std::size_t shared_depth(const ddg::Statement& a, const ddg::Statement& b) {
+  std::size_t n = std::min(a.context.parts.size(), b.context.parts.size());
+  std::size_t k = 0;
+  while (k < n && a.context.parts[k] == b.context.parts[k]) ++k;
+  return std::min({k, a.depth, b.depth});
+}
+
+constexpr u64 kEnumCap = 4096;  ///< instance budget per piece
+
+struct ClaimChecker {
+  const fold::FoldedProgram& prog;
+  ClaimReport& rep;
+  std::vector<std::set<int>>& contradicted;  ///< per group: level indices
+  std::set<std::tuple<int, int, int, int>> seen;  ///< (grp,lvl,dep,kind) dedup
+
+  void witness(ClaimWitness::Kind kind, int grp, int lvl, int dep_idx,
+               const fold::FoldedDep& d, const std::string& detail) {
+    if (!seen.insert({grp, lvl, dep_idx, static_cast<int>(kind)}).second)
+      return;
+    ClaimWitness w;
+    w.kind = kind;
+    w.group = grp;
+    w.level = lvl;
+    w.src_stmt = d.src;
+    w.dst_stmt = d.dst;
+    std::ostringstream os;
+    switch (kind) {
+      case ClaimWitness::Kind::kParallelContradicted:
+        os << "parallel claim contradicted";
+        break;
+      case ClaimWitness::Kind::kIllegalLevel:
+        os << "negative dependence distance";
+        break;
+      case ClaimWitness::Kind::kBandViolation:
+        os << "permutable band violated";
+        break;
+    }
+    os << " at group " << grp << " level " << lvl << " by "
+       << ddg::dep_kind_name(d.kind) << " s" << d.src << " -> s" << d.dst
+       << ": " << detail;
+    w.message = os.str();
+    rep.witnesses.push_back(std::move(w));
+    if (kind == ClaimWitness::Kind::kParallelContradicted)
+      contradicted[static_cast<std::size_t>(grp)].insert(lvl);
+  }
+
+  /// Schedule distance of `level` for one enumerated instance.
+  static i128 distance(const scheduler::Level& level, std::size_t shared,
+                       std::span<const i64> t, std::span<const i128> s) {
+    i128 dist = 0;
+    std::size_t n = std::min(shared, level.row.size());
+    for (std::size_t j = 0; j < n; ++j)
+      dist += static_cast<i128>(level.row[j]) *
+              (static_cast<i128>(t[j]) - s[j]);
+    return dist;
+  }
+
+  /// Instance-exact walk over an enumerable piece.
+  void check_enumerated(const std::vector<std::vector<i64>>& pts,
+                        const poly::Piece& piece,
+                        const scheduler::GroupSchedule& g, int grp,
+                        std::size_t shared, int dep_idx,
+                        const fold::FoldedDep& d) {
+    for (const auto& t : pts) {
+      ++rep.instances_checked;
+      std::vector<i128> s = piece.label_fn.eval(t);
+      bool satisfied = false;
+      bool band_satisfied = false;
+      for (std::size_t li = 0; li < g.levels.size(); ++li) {
+        const scheduler::Level& lv = g.levels[li];
+        if (li == 0 || lv.new_band) band_satisfied = satisfied;
+        i128 dist = distance(lv, shared, t, s);
+        std::ostringstream det;
+        auto detail = [&]() {
+          det << "distance " << static_cast<long long>(dist)
+              << " at instance (";
+          for (std::size_t j = 0; j < t.size(); ++j)
+            det << (j ? "," : "") << t[j];
+          det << ")";
+          return det.str();
+        };
+        if (!satisfied && dist < 0)
+          witness(ClaimWitness::Kind::kIllegalLevel, grp,
+                  static_cast<int>(li), dep_idx, d, detail());
+        else if (!band_satisfied && dist < 0)
+          witness(ClaimWitness::Kind::kBandViolation, grp,
+                  static_cast<int>(li), dep_idx, d, detail());
+        if (lv.parallel && !satisfied && dist != 0)
+          witness(ClaimWitness::Kind::kParallelContradicted, grp,
+                  static_cast<int>(li), dep_idx, d, detail());
+        if (dist > 0) satisfied = true;
+      }
+    }
+  }
+
+  /// LP fallback for pieces too large to enumerate: walk the levels
+  /// keeping the polyhedron of still-unsatisfied instances (distance
+  /// pinned to zero at every earlier level) and bound each level's
+  /// distance over it. Rational bounds are conservative: a claim is only
+  /// accepted when the relaxation proves the distance identically zero.
+  void check_lp(const poly::Piece& piece, const scheduler::GroupSchedule& g,
+                int grp, std::size_t shared, int dep_idx,
+                const fold::FoldedDep& d) {
+    ++rep.lp_checked_pieces;
+    std::size_t dim = piece.domain.dim();
+    Polyhedron region = piece.domain;       // unsatisfied instances
+    Polyhedron band_region = piece.domain;  // unsatisfied at band start
+    for (std::size_t li = 0; li < g.levels.size(); ++li) {
+      const scheduler::Level& lv = g.levels[li];
+      AffineExpr dist(dim);
+      std::size_t n = std::min(shared, lv.row.size());
+      for (std::size_t j = 0; j < n; ++j) {
+        if (lv.row[j] == 0) continue;
+        dist = dist + (AffineExpr::var(dim, j) - piece.label_fn.output(j)) *
+                          lv.row[j];
+      }
+      if (li == 0 || lv.new_band) band_region = region;
+      auto mn = region.minimize(dist);
+      if (mn.status == LpStatus::kInfeasible) break;  // all satisfied
+      bool can_neg = mn.status == LpStatus::kUnbounded ||
+                     (mn.status == LpStatus::kOptimal && mn.value.sign() < 0);
+      if (can_neg) {
+        witness(ClaimWitness::Kind::kIllegalLevel, grp, static_cast<int>(li),
+                dep_idx, d, "rational minimum below zero");
+      } else {
+        auto bmn = band_region.minimize(dist);
+        if (bmn.status == LpStatus::kUnbounded ||
+            (bmn.status == LpStatus::kOptimal && bmn.value.sign() < 0))
+          witness(ClaimWitness::Kind::kBandViolation, grp,
+                  static_cast<int>(li), dep_idx, d,
+                  "rational in-band minimum below zero");
+      }
+      if (lv.parallel) {
+        auto mx = region.maximize(dist);
+        bool nonzero =
+            can_neg || mx.status == LpStatus::kUnbounded ||
+            (mx.status == LpStatus::kOptimal && mx.value.sign() > 0);
+        if (nonzero)
+          witness(ClaimWitness::Kind::kParallelContradicted, grp,
+                  static_cast<int>(li), dep_idx, d,
+                  "distance not provably zero over the piece");
+      }
+      region.add_eq0(dist);
+    }
+  }
+};
+
+}  // namespace
+
+ClaimReport check_parallel_claims(const fold::FoldedProgram& prog,
+                                  feedback::RegionMetrics& m, bool downgrade) {
+  ClaimReport rep;
+  auto& groups = m.sched.groups;
+  std::vector<std::set<int>> contradicted(groups.size());
+  ClaimChecker checker{prog, rep, contradicted, {}};
+
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const scheduler::GroupSchedule& g = groups[gi];
+    if (!g.schedulable || g.levels.empty()) continue;
+    for (const auto& lv : g.levels)
+      if (lv.parallel) ++rep.parallel_levels;
+    std::set<int> in_group(g.stmts.begin(), g.stmts.end());
+
+    for (std::size_t di = 0; di < prog.deps.size(); ++di) {
+      const fold::FoldedDep& d = prog.deps[di];
+      if (!in_group.count(d.src) || !in_group.count(d.dst)) continue;
+      std::size_t shared =
+          shared_depth(prog.stmt(d.src).meta, prog.stmt(d.dst).meta);
+      if (shared == 0) continue;  // no common loop: order satisfies it
+
+      // Must-pieces only: every instance they describe provably occurred,
+      // so a contradiction is a real one (over-approximate pieces would
+      // manufacture false alarms).
+      poly::PolySet must = d.must_relation();
+      for (const poly::Piece& piece : must.pieces()) {
+        if (piece.domain.dim() < shared ||
+            piece.label_fn.out_dim() < shared)
+          continue;  // malformed piece: nothing checkable
+        auto pts = piece.domain.enumerate(kEnumCap);
+        if (pts)
+          checker.check_enumerated(*pts, piece, g, static_cast<int>(gi),
+                                   shared, static_cast<int>(di), d);
+        else
+          checker.check_lp(piece, g, static_cast<int>(gi), shared,
+                           static_cast<int>(di), d);
+      }
+    }
+  }
+
+  if (downgrade) {
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      for (int li : contradicted[gi]) {
+        scheduler::Level& lv = groups[gi].levels[static_cast<std::size_t>(li)];
+        if (lv.parallel) {
+          lv.parallel = false;
+          ++rep.downgraded_levels;
+        }
+      }
+    }
+    if (rep.downgraded_levels > 0) feedback::refresh_schedule_metrics(m);
+  }
+  return rep;
+}
+
+std::string ClaimReport::str() const {
+  std::ostringstream os;
+  os << "claims: " << (ok() ? "ok" : "CONTRADICTED") << " ("
+     << parallel_levels << " parallel levels, " << instances_checked
+     << " instances";
+  if (lp_checked_pieces > 0) os << ", " << lp_checked_pieces << " LP pieces";
+  if (downgraded_levels > 0) os << ", " << downgraded_levels << " downgraded";
+  os << ")";
+  for (const auto& w : witnesses) os << "\n  " << w.message;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+
+bool OracleReport::ok() const {
+  if (!coverage.ok()) return false;
+  for (const auto& c : claims)
+    if (!c.ok()) return false;
+  return true;
+}
+
+std::string OracleReport::verdict_line() const {
+  u64 instances = 0, parallel = 0, contradictions = 0;
+  int downgraded = 0;
+  for (const auto& c : claims) {
+    instances += c.instances_checked;
+    parallel += c.parallel_levels;
+    contradictions += c.witnesses.size();
+    downgraded += c.downgraded_levels;
+  }
+  std::ostringstream os;
+  os << "soundness oracle: " << (ok() ? "OK" : "VIOLATED") << " -- "
+     << coverage.checked << " dynamic edges vs static may-deps ("
+     << coverage.violations.size() << " uncovered, " << coverage.skipped
+     << " skipped), " << parallel << " parallel claims over " << instances
+     << " instances (" << contradictions << " contradictions";
+  if (downgraded > 0) os << ", " << downgraded << " downgraded";
+  os << ")";
+  return os.str();
+}
+
+OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
+                        const std::vector<feedback::RegionMetrics*>& regions,
+                        bool downgrade) {
+  OracleReport r;
+  r.coverage = check_dynamic_coverage(m, prog);
+  for (feedback::RegionMetrics* rm : regions)
+    if (rm != nullptr && rm->analyzable)
+      r.claims.push_back(check_parallel_claims(prog, *rm, downgrade));
+  return r;
+}
+
+}  // namespace pp::verify

@@ -1,0 +1,98 @@
+// Layer 3 of pp::verify: the differential soundness oracle (DESIGN.md,
+// "Exp. II contrast"). Two independent dependence analyses look at the same
+// program — the dynamic DDG (ground truth for ONE execution) and the static
+// may-dependence tester (sound for ALL executions). Their results must
+// nest:
+//
+//   (a) dynamic ⊆ static: every folded DDG edge whose endpoints statican
+//       models must be covered by the static may-dependence set. A dynamic
+//       dependence the static tester proved impossible means one of the two
+//       analyses is wrong — the profiler's strongest self-check.
+//   (b) claims vs. evidence: every parallel / permutable level the
+//       scheduler announced is re-validated instance-by-instance against
+//       the folded dependences (the must-pieces — provably-occurred
+//       instances). A dependence carried by a level claimed parallel
+//       contradicts the claim; contradicted levels are downgraded and the
+//       region metrics refreshed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "feedback/metrics.hpp"
+#include "fold/folded_ddg.hpp"
+#include "verify/static_deps.hpp"
+
+namespace pp::verify {
+
+/// One dynamic dependence edge the static tester claims cannot exist.
+struct CoverageViolation {
+  int dep_index = -1;  ///< index into FoldedProgram::deps
+  int src_stmt = -1;
+  int dst_stmt = -1;
+  ddg::DepKind kind{};
+  std::string message;
+};
+
+/// Part (a): dynamic-⊆-static containment over the folded DDG.
+struct CoverageReport {
+  u64 checked = 0;   ///< edges with both endpoints statically modeled
+  u64 skipped = 0;   ///< cross-function or unmodeled edges (no verdict)
+  std::vector<CoverageViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string str() const;
+};
+
+CoverageReport check_dynamic_coverage(const ir::Module& m,
+                                      const fold::FoldedProgram& prog);
+
+/// One contradicted scheduler claim, with the offending dependence.
+struct ClaimWitness {
+  enum class Kind {
+    kParallelContradicted,  ///< nonzero distance at a parallel level
+    kIllegalLevel,          ///< negative distance before satisfaction
+    kBandViolation,         ///< negative in-band distance (not permutable)
+  };
+  Kind kind{};
+  int group = -1;
+  int level = -1;
+  int src_stmt = -1;
+  int dst_stmt = -1;
+  std::string message;
+};
+
+/// Part (b): parallel/permutable claims re-validated against the DDG.
+struct ClaimReport {
+  u64 parallel_levels = 0;    ///< parallel claims examined
+  u64 instances_checked = 0;  ///< enumerated dependence instances walked
+  u64 lp_checked_pieces = 0;  ///< pieces too large to enumerate (LP bounds)
+  int downgraded_levels = 0;  ///< parallel flags cleared by the oracle
+  std::vector<ClaimWitness> witnesses;
+
+  bool ok() const { return witnesses.empty(); }
+  std::string str() const;
+};
+
+/// Re-validate every schedule level of `m.sched` against the must-pieces
+/// of the folded dependences. With `downgrade` set (the default),
+/// contradicted parallel levels lose their flag and the schedule-derived
+/// metrics of `m` are recomputed via feedback::refresh_schedule_metrics.
+ClaimReport check_parallel_claims(const fold::FoldedProgram& prog,
+                                  feedback::RegionMetrics& m,
+                                  bool downgrade = true);
+
+/// Both halves bundled, plus the one-line verdict full_report prints.
+struct OracleReport {
+  CoverageReport coverage;
+  std::vector<ClaimReport> claims;  ///< one per region checked
+
+  bool ok() const;
+  std::string verdict_line() const;
+};
+
+OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
+                        const std::vector<feedback::RegionMetrics*>& regions,
+                        bool downgrade = true);
+
+}  // namespace pp::verify

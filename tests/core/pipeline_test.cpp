@@ -212,5 +212,50 @@ TEST(Pipeline, RecursiveProgramProfilesFlat) {
   EXPECT_GT(r.cct.max_depth(), 30);
 }
 
+TEST(Pipeline, RejectsIllFormedModuleBeforeExecution) {
+  // A dangling branch target: the verifier must reject the module with a
+  // structured diagnostic and the VM must never start.
+  Module m = layerforward_module(4, 4);
+  for (auto& bb : m.functions[0].blocks)
+    if (!bb.instrs.empty() && bb.instrs.back().op == Op::kBr)
+      bb.instrs.back().imm = 99;
+
+  Pipeline pipe(m);
+  ProfileResult r = pipe.run();
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.stats.instructions, 0u) << "VM ran on an ill-formed module";
+  EXPECT_TRUE(r.program.statements.empty());
+  std::string diag = r.diagnostics.render();
+  EXPECT_NE(diag.find("dangling-branch-target"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("module rejected"), std::string::npos) << diag;
+}
+
+TEST(Pipeline, VerifierOptOutProfilesAnyway) {
+  // use-before-def is harmless at runtime (registers are zero-initialized)
+  // but ill-formed; with verify_module=false the profile must proceed.
+  Module m = layerforward_module(4, 4);
+  Function& f = m.functions[0];
+  ir::Instr use;
+  use.op = Op::kMov;
+  use.dst = f.num_regs;
+  use.a = f.num_regs;
+  f.num_regs += 1;
+  auto& entry = f.blocks.front().instrs;
+  entry.insert(entry.begin(), use);
+
+  Pipeline strict(m);
+  ProfileResult rejected = strict.run();
+  EXPECT_TRUE(rejected.truncated);
+  EXPECT_EQ(rejected.stats.instructions, 0u);
+
+  PipelineOptions opts;
+  opts.verify_module = false;
+  Pipeline lenient(m);
+  ProfileResult r = lenient.run(opts);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.stats.instructions, 0u);
+  EXPECT_FALSE(r.program.statements.empty());
+}
+
 }  // namespace
 }  // namespace pp::core

@@ -183,6 +183,33 @@ TEST(Report, DegradationsRenderDeterministically) {
   EXPECT_EQ(rep1, core::full_report(r2));
 }
 
+TEST(Report, StaticBaselineSectionIsGoldenAndDeterministic) {
+  Module m = reduction_nest();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  std::string rep1 = core::full_report(r);
+  EXPECT_EQ(rep1, core::full_report(r)) << "report not deterministic";
+  auto section = [](const std::string& rep) {
+    auto b = rep.find("-- static baseline --");
+    EXPECT_NE(b, std::string::npos);
+    auto e = rep.find("\n\n", b);
+    return rep.substr(b, e == std::string::npos ? std::string::npos : e - b);
+  };
+  EXPECT_EQ(section(rep1),
+            "-- static baseline --\n"
+            "main: affine  loops 2/2  nest-depth 2  accesses 2/2");
+}
+
+TEST(Report, FullReportCarriesOracleVerdict) {
+  Module m = reduction_nest();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  std::string rep = core::full_report(r);
+  EXPECT_NE(rep.find("-- soundness oracle --"), std::string::npos);
+  EXPECT_NE(rep.find("soundness oracle: OK"), std::string::npos);
+  EXPECT_EQ(rep.find("VIOLATED"), std::string::npos);
+}
+
 TEST(Report, UnanalyzableRegionSummaryRenders) {
   RegionMetrics m;
   m.region.name = "bad.c:1 (broken)";

@@ -1,0 +1,180 @@
+// CFG corner cases for the static analyzer: multi-exit loops, unreachable
+// blocks and single-block self-loops must produce stable verdicts (same
+// answer on every call), never crash, and flag the complex-control-flow
+// reason 'C' where the loop shape warrants it.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "statican/statican.hpp"
+
+namespace pp::statican {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+/// The verdict must be a pure function of the module.
+void expect_stable(const Module& m, const Function& f) {
+  FunctionVerdict a = analyze_function(m, f);
+  FunctionVerdict b = analyze_function(m, f);
+  EXPECT_EQ(a.affine_modeled, b.affine_modeled);
+  EXPECT_EQ(a.reasons, b.reasons);
+  EXPECT_EQ(a.num_loops, b.num_loops);
+  EXPECT_EQ(a.num_modeled_loops, b.num_modeled_loops);
+  EXPECT_EQ(a.max_modeled_nest_depth, b.max_modeled_nest_depth);
+  // model_function is the same analysis with the model attached.
+  FunctionModel fm = model_function(m, f);
+  EXPECT_EQ(fm.verdict.reasons, a.reasons);
+  EXPECT_EQ(fm.verdict.affine_modeled, a.affine_modeled);
+}
+
+TEST(StaticanCfg, MultiExitLoopFlagsComplexControlFlow) {
+  // for (i = 0..100) { if (a[i] != 0) break; } — a second, early exit.
+  Module m;
+  i64 g = m.add_global("a", 800);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  int entry = b.make_block();
+  int header = b.make_block();
+  int body = b.make_block();
+  int latch = b.make_block();
+  int exit_bb = b.make_block();
+  b.set_block(entry);
+  Reg base = b.const_(g);
+  Reg n = b.const_(100);
+  Reg iv = b.const_(0);
+  b.br(header);
+  b.set_block(header);
+  Reg c = b.cmp(Op::kCmpLt, iv, n);
+  b.br_cond(c, body, exit_bb);
+  b.set_block(body);
+  Reg p = b.add(base, b.muli(iv, 8));
+  Reg v = b.load(p);
+  b.br_cond(v, exit_bb, latch);  // break on nonzero: second loop exit
+  b.set_block(latch);
+  b.addi(iv, 1, iv);
+  b.br(header);
+  b.set_block(exit_bb);
+  b.ret();
+
+  FunctionVerdict verdict = analyze_function(m, f);
+  EXPECT_FALSE(verdict.affine_modeled);
+  EXPECT_TRUE(verdict.reasons.count('C'))
+      << "reasons: " << reasons_str(verdict.reasons);
+  expect_stable(m, f);
+}
+
+TEST(StaticanCfg, UnreachableBlockDoesNotCrashOrPerturb) {
+  // A clean affine loop plus a dead block full of memory traffic. The dead
+  // code must neither crash the analysis nor change the loop verdicts.
+  auto build = [](bool with_dead) {
+    Module m;
+    i64 g = m.add_global("a", 80);
+    Function& f = m.add_function("main", 0);
+    Builder b(m, f);
+    b.set_block(b.make_block());
+    Reg base = b.const_(g);
+    Reg n = b.const_(10);
+    b.counted_loop(0, n, 1, [&](Reg iv) {
+      Reg p = b.add(base, b.muli(iv, 8));
+      b.store(p, iv);
+    });
+    b.ret();
+    if (with_dead) {
+      int dead = b.make_block();
+      b.set_block(dead);
+      Reg x = b.load(base);
+      Reg q = b.mul(x, x);  // opaque address in dead code
+      b.store(q, x);
+      b.ret();
+    }
+    return m;
+  };
+  Module clean = build(false);
+  Module dead = build(true);
+  FunctionVerdict vc = analyze_function(clean, clean.functions[0]);
+  FunctionVerdict vd = analyze_function(dead, dead.functions[0]);
+  EXPECT_EQ(vc.num_loops, vd.num_loops);
+  EXPECT_EQ(vc.num_modeled_loops, vd.num_modeled_loops);
+  expect_stable(dead, dead.functions[0]);
+}
+
+TEST(StaticanCfg, SingleBlockSelfLoop) {
+  // One block that is simultaneously header, body and latch:
+  //   l: a[i] = i; i += 1; if (i < n) goto l;
+  Module m;
+  i64 g = m.add_global("a", 160);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  int entry = b.make_block();
+  int l = b.make_block();
+  int exit_bb = b.make_block();
+  b.set_block(entry);
+  Reg base = b.const_(g);
+  Reg n = b.const_(20);
+  Reg iv = b.const_(0);
+  b.br(l);
+  b.set_block(l);
+  Reg p = b.add(base, b.muli(iv, 8));
+  b.store(p, iv);
+  b.addi(iv, 1, iv);
+  Reg c = b.cmp(Op::kCmpLt, iv, n);
+  b.br_cond(c, l, exit_bb);
+  b.set_block(exit_bb);
+  b.ret();
+
+  FunctionVerdict verdict = analyze_function(m, f);
+  EXPECT_EQ(verdict.num_loops, 1);
+  expect_stable(m, f);
+  // The self-loop still yields a usable access model: one store, affine in
+  // the loop's IV.
+  FunctionModel fm = model_function(m, f);
+  ASSERT_EQ(fm.accesses.size(), 1u);
+  EXPECT_TRUE(fm.accesses[0].is_store);
+  EXPECT_TRUE(fm.accesses[0].affine);
+}
+
+TEST(StaticanCfg, NestedMultiExitStaysStable) {
+  // Outer clean loop, inner loop with an extra exit jumping PAST the inner
+  // latch — only the inner loop's region should carry 'C'.
+  Module m;
+  i64 g = m.add_global("a", 1600);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(g);
+  Reg n = b.const_(10);
+  b.counted_loop(0, n, 1, [&](Reg i) {
+    int ih = b.make_block();
+    int ib = b.make_block();
+    int il = b.make_block();
+    int ix = b.make_block();
+    Reg j = b.fresh();
+    b.const_(0, j);
+    b.br(ih);
+    b.set_block(ih);
+    Reg c = b.cmp(Op::kCmpLt, j, n);
+    b.br_cond(c, ib, ix);
+    b.set_block(ib);
+    Reg p = b.add(base, b.muli(b.add(i, j), 8));
+    Reg v = b.load(p);
+    b.br_cond(v, ix, il);  // early inner exit
+    b.set_block(il);
+    b.addi(j, 1, j);
+    b.br(ih);
+    b.set_block(ix);
+  });
+  b.ret();
+
+  FunctionVerdict verdict = analyze_function(m, f);
+  EXPECT_GE(verdict.num_loops, 2);
+  EXPECT_TRUE(verdict.reasons.count('C'))
+      << "reasons: " << reasons_str(verdict.reasons);
+  expect_stable(m, f);
+}
+
+}  // namespace
+}  // namespace pp::statican

@@ -1,0 +1,226 @@
+// Differential soundness oracle tests: the dynamic-⊆-static containment
+// and the parallel-claim race detector, on hand-built modules (with
+// deliberate corruption to prove the oracle actually fires) and across the
+// whole mini-Rodinia suite (the acceptance bar: the oracle passes on every
+// workload).
+#include "verify/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "ir/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp::verify {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+/// for (i = 0..10) { a[2i] = i; x = a[2i]; y = a[2i+1]; b[i] = x + y; }
+/// Even/odd accesses are GCD-disjoint — the raw material for the
+/// corruption tests below.
+Module even_odd_module() {
+  Module m;
+  i64 ga = m.add_global("a", 400);
+  i64 gb = m.add_global("b", 400);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg abase = b.const_(ga);
+  Reg bbase = b.const_(gb);
+  Reg n = b.const_(10);
+  b.counted_loop(0, n, 1, [&](Reg iv) {
+    Reg p = b.add(abase, b.muli(iv, 16));
+    b.store(p, iv);
+    Reg x = b.load(p);
+    Reg y = b.load(p, 8);
+    Reg q = b.add(bbase, b.muli(iv, 8));
+    b.store(q, b.add(x, y));
+  });
+  b.ret();
+  return m;
+}
+
+/// Statement id of the first statement matching `pred`, or -1.
+template <typename Pred>
+int find_stmt(const fold::FoldedProgram& prog, Pred pred) {
+  for (const auto& s : prog.statements)
+    if (pred(s.meta)) return s.meta.id;
+  return -1;
+}
+
+TEST(Oracle, CleanProgramIsCovered) {
+  Module m = even_odd_module();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  ASSERT_FALSE(r.truncated);
+  CoverageReport rep = check_dynamic_coverage(m, r.program);
+  EXPECT_TRUE(rep.ok()) << rep.str();
+  EXPECT_GT(rep.checked, 0u);
+}
+
+TEST(Oracle, DetectsStaticallyImpossibleMemoryEdge) {
+  Module m = even_odd_module();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  // Find the statements for the a[2i] store and the a[2i+1] load (the
+  // load with imm 8 on the a-array address).
+  const Function& f = m.functions[0];
+  auto instr_at = [&](const vm::CodeRef& c) -> const ir::Instr& {
+    return f.blocks[static_cast<std::size_t>(c.block)]
+        .instrs[static_cast<std::size_t>(c.instr)];
+  };
+  int odd_load = find_stmt(r.program, [&](const ddg::Statement& s) {
+    return s.op == Op::kLoad && instr_at(s.code).imm == 8;
+  });
+  ASSERT_GE(odd_load, 0);
+  // Reroute a store->load mem-flow edge onto the odd load: a dependence
+  // the GCD test proves impossible.
+  fold::FoldedProgram tampered = r.program;
+  bool rerouted = false;
+  for (auto& d : tampered.deps) {
+    if (d.kind != ddg::DepKind::kMemFlow) continue;
+    const auto& src = tampered.stmt(d.src).meta;
+    if (src.op != Op::kStore || instr_at(src.code).op != Op::kStore) continue;
+    d.dst = odd_load;
+    rerouted = true;
+    break;
+  }
+  ASSERT_TRUE(rerouted);
+  CoverageReport rep = check_dynamic_coverage(m, tampered);
+  EXPECT_FALSE(rep.ok());
+  ASSERT_FALSE(rep.violations.empty());
+  EXPECT_EQ(rep.violations[0].dst_stmt, odd_load);
+}
+
+TEST(Oracle, DetectsImpossibleRegisterFlow) {
+  Module m = even_odd_module();
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  // Retarget a reg-flow edge's producer to a store (which defines no
+  // register at all): statically impossible.
+  int store_stmt = find_stmt(r.program, [&](const ddg::Statement& s) {
+    return s.op == Op::kStore;
+  });
+  ASSERT_GE(store_stmt, 0);
+  fold::FoldedProgram tampered = r.program;
+  bool rerouted = false;
+  for (auto& d : tampered.deps) {
+    if (d.kind != ddg::DepKind::kRegFlow || d.src == store_stmt) continue;
+    d.src = store_stmt;
+    rerouted = true;
+    break;
+  }
+  ASSERT_TRUE(rerouted);
+  CoverageReport rep = check_dynamic_coverage(m, tampered);
+  EXPECT_FALSE(rep.ok()) << rep.str();
+}
+
+TEST(Oracle, ForcedParallelClaimIsContradictedAndDowngraded) {
+  // sum += a[i]: the loop level carries the accumulator dependence, so a
+  // parallel claim on it must be contradicted by the folded DDG.
+  Module m;
+  i64 g = m.add_global("a", 400);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(g);
+  Reg n = b.const_(20);
+  b.counted_loop(0, n, 1, [&](Reg iv) {  // a[i] = i
+    Reg p = b.add(base, b.muli(iv, 8));
+    b.store(p, iv);
+  });
+  Reg acc = b.const_(0);
+  b.counted_loop(0, n, 1, [&](Reg iv) {  // acc += a[i]
+    Reg p = b.add(base, b.muli(iv, 8));
+    Reg v = b.load(p);
+    b.add(acc, v, acc);
+  });
+  b.ret(acc);
+
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  ASSERT_FALSE(r.truncated);
+  feedback::RegionMetrics mx = r.analyze(r.whole_program());
+  ASSERT_TRUE(mx.analyzable);
+
+  // Baseline: the honest schedule raises no witness.
+  {
+    ClaimReport rep = check_parallel_claims(r.program, mx, /*downgrade=*/false);
+    EXPECT_TRUE(rep.ok()) << rep.str();
+  }
+
+  // Force a parallel claim onto a carried level, then let the oracle
+  // downgrade it again.
+  int forced_group = -1, forced_level = -1;
+  for (std::size_t gi = 0;
+       gi < mx.sched.groups.size() && forced_group < 0; ++gi) {
+    auto& grp = mx.sched.groups[gi];
+    if (!grp.schedulable) continue;
+    for (std::size_t li = 0; li < grp.levels.size(); ++li) {
+      if (grp.levels[li].carries && !grp.levels[li].parallel) {
+        grp.levels[li].parallel = true;
+        forced_group = static_cast<int>(gi);
+        forced_level = static_cast<int>(li);
+        break;
+      }
+    }
+  }
+  ASSERT_GE(forced_group, 0) << "no carried level to corrupt";
+
+  ClaimReport rep = check_parallel_claims(r.program, mx, /*downgrade=*/true);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_GT(rep.instances_checked, 0u);
+  EXPECT_GE(rep.downgraded_levels, 1);
+  bool hit = false;
+  for (const auto& w : rep.witnesses)
+    if (w.kind == ClaimWitness::Kind::kParallelContradicted &&
+        w.group == forced_group && w.level == forced_level)
+      hit = true;
+  EXPECT_TRUE(hit) << rep.str();
+  // The downgrade restored the truthful flag.
+  EXPECT_FALSE(mx.sched.groups[static_cast<std::size_t>(forced_group)]
+                   .levels[static_cast<std::size_t>(forced_level)]
+                   .parallel);
+}
+
+// The acceptance bar: on every mini-Rodinia workload, every dynamic
+// dependence is covered by the static may-dependence set, and every
+// parallelism claim of the scheduler survives re-validation against the
+// folded DDG.
+class RodiniaOracle : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RodiniaOracle, DynamicSubsetOfStaticAndClaimsHold) {
+  workloads::Workload w = workloads::make_rodinia(GetParam());
+  core::Pipeline pipe(w.module);
+  core::ProfileResult r = pipe.run();
+
+  std::vector<feedback::RegionMetrics> metrics;
+  for (const auto& region : r.hot_regions())
+    metrics.push_back(r.analyze(region));
+  std::vector<feedback::RegionMetrics*> ptrs;
+  for (auto& mx : metrics) ptrs.push_back(&mx);
+
+  OracleReport rep = run_oracle(w.module, r.program, ptrs);
+  EXPECT_TRUE(rep.coverage.ok()) << rep.coverage.str();
+  EXPECT_GT(rep.coverage.checked, 0u);
+  for (const auto& c : rep.claims) EXPECT_TRUE(c.ok()) << c.str();
+  EXPECT_TRUE(rep.ok());
+  EXPECT_NE(rep.verdict_line().find("OK"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, RodiniaOracle,
+                         ::testing::ValuesIn(workloads::rodinia_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '+') c = 'p';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace pp::verify
