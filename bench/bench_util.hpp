@@ -34,6 +34,41 @@ inline std::string human(u64 n) {
   return buf;
 }
 
+/// FNV-1a 64-bit over arbitrary bytes — stable fingerprint for report
+/// byte-identity checks in the machine-readable (--json) bench output.
+inline u64 fnv1a(const std::string& bytes) {
+  u64 h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline std::string hex64(u64 v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Minimal JSON string escaping (bench names/notes are plain ASCII).
+inline std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 /// Fixed-width row printer.
 inline void print_row(const std::vector<std::pair<std::string, int>>& cells) {
   for (const auto& [text, width] : cells) {

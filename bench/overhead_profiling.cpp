@@ -5,6 +5,7 @@
 // profiling and folding) — plus events/second throughput of the folding
 // kernel itself.
 #include <chrono>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "fold/folder.hpp"
@@ -43,6 +44,62 @@ void print_overheads() {
                 full, native > 0 ? full / native : 0.0);
   }
   std::printf("\n");
+}
+
+// Machine-readable mode (--json): the same stage-overhead accounting as
+// the table, plus the full pipeline timed serial (threads=1) and threaded
+// (threads=4) with report byte-identity — the §8 cost numbers consumed by
+// BENCH_parallel_pipeline.json.
+int print_json() {
+  auto clock_ms = [](auto fn) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+  std::printf("{\n  \"bench\": \"overhead_profiling\",\n");
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"benchmarks\": [\n");
+  const std::vector<std::string> names = {"backprop", "hotspot", "kmeans",
+                                          "nw", "srad_v2"};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    workloads::Workload w = workloads::make_rodinia(names[i]);
+    double native = clock_ms([&] {
+      vm::Machine vm(w.module);
+      vm.run("main");
+    });
+    double stage1 = clock_ms([&] {
+      vm::Machine vm(w.module);
+      cfg::DynamicCfgBuilder dyn;
+      vm.set_observer(&dyn);
+      vm.run("main");
+    });
+    std::string serial_report, threaded_report;
+    auto full_run = [&](unsigned threads, std::string* report) {
+      return clock_ms([&] {
+        core::Pipeline pipe(w.module);
+        core::PipelineOptions opts;
+        opts.threads = threads;
+        core::ProfileResult r = pipe.run(opts);
+        *report = core::full_report(r);
+      });
+    };
+    double serial_ms = full_run(1, &serial_report);
+    double threaded_ms = full_run(4, &threaded_report);
+    std::printf(
+        "    {\"name\": %s, \"native_ms\": %.2f, \"stage1_ms\": %.2f, "
+        "\"full_serial_ms\": %.2f, \"full_threads4_ms\": %.2f, "
+        "\"slowdown_serial\": %.1f, \"speedup_threads4\": %.2f, "
+        "\"report_identical\": %s}%s\n",
+        bench::json_str(names[i]).c_str(), native, stage1, serial_ms,
+        threaded_ms, native > 0 ? serial_ms / native : 0.0,
+        threaded_ms > 0 ? serial_ms / threaded_ms : 0.0,
+        serial_report == threaded_report ? "true" : "false",
+        i + 1 < names.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
 }
 
 // Stage-2 (Instrumentation II) throughput: the recorded VM event stream
@@ -126,6 +183,8 @@ BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
 }  // namespace pp
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--json") return pp::print_json();
   pp::print_overheads();
   pp::print_stage2_throughput();
   benchmark::Initialize(&argc, argv);

@@ -159,6 +159,102 @@ void print_table5() {
               std::max(2u, std::thread::hardware_concurrency()));
 }
 
+// Machine-readable mode (--json): per-workload profile summary from a
+// serial run, then a thread sweep {1, 2, 4} of the full pipeline on the
+// largest workload (by dynamic ops) with wall time, a FNV-1a fingerprint
+// of full_report, and byte-identity of every threaded report against the
+// serial reference. This is the artifact behind
+// BENCH_parallel_pipeline.json.
+int print_json() {
+  struct Row {
+    std::string name;
+    u64 ops = 0;
+    double aff = 0;
+    std::size_t stmts = 0, deps = 0;
+    double wall_ms = 0;
+  };
+  auto profile_once = [](const ir::Module& m, unsigned threads,
+                         std::string* report) {
+    core::Pipeline pipe(m);
+    core::PipelineOptions opts;
+    opts.threads = threads;
+    auto t0 = std::chrono::steady_clock::now();
+    core::ProfileResult r = pipe.run(opts);
+    if (report != nullptr) *report = core::full_report(r);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::make_pair(
+        r, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  };
+
+  std::vector<Row> rows;
+  std::size_t largest = 0;
+  for (const auto& name : workloads::rodinia_names()) {
+    workloads::Workload w = workloads::make_rodinia(name);
+    auto [r, ms] = profile_once(w.module, 1, nullptr);
+    Row row;
+    row.name = name;
+    row.ops = r.program.total_dynamic_ops;
+    row.aff = r.percent_affine();
+    row.stmts = r.program.statements.size();
+    row.deps = r.program.deps.size();
+    row.wall_ms = ms;
+    if (rows.empty() || row.ops > rows[largest].ops) largest = rows.size();
+    rows.push_back(row);
+  }
+
+  workloads::Workload big = workloads::make_rodinia(rows[largest].name);
+  struct Run {
+    unsigned threads;
+    double wall_ms;
+    u64 report_fnv1a;
+    bool identical;
+  };
+  std::vector<Run> runs;
+  std::string serial_report;
+  for (unsigned t : {1u, 2u, 4u}) {
+    std::string report;
+    auto [r, ms] = profile_once(big.module, t, &report);
+    (void)r;
+    if (t == 1) serial_report = report;
+    runs.push_back({t, ms, bench::fnv1a(report), report == serial_report});
+  }
+  double serial_ms = runs[0].wall_ms;
+
+  std::printf("{\n  \"bench\": \"table5_rodinia\",\n");
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"workloads\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf("    {\"name\": %s, \"ops\": %llu, \"pct_affine\": %.1f, "
+                "\"statements\": %zu, \"deps\": %zu, "
+                "\"serial_wall_ms\": %.2f}%s\n",
+                bench::json_str(row.name).c_str(),
+                static_cast<unsigned long long>(row.ops), row.aff, row.stmts,
+                row.deps, row.wall_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"thread_sweep\": {\n    \"workload\": %s,\n"
+              "    \"runs\": [\n",
+              bench::json_str(rows[largest].name).c_str());
+  bool all_identical = true;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    all_identical &= run.identical;
+    std::printf("      {\"threads\": %u, \"wall_ms\": %.2f, "
+                "\"report_fnv1a\": %s, \"speedup_vs_serial\": %.2f, "
+                "\"report_identical_to_serial\": %s}%s\n",
+                run.threads, run.wall_ms,
+                bench::json_str(bench::hex64(run.report_fnv1a)).c_str(),
+                run.wall_ms > 0 ? serial_ms / run.wall_ms : 0.0,
+                run.identical ? "true" : "false",
+                i + 1 < runs.size() ? "," : "");
+  }
+  std::printf("    ],\n    \"all_reports_identical\": %s\n  }\n}\n",
+              all_identical ? "true" : "false");
+  return all_identical ? 0 : 1;
+}
+
 // google-benchmark timing: full-pipeline profiling cost per benchmark
 // (Experiment I's "profiling does not come for free" measurement).
 void BM_ProfilePipeline(benchmark::State& state,
@@ -175,6 +271,8 @@ void BM_ProfilePipeline(benchmark::State& state,
 }  // namespace pp
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--json") return pp::print_json();
   pp::print_table5();
   for (const char* name : {"backprop", "hotspot", "nw"}) {
     benchmark::RegisterBenchmark(

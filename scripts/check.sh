@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Repo-wide check gate: format check, clang-tidy over src/verify/, and the
-# test suite in BOTH build flavors (default and POLYPROF_SANITIZE).
+# test suite in ALL build flavors (default, POLYPROF_SANITIZE, and — when
+# the toolchain supports -fsanitize=thread — POLYPROF_TSAN, which races
+# the parallel pipeline under ThreadSanitizer).
 #
 # clang-format / clang-tidy are optional: when a tool is missing the step
 # is reported as SKIPPED instead of failing, so the script stays usable in
@@ -67,6 +69,17 @@ if [[ $RUN_TESTS -eq 1 ]]; then
   }
   flavor build default
   flavor build-asan sanitize -DPOLYPROF_SANITIZE=ON
+  # TSan flavor, gated on toolchain support: probe a trivial compile+link
+  # with -fsanitize=thread and skip (not fail) when unavailable.
+  TSAN_PROBE_DIR="$(mktemp -d)"
+  if printf 'int main(){return 0;}\n' > "$TSAN_PROBE_DIR/t.cpp" &&
+     ${CXX:-c++} -fsanitize=thread "$TSAN_PROBE_DIR/t.cpp" \
+       -o "$TSAN_PROBE_DIR/t" >/dev/null 2>&1; then
+    TSAN_OPTIONS="halt_on_error=1" flavor build-tsan tsan -DPOLYPROF_TSAN=ON
+  else
+    note "tsan flavor: SKIPPED (toolchain lacks -fsanitize=thread)"
+  fi
+  rm -rf "$TSAN_PROBE_DIR"
 fi
 
 if [[ $FAIL -ne 0 ]]; then

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 
 #include "statican/statican.hpp"
 #include "verify/oracle.hpp"
 #include "verify/verifier.hpp"
+#include "vm/event_ring.hpp"
 #include "vm/event_validator.hpp"
 
 namespace pp::core {
@@ -86,6 +88,15 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   u64 max_steps = opts.max_steps;
   if (budget.vm_steps != 0) max_steps = std::min(max_steps, budget.vm_steps);
 
+  // One pool for every parallel stage of the run; shared with the result
+  // so the feedback stage fans out on the same lanes.
+  auto pool = std::make_shared<support::ThreadPool>(opts.threads);
+  res.pool = pool;
+  // With 2+ lanes the VM runs on a producer thread and streams events
+  // through a bounded ring; the downstream observer chain executes on this
+  // thread and sees the exact serial event order.
+  const bool overlap_replay = !pool->serial();
+
   // Stage 1 (Instrumentation I): dynamic control structure + CCT. The
   // validator guarantees the builders only ever see a well-formed prefix;
   // a VM trap leaves the prefix collected so far usable.
@@ -95,9 +106,15 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
     TeeObserver tee({&dyn, &res.cct});
     vm::EventValidator validator(module_, &tee, &res.diagnostics,
                                  support::Stage::kControl);
-    machine.set_observer(&validator);
     try {
-      vm::RunResult rr = machine.run(opts.entry, opts.args, max_steps);
+      vm::RunResult rr;
+      if (overlap_replay) {
+        rr = vm::replay_threaded(machine, opts.entry, opts.args, max_steps,
+                                 validator);
+      } else {
+        machine.set_observer(&validator);
+        rr = machine.run(opts.entry, opts.args, max_steps);
+      }
       if (rr.truncated) {
         res.truncated = true;
         res.diagnostics.warn(support::Stage::kControl,
@@ -129,6 +146,8 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   // would, and the builder never sees a malformed event.
   fold::FoldingSink sink(opts.fold);
   sink.set_diagnostics(&res.diagnostics);
+  sink.set_pool(pool.get());
+  sink.set_budget(&budget);
   ddg::DdgOptions ddg_opts = opts.ddg;
   ddg_opts.budget = &budget;
   ddg_opts.diag = &res.diagnostics;
@@ -137,11 +156,26 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
     vm::Machine machine(module_);
     vm::EventValidator validator(module_, &builder, &res.diagnostics,
                                  support::Stage::kDdg);
-    vm::ChaosObserver chaos(&validator, opts.chaos);
-    machine.set_observer(&chaos);
+    // The chaos harness always sits directly behind the Machine. In the
+    // overlapped replay it runs on the producer thread in front of the
+    // ring writer; its injection point is event-count-seeded, so faults
+    // land on the same event ordinal as in the serial chain.
+    std::optional<vm::ChaosObserver> chaos;
     bool trapped = false;
     try {
-      vm::RunResult rr = machine.run(opts.entry, opts.args, max_steps);
+      vm::RunResult rr;
+      if (overlap_replay) {
+        rr = vm::replay_threaded(machine, opts.entry, opts.args, max_steps,
+                                 validator,
+                                 [&](vm::Observer& writer) -> vm::Observer* {
+                                   chaos.emplace(&writer, opts.chaos);
+                                   return &*chaos;
+                                 });
+      } else {
+        chaos.emplace(&validator, opts.chaos);
+        machine.set_observer(&*chaos);
+        rr = machine.run(opts.entry, opts.args, max_steps);
+      }
       res.stats = rr.stats;
       res.exit_value = rr.exit_value;
       if (rr.truncated) {
@@ -181,6 +215,7 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   sink.mark_degraded(builder.degraded_statements());
   try {
     res.program = sink.finalize(res.statements);
+    if (budget.pieces_exceeded(budget.pieces_charged())) res.truncated = true;
   } catch (const Error& e) {
     res.truncated = true;
     res.diagnostics.error(support::Stage::kFold,
@@ -317,8 +352,12 @@ feedback::Region ProfileResult::whole_program() const {
 feedback::RegionMetrics ProfileResult::analyze(
     const feedback::Region& region,
     const feedback::AnalyzeOptions& opts) const {
+  // Hand the profile's pool to the scheduler (fused groups fan out) unless
+  // the caller pinned one explicitly.
+  feedback::AnalyzeOptions o = opts;
+  if (o.sched.pool == nullptr && pool != nullptr) o.sched.pool = pool.get();
   try {
-    return feedback::analyze_region(program, region, opts);
+    return feedback::analyze_region(program, region, o);
   } catch (const Error& e) {
     // Per-region isolation: one region's feedback fault must not take
     // down the report for every other region.
@@ -360,31 +399,55 @@ std::string full_report(const ProfileResult& r, double min_fraction) {
   // The Exp. II contrast: what a purely static (Polly-style) analysis can
   // model of each function, next to what the dynamic profile recovered.
   os << "-- static baseline --\n";
+  support::ThreadPool* pool = r.pool != nullptr ? r.pool.get() : nullptr;
   if (r.module == nullptr) {
     os << "unavailable (module not retained)\n";
   } else {
-    for (const auto& f : r.module->functions) {
-      if (f.blocks.empty()) continue;
+    // Per-function modeling is independent; render each line into its own
+    // slot and print in function order — identical for any lane count.
+    std::vector<const ir::Function*> baseline_fns;
+    for (const auto& f : r.module->functions)
+      if (!f.blocks.empty()) baseline_fns.push_back(&f);
+    std::vector<std::string> baseline_lines(baseline_fns.size());
+    auto render_baseline = [&](std::size_t i) {
+      const ir::Function& f = *baseline_fns[i];
       statican::FunctionModel fm = statican::model_function(*r.module, f);
       std::size_t modeled = 0;
       for (const auto& a : fm.accesses)
         if (a.modeled) ++modeled;
-      os << f.name << ": "
-         << (fm.verdict.affine_modeled ? "affine"
-                                       : statican::reasons_str(fm.verdict.reasons))
-         << "  loops " << fm.verdict.num_modeled_loops << "/"
-         << fm.verdict.num_loops << "  nest-depth "
-         << fm.verdict.max_modeled_nest_depth << "  accesses " << modeled
-         << "/" << fm.accesses.size() << "\n";
+      std::ostringstream line;
+      line << f.name << ": "
+           << (fm.verdict.affine_modeled
+                   ? "affine"
+                   : statican::reasons_str(fm.verdict.reasons))
+           << "  loops " << fm.verdict.num_modeled_loops << "/"
+           << fm.verdict.num_loops << "  nest-depth "
+           << fm.verdict.max_modeled_nest_depth << "  accesses " << modeled
+           << "/" << fm.accesses.size() << "\n";
+      baseline_lines[i] = line.str();
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(baseline_fns.size(), render_baseline);
+    } else {
+      for (std::size_t i = 0; i < baseline_fns.size(); ++i)
+        render_baseline(i);
     }
+    for (const auto& line : baseline_lines) os << line;
   }
   os << "\n";
   os << "-- decorated schedule tree (ops share, source refs) --\n";
   os << feedback::render_decorated_tree(r.schedule_tree, r.program, r.module);
   os << "\n-- regions of interest --\n";
-  std::vector<feedback::RegionMetrics> metrics;
-  for (const auto& region : r.hot_regions(min_fraction))
-    metrics.push_back(r.analyze(region));
+  // Region analyses are independent (each builds its own scheduling
+  // problem); fan out into pre-indexed slots, render in region order.
+  std::vector<feedback::Region> hot = r.hot_regions(min_fraction);
+  std::vector<feedback::RegionMetrics> metrics(hot.size());
+  auto analyze_one = [&](std::size_t i) { metrics[i] = r.analyze(hot[i]); };
+  if (pool != nullptr) {
+    pool->parallel_for(hot.size(), analyze_one);
+  } else {
+    for (std::size_t i = 0; i < hot.size(); ++i) analyze_one(i);
+  }
 
   // Differential soundness oracle: run BEFORE rendering so a downgraded
   // parallel claim is reflected in the summaries it contradicts.
@@ -393,7 +456,9 @@ std::string full_report(const ProfileResult& r, double min_fraction) {
     std::vector<feedback::RegionMetrics*> ptrs;
     ptrs.reserve(metrics.size());
     for (auto& m : metrics) ptrs.push_back(&m);
-    verify::OracleReport oracle = verify::run_oracle(*r.module, r.program, ptrs);
+    verify::OracleReport oracle =
+        verify::run_oracle(*r.module, r.program, ptrs, /*downgrade=*/true,
+                           pool);
     oracle_line = oracle.verdict_line();
   }
 

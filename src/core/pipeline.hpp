@@ -20,6 +20,7 @@
 #include "iiv/cct.hpp"
 #include "iiv/schedule_tree.hpp"
 #include "support/budget.hpp"
+#include "support/thread_pool.hpp"
 #include "vm/chaos.hpp"
 
 namespace pp::core {
@@ -44,6 +45,13 @@ struct PipelineOptions {
   /// of trapping mid-execution. Opt out for deliberately malformed inputs
   /// (e.g. profiling how far a broken module gets).
   bool verify_module = true;
+  /// Worker lanes for the parallel pipeline: VM/instrumentation overlap
+  /// through the bounded event ring, per-statement/per-edge fold fan-out,
+  /// per-SCC-group scheduling and oracle re-validation. 0 resolves to
+  /// hardware_concurrency; 1 runs every stage inline (the reference
+  /// serial behavior). Output is byte-identical for every value — see
+  /// DESIGN.md "Concurrency architecture".
+  unsigned threads = 0;
 };
 
 /// Everything the profiler learned about one execution.
@@ -68,6 +76,11 @@ struct ProfileResult {
   bool truncated = false;
   /// Structured record of every degradation, in pipeline order.
   support::DiagnosticLog diagnostics;
+
+  /// The worker pool run() used, shared so the feedback stage (analyze /
+  /// full_report) fans out on the same lanes. Null on default-constructed
+  /// results — every consumer falls back to serial.
+  std::shared_ptr<support::ThreadPool> pool;
 
   /// Stage-2 instrumentation accounting (drives the overhead report):
   /// dynamic dependences streamed, shadow pages materialized, and words

@@ -131,6 +131,28 @@ void taint_pieces(poly::PolySet& set) {
 void FoldingSink::on_instruction(const ddg::Statement& s,
                                  std::span<const i64> coords, bool has_value,
                                  i64 value, bool has_address, i64 address) {
+  if (buffered()) {
+    // Parallel mode: defer the (expensive) Folder::add calls to the
+    // phase-A fan-out; streaming just appends to flat buffers. Each
+    // stream's relative event order is preserved, so the replayed folds
+    // are bit-identical to the inline ones.
+    auto& b = stmt_buf_[s.id];
+    if (!b.dim_set) {
+      b.dim = coords.size();
+      b.dim_set = true;
+    }
+    ++b.domain_points;
+    b.domain.insert(b.domain.end(), coords.begin(), coords.end());
+    if (has_value && scev_candidate(s.op)) {
+      b.value.insert(b.value.end(), coords.begin(), coords.end());
+      b.value.push_back(value);
+    }
+    if (has_address) {
+      b.address.insert(b.address.end(), coords.begin(), coords.end());
+      b.address.push_back(address);
+    }
+    return;
+  }
   auto& streams = stmts_[s.id];
   std::size_t d = coords.size();
   if (!streams.domain)
@@ -154,10 +176,76 @@ void FoldingSink::on_dependence(ddg::DepKind kind, int src_stmt,
                                 std::span<const i64> src_coords, int dst_stmt,
                                 std::span<const i64> dst_coords, int slot) {
   DepKey key{src_stmt, dst_stmt, kind, slot};
+  if (buffered()) {
+    auto& b = dep_buf_[key];
+    if (b.points == 0) {
+      b.dst_dim = dst_coords.size();
+      b.src_dim = src_coords.size();
+    }
+    ++b.points;
+    b.rows.insert(b.rows.end(), dst_coords.begin(), dst_coords.end());
+    b.rows.insert(b.rows.end(), src_coords.begin(), src_coords.end());
+    return;
+  }
   auto& f = deps_[key];
   if (!f)
     f = std::make_unique<Folder>(dst_coords.size(), src_coords.size(), opts_);
   f->add(dst_coords, src_coords);
+}
+
+FoldingSink::StmtOutcome FoldingSink::fold_stmt_buffer(
+    const StmtBuffer& b) const {
+  StmtOutcome out;
+  // Same stream order and the same single try as the inline path: a fault
+  // keeps whatever streams finished before it and loses the rest.
+  try {
+    {
+      Folder dom(b.dim, 0, opts_);
+      const i64* p = b.domain.data();
+      for (u64 i = 0; i < b.domain_points; ++i, p += b.dim)
+        dom.add(std::span<const i64>(p, b.dim), {});
+      out.domain = dom.finish();
+    }
+    if (!b.value.empty()) {
+      Folder val(b.dim, 1, opts_);
+      const std::size_t stride = b.dim + 1;
+      for (const i64* p = b.value.data(); p != b.value.data() + b.value.size();
+           p += stride)
+        val.add(std::span<const i64>(p, b.dim),
+                std::span<const i64>(p + b.dim, 1));
+      out.values = val.finish();
+    }
+    if (!b.address.empty()) {
+      Folder addr(b.dim, 1, opts_);
+      const std::size_t stride = b.dim + 1;
+      for (const i64* p = b.address.data();
+           p != b.address.data() + b.address.size(); p += stride)
+        addr.add(std::span<const i64>(p, b.dim),
+                 std::span<const i64>(p + b.dim, 1));
+      out.addresses = addr.finish();
+    }
+  } catch (const Error& e) {
+    out.fault = true;
+    out.fault_reason = e.what();
+  }
+  return out;
+}
+
+FoldingSink::DepOutcome FoldingSink::fold_dep_buffer(const DepBuffer& b) const {
+  DepOutcome out;
+  try {
+    Folder f(b.dst_dim, b.src_dim, opts_);
+    const std::size_t stride = b.dst_dim + b.src_dim;
+    const i64* p = b.rows.data();
+    for (u64 i = 0; i < b.points; ++i, p += stride)
+      f.add(std::span<const i64>(p, b.dst_dim),
+            std::span<const i64>(p + b.dst_dim, b.src_dim));
+    out.relation = f.finish();
+  } catch (const Error& e) {
+    out.fault = true;
+    out.fault_reason = e.what();
+  }
+  return out;
 }
 
 FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
@@ -165,12 +253,63 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
   prog.statements.reserve(table.size());
   prog.total_dynamic_ops = table.total_executions();
 
+  // Phase A (parallel mode only): fold every buffered statement and
+  // dependence stream into pre-indexed outcome slots — one work-stealing
+  // task per stream, statements and edges in a single fan-out so long
+  // statement folds overlap with the edge folds. Tasks touch no shared
+  // state (faults are captured in the slot, diagnostics deferred), so
+  // phase B can merge in the serial order and reproduce the serial
+  // program and diagnostic sequence byte for byte.
+  std::map<int, StmtOutcome> stmt_outcomes;
+  std::vector<DepKey> keys;
+  std::vector<DepOutcome> dep_outcomes;
+  if (buffered()) {
+    std::vector<const StmtBuffer*> sbufs;
+    std::vector<StmtOutcome*> souts;
+    sbufs.reserve(stmt_buf_.size());
+    souts.reserve(stmt_buf_.size());
+    for (auto& [id, b] : stmt_buf_) {
+      sbufs.push_back(&b);
+      souts.push_back(&stmt_outcomes[id]);
+    }
+    keys.reserve(dep_buf_.size());
+    for (const auto& [key, _] : dep_buf_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());  // deterministic piece order
+    dep_outcomes.resize(keys.size());
+    const std::size_t num_stmts = sbufs.size();
+    pool_->parallel_for(num_stmts + keys.size(), [&](std::size_t i) {
+      if (i < num_stmts)
+        *souts[i] = fold_stmt_buffer(*sbufs[i]);
+      else
+        dep_outcomes[i - num_stmts] =
+            fold_dep_buffer(dep_buf_.at(keys[i - num_stmts]));
+    });
+  } else {
+    keys.reserve(deps_.size());
+    for (const auto& [key, _] : deps_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());  // deterministic piece order
+  }
+
   for (const auto& meta : table.all()) {
     FoldedStatement fs;
     fs.meta = meta;
     bool degraded = degraded_.count(meta.id) != 0;
-    auto it = stmts_.find(meta.id);
-    if (it != stmts_.end()) {
+    if (buffered()) {
+      auto oit = stmt_outcomes.find(meta.id);
+      if (oit != stmt_outcomes.end()) {
+        StmtOutcome& out = oit->second;
+        fs.domain = std::move(out.domain);
+        fs.values = std::move(out.values);
+        fs.addresses = std::move(out.addresses);
+        if (out.fault) {
+          degraded = true;
+          if (diag_ != nullptr)
+            diag_->error(support::Stage::kFold,
+                         "statement fold failed: " + out.fault_reason,
+                         meta.id);
+        }
+      }
+    } else if (auto it = stmts_.find(meta.id); it != stmts_.end()) {
       auto& streams = it->second;
       // Per-stream fault isolation: a folder fault loses this statement's
       // folds, not the whole program.
@@ -184,6 +323,23 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
           diag_->error(support::Stage::kFold,
                        std::string("statement fold failed: ") + e.what(),
                        meta.id);
+      }
+    }
+    // Folder-piece budget, charged HERE in table order — never from the
+    // phase-A tasks — so exhaustion lands on the same statement at every
+    // thread count.
+    if (budget_ != nullptr && budget_->folder_pieces != 0) {
+      std::size_t pieces = fs.domain.pieces().size() +
+                           fs.values.pieces().size() +
+                           fs.addresses.pieces().size();
+      if (budget_->pieces_exceeded(budget_->charge_pieces(pieces)) &&
+          !degraded) {
+        degraded = true;
+        if (diag_ != nullptr)
+          diag_->warn(support::Stage::kFold,
+                      "folder piece budget exhausted — statement degraded "
+                      "to over-approximation",
+                      meta.id);
       }
     }
     fs.domain_exact = !fs.domain.empty() && fs.domain.all_exact();
@@ -219,7 +375,7 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
   // vanish. Demote to fixpoint along register-flow edges.
   {
     std::vector<std::pair<int, int>> reg_edges;
-    for (const auto& [key, _] : deps_) {
+    for (const DepKey& key : keys) {
       if (std::get<2>(key) == ddg::DepKind::kRegFlow)
         reg_edges.emplace_back(std::get<0>(key), std::get<1>(key));
     }
@@ -244,38 +400,55 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
   // edge between the same statement pair stay separate edges, so consumers
   // (scalar-expansion hints, the soundness oracle) see faithful kinds.
   std::map<std::tuple<int, int, ddg::DepKind>, FoldedDep> merged;
-  std::vector<DepKey> keys;
-  keys.reserve(deps_.size());
-  for (const auto& [key, _] : deps_) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());  // deterministic piece order
-  for (const DepKey& key : keys) {
-    Folder* folder = deps_.at(key).get();
+  // Builds the maximal over-approximation of a faulted edge: one inexact
+  // universe piece carrying the observed instance count, so the edge (and
+  // its weight) survives for the scheduler while %Aff accounting sees it
+  // as inexact.
+  auto universe_fallback = [](std::size_t in_dim, std::size_t label_dim,
+                              u64 observed) {
+    poly::PolySet rel(in_dim);
+    poly::Piece p;
+    p.domain = poly::Polyhedron::universe(in_dim);
+    p.label_fn = poly::AffineMap(
+        in_dim,
+        std::vector<poly::AffineExpr>(label_dim, poly::AffineExpr(in_dim)));
+    p.exact = false;
+    p.label_exact = false;
+    p.observed_points = observed;
+    rel.add_piece(std::move(p));
+    return rel;
+  };
+  for (std::size_t ki = 0; ki < keys.size(); ++ki) {
+    const DepKey& key = keys[ki];
     auto [src, dst, kind, slot] = key;
     (void)slot;
     poly::PolySet rel;
-    try {
-      rel = folder->finish();
-    } catch (const Error& e) {
-      // Degrade the edge to the maximal over-approximation: one inexact
-      // universe piece carrying the observed instance count, so the edge
-      // (and its weight) survives for the scheduler while %Aff accounting
-      // sees it as inexact.
-      rel = poly::PolySet(folder->in_dim());
-      poly::Piece p;
-      p.domain = poly::Polyhedron::universe(folder->in_dim());
-      p.label_fn = poly::AffineMap(
-          folder->in_dim(),
-          std::vector<poly::AffineExpr>(folder->label_dim(),
-                                        poly::AffineExpr(folder->in_dim())));
-      p.exact = false;
-      p.label_exact = false;
-      p.observed_points = folder->points_seen();
-      rel.add_piece(std::move(p));
-      if (diag_ != nullptr)
-        diag_->error(support::Stage::kFold,
-                     std::string("dependence fold failed (S") +
-                         std::to_string(src) + " -> S" + std::to_string(dst) +
-                         "): " + e.what());
+    if (buffered()) {
+      DepOutcome& out = dep_outcomes[ki];
+      if (out.fault) {
+        const DepBuffer& b = dep_buf_.at(key);
+        rel = universe_fallback(b.dst_dim, b.src_dim, b.points);
+        if (diag_ != nullptr)
+          diag_->error(support::Stage::kFold,
+                       std::string("dependence fold failed (S") +
+                           std::to_string(src) + " -> S" +
+                           std::to_string(dst) + "): " + out.fault_reason);
+      } else {
+        rel = std::move(out.relation);
+      }
+    } else {
+      Folder* folder = deps_.at(key).get();
+      try {
+        rel = folder->finish();
+      } catch (const Error& e) {
+        rel = universe_fallback(folder->in_dim(), folder->label_dim(),
+                                folder->points_seen());
+        if (diag_ != nullptr)
+          diag_->error(support::Stage::kFold,
+                       std::string("dependence fold failed (S") +
+                           std::to_string(src) + " -> S" + std::to_string(dst) +
+                           "): " + e.what());
+      }
     }
     if (prog.statements[static_cast<std::size_t>(src)].is_scev ||
         prog.statements[static_cast<std::size_t>(dst)].is_scev) {

@@ -13,6 +13,7 @@
 #include "fold/folder.hpp"
 #include "poly/dep_relation.hpp"
 #include "support/budget.hpp"
+#include "support/thread_pool.hpp"
 
 namespace pp::fold {
 
@@ -106,6 +107,17 @@ class FoldingSink : public ddg::DdgSink {
   void mark_degraded(const std::set<int>& stmt_ids);
   /// Destination for per-stream fold-fault diagnostics (may be null).
   void set_diagnostics(support::DiagnosticLog* diag) { diag_ = diag; }
+  /// Fan folding out on `pool` (null or serial pool = fold inline while
+  /// streaming, the reference behavior). Must be set before the first
+  /// event: with 2+ lanes the sink records events into compact per-stream
+  /// buffers and finalize() folds one task per statement / dependence key
+  /// into pre-indexed slots, merging in the serial order — the resulting
+  /// program and diagnostics are byte-identical to the serial fold.
+  void set_pool(support::ThreadPool* pool) { pool_ = pool; }
+  /// Budget for the folder-piece cap (may be null). Charged in the
+  /// deterministic merge order, never from worker tasks, so exhaustion
+  /// degrades the same statements at every thread count.
+  void set_budget(support::RunBudget* budget) { budget_ = budget; }
 
   /// Fold everything and build the program. `table` must be the
   /// DdgBuilder's statement table from the same run. A pp::Error thrown by
@@ -129,11 +141,53 @@ class FoldingSink : public ddg::DdgSink {
     }
   };
 
+  /// Compact event record for the parallel fold: one flat coordinate
+  /// buffer per stream (arity is fixed per statement — the interned
+  /// context determines the depth), so phase A can replay each stream
+  /// into a fresh Folder without touching shared state.
+  struct StmtBuffer {
+    std::size_t dim = 0;
+    bool dim_set = false;
+    u64 domain_points = 0;
+    std::vector<i64> domain;   ///< domain_points x dim coords
+    std::vector<i64> value;    ///< rows of dim coords + 1 label
+    std::vector<i64> address;  ///< rows of dim coords + 1 label
+  };
+  struct DepBuffer {
+    std::size_t dst_dim = 0;
+    std::size_t src_dim = 0;
+    u64 points = 0;
+    std::vector<i64> rows;  ///< points x (dst_dim + src_dim)
+  };
+
+  /// Result of folding one statement's streams (phase A output slot).
+  struct StmtOutcome {
+    poly::PolySet domain{0};
+    poly::PolySet values{0};
+    poly::PolySet addresses{0};
+    bool fault = false;
+    std::string fault_reason;
+  };
+  /// Result of folding one dependence key (phase A output slot).
+  struct DepOutcome {
+    poly::PolySet relation{0};
+    bool fault = false;
+    std::string fault_reason;
+  };
+
+  bool buffered() const { return pool_ != nullptr && !pool_->serial(); }
+  StmtOutcome fold_stmt_buffer(const StmtBuffer& b) const;
+  DepOutcome fold_dep_buffer(const DepBuffer& b) const;
+
   FolderOptions opts_;
   std::map<int, StmtStreams> stmts_;
   std::unordered_map<DepKey, std::unique_ptr<Folder>, DepKeyHash> deps_;
+  std::map<int, StmtBuffer> stmt_buf_;
+  std::unordered_map<DepKey, DepBuffer, DepKeyHash> dep_buf_;
   std::set<int> degraded_;
   support::DiagnosticLog* diag_ = nullptr;
+  support::ThreadPool* pool_ = nullptr;
+  support::RunBudget* budget_ = nullptr;
 };
 
 /// True when `op` is a scalar-evolution candidate: integer register

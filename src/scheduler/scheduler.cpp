@@ -359,8 +359,18 @@ ScheduleResult schedule(const Problem& problem, const Options& opts) {
     for (auto& [_, v] : by_root) groups.push_back(std::move(v));
   }
 
-  for (auto& g : groups)
-    res.groups.push_back(schedule_group(problem, std::move(g), opts));
+  // Fused groups are dependence-disjoint: schedule each independently,
+  // fanned out on the caller's pool into pre-indexed slots (serial when
+  // no pool / one lane — parallel_for runs inline in index order).
+  res.groups.resize(groups.size());
+  auto run_group = [&](std::size_t i) {
+    res.groups[i] = schedule_group(problem, std::move(groups[i]), opts);
+  };
+  if (opts.pool != nullptr) {
+    opts.pool->parallel_for(groups.size(), run_group);
+  } else {
+    for (std::size_t i = 0; i < groups.size(); ++i) run_group(i);
+  }
   // Execution order: by first statement id (ids are first-touch order).
   std::sort(res.groups.begin(), res.groups.end(),
             [](const GroupSchedule& a, const GroupSchedule& b) {

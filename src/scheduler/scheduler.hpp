@@ -20,6 +20,7 @@
 
 #include "poly/dep_relation.hpp"
 #include "poly/polyhedron.hpp"
+#include "support/thread_pool.hpp"
 
 namespace pp::scheduler {
 
@@ -70,6 +71,12 @@ struct Options {
   /// structure of the ORIGINAL loop order). Much cheaper, never proposes
   /// interchange/skew.
   bool identity_only = false;
+  /// Schedule fused groups in parallel on this pool (null or 1-lane pool
+  /// = serial). Groups are dependence-SCC-disjoint, so their searches are
+  /// independent; results land in pre-indexed slots and the final
+  /// execution-order sort is by statement id — identical for any lane
+  /// count.
+  support::ThreadPool* pool = nullptr;
 };
 
 /// One schedule level (a row of the schedule matrix, aligned dimensions).

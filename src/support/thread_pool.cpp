@@ -1,0 +1,153 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace pp::support {
+
+namespace {
+
+// Lane of the current thread inside `tls_pool` (workers set it once at
+// startup; external threads submit and help through lane 0).
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_lane = 0;
+
+}  // namespace
+
+unsigned ThreadPool::default_workers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+    : workers_(workers == 0 ? default_workers() : workers) {
+  queues_.resize(workers_);
+  queue_mu_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i)
+    queue_mu_.push_back(std::make_unique<std::mutex>());
+  threads_.reserve(workers_ > 0 ? workers_ - 1 : 0);
+  for (unsigned i = 1; i < workers_; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Batch::run_range(std::size_t begin, std::size_t end) {
+  try {
+    for (std::size_t i = begin; i < end; ++i) (*body)(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(err_mu);
+    if (!error) error = std::current_exception();
+  }
+  // The full chunk is accounted even when an exception skipped its tail —
+  // remaining counts indices that will never run as "done" so the batch
+  // can drain and rethrow.
+  remaining.fetch_sub(end - begin, std::memory_order_acq_rel);
+}
+
+void ThreadPool::push_task(std::size_t queue, RangeTask t) {
+  {
+    std::lock_guard<std::mutex> lk(*queue_mu_[queue]);
+    queues_[queue].push_back(t);
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_or_steal(std::size_t self, RangeTask& out) {
+  {
+    // Own lane: LIFO for locality.
+    std::lock_guard<std::mutex> lk(*queue_mu_[self]);
+    if (!queues_[self].empty()) {
+      out = queues_[self].back();
+      queues_[self].pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal: FIFO from the other lanes (oldest chunk = biggest remaining
+  // work under the round-robin initial split).
+  for (std::size_t k = 1; k < workers_; ++k) {
+    std::size_t victim = (self + k) % workers_;
+    std::lock_guard<std::mutex> lk(*queue_mu_[victim]);
+    if (!queues_[victim].empty()) {
+      out = queues_[victim].front();
+      queues_[victim].pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tls_pool = this;
+  tls_lane = self;
+  for (;;) {
+    RangeTask t;
+    if (try_pop_or_steal(self, t)) {
+      t.batch->run_range(t.begin, t.end);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait(lk, [&] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+void ThreadPool::help_until_done(std::size_t self, Batch& batch) {
+  using namespace std::chrono_literals;
+  while (batch.remaining.load(std::memory_order_acquire) > 0) {
+    RangeTask t;
+    if (try_pop_or_steal(self, t)) {
+      // Help with ANY pending chunk, not just our own batch: a nested
+      // parallel_for inside a stolen chunk keeps the lane busy instead of
+      // deadlocking it, and foreign chunks are exactly the work our batch
+      // may transitively be waiting on.
+      t.batch->run_range(t.begin, t.end);
+      continue;
+    }
+    // Nothing runnable: every remaining chunk is in flight on another
+    // lane. Sleep briefly rather than spin; the timeout bounds the wait
+    // for completion signals without a per-batch condition variable
+    // handshake on the hot path.
+    std::this_thread::sleep_for(20us);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (serial() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  Batch batch;
+  batch.body = &body;
+  batch.remaining.store(n, std::memory_order_relaxed);
+
+  std::size_t lane = (tls_pool == this) ? tls_lane : 0;
+  // Over-decompose by 4x so stolen chunks rebalance uneven task costs
+  // (statement folds vary by orders of magnitude).
+  std::size_t chunks =
+      std::min<std::size_t>(n, static_cast<std::size_t>(workers_) * 4);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t begin = n * c / chunks;
+    std::size_t end = n * (c + 1) / chunks;
+    if (begin == end) continue;
+    push_task((lane + c) % workers_, RangeTask{&batch, begin, end});
+  }
+  help_until_done(lane, batch);
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace pp::support

@@ -1,0 +1,91 @@
+// Work-stealing thread pool — the fan-out substrate for the parallel
+// profiling pipeline. One pool is shared by every parallel stage of a run
+// (fold fan-out, per-SCC-group scheduling, oracle re-validation, report
+// rendering); stages submit index ranges and the pool load-balances them
+// by stealing half-ranges from busy workers.
+//
+// Determinism contract: the pool parallelizes only the *execution* of
+// independent tasks — callers collect results into pre-indexed slots and
+// merge them in a stable order, so any worker count (including 1, which
+// runs everything inline on the calling thread) produces byte-identical
+// output. See DESIGN.md "Concurrency architecture".
+//
+// Nesting: parallel_for may be called from inside a pool task (the
+// scheduler fans out groups while full_report fans out regions). A thread
+// waiting on its batch executes other pending tasks instead of blocking,
+// so nested fan-outs cannot deadlock and idle no one.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pp::support {
+
+class ThreadPool {
+ public:
+  /// max(1, std::thread::hardware_concurrency) — what `workers = 0` means.
+  static unsigned default_workers();
+
+  /// A pool of `workers` execution lanes: `workers - 1` background threads
+  /// plus the thread calling parallel_for (which always participates).
+  /// `workers = 0` resolves to default_workers(); `workers = 1` spawns no
+  /// threads at all and every parallel_for runs inline, in index order.
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return workers_; }
+  /// True when the pool has a single lane (parallel_for is a plain loop).
+  bool serial() const { return workers_ <= 1; }
+
+  /// Run body(i) for every i in [0, n), blocking until all calls returned.
+  /// Iterations are distributed over the pool's lanes and stolen in
+  /// half-range chunks when a lane runs dry. The first exception thrown by
+  /// any iteration is rethrown on the calling thread after the batch
+  /// drains (remaining iterations of that chunk are skipped; other chunks
+  /// still run — callers that need per-item fault isolation catch inside
+  /// the body, as the fold stage does).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> remaining{0};  ///< indices not yet executed
+    std::mutex err_mu;
+    std::exception_ptr error;
+
+    void run_range(std::size_t begin, std::size_t end);
+  };
+
+  struct RangeTask {
+    Batch* batch = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  void worker_loop(std::size_t self);
+  void push_task(std::size_t queue, RangeTask t);
+  bool try_pop_or_steal(std::size_t self, RangeTask& out);
+  /// Execute pending tasks until `batch` completes (helping semantics).
+  void help_until_done(std::size_t self, Batch& batch);
+
+  unsigned workers_ = 1;
+  std::vector<std::deque<RangeTask>> queues_;  ///< one per lane
+  std::vector<std::unique_ptr<std::mutex>> queue_mu_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<std::size_t> pending_{0};  ///< tasks sitting in queues
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pp::support

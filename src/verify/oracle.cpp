@@ -64,9 +64,32 @@ bool reg_flow_plausible(const ir::Function& f, const FuncOracle& fo,
 }  // namespace
 
 CoverageReport check_dynamic_coverage(const ir::Module& m,
-                                      const fold::FoldedProgram& prog) {
+                                      const fold::FoldedProgram& prog,
+                                      support::ThreadPool* pool) {
   CoverageReport rep;
   std::map<int, std::unique_ptr<FuncOracle>> cache;
+  if (pool != nullptr && !pool->serial()) {
+    // Prefetch: collect every function the sweep below will consult (same
+    // filters as the sweep) and build their dataflow oracles in parallel —
+    // construction (CFG + reaching defs + may-dep set) dominates the cost.
+    // The sweep itself stays serial, so violation order is unchanged.
+    for (const fold::FoldedDep& d : prog.deps) {
+      const vm::CodeRef s = prog.stmt(d.src).meta.code;
+      const vm::CodeRef t = prog.stmt(d.dst).meta.code;
+      if (s.func != t.func || s.func < 0 ||
+          static_cast<std::size_t>(s.func) >= m.functions.size())
+        continue;
+      const ir::Function& f = m.functions[static_cast<std::size_t>(s.func)];
+      if (in_range(f, s) && in_range(f, t)) cache.emplace(s.func, nullptr);
+    }
+    std::vector<std::pair<const int, std::unique_ptr<FuncOracle>>*> slots;
+    slots.reserve(cache.size());
+    for (auto& entry : cache) slots.push_back(&entry);
+    pool->parallel_for(slots.size(), [&](std::size_t i) {
+      slots[i]->second = std::make_unique<FuncOracle>(
+          m, m.functions[static_cast<std::size_t>(slots[i]->first)]);
+    });
+  }
   auto oracle_for = [&](int func) -> FuncOracle& {
     auto& slot = cache[func];
     if (!slot)
@@ -299,17 +322,22 @@ struct ClaimChecker {
 }  // namespace
 
 ClaimReport check_parallel_claims(const fold::FoldedProgram& prog,
-                                  feedback::RegionMetrics& m, bool downgrade) {
-  ClaimReport rep;
+                                  feedback::RegionMetrics& m, bool downgrade,
+                                  support::ThreadPool* pool) {
   auto& groups = m.sched.groups;
   std::vector<std::set<int>> contradicted(groups.size());
-  ClaimChecker checker{prog, rep, contradicted, {}};
+  // Groups re-validate independently: each task owns its own part report,
+  // dedup set and contradicted[gi] slot. Parts merge in group order below,
+  // so counters and witness order match the serial sweep exactly.
+  std::vector<ClaimReport> parts(groups.size());
 
-  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+  auto check_group = [&](std::size_t gi) {
     const scheduler::GroupSchedule& g = groups[gi];
-    if (!g.schedulable || g.levels.empty()) continue;
+    if (!g.schedulable || g.levels.empty()) return;
+    ClaimReport& part = parts[gi];
+    ClaimChecker checker{prog, part, contradicted, {}};
     for (const auto& lv : g.levels)
-      if (lv.parallel) ++rep.parallel_levels;
+      if (lv.parallel) ++part.parallel_levels;
     std::set<int> in_group(g.stmts.begin(), g.stmts.end());
 
     for (std::size_t di = 0; di < prog.deps.size(); ++di) {
@@ -336,6 +364,20 @@ ClaimReport check_parallel_claims(const fold::FoldedProgram& prog,
                            static_cast<int>(di), d);
       }
     }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(groups.size(), check_group);
+  } else {
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) check_group(gi);
+  }
+
+  ClaimReport rep;
+  for (ClaimReport& part : parts) {
+    rep.parallel_levels += part.parallel_levels;
+    rep.instances_checked += part.instances_checked;
+    rep.lp_checked_pieces += part.lp_checked_pieces;
+    for (ClaimWitness& w : part.witnesses)
+      rep.witnesses.push_back(std::move(w));
   }
 
   if (downgrade) {
@@ -396,12 +438,25 @@ std::string OracleReport::verdict_line() const {
 
 OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
                         const std::vector<feedback::RegionMetrics*>& regions,
-                        bool downgrade) {
+                        bool downgrade, support::ThreadPool* pool) {
   OracleReport r;
-  r.coverage = check_dynamic_coverage(m, prog);
-  for (feedback::RegionMetrics* rm : regions)
-    if (rm != nullptr && rm->analyzable)
-      r.claims.push_back(check_parallel_claims(prog, *rm, downgrade));
+  r.coverage = check_dynamic_coverage(m, prog, pool);
+  // Each region's claim check touches only that region's metrics, so the
+  // checks fan out; reports land in pre-indexed slots preserving the
+  // serial (filtered) region order.
+  std::vector<std::size_t> picked;
+  for (std::size_t i = 0; i < regions.size(); ++i)
+    if (regions[i] != nullptr && regions[i]->analyzable) picked.push_back(i);
+  r.claims.resize(picked.size());
+  auto check_region = [&](std::size_t k) {
+    r.claims[k] =
+        check_parallel_claims(prog, *regions[picked[k]], downgrade, pool);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(picked.size(), check_region);
+  } else {
+    for (std::size_t k = 0; k < picked.size(); ++k) check_region(k);
+  }
   return r;
 }
 

@@ -21,6 +21,7 @@
 
 #include "feedback/metrics.hpp"
 #include "fold/folded_ddg.hpp"
+#include "support/thread_pool.hpp"
 #include "verify/static_deps.hpp"
 
 namespace pp::verify {
@@ -44,8 +45,12 @@ struct CoverageReport {
   std::string str() const;
 };
 
+/// `pool` (optional) parallelizes the per-function dataflow construction
+/// (the dominant cost); the edge sweep itself is serial, so the report —
+/// including violation order — is identical for any lane count.
 CoverageReport check_dynamic_coverage(const ir::Module& m,
-                                      const fold::FoldedProgram& prog);
+                                      const fold::FoldedProgram& prog,
+                                      support::ThreadPool* pool = nullptr);
 
 /// One contradicted scheduler claim, with the offending dependence.
 struct ClaimWitness {
@@ -78,9 +83,14 @@ struct ClaimReport {
 /// of the folded dependences. With `downgrade` set (the default),
 /// contradicted parallel levels lose their flag and the schedule-derived
 /// metrics of `m` are recomputed via feedback::refresh_schedule_metrics.
+/// `pool` (optional) re-validates the fused groups in parallel — groups
+/// are independent (disjoint statement sets, group-local dedup), and the
+/// per-group reports merge in group order, so witnesses and counters are
+/// identical for any lane count.
 ClaimReport check_parallel_claims(const fold::FoldedProgram& prog,
                                   feedback::RegionMetrics& m,
-                                  bool downgrade = true);
+                                  bool downgrade = true,
+                                  support::ThreadPool* pool = nullptr);
 
 /// Both halves bundled, plus the one-line verdict full_report prints.
 struct OracleReport {
@@ -91,8 +101,13 @@ struct OracleReport {
   std::string verdict_line() const;
 };
 
+/// `pool` (optional) fans out the coverage prefetch, the per-region claim
+/// checks (each region's metrics are touched by exactly one task) and the
+/// per-group sweeps within each region. Reports collect into pre-indexed
+/// slots and merge in region order — byte-identical at any lane count.
 OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
                         const std::vector<feedback::RegionMetrics*>& regions,
-                        bool downgrade = true);
+                        bool downgrade = true,
+                        support::ThreadPool* pool = nullptr);
 
 }  // namespace pp::verify

@@ -1,0 +1,138 @@
+#include "vm/event_ring.hpp"
+
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace pp::vm {
+
+void dispatch_event(const Event& ev, Observer& obs) {
+  switch (ev.kind) {
+    case Event::Kind::kLocalJump:
+      obs.on_local_jump(ev.func, ev.dst_bb);
+      return;
+    case Event::Kind::kCall:
+      obs.on_call(ev.ref, ev.func);
+      return;
+    case Event::Kind::kReturn:
+      obs.on_return(ev.func, ev.ref);
+      return;
+    case Event::Kind::kInstr: {
+      InstrEvent ie;
+      ie.ref = ev.ref;
+      ie.instr = ev.instr;
+      ie.result = ev.result;
+      ie.has_result = ev.has_result;
+      ie.address = ev.address;
+      obs.on_instr(ie);
+      return;
+    }
+  }
+}
+
+EventRing::EventRing(std::size_t slots, std::size_t batch_capacity)
+    : slots_(slots == 0 ? 1 : slots),
+      batch_capacity_(batch_capacity == 0 ? 1 : batch_capacity) {}
+
+std::vector<Event>& EventRing::acquire() {
+  std::unique_lock<std::mutex> lk(mu_);
+  not_full_.wait(lk, [&] { return count_ < slots_.size() || aborted_; });
+  std::vector<Event>& buf = slots_[tail_];
+  buf.clear();  // capacity retained — recycled from a drained batch
+  return buf;
+}
+
+void EventRing::commit() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (aborted_) return;  // consumer bailed: drop on the floor
+    tail_ = (tail_ + 1) % slots_.size();
+    ++count_;
+  }
+  not_empty_.notify_one();
+}
+
+void EventRing::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_one();
+}
+
+bool EventRing::consume(std::vector<Event>& out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  not_empty_.wait(lk, [&] { return count_ > 0 || closed_; });
+  if (count_ == 0) return false;
+  std::swap(out, slots_[head_]);  // drained vector goes back for reuse
+  head_ = (head_ + 1) % slots_.size();
+  --count_;
+  lk.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void EventRing::abort() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    aborted_ = true;
+  }
+  not_full_.notify_one();
+}
+
+void RingWriter::push(const Event& ev) {
+  if (buf_ == nullptr) buf_ = &ring_.acquire();
+  buf_->push_back(ev);
+  if (buf_->size() >= ring_.batch_capacity()) {
+    ring_.commit();
+    buf_ = nullptr;
+  }
+}
+
+void RingWriter::flush() {
+  if (buf_ != nullptr && !buf_->empty()) ring_.commit();
+  buf_ = nullptr;
+}
+
+RunResult replay_threaded(
+    Machine& m, const std::string& entry, const std::vector<i64>& args,
+    u64 max_steps, Observer& downstream,
+    const std::function<Observer*(Observer&)>& wrap_producer,
+    std::size_t ring_slots, std::size_t batch_capacity) {
+  EventRing ring(ring_slots, batch_capacity);
+  RingWriter writer(ring);
+  Observer* head = &writer;
+  if (wrap_producer) head = wrap_producer(writer);
+
+  RunResult result;
+  std::exception_ptr producer_error;
+  m.set_observer(head);
+  std::thread producer([&] {
+    try {
+      result = m.run(entry, args, max_steps);
+    } catch (...) {
+      producer_error = std::current_exception();
+    }
+    // Deliver the partial batch buffered before a trap/truncation — the
+    // synchronous chain would have seen those events too.
+    writer.flush();
+    ring.close();
+  });
+
+  std::vector<Event> batch;
+  try {
+    while (ring.consume(batch))
+      for (const Event& ev : batch) dispatch_event(ev, downstream);
+  } catch (...) {
+    ring.abort();
+    producer.join();
+    m.set_observer(nullptr);
+    throw;
+  }
+  producer.join();
+  m.set_observer(nullptr);
+  if (producer_error) std::rethrow_exception(producer_error);
+  return result;
+}
+
+}  // namespace pp::vm

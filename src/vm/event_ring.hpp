@@ -1,0 +1,145 @@
+// Bounded SPSC event ring — overlaps VM execution with instrumentation
+// consumption. The producer thread runs the Machine behind a RingWriter
+// observer that records events into batch buffers; the consumer (the
+// pipeline's calling thread) drains whole batches and replays them into
+// the downstream observer chain (validator -> builders), which therefore
+// stays single-threaded and sees the exact serial event order.
+//
+// The ring is batch-granular: synchronization cost is paid once per
+// thousands of events, and batch vectors are recycled by swapping (the
+// consumer's drained vector returns to the slot the producer will fill
+// next), so the steady state allocates nothing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "vm/vm.hpp"
+
+namespace pp::vm {
+
+/// One instrumentation event, tagged; the flattened union of the four
+/// Observer callbacks so a batch is a plain contiguous vector.
+struct Event {
+  enum class Kind : std::uint8_t { kLocalJump, kCall, kReturn, kInstr };
+  Kind kind = Kind::kInstr;
+  int func = -1;    ///< jump: func; call/return: callee
+  int dst_bb = -1;  ///< jump: destination block
+  CodeRef ref;      ///< call: callsite; return: landing site; instr: identity
+  const ir::Instr* instr = nullptr;
+  i64 result = 0;
+  bool has_result = false;
+  i64 address = 0;
+};
+
+/// Replay one recorded event into an observer.
+void dispatch_event(const Event& ev, Observer& obs);
+
+/// Bounded single-producer single-consumer ring of event batches.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t slots = 8, std::size_t batch_capacity = 4096);
+
+  std::size_t batch_capacity() const { return batch_capacity_; }
+
+  // -- producer side (exactly one thread) --
+  /// Buffer for the next batch; blocks while the ring is full. The
+  /// returned vector is empty with its previous capacity retained. After
+  /// an abort() the buffer is a sink: commits are discarded silently so
+  /// the producer can finish its run without special-casing.
+  std::vector<Event>& acquire();
+  /// Publish the buffer last returned by acquire().
+  void commit();
+  /// Producer is done (normal exit, trap, or truncation). Wakes the
+  /// consumer; committed batches remain drainable.
+  void close();
+
+  // -- consumer side (exactly one thread) --
+  /// Swap the oldest committed batch into `out`; blocks until a batch is
+  /// available or the ring is closed and drained (then returns false).
+  bool consume(std::vector<Event>& out);
+  /// Consumer is bailing out (downstream threw): unblock the producer and
+  /// discard everything it still commits.
+  void abort();
+
+ private:
+  std::vector<std::vector<Event>> slots_;
+  std::size_t batch_capacity_;
+  std::size_t head_ = 0;   ///< next slot to consume
+  std::size_t tail_ = 0;   ///< next slot to fill
+  std::size_t count_ = 0;  ///< committed, unconsumed slots
+  bool closed_ = false;
+  bool aborted_ = false;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+};
+
+/// Observer that records events into ring batches, committing each time a
+/// batch fills. Call flush() after the run to publish the final partial
+/// batch — events buffered up to a trap must still reach the consumer,
+/// exactly as they would have in a synchronous chain.
+class RingWriter final : public Observer {
+ public:
+  explicit RingWriter(EventRing& ring) : ring_(ring) {}
+
+  void on_local_jump(int func, int dst_bb) override {
+    Event ev;
+    ev.kind = Event::Kind::kLocalJump;
+    ev.func = func;
+    ev.dst_bb = dst_bb;
+    push(ev);
+  }
+  void on_call(CodeRef callsite, int callee) override {
+    Event ev;
+    ev.kind = Event::Kind::kCall;
+    ev.ref = callsite;
+    ev.func = callee;
+    push(ev);
+  }
+  void on_return(int callee, CodeRef into) override {
+    Event ev;
+    ev.kind = Event::Kind::kReturn;
+    ev.func = callee;
+    ev.ref = into;
+    push(ev);
+  }
+  void on_instr(const InstrEvent& ie) override {
+    Event ev;
+    ev.kind = Event::Kind::kInstr;
+    ev.ref = ie.ref;
+    ev.instr = ie.instr;
+    ev.result = ie.result;
+    ev.has_result = ie.has_result;
+    ev.address = ie.address;
+    push(ev);
+  }
+
+  void flush();
+
+ private:
+  void push(const Event& ev);
+
+  EventRing& ring_;
+  std::vector<Event>* buf_ = nullptr;
+};
+
+/// Run `m.run(entry, args, max_steps)` on a producer thread, streaming
+/// its events through a bounded ring into `downstream` on the calling
+/// thread. `wrap_producer`, when set, is called (on the calling thread,
+/// before the producer starts) with the ring's writer and returns the
+/// observer the Machine should drive — the pipeline uses it to interpose
+/// the ChaosObserver in front of the ring, whose event-count-seeded
+/// injection point thus lands identically to the serial chain. Producer
+/// exceptions are rethrown on the calling thread after the ring drains
+/// and the thread joined, so callers' existing trap handling — including
+/// reading m.stats() afterwards — works unchanged.
+RunResult replay_threaded(
+    Machine& m, const std::string& entry, const std::vector<i64>& args,
+    u64 max_steps, Observer& downstream,
+    const std::function<Observer*(Observer&)>& wrap_producer = {},
+    std::size_t ring_slots = 8, std::size_t batch_capacity = 4096);
+
+}  // namespace pp::vm

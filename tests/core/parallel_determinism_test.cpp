@@ -1,0 +1,83 @@
+// The parallel pipeline's central contract (DESIGN.md, "Concurrency
+// architecture"): `full_report` is BYTE-identical for every thread count.
+// threads=1 is the serial reference path (no ring, no buffered fold, no
+// fan-out), so diffing it against threaded runs covers every merge-order
+// decision at once — fold slots, diagnostics sequencing, scheduler group
+// order, oracle witness order, budget-degradation points.
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "gtest/gtest.h"
+#include "workloads/workloads.hpp"
+
+namespace pp {
+namespace {
+
+std::string report_with_threads(const ir::Module& m, unsigned threads,
+                                const core::PipelineOptions& base = {}) {
+  core::Pipeline pipe(m);
+  core::PipelineOptions opts = base;
+  opts.threads = threads;
+  core::ProfileResult r = pipe.run(opts);
+  return core::full_report(r);
+}
+
+class ParallelDeterminism : public testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelDeterminism, ReportIsByteIdenticalAcrossThreadCounts) {
+  workloads::Workload wl = workloads::make_rodinia(GetParam());
+  const std::string serial = report_with_threads(wl.module, 1);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(serial, report_with_threads(wl.module, threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParallelDeterminism,
+                         testing::ValuesIn(workloads::rodinia_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '+') c = 'p';
+                           return n;
+                         });
+
+// Degraded runs must stay deterministic too: the chaos trigger is
+// event-count-seeded and interposed on the producer thread, so the same
+// fault lands on the same event at any thread count, and the diagnosed
+// partial report matches the serial one byte for byte.
+TEST(ParallelDeterminismChaos, DegradedRunsMatchSerialReference) {
+  workloads::Workload wl = workloads::make_rodinia("pathfinder");
+  for (vm::FaultKind kind :
+       {vm::FaultKind::kTruncate, vm::FaultKind::kUnmatchedReturn,
+        vm::FaultKind::kMisalign, vm::FaultKind::kBadBlock}) {
+    core::PipelineOptions base;
+    base.chaos.kind = kind;
+    base.chaos.seed = 7;
+    SCOPED_TRACE(std::string("fault=") + vm::fault_kind_name(kind));
+    const std::string serial = report_with_threads(wl.module, 1, base);
+    for (unsigned threads : {2u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EXPECT_EQ(serial, report_with_threads(wl.module, threads, base));
+    }
+  }
+}
+
+// A folder-piece budget degrades statements; the charge is atomic but
+// enforcement happens in merge order, so the SAME statement degrades at
+// every thread count and the report (including the degradations section)
+// stays identical.
+TEST(ParallelDeterminismBudget, PieceBudgetDegradesIdentically) {
+  workloads::Workload wl = workloads::make_rodinia("srad_v1");
+  core::PipelineOptions base;
+  base.budget.folder_pieces = 24;
+  const std::string serial = report_with_threads(wl.module, 1, base);
+  for (unsigned threads : {2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(serial, report_with_threads(wl.module, threads, base));
+  }
+}
+
+}  // namespace
+}  // namespace pp

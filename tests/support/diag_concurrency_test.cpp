@@ -1,0 +1,125 @@
+// Thread-safety tests for the degrade-don't-die substrate: DiagnosticLog
+// under concurrent producers and RunBudget's atomic piece accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/budget.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pp::support {
+namespace {
+
+TEST(DiagnosticLogConcurrency, ConcurrentAddsLoseNothing) {
+  DiagnosticLog log;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        log.warn(Stage::kFold, "degraded", t);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.size(), std::size_t{kThreads} * kPerThread);
+  EXPECT_EQ(log.count(Severity::kWarn), std::size_t{kThreads} * kPerThread);
+}
+
+TEST(DiagnosticLogConcurrency, StableFlushSequencesUnorderedProducers) {
+  // Each (stage, statement) key has one producer; arrival order across
+  // keys races, but the flushed text must not depend on it.
+  auto produce = [] {
+    DiagnosticLog log;
+    ThreadPool pool(4);
+    pool.parallel_for(16, [&](std::size_t i) {
+      Stage stage = (i % 2 == 0) ? Stage::kFold : Stage::kFeedback;
+      log.warn(stage, "task " + std::to_string(i), static_cast<int>(i));
+    });
+    return log.stable_flush();
+  };
+  std::string first = produce();
+  for (int round = 0; round < 10; ++round) EXPECT_EQ(first, produce());
+  // Sorted: all fold records (even i, ascending) before feedback (odd i).
+  EXPECT_EQ(first.substr(0, first.find('\n')),
+            "[warn] fold: task 0 (statement S0)");
+}
+
+TEST(DiagnosticLogConcurrency, StableFlushKeepsArrivalOrderOnTies) {
+  DiagnosticLog log;
+  log.warn(Stage::kFold, "first", 3);
+  log.warn(Stage::kFold, "second", 3);  // same key: arrival order preserved
+  log.warn(Stage::kDdg, "earlier stage", 9);
+  EXPECT_EQ(log.stable_flush(),
+            "[warn] ddg: earlier stage (statement S9)\n"
+            "[warn] fold: first (statement S3)\n"
+            "[warn] fold: second (statement S3)\n");
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(DiagnosticLogConcurrency, MergeFromPreservesDonorOrder) {
+  DiagnosticLog task_a, task_b, merged;
+  task_a.warn(Stage::kFold, "a1", 0);
+  task_a.error(Stage::kFold, "a2", 0);
+  task_b.warn(Stage::kFold, "b1", 1);
+  merged.info(Stage::kSetup, "start");
+  merged.merge_from(std::move(task_a));
+  merged.merge_from(std::move(task_b));
+  EXPECT_EQ(merged.render(),
+            "[info] setup: start\n"
+            "[warn] fold: a1 (statement S0)\n"
+            "[error] fold: a2 (statement S0)\n"
+            "[warn] fold: b1 (statement S1)\n");
+}
+
+TEST(DiagnosticLogConcurrency, CopyAndMoveCarryRecords) {
+  DiagnosticLog log;
+  log.error(Stage::kDdg, "trap", 2);
+  DiagnosticLog copy = log;
+  EXPECT_EQ(copy.render(), log.render());
+  DiagnosticLog moved = std::move(log);
+  EXPECT_EQ(moved.size(), 1u);
+}
+
+TEST(RunBudgetConcurrency, ChargePiecesIsAtomic) {
+  RunBudget budget;
+  budget.folder_pieces = 1000;
+  ThreadPool pool(4);
+  pool.parallel_for(256, [&](std::size_t) { budget.charge_pieces(5); });
+  EXPECT_EQ(budget.pieces_charged(), 256u * 5u);
+  EXPECT_TRUE(budget.pieces_exceeded(budget.pieces_charged()));
+  EXPECT_FALSE(budget.pieces_exceeded(1000));
+}
+
+TEST(RunBudgetConcurrency, CopyCarriesArmingAndCharges) {
+  RunBudget budget;
+  budget.wall_ms = 50000;
+  budget.arm();
+  budget.charge_pieces(7);
+  RunBudget copy = budget;
+  EXPECT_TRUE(copy.armed());
+  EXPECT_EQ(copy.pieces_charged(), 7u);
+  EXPECT_EQ(copy.wall_ms, 50000u);
+  RunBudget assigned;
+  assigned = copy;
+  EXPECT_TRUE(assigned.armed());
+  EXPECT_EQ(assigned.pieces_charged(), 7u);
+}
+
+TEST(RunBudgetConcurrency, ArmIsVisibleAcrossThreads) {
+  RunBudget budget;
+  budget.wall_ms = 1;
+  std::thread reader([&budget] {
+    while (!budget.armed()) std::this_thread::yield();
+    (void)budget.wall_exceeded();
+  });
+  budget.arm();
+  reader.join();
+  EXPECT_TRUE(budget.armed());
+}
+
+}  // namespace
+}  // namespace pp::support

@@ -1,0 +1,96 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pp::support {
+namespace {
+
+TEST(ThreadPool, DefaultWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), ThreadPool::default_workers());
+}
+
+TEST(ThreadPool, SingleLaneRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_TRUE(pool.serial());
+  std::vector<std::size_t> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.serial());
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SlotCollectionIsDeterministicAcrossWorkerCounts) {
+  auto run = [](unsigned workers) {
+    ThreadPool pool(workers);
+    std::vector<long> slots(257, 0);
+    pool.parallel_for(slots.size(),
+                      [&](std::size_t i) { slots[i] = long(i) * long(i); });
+    return slots;
+  };
+  auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, FirstExceptionIsRethrownAfterDrain) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      if (i == 13) throw std::runtime_error("boom");
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Other chunks still drained; at most the faulting chunk's tail skipped.
+  EXPECT_GT(ran.load(), 0);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  long sum = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<long> slots(round + 1, 0);
+    pool.parallel_for(slots.size(), [&](std::size_t i) { slots[i] = 1; });
+    sum += std::accumulate(slots.begin(), slots.end(), 0L);
+  }
+  EXPECT_EQ(sum, 50L * 51L / 2);
+}
+
+}  // namespace
+}  // namespace pp::support

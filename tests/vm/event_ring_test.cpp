@@ -1,0 +1,218 @@
+#include "vm/event_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "ir/builder.hpp"
+#include "support/diag.hpp"
+
+namespace pp::vm {
+namespace {
+
+using ir::Builder;
+using ir::Function;
+using ir::Module;
+using ir::Op;
+using ir::Reg;
+
+/// Renders the full event stream as text so serial and threaded replays
+/// can be compared byte for byte.
+struct TraceRecorder : Observer {
+  std::ostringstream os;
+  void on_local_jump(int func, int dst_bb) override {
+    os << "J " << func << " " << dst_bb << "\n";
+  }
+  void on_call(CodeRef site, int callee) override {
+    os << "C " << site.func << ":" << site.block << ":" << site.instr << " "
+       << callee << "\n";
+  }
+  void on_return(int callee, CodeRef into) override {
+    os << "R " << callee << " " << into.func << ":" << into.block << ":"
+       << into.instr << "\n";
+  }
+  void on_instr(const InstrEvent& ev) override {
+    os << "I " << ev.ref.func << ":" << ev.ref.block << ":" << ev.ref.instr
+       << " " << (ev.has_result ? ev.result : -999) << " " << ev.address
+       << "\n";
+  }
+  std::string str() const { return os.str(); }
+};
+
+Module loop_module(i64 trip) {
+  Module m;
+  i64 addr = m.add_global("buf", trip * 8);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(addr);
+  Reg n = b.const_(trip);
+  Reg sum = b.const_(0);
+  b.counted_loop(0, n, 1, [&](Reg iv) {
+    Reg off = b.muli(iv, 8);
+    Reg slot = b.add(base, off);
+    b.store(slot, iv);
+    Reg v = b.load(slot);
+    b.add(sum, v, sum);
+  });
+  b.ret(sum);
+  return m;
+}
+
+Module trap_module() {
+  // Executes a few instructions, then divides by zero.
+  Module m;
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(10);
+  Reg z = b.const_(0);
+  Reg bad = b.div(a, z);
+  b.ret(bad);
+  return m;
+}
+
+TEST(EventRing, BatchesFlowInFifoOrder) {
+  EventRing ring(/*slots=*/2, /*batch_capacity=*/4);
+  std::thread producer([&] {
+    for (int batch = 0; batch < 5; ++batch) {
+      auto& buf = ring.acquire();
+      for (int i = 0; i < 4; ++i) {
+        Event ev;
+        ev.kind = Event::Kind::kLocalJump;
+        ev.func = batch;
+        ev.dst_bb = i;
+        buf.push_back(ev);
+      }
+      ring.commit();
+    }
+    ring.close();
+  });
+  std::vector<Event> batch;
+  int expect_batch = 0;
+  while (ring.consume(batch)) {
+    ASSERT_EQ(batch.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(batch[static_cast<std::size_t>(i)].func, expect_batch);
+      EXPECT_EQ(batch[static_cast<std::size_t>(i)].dst_bb, i);
+    }
+    ++expect_batch;
+  }
+  EXPECT_EQ(expect_batch, 5);
+  producer.join();
+}
+
+TEST(EventRing, ThreadedReplayMatchesSerialTrace) {
+  Module m = loop_module(200);
+
+  TraceRecorder serial;
+  Machine vm1(m);
+  vm1.set_observer(&serial);
+  RunResult r1 = vm1.run("main");
+
+  TraceRecorder threaded;
+  Machine vm2(m);
+  // Tiny batches force many ring round-trips; order must survive.
+  RunResult r2 = replay_threaded(vm2, "main", {}, 500'000'000, threaded,
+                                 /*wrap_producer=*/{}, /*ring_slots=*/3,
+                                 /*batch_capacity=*/64);
+
+  EXPECT_EQ(r1.exit_value, r2.exit_value);
+  EXPECT_EQ(r1.stats.instructions, r2.stats.instructions);
+  EXPECT_EQ(serial.str(), threaded.str());
+  EXPECT_GT(serial.str().size(), 1000u);  // the loop actually ran
+}
+
+TEST(EventRing, ProducerTrapRethrownAfterDrainingPrefix) {
+  Module m = trap_module();
+  TraceRecorder serial;
+  {
+    Machine vm(m);
+    vm.set_observer(&serial);
+    EXPECT_THROW(vm.run("main"), Error);
+  }
+
+  TraceRecorder threaded;
+  Machine vm(m);
+  try {
+    replay_threaded(vm, "main", {}, 500'000'000, threaded);
+    FAIL() << "expected the trap to be rethrown on the calling thread";
+  } catch (const Error&) {
+  }
+  // Every event up to the trap was delivered, same as the sync chain,
+  // and partial stats survive on the machine.
+  EXPECT_EQ(serial.str(), threaded.str());
+  EXPECT_EQ(vm.stats().instructions, 3u);  // two consts + the trapping div
+}
+
+TEST(EventRing, ConsumerExceptionAbortsAndPropagates) {
+  struct Bomb : Observer {
+    int seen = 0;
+    void on_instr(const InstrEvent&) override {
+      if (++seen == 3) throw std::runtime_error("downstream bomb");
+    }
+  };
+  Module m = loop_module(500);
+  Bomb bomb;
+  Machine vm(m);
+  try {
+    replay_threaded(vm, "main", {}, 500'000'000, bomb,
+                    /*wrap_producer=*/{}, /*ring_slots=*/2,
+                    /*batch_capacity=*/16);
+    FAIL() << "expected the consumer exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "downstream bomb");
+  }
+  EXPECT_EQ(bomb.seen, 3);
+  // The producer was unblocked and joined: the machine finished (or was
+  // discarded) without deadlock — constructing another run still works.
+  Machine vm2(m);
+  EXPECT_NO_THROW(vm2.run("main"));
+}
+
+TEST(EventRing, ProducerInterposeSeesTheStream) {
+  struct Counter : Observer {
+    Observer* inner;
+    u64 events = 0;
+    explicit Counter(Observer* in) : inner(in) {}
+    void on_local_jump(int f, int b) override {
+      ++events;
+      inner->on_local_jump(f, b);
+    }
+    void on_call(CodeRef s, int c) override {
+      ++events;
+      inner->on_call(s, c);
+    }
+    void on_return(int c, CodeRef i) override {
+      ++events;
+      inner->on_return(c, i);
+    }
+    void on_instr(const InstrEvent& ev) override {
+      ++events;
+      inner->on_instr(ev);
+    }
+  };
+  Module m = loop_module(50);
+  TraceRecorder sink;
+  std::unique_ptr<Counter> counter;
+  Machine vm(m);
+  replay_threaded(vm, "main", {}, 500'000'000, sink,
+                  [&](Observer& writer) -> Observer* {
+                    counter = std::make_unique<Counter>(&writer);
+                    return counter.get();
+                  });
+  ASSERT_NE(counter, nullptr);
+  EXPECT_GT(counter->events, 0u);
+  std::string trace = sink.str();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(trace.begin(), trace.end(), '\n')),
+            counter->events);
+}
+
+}  // namespace
+}  // namespace pp::vm
