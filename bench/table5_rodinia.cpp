@@ -6,10 +6,13 @@
 // streamcluster reproduces the paper's missing row: past the statement
 // budget the scheduler stage is skipped and "-" is printed.
 #include <chrono>
+#include <fstream>
 #include <future>
+#include <memory>
 #include <thread>
 
 #include "bench_util.hpp"
+#include "obs/obs.hpp"
 #include "statican/statican.hpp"
 
 namespace pp {
@@ -159,31 +162,47 @@ void print_table5() {
               std::max(2u, std::thread::hardware_concurrency()));
 }
 
-// Machine-readable mode (--json): per-workload profile summary from a
-// serial run, then a thread sweep {1, 2, 4} of the full pipeline on the
-// largest workload (by dynamic ops) with wall time, a FNV-1a fingerprint
-// of full_report, and byte-identity of every threaded report against the
-// serial reference. This is the artifact behind
-// BENCH_parallel_pipeline.json.
-int print_json() {
+// Machine-readable mode (--json): per-workload profile summary from an
+// observed serial run (wall time plus the pp::obs per-stage breakdown),
+// then a thread sweep {1, 2, 4} of the full pipeline on the largest
+// workload (by dynamic ops) with wall time, a FNV-1a fingerprint of
+// full_report, and byte-identity of every threaded report against the
+// serial reference (reports carry the stable self-profile section, which
+// must not break the identity). This is the artifact behind
+// BENCH_parallel_pipeline.json. --trace-out/--manifest-out additionally
+// export the threads=4 sweep run as a Chrome trace / run manifest.
+int print_json(const char* trace_out, const char* manifest_out) {
   struct Row {
     std::string name;
     u64 ops = 0;
     double aff = 0;
     std::size_t stmts = 0, deps = 0;
     double wall_ms = 0;
+    std::vector<obs::SpanRec> stages;
   };
   auto profile_once = [](const ir::Module& m, unsigned threads,
                          std::string* report) {
     core::Pipeline pipe(m);
     core::PipelineOptions opts;
     opts.threads = threads;
+    opts.observe = true;
     auto t0 = std::chrono::steady_clock::now();
     core::ProfileResult r = pipe.run(opts);
     if (report != nullptr) *report = core::full_report(r);
     auto t1 = std::chrono::steady_clock::now();
     return std::make_pair(
         r, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  };
+  auto stages_json = [](const std::vector<obs::SpanRec>& stages) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%s\"%s\": %.3f",
+                    i > 0 ? ", " : "", stages[i].name + 6,
+                    static_cast<double>(stages[i].dur_ns) / 1e6);
+      out += buf;
+    }
+    return out + "}";
   };
 
   std::vector<Row> rows;
@@ -198,6 +217,7 @@ int print_json() {
     row.stmts = r.program.statements.size();
     row.deps = r.program.deps.size();
     row.wall_ms = ms;
+    row.stages = r.obs->stage_spans();
     if (rows.empty() || row.ops > rows[largest].ops) largest = rows.size();
     rows.push_back(row);
   }
@@ -208,17 +228,40 @@ int print_json() {
     double wall_ms;
     u64 report_fnv1a;
     bool identical;
+    std::vector<obs::SpanRec> stages;
   };
   std::vector<Run> runs;
   std::string serial_report;
+  std::shared_ptr<obs::Session> export_session;
+  core::ProfileResult export_result;
   for (unsigned t : {1u, 2u, 4u}) {
     std::string report;
     auto [r, ms] = profile_once(big.module, t, &report);
-    (void)r;
     if (t == 1) serial_report = report;
-    runs.push_back({t, ms, bench::fnv1a(report), report == serial_report});
+    runs.push_back({t, ms, bench::fnv1a(report), report == serial_report,
+                    r.obs->stage_spans()});
+    if (t == 4) {
+      export_session = r.obs;
+      export_result = std::move(r);
+    }
   }
   double serial_ms = runs[0].wall_ms;
+
+  if (trace_out != nullptr) {
+    std::ofstream(trace_out, std::ios::binary)
+        << export_session->chrome_trace_json(rows[largest].name);
+  }
+  if (manifest_out != nullptr) {
+    obs::Session::ManifestExtra extra;
+    extra.workload = rows[largest].name;
+    extra.threads = 4;
+    extra.truncated = export_result.truncated;
+    extra.degraded_statements = export_result.program.degraded_statements;
+    extra.diagnostics = export_result.diagnostics.size();
+    extra.report_fingerprint = bench::hex64(runs.back().report_fnv1a);
+    std::ofstream(manifest_out, std::ios::binary)
+        << export_session->manifest_json(extra);
+  }
 
   std::printf("{\n  \"bench\": \"table5_rodinia\",\n");
   std::printf("  \"hardware_threads\": %u,\n",
@@ -228,10 +271,11 @@ int print_json() {
     const Row& row = rows[i];
     std::printf("    {\"name\": %s, \"ops\": %llu, \"pct_affine\": %.1f, "
                 "\"statements\": %zu, \"deps\": %zu, "
-                "\"serial_wall_ms\": %.2f}%s\n",
+                "\"serial_wall_ms\": %.2f, \"stage_wall_ms\": %s}%s\n",
                 bench::json_str(row.name).c_str(),
                 static_cast<unsigned long long>(row.ops), row.aff, row.stmts,
-                row.deps, row.wall_ms, i + 1 < rows.size() ? "," : "");
+                row.deps, row.wall_ms, stages_json(row.stages).c_str(),
+                i + 1 < rows.size() ? "," : "");
   }
   std::printf("  ],\n");
   std::printf("  \"thread_sweep\": {\n    \"workload\": %s,\n"
@@ -243,11 +287,13 @@ int print_json() {
     all_identical &= run.identical;
     std::printf("      {\"threads\": %u, \"wall_ms\": %.2f, "
                 "\"report_fnv1a\": %s, \"speedup_vs_serial\": %.2f, "
-                "\"report_identical_to_serial\": %s}%s\n",
+                "\"report_identical_to_serial\": %s, "
+                "\"stage_wall_ms\": %s}%s\n",
                 run.threads, run.wall_ms,
                 bench::json_str(bench::hex64(run.report_fnv1a)).c_str(),
                 run.wall_ms > 0 ? serial_ms / run.wall_ms : 0.0,
                 run.identical ? "true" : "false",
+                stages_json(run.stages).c_str(),
                 i + 1 < runs.size() ? "," : "");
   }
   std::printf("    ],\n    \"all_reports_identical\": %s\n  }\n}\n",
@@ -271,8 +317,20 @@ void BM_ProfilePipeline(benchmark::State& state,
 }  // namespace pp
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == "--json") return pp::print_json();
+  bool json = false;
+  const char* trace_out = nullptr;
+  const char* manifest_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json = true;
+    } else if (std::string(argv[i]) == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::string(argv[i]) == "--manifest-out" && i + 1 < argc) {
+      manifest_out = argv[++i];
+    }
+  }
+  if (json || trace_out != nullptr || manifest_out != nullptr)
+    return pp::print_json(trace_out, manifest_out);
   pp::print_table5();
   for (const char* name : {"backprop", "hotspot", "nw"}) {
     benchmark::RegisterBenchmark(

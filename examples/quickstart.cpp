@@ -2,21 +2,34 @@
 // through the full POLY-PROF pipeline, and read the structured-
 // transformation feedback.
 //
-//   $ ./quickstart [--threads N]
+//   $ ./quickstart [--threads N] [--trace-out F] [--manifest-out F]
+//                  [--stable] [workload]
 //
 // --threads selects the profiling pipeline's worker count (0 = one lane
 // per hardware thread, 1 = serial reference). The report is byte-identical
 // for every choice — only the wall time changes.
 //
-// The example program is a matrix-vector product with the loops in the
-// "wrong" order (column-major walk of a row-major matrix) — the classic
-// situation the profiler's interchange feedback exists for.
+// --trace-out writes a Chrome trace_event JSON of the profiler's own run
+// (open it in Perfetto / chrome://tracing); --manifest-out writes the flat
+// run manifest (per-stage wall/CPU, counter finals, report fingerprint).
+// Either flag turns self-observability on. --stable elides timing-
+// dependent values from the report's self-profile section.
+//
+// The optional positional argument profiles a mini-Rodinia workload by
+// name (e.g. backprop, hotspot, srad_v1) instead of the built-in example:
+// a matrix-vector product with the loops in the "wrong" order
+// (column-major walk of a row-major matrix) — the classic situation the
+// profiler's interchange feedback exists for.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/pipeline.hpp"
 #include "ir/builder.hpp"
+#include "obs/obs.hpp"
+#include "workloads/workloads.hpp"
 
 using namespace pp;
 
@@ -82,22 +95,52 @@ static ir::Module build_matvec(i64 n) {
   return m;
 }
 
+static bool write_file(const char* path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  return static_cast<bool>(out);
+}
+
 int main(int argc, char** argv) {
   unsigned threads = 1;
+  const char* trace_out = nullptr;
+  const char* manifest_out = nullptr;
+  bool stable = false;
+  std::string workload;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--manifest-out") == 0 && i + 1 < argc) {
+      manifest_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--stable") == 0) {
+      stable = true;
+    } else if (argv[i][0] != '-' && workload.empty()) {
+      workload = argv[i];
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--trace-out F] "
+                   "[--manifest-out F] [--stable] [workload]\n",
+                   argv[0]);
       return 2;
     }
   }
-  std::printf("polyprof quickstart: profiling a j-outer/i-inner matvec\n\n");
-  ir::Module m = build_matvec(24);
+  ir::Module m;
+  if (workload.empty()) {
+    std::printf("polyprof quickstart: profiling a j-outer/i-inner matvec\n\n");
+    m = build_matvec(24);
+  } else {
+    std::printf("polyprof quickstart: profiling mini-Rodinia '%s'\n\n",
+                workload.c_str());
+    m = workloads::make_rodinia(workload).module;
+  }
 
   // The whole pipeline is two lines.
   core::PipelineOptions opts;
   opts.threads = threads;
+  opts.observe = trace_out != nullptr || manifest_out != nullptr;
+  const u64 t0 = obs::now_ns();
   core::Pipeline pipe(m);
   core::ProfileResult r = pipe.run(opts);
 
@@ -108,11 +151,52 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.program.pruned_dep_edges));
   std::printf("fully affine: %.0f%% of dynamic ops\n\n", r.percent_affine());
 
-  for (const auto& region : r.hot_regions(0.10)) {
-    feedback::RegionMetrics mx = r.analyze(region);
-    std::printf("%s", feedback::summarize(mx).c_str());
-    std::printf("\nproposed structure:\n%s\n",
-                feedback::render_ast(mx, r.program, &m).c_str());
+  if (r.obs == nullptr) {
+    for (const auto& region : r.hot_regions(0.10)) {
+      feedback::RegionMetrics mx = r.analyze(region);
+      std::printf("%s", feedback::summarize(mx).c_str());
+      std::printf("\nproposed structure:\n%s\n",
+                  feedback::render_ast(mx, r.program, &m).c_str());
+    }
+  } else {
+    // Observed mode prints the full report instead of the hand-rolled
+    // summaries: it carries the same region feedback plus the self-profile
+    // section, and every piece of post-pipeline analysis runs inside the
+    // report's feedback span (so the stage spans cover the wall time).
+    core::ReportOptions ropts;
+    ropts.stable_self_profile = stable;
+    const std::string report = core::full_report(r, ropts);
+    const u64 wall = obs::now_ns() - t0;
+    std::printf("%s\n", report.c_str());
+
+    u64 span_sum = 0;
+    for (const obs::SpanRec& s : r.obs->stage_spans()) span_sum += s.dur_ns;
+    std::printf("self profile: %zu stage spans cover %.1f%% of %.1f ms wall\n",
+                r.obs->stage_spans().size(),
+                100.0 * static_cast<double>(span_sum) /
+                    static_cast<double>(wall == 0 ? 1 : wall),
+                static_cast<double>(wall) / 1e6);
+
+    if (trace_out != nullptr) {
+      if (!write_file(trace_out, r.obs->chrome_trace_json(
+                                     workload.empty() ? "matvec" : workload)))
+        return 1;
+      std::printf("wrote Chrome trace: %s (load in Perfetto)\n", trace_out);
+    }
+    if (manifest_out != nullptr) {
+      obs::Session::ManifestExtra extra;
+      extra.workload = workload.empty() ? "matvec" : workload;
+      extra.threads = threads;
+      extra.truncated = r.truncated;
+      extra.degraded_statements = r.program.degraded_statements;
+      extra.diagnostics = r.diagnostics.size();
+      char fp[32];
+      std::snprintf(fp, sizeof fp, "%016llx",
+                    static_cast<unsigned long long>(obs::fnv1a(report)));
+      extra.report_fingerprint = fp;
+      if (!write_file(manifest_out, r.obs->manifest_json(extra))) return 1;
+      std::printf("wrote run manifest: %s\n", manifest_out);
+    }
   }
   return 0;
 }

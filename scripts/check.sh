@@ -68,6 +68,23 @@ if [[ $RUN_TESTS -eq 1 ]]; then
     fi
   }
   flavor build default
+
+  # ---- 3b. observability overhead gate (default flavor only) -------------
+  # pp::obs promises that an enabled-but-idle Session costs at most a few
+  # percent of pipeline wall time (DESIGN.md "Observability"). obs_overhead
+  # measures the serial backprop pipeline observe-off vs observe-on
+  # (interleaved min-of-N) and exits nonzero above its 3% threshold.
+  if [[ -x build/bench/obs_overhead ]]; then
+    note "obs overhead gate: bench/obs_overhead --json"
+    if ! build/bench/obs_overhead --json; then
+      note "obs overhead gate: FAILED (enabled-but-idle overhead above threshold)"
+      FAIL=1
+    else
+      note "obs overhead gate: OK"
+    fi
+  else
+    note "obs overhead gate: SKIPPED (build/bench/obs_overhead not built)"
+  fi
   flavor build-asan sanitize -DPOLYPROF_SANITIZE=ON
   # TSan flavor, gated on toolchain support: probe a trivial compile+link
   # with -fsanitize=thread and skip (not fail) when unavailable.

@@ -43,11 +43,14 @@ class TeeObserver : public vm::Observer {
 ProfileResult Pipeline::run(const PipelineOptions& opts) {
   ProfileResult res;
   res.module = &module_;
+  if (opts.observe) res.obs = std::make_shared<obs::Session>(true);
+  obs::Session* ob = res.obs.get();
 
   // IR verification BEFORE any replay: an ill-formed module is rejected
   // with the full structured issue list instead of trapping (or worse,
   // silently misbehaving) somewhere mid-profile.
   if (opts.verify_module) {
+    obs::Span verify_span(ob, "stage:verify");
     verify::VerifyReport vr = verify::verify_module(module_);
     if (!vr.ok()) {
       res.truncated = true;
@@ -101,6 +104,7 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   // validator guarantees the builders only ever see a well-formed prefix;
   // a VM trap leaves the prefix collected so far usable.
   cfg::DynamicCfgBuilder dyn;
+  obs::Span control_span(ob, "stage:control");
   {
     vm::Machine machine(module_);
     TeeObserver tee({&dyn, &res.cct});
@@ -110,7 +114,7 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
       vm::RunResult rr;
       if (overlap_replay) {
         rr = vm::replay_threaded(machine, opts.entry, opts.args, max_steps,
-                                 validator);
+                                 validator, {}, 8, 4096, ob);
       } else {
         machine.set_observer(&validator);
         rr = machine.run(opts.entry, opts.args, max_steps);
@@ -139,15 +143,18 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
             " — stage 2 skipped, CCT retained");
     return res;
   }
+  control_span.end();
 
   // Stage 2+3 (Instrumentation II + folding): DDG streamed into folders.
   // Observer chain: Machine -> chaos (tests only) -> validator -> builder,
   // so injected faults hit the validator exactly like real corruption
   // would, and the builder never sees a malformed event.
+  obs::Span ddg_span(ob, "stage:ddg");
   fold::FoldingSink sink(opts.fold);
   sink.set_diagnostics(&res.diagnostics);
   sink.set_pool(pool.get());
   sink.set_budget(&budget);
+  sink.set_obs(ob);
   ddg::DdgOptions ddg_opts = opts.ddg;
   ddg_opts.budget = &budget;
   ddg_opts.diag = &res.diagnostics;
@@ -170,7 +177,8 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
                                  [&](vm::Observer& writer) -> vm::Observer* {
                                    chaos.emplace(&writer, opts.chaos);
                                    return &*chaos;
-                                 });
+                                 },
+                                 8, 4096, ob);
       } else {
         chaos.emplace(&validator, opts.chaos);
         machine.set_observer(&*chaos);
@@ -212,6 +220,18 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   res.ddg_dependences = builder.dependences_emitted();
   res.shadow_pages = builder.shadow().pages_live();
   res.coord_pool_words = builder.coord_pool().size_words();
+  if (ob != nullptr && ob->enabled()) {
+    // Stage-2 finals. All of these are functions of the (deterministic)
+    // event stream alone, so they are stable across thread counts.
+    ob->set("vm.instructions", static_cast<i64>(res.stats.instructions));
+    ob->set("ddg.instr_events",
+            static_cast<i64>(builder.instr_events_seen()));
+    ob->set("ddg.dependences", static_cast<i64>(res.ddg_dependences));
+    ob->set("ddg.shadow_pages", static_cast<i64>(res.shadow_pages));
+    ob->set("ddg.coord_pool_words", static_cast<i64>(res.coord_pool_words));
+  }
+  ddg_span.end();
+  obs::Span fold_span(ob, "stage:fold");
   sink.mark_degraded(builder.degraded_statements());
   try {
     res.program = sink.finalize(res.statements);
@@ -228,6 +248,7 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   // Dynamic schedule tree, weighted by per-statement dynamic ops.
   for (const auto& s : res.statements.all())
     res.schedule_tree.insert(s.context, s.executions);
+  fold_span.end();
 
   return res;
 }
@@ -356,6 +377,7 @@ feedback::RegionMetrics ProfileResult::analyze(
   // the caller pinned one explicitly.
   feedback::AnalyzeOptions o = opts;
   if (o.sched.pool == nullptr && pool != nullptr) o.sched.pool = pool.get();
+  if (o.sched.obs == nullptr && obs != nullptr) o.sched.obs = obs.get();
   try {
     return feedback::analyze_region(program, region, o);
   } catch (const Error& e) {
@@ -380,6 +402,18 @@ double ProfileResult::percent_affine() const {
 }
 
 std::string full_report(const ProfileResult& r, double min_fraction) {
+  ReportOptions opts;
+  opts.min_fraction = min_fraction;
+  return full_report(r, opts);
+}
+
+std::string full_report(const ProfileResult& r, const ReportOptions& ropts) {
+  const double min_fraction = ropts.min_fraction;
+  obs::Session* ob = r.obs.get();
+  // The feedback stage is the report itself: region analysis, oracle and
+  // rendering all happen here. The span must close before the self-profile
+  // section renders, so the stage appears in its own table.
+  obs::Span feedback_span(ob, "stage:feedback");
   std::ostringstream os;
   os << "==== poly-prof feedback report ====\n";
   if (r.truncated) os << "!! PARTIAL PROFILE (trace truncated) !!\n";
@@ -458,7 +492,7 @@ std::string full_report(const ProfileResult& r, double min_fraction) {
     for (auto& m : metrics) ptrs.push_back(&m);
     verify::OracleReport oracle =
         verify::run_oracle(*r.module, r.program, ptrs, /*downgrade=*/true,
-                           pool);
+                           pool, ob);
     oracle_line = oracle.verdict_line();
   }
 
@@ -521,6 +555,35 @@ std::string full_report(const ProfileResult& r, double min_fraction) {
       os << r.program.degraded_statements
          << " statement(s) degraded to over-approximation\n";
     os << r.diagnostics.render();
+  }
+
+  // Self profile — rendered last so every stage (including this one) has
+  // closed its span. Timing-dependent values are elided or filtered when
+  // stable_self_profile is set, keeping the section byte-identical across
+  // thread counts (see DESIGN.md "Observability").
+  if (ob != nullptr && ob->enabled()) {
+    if (r.pool != nullptr) {
+      support::ThreadPool::LaneStats tot = r.pool->total_stats();
+      ob->set("pool.tasks", static_cast<i64>(tot.tasks),
+              obs::Stability::kTiming);
+      ob->set("pool.steals", static_cast<i64>(tot.steals),
+              obs::Stability::kTiming);
+      ob->set("pool.idle_waits", static_cast<i64>(tot.idle_waits),
+              obs::Stability::kTiming);
+      for (std::size_t lane = 0; lane < r.pool->workers(); ++lane) {
+        support::ThreadPool::LaneStats ls = r.pool->lane_stats(lane);
+        std::string prefix = "pool.lane" + std::to_string(lane);
+        ob->set((prefix + ".tasks").c_str(), static_cast<i64>(ls.tasks),
+                obs::Stability::kTiming);
+        ob->set((prefix + ".steals").c_str(), static_cast<i64>(ls.steals),
+                obs::Stability::kTiming);
+        ob->set((prefix + ".idle_waits").c_str(),
+                static_cast<i64>(ls.idle_waits), obs::Stability::kTiming);
+      }
+    }
+    feedback_span.end();
+    os << "\n-- self profile --\n"
+       << ob->self_profile_section(ropts.stable_self_profile);
   }
   return os.str();
 }

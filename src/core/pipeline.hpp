@@ -19,6 +19,7 @@
 #include "feedback/report.hpp"
 #include "iiv/cct.hpp"
 #include "iiv/schedule_tree.hpp"
+#include "obs/obs.hpp"
 #include "support/budget.hpp"
 #include "support/thread_pool.hpp"
 #include "vm/chaos.hpp"
@@ -52,6 +53,12 @@ struct PipelineOptions {
   /// serial behavior). Output is byte-identical for every value — see
   /// DESIGN.md "Concurrency architecture".
   unsigned threads = 0;
+  /// Self-observability (pp::obs): stage spans, pipeline counters and the
+  /// Chrome-trace / run-manifest exporters. Off by default — when off,
+  /// every instrumentation point is a branch on a constant bool (the
+  /// overhead is bounded by bench/obs_overhead). The session lives in
+  /// ProfileResult::obs.
+  bool observe = false;
 };
 
 /// Everything the profiler learned about one execution.
@@ -81,6 +88,11 @@ struct ProfileResult {
   /// full_report) fans out on the same lanes. Null on default-constructed
   /// results — every consumer falls back to serial.
   std::shared_ptr<support::ThreadPool> pool;
+
+  /// Self-observability session (PipelineOptions::observe). Null when
+  /// observation is off. full_report appends a "-- self profile --"
+  /// section from it; chrome_trace_json / manifest_json export the run.
+  std::shared_ptr<obs::Session> obs;
 
   /// Stage-2 instrumentation accounting (drives the overhead report):
   /// dynamic dependences streamed, shadow pages materialized, and words
@@ -112,10 +124,22 @@ struct ProfileResult {
   double percent_affine() const;
 };
 
+/// Rendering knobs for full_report.
+struct ReportOptions {
+  double min_fraction = 0.05;
+  /// With the profile observed (r.obs != null), elide wall/CPU times and
+  /// timing-dependent counters from the self-profile section so the report
+  /// stays byte-identical across thread counts and runs (the --stable
+  /// golden contract). Set false for human consumption of real times.
+  bool stable_self_profile = true;
+};
+
 /// The full textual feedback bundle the paper ships as its supplementary
 /// document: program-level statistics, the decorated schedule tree, and
 /// per-region metrics + post-transformation ASTs for every hot region.
+/// With r.obs set, ends with a "-- self profile --" section.
 std::string full_report(const ProfileResult& r, double min_fraction = 0.05);
+std::string full_report(const ProfileResult& r, const ReportOptions& opts);
 
 /// Two-pass profiling driver. The module must outlive the pipeline.
 class Pipeline {

@@ -90,6 +90,8 @@ class DdgBuilder : public vm::Observer {
   const StatementTable& statements() const { return table_; }
   const std::set<int>& clamped_statements() const { return clamped_; }
   u64 dependences_emitted() const { return deps_emitted_; }
+  /// Instruction events consumed by this builder (self-observability).
+  u64 instr_events_seen() const { return events_; }
 
   /// True once a RunBudget cap tripped mid-replay.
   bool budget_exhausted() const { return budget_exhausted_; }

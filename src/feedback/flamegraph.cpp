@@ -43,6 +43,26 @@ const char* node_color(const iiv::DynScheduleTree::Node& n, bool grayed) {
   }
 }
 
+/// Truncate to at most `max_bytes` WITHOUT splitting a multi-byte UTF-8
+/// sequence: a cut that lands on a continuation byte (10xxxxxx) backs up
+/// to the start of the sequence, so the result stays valid UTF-8 and the
+/// escaped output stays well-formed XML.
+std::string truncate_utf8(const std::string& s, std::size_t max_bytes) {
+  if (s.size() <= max_bytes) return s;
+  std::size_t cut = max_bytes;
+  while (cut > 0 &&
+         (static_cast<unsigned char>(s[cut]) & 0xC0u) == 0x80u)
+    --cut;
+  return s.substr(0, cut);
+}
+
+/// Percentage with one decimal, rounded half-up: 999/1000 prints as
+/// "99.9" (not a truncated "99") and a full root as "100.0".
+std::string pct_str(double frac) {
+  i64 tenths = static_cast<i64>(frac * 1000.0 + 0.5);
+  return std::to_string(tenths / 10) + "." + std::to_string(tenths % 10);
+}
+
 std::string escape_xml(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -89,13 +109,15 @@ std::string render_flamegraph_svg(const iiv::DynScheduleTree& tree,
       bool grayed = opts.grayed.count(id) != 0;
       std::string label = node_label(n, module);
       svg << "<g><title>" << escape_xml(label) << " — " << n.weight
-          << " ops (" << static_cast<int>(frac * 100.0) << "%)</title>"
+          << " ops (" << pct_str(frac) << "%)</title>"
           << "<rect x=\"" << x0 << "\" y=\"" << y << "\" width=\"" << w
           << "\" height=\"" << opts.row_px - 1 << "\" fill=\""
           << node_color(n, grayed) << "\" rx=\"2\"/>";
       if (w > 40)
         svg << "<text x=\"" << x0 + 3 << "\" y=\"" << y + opts.row_px - 6
-            << "\" fill=\"white\">" << escape_xml(label.substr(0, static_cast<std::size_t>(w / 7)))
+            << "\" fill=\"white\">"
+            << escape_xml(
+                   truncate_utf8(label, static_cast<std::size_t>(w / 7)))
             << "</text>";
       svg << "</g>\n";
     }

@@ -249,6 +249,7 @@ FoldingSink::DepOutcome FoldingSink::fold_dep_buffer(const DepBuffer& b) const {
 }
 
 FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
+  obs::Span finalize_span(obs_, "fold:finalize");
   FoldedProgram prog;
   prog.statements.reserve(table.size());
   prog.total_dynamic_ops = table.total_executions();
@@ -277,6 +278,11 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
     std::sort(keys.begin(), keys.end());  // deterministic piece order
     dep_outcomes.resize(keys.size());
     const std::size_t num_stmts = sbufs.size();
+    obs::Span fanout_span(obs_, "fold:fanout");
+    if (obs_ != nullptr)
+      obs_->add("fold.refold_tasks",
+                static_cast<i64>(num_stmts + keys.size()),
+                obs::Stability::kTiming);
     pool_->parallel_for(num_stmts + keys.size(), [&](std::size_t i) {
       if (i < num_stmts)
         *souts[i] = fold_stmt_buffer(*sbufs[i]);
@@ -477,6 +483,28 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
   }
   prog.deps.reserve(merged.size());
   for (auto& [_, fd] : merged) prog.deps.push_back(std::move(fd));
+
+  if (obs_ != nullptr && obs_->enabled()) {
+    // Stream/piece finals. Values are properties of the folded program —
+    // byte-identical across thread counts — so they survive the --stable
+    // report section.
+    i64 pieces = 0;
+    for (const auto& s : prog.statements)
+      pieces += static_cast<i64>(s.domain.pieces().size() +
+                                 s.values.pieces().size() +
+                                 s.addresses.pieces().size());
+    for (const auto& d : prog.deps)
+      pieces += static_cast<i64>(d.relation.pieces().size());
+    obs_->set("fold.pieces", pieces);
+    obs_->set("fold.stmt_streams",
+              static_cast<i64>(buffered() ? stmt_buf_.size() : stmts_.size()));
+    obs_->set("fold.dep_streams", static_cast<i64>(keys.size()));
+    obs_->set("fold.dep_edges", static_cast<i64>(prog.deps.size()));
+    obs_->set("fold.pruned_dep_edges",
+              static_cast<i64>(prog.pruned_dep_edges));
+    obs_->set("fold.degraded_statements",
+              static_cast<i64>(prog.degraded_statements));
+  }
   return prog;
 }
 

@@ -11,6 +11,7 @@
 
 #include "ddg/ddg_builder.hpp"
 #include "fold/folder.hpp"
+#include "obs/obs.hpp"
 #include "poly/dep_relation.hpp"
 #include "support/budget.hpp"
 #include "support/thread_pool.hpp"
@@ -118,6 +119,10 @@ class FoldingSink : public ddg::DdgSink {
   /// deterministic merge order, never from worker tasks, so exhaustion
   /// degrades the same statements at every thread count.
   void set_budget(support::RunBudget* budget) { budget_ = budget; }
+  /// Observability session (may be null). finalize() wraps its fan-out in
+  /// a span and publishes stream/piece counters; nothing touches the
+  /// streaming hot path.
+  void set_obs(obs::Session* obs) { obs_ = obs; }
 
   /// Fold everything and build the program. `table` must be the
   /// DdgBuilder's statement table from the same run. A pp::Error thrown by
@@ -188,6 +193,7 @@ class FoldingSink : public ddg::DdgSink {
   support::DiagnosticLog* diag_ = nullptr;
   support::ThreadPool* pool_ = nullptr;
   support::RunBudget* budget_ = nullptr;
+  obs::Session* obs_ = nullptr;
 };
 
 /// True when `op` is a scalar-evolution candidate: integer register

@@ -4,6 +4,17 @@
 
 namespace pp::poly {
 
+namespace {
+
+/// |v| printed via unsigned arithmetic: negating INT64_MIN as i64 is UB,
+/// but its magnitude is exactly representable in u64.
+std::string magnitude_str(i64 v) {
+  u64 m = v < 0 ? ~static_cast<u64>(v) + 1 : static_cast<u64>(v);
+  return std::to_string(m);
+}
+
+}  // namespace
+
 i128 AffineExpr::eval(std::span<const i64> point) const {
   PP_CHECK(point.size() == coeffs_.size(), "affine eval: dimension mismatch");
   i128 acc = constant_;
@@ -60,8 +71,7 @@ std::string AffineExpr::str(std::span<const std::string> names) const {
         os << c << "*";
     } else {
       os << (c > 0 ? " + " : " - ");
-      i64 a = c > 0 ? c : -c;
-      if (a != 1) os << a << "*";
+      if (c != 1 && c != -1) os << magnitude_str(c) << "*";
     }
     os << name;
     first = false;
@@ -69,8 +79,7 @@ std::string AffineExpr::str(std::span<const std::string> names) const {
   if (first) {
     os << constant_;
   } else if (constant_ != 0) {
-    os << (constant_ > 0 ? " + " : " - ")
-       << (constant_ > 0 ? constant_ : -constant_);
+    os << (constant_ > 0 ? " + " : " - ") << magnitude_str(constant_);
   }
   return os.str();
 }

@@ -362,6 +362,12 @@ ScheduleResult schedule(const Problem& problem, const Options& opts) {
   // Fused groups are dependence-disjoint: schedule each independently,
   // fanned out on the caller's pool into pre-indexed slots (serial when
   // no pool / one lane — parallel_for runs inline in index order).
+  obs::Span sched_span(opts.obs, "sched:groups");
+  if (opts.obs != nullptr) {
+    opts.obs->add("sched.groups", static_cast<i64>(groups.size()));
+    opts.obs->add("sched.statements",
+                  static_cast<i64>(problem.statements.size()));
+  }
   res.groups.resize(groups.size());
   auto run_group = [&](std::size_t i) {
     res.groups[i] = schedule_group(problem, std::move(groups[i]), opts);

@@ -18,6 +18,7 @@
 //    rows are always weakly legal and the search cannot get stuck.
 #pragma once
 
+#include "obs/obs.hpp"
 #include "poly/dep_relation.hpp"
 #include "poly/polyhedron.hpp"
 #include "support/thread_pool.hpp"
@@ -77,6 +78,9 @@ struct Options {
   /// execution-order sort is by statement id — identical for any lane
   /// count.
   support::ThreadPool* pool = nullptr;
+  /// Observability session (may be null): schedule() wraps its group
+  /// fan-out in a span and counts groups/levels solved.
+  obs::Session* obs = nullptr;
 };
 
 /// One schedule level (a row of the schedule matrix, aligned dimensions).

@@ -22,8 +22,11 @@ ThreadPool::ThreadPool(unsigned workers)
     : workers_(workers == 0 ? default_workers() : workers) {
   queues_.resize(workers_);
   queue_mu_.reserve(workers_);
-  for (unsigned i = 0; i < workers_; ++i)
+  lane_counters_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i) {
     queue_mu_.push_back(std::make_unique<std::mutex>());
+    lane_counters_.push_back(std::make_unique<LaneCounters>());
+  }
   threads_.reserve(workers_ > 0 ? workers_ - 1 : 0);
   for (unsigned i = 1; i < workers_; ++i)
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -68,6 +71,7 @@ bool ThreadPool::try_pop_or_steal(std::size_t self, RangeTask& out) {
       out = queues_[self].back();
       queues_[self].pop_back();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      lane_counters_[self]->tasks.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -80,10 +84,30 @@ bool ThreadPool::try_pop_or_steal(std::size_t self, RangeTask& out) {
       out = queues_[victim].front();
       queues_[victim].pop_front();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      lane_counters_[self]->tasks.fetch_add(1, std::memory_order_relaxed);
+      lane_counters_[self]->steals.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
   return false;
+}
+
+ThreadPool::LaneStats ThreadPool::lane_stats(std::size_t lane) const {
+  const LaneCounters& c = *lane_counters_[lane];
+  return {c.tasks.load(std::memory_order_relaxed),
+          c.steals.load(std::memory_order_relaxed),
+          c.idle_waits.load(std::memory_order_relaxed)};
+}
+
+ThreadPool::LaneStats ThreadPool::total_stats() const {
+  LaneStats total;
+  for (std::size_t i = 0; i < workers_; ++i) {
+    LaneStats s = lane_stats(i);
+    total.tasks += s.tasks;
+    total.steals += s.steals;
+    total.idle_waits += s.idle_waits;
+  }
+  return total;
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
@@ -95,6 +119,7 @@ void ThreadPool::worker_loop(std::size_t self) {
       t.batch->run_range(t.begin, t.end);
       continue;
     }
+    lane_counters_[self]->idle_waits.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lk(wake_mu_);
     wake_cv_.wait(lk, [&] {
       return stop_.load(std::memory_order_relaxed) ||
@@ -120,6 +145,7 @@ void ThreadPool::help_until_done(std::size_t self, Batch& batch) {
     // lane. Sleep briefly rather than spin; the timeout bounds the wait
     // for completion signals without a per-batch condition variable
     // handshake on the hot path.
+    lane_counters_[self]->idle_waits.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::sleep_for(20us);
   }
 }

@@ -22,9 +22,12 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/int_math.hpp"
 
 namespace pp::support {
 
@@ -46,6 +49,20 @@ class ThreadPool {
   unsigned workers() const { return workers_; }
   /// True when the pool has a single lane (parallel_for is a plain loop).
   bool serial() const { return workers_ <= 1; }
+
+  /// Per-lane work accounting (self-observability): chunks executed from
+  /// the lane's own queue, chunks stolen from other lanes, and idle waits
+  /// (condvar sleeps in the worker loop + backoff naps while helping).
+  /// Values are timing-dependent — they exist for pp::obs, never for
+  /// output that must be deterministic.
+  struct LaneStats {
+    u64 tasks = 0;
+    u64 steals = 0;
+    u64 idle_waits = 0;
+  };
+  LaneStats lane_stats(std::size_t lane) const;
+  /// Sum over all lanes.
+  LaneStats total_stats() const;
 
   /// Run body(i) for every i in [0, n), blocking until all calls returned.
   /// Iterations are distributed over the pool's lanes and stolen in
@@ -78,6 +95,14 @@ class ThreadPool {
   /// Execute pending tasks until `batch` completes (helping semantics).
   void help_until_done(std::size_t self, Batch& batch);
 
+  /// Cache-line-padded per-lane counters (relaxed atomics; each lane
+  /// writes its own slot, readers aggregate after the fan-outs joined).
+  struct alignas(64) LaneCounters {
+    std::atomic<u64> tasks{0};
+    std::atomic<u64> steals{0};
+    std::atomic<u64> idle_waits{0};
+  };
+
   unsigned workers_ = 1;
   std::vector<std::deque<RangeTask>> queues_;  ///< one per lane
   std::vector<std::unique_ptr<std::mutex>> queue_mu_;
@@ -85,6 +110,7 @@ class ThreadPool {
   std::condition_variable wake_cv_;
   std::atomic<std::size_t> pending_{0};  ///< tasks sitting in queues
   std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<LaneCounters>> lane_counters_;
   std::vector<std::thread> threads_;
 };
 

@@ -438,7 +438,9 @@ std::string OracleReport::verdict_line() const {
 
 OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
                         const std::vector<feedback::RegionMetrics*>& regions,
-                        bool downgrade, support::ThreadPool* pool) {
+                        bool downgrade, support::ThreadPool* pool,
+                        obs::Session* obs) {
+  obs::Span oracle_span(obs, "oracle:run");
   OracleReport r;
   r.coverage = check_dynamic_coverage(m, prog, pool);
   // Each region's claim check touches only that region's metrics, so the
@@ -456,6 +458,13 @@ OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
     pool->parallel_for(picked.size(), check_region);
   } else {
     for (std::size_t k = 0; k < picked.size(); ++k) check_region(k);
+  }
+  if (obs != nullptr && obs->enabled()) {
+    obs->add("oracle.regions_checked", static_cast<i64>(picked.size()));
+    i64 claims = 0;
+    for (const auto& c : r.claims)
+      claims += static_cast<i64>(c.parallel_levels);
+    obs->add("oracle.parallel_levels_checked", claims);
   }
   return r;
 }

@@ -21,6 +21,7 @@
 
 #include "feedback/metrics.hpp"
 #include "fold/folded_ddg.hpp"
+#include "obs/obs.hpp"
 #include "support/thread_pool.hpp"
 #include "verify/static_deps.hpp"
 
@@ -105,9 +106,11 @@ struct OracleReport {
 /// checks (each region's metrics are touched by exactly one task) and the
 /// per-group sweeps within each region. Reports collect into pre-indexed
 /// slots and merge in region order — byte-identical at any lane count.
+/// `obs` (optional) wraps the run in a span and counts regions/claims.
 OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
                         const std::vector<feedback::RegionMetrics*>& regions,
                         bool downgrade = true,
-                        support::ThreadPool* pool = nullptr);
+                        support::ThreadPool* pool = nullptr,
+                        obs::Session* obs = nullptr);
 
 }  // namespace pp::verify

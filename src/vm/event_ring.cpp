@@ -1,5 +1,6 @@
 #include "vm/event_ring.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <thread>
 #include <utility>
@@ -36,6 +37,7 @@ EventRing::EventRing(std::size_t slots, std::size_t batch_capacity)
 
 std::vector<Event>& EventRing::acquire() {
   std::unique_lock<std::mutex> lk(mu_);
+  if (count_ >= slots_.size() && !aborted_) ++stats_.producer_stalls;
   not_full_.wait(lk, [&] { return count_ < slots_.size() || aborted_; });
   std::vector<Event>& buf = slots_[tail_];
   buf.clear();  // capacity retained — recycled from a drained batch
@@ -48,6 +50,8 @@ void EventRing::commit() {
     if (aborted_) return;  // consumer bailed: drop on the floor
     tail_ = (tail_ + 1) % slots_.size();
     ++count_;
+    ++stats_.batches;
+    stats_.max_occupancy = std::max<u64>(stats_.max_occupancy, count_);
   }
   not_empty_.notify_one();
 }
@@ -62,6 +66,7 @@ void EventRing::close() {
 
 bool EventRing::consume(std::vector<Event>& out) {
   std::unique_lock<std::mutex> lk(mu_);
+  if (count_ == 0 && !closed_) ++stats_.consumer_stalls;
   not_empty_.wait(lk, [&] { return count_ > 0 || closed_; });
   if (count_ == 0) return false;
   std::swap(out, slots_[head_]);  // drained vector goes back for reuse
@@ -98,7 +103,7 @@ RunResult replay_threaded(
     Machine& m, const std::string& entry, const std::vector<i64>& args,
     u64 max_steps, Observer& downstream,
     const std::function<Observer*(Observer&)>& wrap_producer,
-    std::size_t ring_slots, std::size_t batch_capacity) {
+    std::size_t ring_slots, std::size_t batch_capacity, obs::Session* obs) {
   EventRing ring(ring_slots, batch_capacity);
   RingWriter writer(ring);
   Observer* head = &writer;
@@ -120,9 +125,12 @@ RunResult replay_threaded(
   });
 
   std::vector<Event> batch;
+  u64 events_consumed = 0;
   try {
-    while (ring.consume(batch))
+    while (ring.consume(batch)) {
+      events_consumed += batch.size();
       for (const Event& ev : batch) dispatch_event(ev, downstream);
+    }
   } catch (...) {
     ring.abort();
     producer.join();
@@ -131,6 +139,18 @@ RunResult replay_threaded(
   }
   producer.join();
   m.set_observer(nullptr);
+  if (obs != nullptr && obs->enabled()) {
+    const EventRing::Stats rs = ring.stats();
+    obs->add("ring.events_consumed", static_cast<i64>(events_consumed),
+             obs::Stability::kTiming);
+    obs->add("ring.batches", static_cast<i64>(rs.batches),
+             obs::Stability::kTiming);
+    obs->add("ring.producer_stalls", static_cast<i64>(rs.producer_stalls),
+             obs::Stability::kTiming);
+    obs->add("ring.consumer_stalls", static_cast<i64>(rs.consumer_stalls),
+             obs::Stability::kTiming);
+    obs->gauge_max("ring.max_occupancy", static_cast<i64>(rs.max_occupancy));
+  }
   if (producer_error) std::rethrow_exception(producer_error);
   return result;
 }

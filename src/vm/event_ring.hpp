@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "vm/vm.hpp"
 
 namespace pp::vm {
@@ -64,6 +65,21 @@ class EventRing {
   /// discard everything it still commits.
   void abort();
 
+  /// Occupancy/stall accounting (self-observability). Counted inline under
+  /// the ring mutex — no extra synchronization, no cost beyond an
+  /// increment — and published to pp::obs by replay_threaded after the
+  /// run. All values are timing-dependent.
+  struct Stats {
+    u64 batches = 0;          ///< batches committed by the producer
+    u64 producer_stalls = 0;  ///< acquire() calls that found the ring full
+    u64 consumer_stalls = 0;  ///< consume() calls that found the ring empty
+    u64 max_occupancy = 0;    ///< high watermark of committed batches
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
  private:
   std::vector<std::vector<Event>> slots_;
   std::size_t batch_capacity_;
@@ -72,7 +88,8 @@ class EventRing {
   std::size_t count_ = 0;  ///< committed, unconsumed slots
   bool closed_ = false;
   bool aborted_ = false;
-  std::mutex mu_;
+  Stats stats_;
+  mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
 };
@@ -136,10 +153,14 @@ class RingWriter final : public Observer {
 /// exceptions are rethrown on the calling thread after the ring drains
 /// and the thread joined, so callers' existing trap handling — including
 /// reading m.stats() afterwards — works unchanged.
+/// `obs` (optional) receives the ring's occupancy/stall counters and the
+/// consumed event count after the replay (accumulating adds: the pipeline
+/// replays twice per run).
 RunResult replay_threaded(
     Machine& m, const std::string& entry, const std::vector<i64>& args,
     u64 max_steps, Observer& downstream,
     const std::function<Observer*(Observer&)>& wrap_producer = {},
-    std::size_t ring_slots = 8, std::size_t batch_capacity = 4096);
+    std::size_t ring_slots = 8, std::size_t batch_capacity = 4096,
+    obs::Session* obs = nullptr);
 
 }  // namespace pp::vm

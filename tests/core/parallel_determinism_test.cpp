@@ -34,6 +34,25 @@ TEST_P(ParallelDeterminism, ReportIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+// Observability must not break the contract: with observe on, the report
+// grows a "-- self profile --" section whose stable rendering (times
+// elided, kStable counters only) is still byte-identical across thread
+// counts — and except for that section, matches the unobserved report.
+TEST_P(ParallelDeterminism, ObservedStableReportIsByteIdenticalToo) {
+  workloads::Workload wl = workloads::make_rodinia(GetParam());
+  core::PipelineOptions base;
+  base.observe = true;
+  const std::string serial = report_with_threads(wl.module, 1, base);
+  EXPECT_NE(serial.find("-- self profile --"), std::string::npos);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(serial, report_with_threads(wl.module, threads, base));
+  }
+  // The observed report is the unobserved one plus the self profile.
+  const std::string plain = report_with_threads(wl.module, 1);
+  EXPECT_EQ(serial.substr(0, plain.size()), plain);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParallelDeterminism,
                          testing::ValuesIn(workloads::rodinia_names()),
                          [](const auto& info) {

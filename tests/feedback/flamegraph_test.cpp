@@ -2,8 +2,52 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 namespace pp::feedback {
 namespace {
+
+/// Minimal XML well-formedness check: tags balance, no stray '<'/'>'/'&'
+/// outside the entities the writer emits. Enough to catch an unescaped
+/// hostile label or a label truncated mid-escape.
+bool xml_well_formed(const std::string& doc) {
+  std::vector<std::string> stack;
+  std::size_t i = 0;
+  while (i < doc.size()) {
+    char c = doc[i];
+    if (c == '<') {
+      std::size_t end = doc.find('>', i);
+      if (end == std::string::npos) return false;
+      std::string tag = doc.substr(i + 1, end - i - 1);
+      if (tag.empty()) return false;
+      if (tag[0] == '/') {
+        if (stack.empty() || stack.back() != tag.substr(1)) return false;
+        stack.pop_back();
+      } else if (tag.back() == '/' || tag[0] == '?' || tag[0] == '!') {
+        // self-closing / prolog / comment: no stack effect
+      } else {
+        std::size_t sp = tag.find_first_of(" \t\n");
+        stack.push_back(sp == std::string::npos ? tag : tag.substr(0, sp));
+      }
+      i = end + 1;
+    } else if (c == '>') {
+      return false;
+    } else if (c == '&') {
+      bool ok = false;
+      for (const char* e : {"&lt;", "&gt;", "&amp;", "&quot;"}) {
+        if (doc.compare(i, std::strlen(e), e) == 0) {
+          ok = true;
+          i += std::strlen(e);
+          break;
+        }
+      }
+      if (!ok) return false;
+    } else {
+      ++i;
+    }
+  }
+  return stack.empty();
+}
 
 iiv::DynScheduleTree sample_tree() {
   iiv::DynScheduleTree t;
@@ -24,8 +68,96 @@ TEST(FlameGraph, SvgStructure) {
   // Loop nodes orange, block nodes blue.
   EXPECT_NE(svg.find("#f28e2b"), std::string::npos);
   EXPECT_NE(svg.find("#4e79a7"), std::string::npos);
-  // Tooltips carry percentages.
-  EXPECT_NE(svg.find("90%"), std::string::npos);
+  // Tooltips carry percentages with one decimal.
+  EXPECT_NE(svg.find("90.0%"), std::string::npos);
+  EXPECT_TRUE(xml_well_formed(svg));
+}
+
+TEST(FlameGraph, TooltipPercentRoundsHalfUpOneDecimal) {
+  iiv::DynScheduleTree t;
+  t.insert({{{iiv::CtxElem::block(0, 0)}}}, 999);
+  t.insert({{{iiv::CtxElem::block(0, 1)}}}, 1);
+  FlameGraphOptions opts;
+  opts.min_fraction = 0.0;
+  std::string svg = render_flamegraph_svg(t, nullptr, opts);
+  // 999/1000 used to truncate to "99%"; must round to one decimal.
+  EXPECT_NE(svg.find("(99.9%)"), std::string::npos);
+  EXPECT_NE(svg.find("(0.1%)"), std::string::npos);
+
+  iiv::DynScheduleTree full;
+  full.insert({{{iiv::CtxElem::block(0, 0)}}}, 5);
+  EXPECT_NE(render_flamegraph_svg(full, nullptr).find("(100.0%)"),
+            std::string::npos);
+}
+
+TEST(FlameGraph, LabelTruncationKeepsUtf8Boundary) {
+  ir::Module m;
+  ir::Function f;
+  f.id = 0;
+  f.name = "xéééééééééé";
+  m.functions.push_back(f);
+  iiv::DynScheduleTree t;
+  t.insert({{{iiv::CtxElem::block(0, 0)}}}, 10);
+  FlameGraphOptions opts;
+  // Box width 56px -> label budget 8 bytes, which lands on the second
+  // byte of the fourth 'é'; the cut must back up to the boundary.
+  opts.width_px = 56;
+  std::string svg = render_flamegraph_svg(t, &m, opts);
+  EXPECT_NE(svg.find(">xééé</text>"), std::string::npos);
+  EXPECT_EQ(svg.find("\xC3</text>"), std::string::npos);
+  EXPECT_TRUE(xml_well_formed(svg));
+}
+
+TEST(FlameGraph, GoldenHostileNames) {
+  ir::Module m;
+  ir::Function f0;
+  f0.id = 0;
+  f0.name = "vec<int>&do";
+  ir::Function f1;
+  f1.id = 1;
+  f1.name = std::string(200, 'q');
+  ir::Function f2;
+  f2.id = 2;
+  f2.name = "λβγ_ε";
+  m.functions = {f0, f1, f2};
+
+  iiv::DynScheduleTree t;
+  t.insert({{{iiv::CtxElem::block(0, 0)}}}, 600);
+  t.insert({{{iiv::CtxElem::block(1, 0)}}}, 300);
+  t.insert({{{iiv::CtxElem::block(2, 0)}}}, 99);
+  t.insert({{{iiv::CtxElem::block(0, 1)}}}, 1);  // 0.1% sliver
+  FlameGraphOptions opts;
+  opts.min_fraction = 0.01;
+  opts.title = "hostile <&> title";
+  std::string svg = render_flamegraph_svg(t, &m, opts);
+
+  EXPECT_TRUE(xml_well_formed(svg));
+  // Angle brackets and ampersands escape; the raw forms must not survive.
+  EXPECT_NE(svg.find("vec&lt;int&gt;&amp;do:bb0"), std::string::npos);
+  EXPECT_EQ(svg.find("vec<int>"), std::string::npos);
+  EXPECT_NE(svg.find("hostile &lt;&amp;&gt; title"), std::string::npos);
+  // The 200-char name shows untruncated in the tooltip.
+  EXPECT_NE(svg.find(std::string(200, 'q') + ":bb0 — 300 ops"),
+            std::string::npos);
+  // Multi-byte names pass through intact.
+  EXPECT_NE(svg.find("λβγ_ε:bb0"), std::string::npos);
+  // The sliver below min_fraction is pruned.
+  EXPECT_EQ(svg.find(":bb1"), std::string::npos);
+  // Golden structure of the dominant box (layout is deterministic).
+  EXPECT_NE(svg.find("<g><title>vec&lt;int&gt;&amp;do:bb0 — 600 ops "
+                     "(60.0%)</title><rect x=\"0\" y=\""),
+            std::string::npos);
+  EXPECT_NE(svg.find("\" width=\"720\" height=\"17\" fill=\"#4e79a7\" "
+                     "rx=\"2\"/>"),
+            std::string::npos);
+}
+
+TEST(FlameGraph, ZeroWeightRootIsWellFormed) {
+  iiv::DynScheduleTree t;
+  t.insert({{{iiv::CtxElem::block(0, 0)}}}, 0);
+  std::string svg = render_flamegraph_svg(t, nullptr);
+  EXPECT_TRUE(xml_well_formed(svg));
+  EXPECT_NE(svg.find("total ops: 0"), std::string::npos);
 }
 
 TEST(FlameGraph, GrayedNodesUseGray) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace pp::poly {
 namespace {
 
@@ -35,6 +37,19 @@ TEST(AffineExpr, Str) {
   EXPECT_EQ(AffineExpr({-1, 0}, 0).str(), "-x0");
   std::vector<std::string> names = {"i", "j"};
   EXPECT_EQ(AffineExpr({1, 1}, -1).str(names), "i + j - 1");
+}
+
+TEST(AffineExpr, StrIsDefinedAtInt64Min) {
+  // -INT64_MIN is UB; str() must print via the unsigned magnitude instead
+  // of negating. Each placement (leading coeff, trailing coeff, constant)
+  // exercises a different branch of the printer.
+  const i64 min = std::numeric_limits<i64>::min();
+  EXPECT_EQ(AffineExpr({1, min}, 0).str(), "x0 - 9223372036854775808*x1");
+  EXPECT_EQ(AffineExpr({1}, min).str(), "x0 - 9223372036854775808");
+  EXPECT_EQ(AffineExpr({min}, 0).str(), "-9223372036854775808*x0");
+  EXPECT_EQ(AffineExpr({0}, min).str(), "-9223372036854775808");
+  // Sanity on the magnitude path for ordinary negatives.
+  EXPECT_EQ(AffineExpr({1, -3}, -4).str(), "x0 - 3*x1 - 4");
 }
 
 TEST(AffineExpr, DimensionMismatchThrows) {
