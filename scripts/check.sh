@@ -85,6 +85,23 @@ if [[ $RUN_TESTS -eq 1 ]]; then
   else
     note "obs overhead gate: SKIPPED (build/bench/obs_overhead not built)"
   fi
+
+  # ---- 3c. fold regression gate (default flavor only) --------------------
+  # bench/fold_only replays recorded cfd + heartwall DDG streams into a
+  # FoldingSink and times fold alone; it exits nonzero when the cfd fold
+  # wall time exceeds its committed budget (see kCfdBudgetMs), catching
+  # folder asymptotic regressions that full-pipeline timing would blur.
+  if [[ -x build/bench/fold_only ]]; then
+    note "fold regression gate: bench/fold_only --json"
+    if ! build/bench/fold_only --json; then
+      note "fold regression gate: FAILED (cfd fold wall time above budget)"
+      FAIL=1
+    else
+      note "fold regression gate: OK"
+    fi
+  else
+    note "fold regression gate: SKIPPED (build/bench/fold_only not built)"
+  fi
   flavor build-asan sanitize -DPOLYPROF_SANITIZE=ON
   # TSan flavor, gated on toolchain support: probe a trivial compile+link
   # with -fsanitize=thread and skip (not fail) when unavailable.

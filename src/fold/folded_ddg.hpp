@@ -124,6 +124,10 @@ class FoldingSink : public ddg::DdgSink {
   /// streaming hot path.
   void set_obs(obs::Session* obs) { obs_ = obs; }
 
+  /// The sink-wide canonical-piece cache shared by every folder this sink
+  /// creates (unless FolderOptions carried an external one).
+  const FoldCache& cache() const { return cache_; }
+
   /// Fold everything and build the program. `table` must be the
   /// DdgBuilder's statement table from the same run. A pp::Error thrown by
   /// one statement's (or edge's) folder degrades that statement (or edge)
@@ -185,6 +189,10 @@ class FoldingSink : public ddg::DdgSink {
   DepOutcome fold_dep_buffer(const DepBuffer& b) const;
 
   FolderOptions opts_;
+  /// Cross-statement piece interning: folders of every statement and
+  /// dependence key share it, so identical closed chunks (same canonical
+  /// form) fold once. Thread-safe for the parallel re-fold path.
+  FoldCache cache_;
   std::map<int, StmtStreams> stmts_;
   std::unordered_map<DepKey, std::unique_ptr<Folder>, DepKeyHash> deps_;
   std::map<int, StmtBuffer> stmt_buf_;

@@ -6,37 +6,6 @@ namespace pp::fold {
 
 namespace {
 
-// Template expressions for dimension d: e_i for every i, then (with the
-// octagon enabled) e_i - e_j and e_i + e_j for every i < j.
-std::vector<std::vector<i64>> template_rows(std::size_t d, bool octagon) {
-  std::vector<std::vector<i64>> rows;
-  for (std::size_t i = 0; i < d; ++i) {
-    std::vector<i64> r(d, 0);
-    r[i] = 1;
-    rows.push_back(r);
-  }
-  if (!octagon) return rows;
-  for (std::size_t i = 0; i < d; ++i) {
-    for (std::size_t j = i + 1; j < d; ++j) {
-      std::vector<i64> diff(d, 0), sum(d, 0);
-      diff[i] = 1;
-      diff[j] = -1;
-      sum[i] = 1;
-      sum[j] = 1;
-      rows.push_back(diff);
-      rows.push_back(sum);
-    }
-  }
-  return rows;
-}
-
-i128 eval_row(const std::vector<i64>& coeffs, std::span<const i64> pt) {
-  i128 acc = 0;
-  for (std::size_t i = 0; i < coeffs.size(); ++i)
-    if (coeffs[i] != 0) acc = add_checked(acc, mul_checked(coeffs[i], pt[i]));
-  return acc;
-}
-
 // Reduce [point 1] against RREF hull rows in place.
 void hull_reduce(const RatMatrix& hull, RatVec& v) {
   std::size_t width = v.size();
@@ -53,10 +22,76 @@ void hull_reduce(const RatMatrix& hull, RatVec& v) {
   }
 }
 
+// point >_lex prev (strict).
+bool lex_greater(std::span<const i64> point, const std::vector<i64>& prev) {
+  for (std::size_t i = 0; i < prev.size(); ++i)
+    if (point[i] != prev[i]) return point[i] > prev[i];
+  return false;
+}
+
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// FoldCache
+
+std::size_t FoldCache::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the key words.
+  u64 h = 14695981039346656037ull;
+  for (u64 w : k) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const poly::Piece> FoldCache::find(const Key& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void FoldCache::insert(Key key, std::shared_ptr<const poly::Piece> piece) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.size() >= kMaxEntries) return;
+  map_.emplace(std::move(key), std::move(piece));
+}
+
+std::size_t FoldCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Folder
+
 Folder::Folder(std::size_t in_dim, std::size_t label_dim, FolderOptions opts)
-    : in_dim_(in_dim), label_dim_(label_dim), opts_(opts), result_(in_dim) {}
+    : in_dim_(in_dim), label_dim_(label_dim), opts_(opts), result_(in_dim) {
+  // Template expressions for dimension d: e_i for every i, then (with the
+  // octagon enabled) e_i - e_j and e_i + e_j for every i < j.
+  rows_.reserve(in_dim_ + (opts_.use_octagon ? in_dim_ * (in_dim_ - 1) : 0));
+  for (std::size_t i = 0; i < in_dim_; ++i)
+    rows_.push_back({static_cast<int>(i), -1, 0});
+  if (opts_.use_octagon) {
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      for (std::size_t j = i + 1; j < in_dim_; ++j) {
+        rows_.push_back({static_cast<int>(i), static_cast<int>(j), -1});
+        rows_.push_back({static_cast<int>(i), static_cast<int>(j), 1});
+      }
+    }
+  }
+}
+
+i128 Folder::eval_row(const TRow& t, std::span<const i64> pt) const {
+  // Coefficients are ±1, so two i64 terms can never overflow i128.
+  i128 v = pt[static_cast<std::size_t>(t.i)];
+  if (t.j >= 0) v += static_cast<i128>(t.cj) * pt[static_cast<std::size_t>(t.j)];
+  return v;
+}
 
 bool Folder::in_hull(const Chunk& c, std::span<const i64> point) const {
   // Full-rank basis: the affine hull is the whole space (the common case
@@ -143,9 +178,15 @@ void Folder::refit(Chunk& c) {
   // Precompute the integer fast path when every coefficient is integral.
   c.fit_int.clear();
   bool integral = true;
-  for (const auto& row : c.fit)
-    for (const auto& coeff : row)
-      if (!coeff.is_integer()) integral = false;
+  for (const auto& row : c.fit) {
+    for (const auto& coeff : row) {
+      if (!coeff.is_integer()) {
+        integral = false;
+        break;
+      }
+    }
+    if (!integral) break;
+  }
   if (integral) {
     c.fit_int.resize(label_dim_);
     for (std::size_t j = 0; j < label_dim_; ++j) {
@@ -157,16 +198,15 @@ void Folder::refit(Chunk& c) {
 }
 
 Folder::Chunk Folder::make_chunk(std::span<const i64> point,
-                                 std::span<const i64> label) {
+                                 std::span<const i64> label, u64 at_seq) {
   Chunk c;
   c.points = 1;
-  c.last_use = seq_;
-  c.created = seq_;
-  auto rows = template_rows(in_dim_, opts_.use_octagon);
-  c.tmpl.reserve(rows.size());
-  for (auto& r : rows) {
-    i128 v = eval_row(r, point);
-    c.tmpl.push_back({std::move(r), v, v});
+  c.last_use = at_seq;
+  c.created = at_seq;
+  c.bnd.resize(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    i128 v = eval_row(rows_[r], point);
+    c.bnd[r] = {v, v};
   }
   c.hull = RatMatrix(0, in_dim_ + 1);
   extend_basis(c, point, label);
@@ -175,7 +215,8 @@ Folder::Chunk Folder::make_chunk(std::span<const i64> point,
 }
 
 void Folder::absorb(Chunk& c, std::span<const i64> point,
-                    std::span<const i64> label, bool refit_needed) {
+                    std::span<const i64> label, bool refit_needed,
+                    u64 at_seq) {
   if (!in_hull(c, point)) {
     extend_basis(c, point, label);
     // When the current fit already predicted the point, it remains a valid
@@ -183,13 +224,145 @@ void Folder::absorb(Chunk& c, std::span<const i64> point,
     // preserves the agreement with every previously verified point.
     if (refit_needed) refit(c);
   }
-  for (auto& t : c.tmpl) {
-    i128 v = eval_row(t.coeffs, point);
-    t.min = std::min(t.min, v);
-    t.max = std::max(t.max, v);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    i128 v = eval_row(rows_[r], point);
+    c.bnd[r].min = std::min(c.bnd[r].min, v);
+    c.bnd[r].max = std::max(c.bnd[r].max, v);
   }
   ++c.points;
-  c.last_use = seq_;
+  c.last_use = at_seq;
+}
+
+std::size_t Folder::route_point(std::span<const i64> point,
+                                std::span<const i64> label, u64 at_seq) {
+  route_order_.resize(open_.size());
+  for (std::size_t i = 0; i < open_.size(); ++i) route_order_[i] = i;
+  // last_use values are distinct (each point routes to one chunk), so the
+  // recency order is a strict total order.
+  std::sort(route_order_.begin(), route_order_.end(),
+            [this](std::size_t a, std::size_t b) {
+              return open_[a].last_use > open_[b].last_use;
+            });
+  // 1. Route to an open piece whose affine function predicts the label.
+  //    Scanning most-recent-first lets the first match win.
+  for (std::size_t idx : route_order_) {
+    if (predicts(open_[idx], point, label)) {
+      absorb(open_[idx], point, label, /*refit_needed=*/false, at_seq);
+      return idx;
+    }
+  }
+  // 2. The most recent piece may absorb the point by refitting, when the
+  //    point lies off its affine hull (fit unchanged on the hull, so all
+  //    earlier verifications stand).
+  if (!open_.empty()) {
+    std::size_t mru = route_order_[0];
+    if (!in_hull(open_[mru], point)) {
+      absorb(open_[mru], point, label, /*refit_needed=*/true, at_seq);
+      return mru;
+    }
+  }
+  // 3. Open a new piece, evicting the least recently used past the budget.
+  if (open_.size() >= opts_.max_open_chunks) {
+    std::size_t lru = route_order_.back();
+    close_chunk(open_[lru]);
+    open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(lru));
+  }
+  open_.push_back(make_chunk(point, label, at_seq));
+  return open_.size() - 1;
+}
+
+void Folder::start_run(std::span<const i64> point, std::span<const i64> label) {
+  run_base_.assign(point.begin(), point.end());
+  run_lbase_.assign(label.begin(), label.end());
+  run_last_ = run_base_;
+  run_llast_ = run_lbase_;
+  run_len_ = 1;
+  run_start_seq_ = seq_;
+  run_stride_viol_ = false;
+}
+
+void Folder::set_run_last(std::span<const i64> point,
+                          std::span<const i64> label) {
+  run_last_.assign(point.begin(), point.end());
+  run_llast_.assign(label.begin(), label.end());
+}
+
+bool Folder::fit_maps_stride(const Chunk& c) const {
+  if (label_dim_ == 0) return true;
+  // Overflow in the stride image falls back to scalar routing (which is
+  // always sound) instead of faulting a stream the point-at-a-time path
+  // would have survived.
+  try {
+    if (!c.fit_int.empty()) {
+      for (std::size_t j = 0; j < label_dim_; ++j) {
+        i128 acc = 0;
+        for (std::size_t i = 0; i < in_dim_; ++i)
+          if (c.fit_int[j][i] != 0)
+            acc = add_checked(acc, mul_checked(c.fit_int[j][i], pstride_[i]));
+        if (acc != lstride_[j]) return false;
+      }
+      return true;
+    }
+    for (std::size_t j = 0; j < label_dim_; ++j) {
+      Rat acc(0);
+      for (std::size_t i = 0; i < in_dim_; ++i)
+        if (!c.fit[j][i].is_zero()) acc += c.fit[j][i] * Rat(pstride_[i]);
+      if (acc != Rat(lstride_[j])) return false;
+    }
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+void Folder::bulk_absorb(Chunk& c, std::span<const i64> first,
+                         std::span<const i64> first_label, u64 extra,
+                         u64 end_seq) {
+  // `first` is the earliest unabsorbed run point; `run_last_` the final
+  // one. The chunk's fit maps the stride and already predicts the point
+  // before `first`, so by affinity it predicts the whole remainder —
+  // point-at-a-time routing would absorb every one of these into `c` with
+  // no refits (and `c` stays MRU throughout). Affine hulls are closed
+  // under affine combination, so only `first` can extend the basis; the
+  // template rows are linear, so their min/max over the run sit at the
+  // endpoints.
+  if (!in_hull(c, first)) extend_basis(c, first, first_label);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    i128 v1 = eval_row(rows_[r], first);
+    i128 v2 = eval_row(rows_[r], run_last_);
+    c.bnd[r].min = std::min(c.bnd[r].min, std::min(v1, v2));
+    c.bnd[r].max = std::max(c.bnd[r].max, std::max(v1, v2));
+  }
+  c.points += extra;
+  c.last_use = end_seq;
+}
+
+void Folder::flush_run() {
+  if (run_len_ == 0) return;
+  const u64 n = run_len_;
+  run_len_ = 0;
+  cur_pt_ = run_base_;
+  cur_lab_ = run_lbase_;
+  for (u64 k = 0; k < n; ++k) {
+    std::size_t ci = route_point(cur_pt_, cur_lab_, run_start_seq_ + k);
+    // A non-lex-positive stride violates monotonicity at every run point
+    // AFTER the base — apply it only once the base has routed, so closes
+    // forced by the base see the same lex state as point-at-a-time.
+    if (k == 0 && run_stride_viol_) lex_ok_ = false;
+    if (k + 1 >= n) break;
+    // Advance to the next run point (always a genuinely observed i64
+    // point, so the narrowing is exact).
+    for (std::size_t i = 0; i < in_dim_; ++i)
+      cur_pt_[i] = static_cast<i64>(cur_pt_[i] + pstride_[i]);
+    for (std::size_t j = 0; j < label_dim_; ++j)
+      cur_lab_[j] = static_cast<i64>(cur_lab_[j] + lstride_[j]);
+    if (fit_maps_stride(open_[ci])) {
+      bulk_absorb(open_[ci], cur_pt_, cur_lab_, n - 1 - k,
+                  run_start_seq_ + n - 1);
+      break;
+    }
+  }
+  run_stride_viol_ = false;
 }
 
 void Folder::add(std::span<const i64> point, std::span<const i64> label) {
@@ -198,102 +371,237 @@ void Folder::add(std::span<const i64> point, std::span<const i64> label) {
   ++total_points_;
   ++seq_;
 
-  // Lexicographic sanity: the IIV construction guarantees increasing
-  // coordinates within a context; a violation (or duplicate) makes the
-  // distinct-point count unreliable, so exactness is forfeited.
-  if (last_point_) {
-    std::vector<i64> pv(point.begin(), point.end());
-    if (!(pv > *last_point_)) lex_ok_ = false;
-    *last_point_ = std::move(pv);
-  } else {
-    last_point_ = std::vector<i64>(point.begin(), point.end());
+  if (!opts_.stride_runs) {
+    // Reference point-at-a-time path (ablation knob): lexicographic check
+    // in place against the previous point, then the routing steps.
+    if (have_prev_ && !lex_greater(point, run_last_)) lex_ok_ = false;
+    run_last_.assign(point.begin(), point.end());
+    have_prev_ = true;
+    route_point(point, label, seq_);
+    return;
   }
 
-  // 1. Route to an open piece whose affine function predicts the label,
-  //    most recently used first.
-  Chunk* best = nullptr;
-  for (auto& c : open_) {
-    if (!predicts(c, point, label)) continue;
-    if (!best || c.last_use > best->last_use) best = &c;
-  }
-  if (best) {
-    absorb(*best, point, label, /*refit_needed=*/false);
+  if (run_len_ == 0) {
+    start_run(point, label);
     return;
   }
-  // 2. The most recent piece may absorb the point by refitting, when the
-  //    point lies off its affine hull (fit unchanged on the hull, so all
-  //    earlier verifications stand).
-  Chunk* mru = nullptr;
-  for (auto& c : open_)
-    if (!mru || c.last_use > mru->last_use) mru = &c;
-  if (mru && !in_hull(*mru, point)) {
-    absorb(*mru, point, label, /*refit_needed=*/true);
+  if (run_len_ == 1) {
+    // Any second point establishes the stride.
+    pstride_.resize(in_dim_);
+    lstride_.resize(label_dim_);
+    for (std::size_t i = 0; i < in_dim_; ++i)
+      pstride_[i] = static_cast<i128>(point[i]) - run_base_[i];
+    for (std::size_t j = 0; j < label_dim_; ++j)
+      lstride_[j] = static_cast<i128>(label[j]) - run_lbase_[j];
+    // Lexicographic sanity: the IIV construction guarantees increasing
+    // coordinates within a context; a violation (or duplicate) makes the
+    // distinct-point count unreliable, so exactness is forfeited. Within
+    // a run the per-point check reduces to the stride's lex sign.
+    bool positive = false;
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      if (pstride_[i] != 0) {
+        positive = pstride_[i] > 0;
+        break;
+      }
+    }
+    run_stride_viol_ = !positive;
+    set_run_last(point, label);
+    run_len_ = 2;
     return;
   }
-  // 3. Open a new piece, evicting the least recently used past the budget.
-  if (open_.size() >= opts_.max_open_chunks) {
-    std::size_t lru = 0;
-    for (std::size_t i = 1; i < open_.size(); ++i)
-      if (open_[i].last_use < open_[lru].last_use) lru = i;
-    close_chunk(open_[lru]);
-    open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(lru));
+  // Run extension: constant point- AND label-stride.
+  bool same = true;
+  for (std::size_t i = 0; i < in_dim_; ++i) {
+    if (static_cast<i128>(point[i]) - run_last_[i] != pstride_[i]) {
+      same = false;
+      break;
+    }
   }
-  open_.push_back(make_chunk(point, label));
+  if (same) {
+    for (std::size_t j = 0; j < label_dim_; ++j) {
+      if (static_cast<i128>(label[j]) - run_llast_[j] != lstride_[j]) {
+        same = false;
+        break;
+      }
+    }
+  }
+  if (same) {
+    set_run_last(point, label);
+    ++run_len_;
+    return;
+  }
+  flush_run();
+  if (!lex_greater(point, run_last_)) lex_ok_ = false;
+  start_run(point, label);
 }
 
-void Folder::close_chunk(Chunk& chunk) {
-  if (result_.pieces().size() >= opts_.max_pieces) collapsed_ = true;
-
-  // Emit only non-implied template constraints. A pair row a_i·x_i+a_j·x_j
-  // is implied by the single-variable bounds when its observed min/max
-  // match what interval arithmetic on those bounds yields — an O(d²) test
-  // that replaces LP-based redundancy elimination.
+poly::Polyhedron Folder::emit_domain(const std::vector<Bnd>& bnd,
+                                     bool& is_box, bool& clamped) const {
   poly::Polyhedron dom(in_dim_);
-  bool is_box = true;
-  for (std::size_t r = 0; r < chunk.tmpl.size(); ++r) {
-    const auto& t = chunk.tmpl[r];
+  is_box = true;
+  clamped = false;
+  // Usable as an AffineExpr constant term: both v and -v must fit int64.
+  auto const_ok = [](i128 v) { return v > INT64_MIN && v <= INT64_MAX; };
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const TRow& t = rows_[r];
+    const Bnd& b = bnd[r];
+    // Emit only non-implied template constraints. A pair row x_i ± x_j is
+    // implied by the single-variable bounds when its observed min/max
+    // match what interval arithmetic on those bounds yields — an O(d²)
+    // test that replaces LP-based redundancy elimination.
     bool lower_redundant = false, upper_redundant = false;
-    if (r >= in_dim_) {
-      i128 imp_min = 0, imp_max = 0;
-      for (std::size_t i = 0; i < in_dim_; ++i) {
-        if (t.coeffs[i] > 0) {
-          imp_min += chunk.tmpl[i].min;
-          imp_max += chunk.tmpl[i].max;
-        } else if (t.coeffs[i] < 0) {
-          imp_min -= chunk.tmpl[i].max;
-          imp_max -= chunk.tmpl[i].min;
-        }
-      }
-      lower_redundant = t.min <= imp_min;
-      upper_redundant = t.max >= imp_max;
+    if (t.j >= 0) {
+      const Bnd& bi = bnd[static_cast<std::size_t>(t.i)];
+      const Bnd& bj = bnd[static_cast<std::size_t>(t.j)];
+      i128 imp_min = bi.min + (t.cj > 0 ? bj.min : -bj.max);
+      i128 imp_max = bi.max + (t.cj > 0 ? bj.max : -bj.min);
+      lower_redundant = b.min <= imp_min;
+      upper_redundant = b.max >= imp_max;
+      if (lower_redundant && upper_redundant) continue;
+      is_box = false;
     }
-    if (lower_redundant && upper_redundant) continue;
-    if (r >= in_dim_) is_box = false;
-    poly::AffineExpr e(std::vector<i64>(t.coeffs), 0);
-    if (t.min == t.max) {
-      dom.add_eq0(e - narrow_i64(t.min));
-    } else {
-      if (!lower_redundant) dom.add_ge0(e - narrow_i64(t.min));
-      if (!upper_redundant) dom.add_ge0(-(e) + narrow_i64(t.max));
+    std::vector<i64> coeffs(in_dim_, 0);
+    coeffs[static_cast<std::size_t>(t.i)] = 1;
+    if (t.j >= 0) coeffs[static_cast<std::size_t>(t.j)] = t.cj;
+    poly::AffineExpr e(std::move(coeffs), 0);
+    // Octagon sum rows over extreme values (e.g. double bit patterns) can
+    // hold i128 bounds outside int64: dropping the offending direction
+    // keeps the domain a sound over-approximation, and `clamped` makes
+    // the caller forfeit exactness instead of trapping the pipeline.
+    if (b.min == b.max) {
+      if (const_ok(b.min))
+        dom.add_eq0(e - static_cast<i64>(b.min));
+      else
+        clamped = true;
+      continue;
+    }
+    if (!lower_redundant) {
+      if (const_ok(b.min))
+        dom.add_ge0(e - static_cast<i64>(b.min));
+      else
+        clamped = true;
+    }
+    if (!upper_redundant) {
+      if (b.max >= INT64_MIN && b.max <= INT64_MAX)
+        dom.add_ge0(-(e) + static_cast<i64>(b.max));
+      else
+        clamped = true;
     }
   }
+  return dom;
+}
 
-  bool domain_exact = lex_ok_;
-  if (domain_exact && in_dim_ > 0) {
-    if (is_box) {
-      i128 count = 1;
-      bool overflow = false;
-      for (std::size_t i = 0; i < in_dim_ && !overflow; ++i) {
-        count = mul_checked(count, chunk.tmpl[i].max - chunk.tmpl[i].min + 1);
-        if (count > static_cast<i128>(opts_.count_cap)) overflow = true;
+std::optional<u64> Folder::count_octagon_2d(const std::vector<Bnd>& bnd) const {
+  // rows_ layout for d=2 with octagon: [x], [y], [x-y], [x+y]. For fixed
+  // x the feasible y range is [L(x), U(x)] with
+  //   L = max(y_lo, x - d_hi, s_lo - x),  U = min(y_hi, x - d_lo, s_hi - x),
+  // all slopes in {-1, 0, 1}. The count is sum over x of max(0, U-L+1) —
+  // evaluated in closed form by cutting [x_lo, x_hi] at the (≤ 12)
+  // pairwise crossings, where each segment's envelope is a single affine
+  // piece and its contribution an exact arithmetic series.
+  const i128 x_lo = bnd[0].min, x_hi = bnd[0].max;
+  if (x_lo > x_hi) return 0;
+  struct Aff {
+    i128 m, c;
+    i128 at(i128 x) const { return m * x + c; }
+  };
+  const Aff lo[3] = {{0, bnd[1].min}, {1, -bnd[2].max}, {-1, bnd[3].min}};
+  const Aff hi[3] = {{0, bnd[1].max}, {1, -bnd[2].min}, {-1, bnd[3].max}};
+
+  i128 cuts[28];
+  std::size_t ncuts = 0;
+  cuts[ncuts++] = x_lo;
+  auto add_crossings = [&](const Aff* f) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      for (std::size_t b = a + 1; b < 3; ++b) {
+        if (f[a].m == f[b].m) continue;
+        i128 cross = floor_div(f[b].c - f[a].c, f[a].m - f[b].m);
+        for (i128 v : {cross, cross + 1})
+          if (v > x_lo && v <= x_hi) cuts[ncuts++] = v;
       }
-      domain_exact = !overflow && static_cast<u64>(count) == chunk.points;
-    } else {
-      auto n = dom.count_points(opts_.count_cap);
-      domain_exact = n.has_value() && *n == chunk.points;
     }
-  } else if (in_dim_ == 0) {
+  };
+  add_crossings(lo);
+  add_crossings(hi);
+  std::sort(cuts, cuts + ncuts);
+  ncuts = static_cast<std::size_t>(std::unique(cuts, cuts + ncuts) - cuts);
+
+  const i128 cap = static_cast<i128>(opts_.count_cap);
+  i128 total = 0;
+  for (std::size_t t = 0; t < ncuts; ++t) {
+    const i128 s = cuts[t];
+    const i128 e = (t + 1 < ncuts) ? cuts[t + 1] - 1 : x_hi;
+    // No crossings strictly inside the segment, so one component of each
+    // envelope dominates at both endpoints (pick it by endpoint values).
+    auto pick = [&](const Aff* f, bool want_max) {
+      std::size_t best = 0;
+      for (std::size_t a = 1; a < 3; ++a) {
+        i128 ds = f[a].at(s) - f[best].at(s);
+        i128 de = f[a].at(e) - f[best].at(e);
+        if (!want_max) {
+          ds = -ds;
+          de = -de;
+        }
+        if (ds > 0 || (ds == 0 && de > 0)) best = a;
+      }
+      return f[best];
+    };
+    const Aff l = pick(lo, /*want_max=*/true);
+    const Aff u = pick(hi, /*want_max=*/false);
+    // g(x) = U(x) - L(x) + 1, affine on the segment; sum max(0, g).
+    const i128 beta = u.m - l.m;
+    const i128 alpha = u.c - l.c + 1;
+    i128 from = s, to = e;
+    if (beta == 0) {
+      if (alpha < 1) continue;
+    } else if (beta > 0) {
+      from = std::max(from, ceil_div(1 - alpha, beta));
+    } else {
+      to = std::min(to, floor_div(1 - alpha, beta));
+    }
+    if (from > to) continue;
+    const i128 terms = to - from + 1;
+    // Every term is >= 1, so a term count past the cap already overflows
+    // it (and keeps the series arithmetic far from i128 limits).
+    if (terms > cap) return std::nullopt;
+    const i128 g_from = alpha + beta * from;
+    const i128 g_to = alpha + beta * to;
+    total += terms * (g_from + g_to) / 2;
+    if (total > cap) return std::nullopt;
+  }
+  return static_cast<u64>(total);
+}
+
+std::optional<u64> Folder::count_chunk(const Chunk& c, bool is_box,
+                                       const poly::Polyhedron& dom) const {
+  const i128 cap = static_cast<i128>(opts_.count_cap);
+  if (is_box) {
+    // Closed-form box volume, capped like enumeration.
+    i128 count = 1;
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      count = mul_checked(count, c.bnd[i].max - c.bnd[i].min + 1);
+      if (count > cap) return std::nullopt;
+    }
+    return static_cast<u64>(count);
+  }
+  if (in_dim_ == 2 && opts_.use_octagon) return count_octagon_2d(c.bnd);
+  // Genuinely irregular (3D+ non-box): enumerate, but never past the
+  // observed count — the caller only counts when the stream was strictly
+  // lex-increasing, so its points are distinct members of the domain and
+  // lattice_count > points already settles the verdict as inexact.
+  return dom.count_points(std::min<u64>(opts_.count_cap, c.points));
+}
+
+poly::Piece Folder::build_piece(const Chunk& chunk) const {
+  bool is_box = true, clamped = false;
+  poly::Polyhedron dom = emit_domain(chunk.bnd, is_box, clamped);
+
+  bool domain_exact = lex_ok_ && !clamped;
+  if (in_dim_ == 0) {
     domain_exact = lex_ok_ && chunk.points == 1;
+  } else if (domain_exact) {
+    std::optional<u64> n = count_chunk(chunk, is_box, dom);
+    domain_exact = n.has_value() && *n == chunk.points;
   }
 
   // Integral affine label function? Coefficients must be integers that fit
@@ -318,7 +626,8 @@ void Folder::close_chunk(Chunk& chunk) {
       label_ok = false;
       break;
     }
-    outs.emplace_back(std::move(coeffs), narrow_i64(chunk.fit[j][in_dim_].num()));
+    outs.emplace_back(std::move(coeffs),
+                      narrow_i64(chunk.fit[j][in_dim_].num()));
   }
   if (!label_ok) outs.assign(label_dim_, poly::AffineExpr(in_dim_));
 
@@ -328,10 +637,74 @@ void Folder::close_chunk(Chunk& chunk) {
   piece.exact = domain_exact && label_ok;
   piece.label_exact = label_ok;
   piece.observed_points = chunk.points;
-  result_.add_piece(std::move(piece));
+  return piece;
+}
+
+FoldCache::Key Folder::cache_key(const Chunk& c) const {
+  // Canonical form: every input build_piece() reads, in a fixed order.
+  // The template rows are a function of (in_dim, octagon), so encoding
+  // the bounds in rows_ order covers the sorted-constraint canonical form.
+  FoldCache::Key key;
+  key.reserve(6 + 4 * c.bnd.size() + 4 * label_dim_ * (in_dim_ + 1));
+  auto push128 = [&key](i128 v) {
+    key.push_back(static_cast<u64>(static_cast<unsigned __int128>(v)));
+    key.push_back(static_cast<u64>(static_cast<unsigned __int128>(v) >> 64));
+  };
+  key.push_back(static_cast<u64>(in_dim_));
+  key.push_back(static_cast<u64>(label_dim_));
+  key.push_back(opts_.use_octagon ? 1 : 0);
+  key.push_back(opts_.count_cap);
+  key.push_back(lex_ok_ ? 1 : 0);
+  key.push_back(c.points);
+  for (const Bnd& b : c.bnd) {
+    push128(b.min);
+    push128(b.max);
+  }
+  for (const auto& row : c.fit) {
+    for (const Rat& r : row) {
+      push128(r.num());
+      push128(r.den());
+    }
+  }
+  return key;
+}
+
+void Folder::close_chunk(Chunk& chunk) {
+  // Running collapse bounds: every close merges its template bounds in
+  // O(d²), so the collapsed over-approximation in finish() never needs
+  // the accumulated pieces themselves.
+  if (collapse_bnd_.empty()) {
+    collapse_bnd_ = chunk.bnd;
+  } else {
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      collapse_bnd_[r].min = std::min(collapse_bnd_[r].min, chunk.bnd[r].min);
+      collapse_bnd_[r].max = std::max(collapse_bnd_[r].max, chunk.bnd[r].max);
+    }
+  }
+  collapse_observed_ += chunk.points;
+
+  if (result_.pieces().size() >= opts_.max_pieces) collapsed_ = true;
+  // Once the piece cap trips, finish() replaces everything with the
+  // bound-merged over-approximation — stop materializing pieces at all.
+  if (collapsed_) return;
+
+  if (opts_.cache != nullptr) {
+    FoldCache::Key key = cache_key(chunk);
+    if (auto hit = opts_.cache->find(key)) {
+      result_.add_piece(*hit);
+      return;
+    }
+    poly::Piece piece = build_piece(chunk);
+    opts_.cache->insert(std::move(key),
+                        std::make_shared<const poly::Piece>(piece));
+    result_.add_piece(std::move(piece));
+    return;
+  }
+  result_.add_piece(build_piece(chunk));
 }
 
 poly::PolySet Folder::finish() {
+  flush_run();
   // Close remaining chunks in creation order for stable output.
   std::sort(open_.begin(), open_.end(),
             [](const Chunk& a, const Chunk& b) { return a.created < b.created; });
@@ -339,29 +712,25 @@ poly::PolySet Folder::finish() {
   open_.clear();
   poly::PolySet out = std::move(result_);
   result_ = poly::PolySet(in_dim_);
-  last_point_.reset();
   lex_ok_ = true;
+  run_len_ = 0;
+  run_stride_viol_ = false;
+  have_prev_ = false;
 
-  if (collapsed_) {
+  const bool was_collapsed = collapsed_;
+  std::vector<Bnd> merged_bnd = std::move(collapse_bnd_);
+  const u64 merged_observed = collapse_observed_;
+  collapsed_ = false;
+  collapse_bnd_.clear();
+  collapse_observed_ = 0;
+
+  if (was_collapsed) {
     // Scalability guard tripped: merge everything into one
-    // over-approximate template piece (paper §5, over-approximation).
-    poly::Polyhedron dom(in_dim_);
-    auto rows = template_rows(in_dim_, opts_.use_octagon);
-    for (const auto& r : rows) {
-      poly::AffineExpr e(std::vector<i64>(r), 0);
-      std::optional<Rat> lo, hi;
-      for (const auto& p : out.pieces()) {
-        auto bl = p.domain.minimize(e);
-        auto bh = p.domain.maximize(e);
-        if (bl.status == poly::LpStatus::kOptimal)
-          lo = lo ? std::min(*lo, bl.value) : bl.value;
-        if (bh.status == poly::LpStatus::kOptimal)
-          hi = hi ? std::max(*hi, bh.value) : bh.value;
-      }
-      if (lo) dom.add_ge0(e - narrow_i64(lo->floor()));
-      if (hi) dom.add_ge0(-(e) + narrow_i64(hi->ceil()));
-    }
-    dom.remove_redundant();
+    // over-approximate template piece (paper §5, over-approximation),
+    // built from the running bounds — O(d²) regardless of piece count.
+    bool is_box = true, clamped = false;
+    if (merged_bnd.empty()) merged_bnd.resize(rows_.size());
+    poly::Polyhedron dom = emit_domain(merged_bnd, is_box, clamped);
     poly::Piece merged;
     merged.domain = std::move(dom);
     merged.label_fn = poly::AffineMap(
@@ -369,10 +738,9 @@ poly::PolySet Folder::finish() {
                                                poly::AffineExpr(in_dim_)));
     merged.exact = false;
     merged.label_exact = false;
-    merged.observed_points = out.total_observed();
+    merged.observed_points = merged_observed;
     poly::PolySet collapsed_set(in_dim_);
     collapsed_set.add_piece(std::move(merged));
-    collapsed_ = false;
     return collapsed_set;
   }
   return out;

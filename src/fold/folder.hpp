@@ -23,15 +23,27 @@
 //    A point no open piece accepts extends the most recent piece's fit
 //    when it lies off that piece's affine hull, and otherwise opens a new
 //    piece, evicting the least-recently-used one past the budget.
+//  * Regular streams never reach the per-point machinery: the folder
+//    recognizes arithmetic runs — constant point-stride with constant
+//    label-stride — and absorbs a whole run with O(1) chunk updates
+//    (endpoint-only template bounds, at most one hull extension), which
+//    is equivalent to routing the run point by point (see DESIGN.md,
+//    "Folding").
 //  * Exactness of a piece = (#lattice points of the domain == #points
 //    routed to it) AND the label fit is affine with integer coefficients.
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "poly/poly_set.hpp"
 
 namespace pp::fold {
+
+class FoldCache;
 
 struct FolderOptions {
   /// Lattice-point budget for the exactness check; domains bigger than
@@ -48,6 +60,48 @@ struct FolderOptions {
   /// them only boxes fold exactly (triangular/skewed nests become
   /// over-approximations).
   bool use_octagon = true;
+  /// Recognize arithmetic runs in the stream and absorb them with O(1)
+  /// chunk updates per run. Off reproduces the point-at-a-time folder —
+  /// the outputs are identical by construction (ablation/testing knob).
+  bool stride_runs = true;
+  /// Optional fold-wide canonical-piece cache shared by many folders
+  /// (cross-statement interning); may be null. The cache key captures
+  /// every input of piece construction, so a hit is byte-identical to a
+  /// recomputation.
+  FoldCache* cache = nullptr;
+};
+
+/// Fold-wide canonical-piece cache: a closed chunk's piece is a pure
+/// function of its canonical form — template bounds in fixed row order,
+/// the rational label fit, the observed count and the exactness inputs —
+/// so identical pieces across statements and dependence groups are built
+/// once and shared. Thread-safe (the parallel re-fold path hits it from
+/// worker tasks); hit/miss totals are timing-class observability only,
+/// since the hit pattern depends on scheduling while the values do not.
+class FoldCache {
+ public:
+  using Key = std::vector<u64>;
+
+  /// Returns the cached piece for `key`, or null on a miss.
+  std::shared_ptr<const poly::Piece> find(const Key& key) const;
+  /// Inserts (first writer wins); no-op once the entry cap is reached.
+  void insert(Key key, std::shared_ptr<const poly::Piece> piece);
+
+  u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+  u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  std::size_t size() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  /// Growth bound; beyond it the cache stops learning (still serves hits).
+  static constexpr std::size_t kMaxEntries = 1u << 16;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const poly::Piece>, KeyHash> map_;
+  mutable std::atomic<u64> hits_{0};
+  mutable std::atomic<u64> misses_{0};
 };
 
 /// Folds one (iteration vector, label vector) stream.
@@ -68,16 +122,25 @@ class Folder {
   u64 points_seen() const { return total_points_; }
 
  private:
-  struct TemplateRow {
-    std::vector<i64> coeffs;  ///< template expression coefficients
-    i128 min = 0, max = 0;
+  /// One template expression, x_i (j < 0) or x_i + cj·x_j (cj = ±1) —
+  /// memoized per (dim, octagon) in `rows_` instead of materialized as a
+  /// coefficient vector in every chunk.
+  struct TRow {
+    int i = 0;
+    int j = -1;
+    i64 cj = 0;
+  };
+  /// Observed min/max of one template row over a chunk's points.
+  struct Bnd {
+    i128 min = 0;
+    i128 max = 0;
   };
 
   struct Chunk {
     u64 points = 0;
     u64 last_use = 0;   ///< stream sequence number of the last routed point
     u64 created = 0;    ///< creation sequence (stable output ordering)
-    std::vector<TemplateRow> tmpl;
+    std::vector<Bnd> bnd;  ///< per template row, in `rows_` order
     std::vector<std::vector<i64>> basis_pts;
     std::vector<std::vector<i64>> basis_labels;
     RatMatrix hull;     ///< RREF rows of [I 1] over the basis
@@ -85,29 +148,81 @@ class Folder {
     std::vector<std::vector<i128>> fit_int;   ///< integer fast path
   };
 
-  Chunk make_chunk(std::span<const i64> point, std::span<const i64> label);
+  Chunk make_chunk(std::span<const i64> point, std::span<const i64> label,
+                   u64 at_seq);
   bool in_hull(const Chunk& c, std::span<const i64> point) const;
   bool predicts(const Chunk& c, std::span<const i64> point,
                 std::span<const i64> label) const;
   void absorb(Chunk& c, std::span<const i64> point,
-              std::span<const i64> label, bool refit_needed);
+              std::span<const i64> label, bool refit_needed, u64 at_seq);
   void extend_basis(Chunk& c, std::span<const i64> point,
                     std::span<const i64> label);
   void refit(Chunk& c);
   void close_chunk(Chunk& c);
 
+  /// The point-at-a-time routing steps (predict → MRU refit → new chunk);
+  /// returns the index in `open_` of the chunk that got the point.
+  std::size_t route_point(std::span<const i64> point,
+                          std::span<const i64> label, u64 at_seq);
+  void start_run(std::span<const i64> point, std::span<const i64> label);
+  void set_run_last(std::span<const i64> point, std::span<const i64> label);
+  /// Replay the pending run; switches to bulk absorption as soon as the
+  /// receiving chunk's fit maps the stride.
+  void flush_run();
+  /// Linear part of the chunk's fit applied to the pending stride equals
+  /// the label stride (then the fit predicts every remaining run point).
+  bool fit_maps_stride(const Chunk& c) const;
+  void bulk_absorb(Chunk& c, std::span<const i64> first,
+                   std::span<const i64> first_label, u64 extra, u64 end_seq);
+
+  i128 eval_row(const TRow& t, std::span<const i64> pt) const;
+  /// Emit the non-implied template constraints of `bnd`; bounds that do
+  /// not fit int64 are dropped (sound over-approximation) with `clamped`
+  /// set so the caller forfeits exactness.
+  poly::Polyhedron emit_domain(const std::vector<Bnd>& bnd, bool& is_box,
+                               bool& clamped) const;
+  /// Lattice count of the chunk's template domain, capped like
+  /// enumeration: closed forms for boxes and 2-D octagons, enumeration
+  /// (bounded by the observed count) for genuinely irregular pieces.
+  std::optional<u64> count_chunk(const Chunk& c, bool is_box,
+                                 const poly::Polyhedron& dom) const;
+  std::optional<u64> count_octagon_2d(const std::vector<Bnd>& bnd) const;
+  poly::Piece build_piece(const Chunk& c) const;
+  FoldCache::Key cache_key(const Chunk& c) const;
+
   std::size_t in_dim_;
   std::size_t label_dim_;
   FolderOptions opts_;
+  std::vector<TRow> rows_;  ///< memoized template rows (dim + octagon)
 
   std::vector<Chunk> open_;
+  std::vector<std::size_t> route_order_;  ///< routing scratch (recency sort)
   u64 seq_ = 0;
-  std::optional<std::vector<i64>> last_point_;
   bool lex_ok_ = true;
+
+  // Pending arithmetic run. Points are buffered until the stride breaks
+  // (or finish()), then replayed — point by point until a chunk's fit maps
+  // the stride, in bulk from there on. `run_last_` doubles as the
+  // previous-point reference for the lexicographic check (no per-point
+  // allocation or copy beyond maintaining it).
+  u64 run_len_ = 0;
+  u64 run_start_seq_ = 0;
+  bool run_stride_viol_ = false;  ///< stride not lex-positive (dup/backstep)
+  bool have_prev_ = false;        ///< stride_runs=false: lex reference valid
+  std::vector<i64> run_base_, run_last_;
+  std::vector<i64> run_lbase_, run_llast_;
+  std::vector<i128> pstride_, lstride_;
+  std::vector<i64> cur_pt_, cur_lab_;  ///< flush_run scratch
 
   poly::PolySet result_{0};
   u64 total_points_ = 0;
   bool collapsed_ = false;  ///< max_pieces exceeded
+
+  // Running template bounds over every closed chunk: once the piece cap
+  // trips, finish() builds the collapsed over-approximation from these in
+  // O(d²) instead of an LP sweep over all accumulated pieces.
+  std::vector<Bnd> collapse_bnd_;
+  u64 collapse_observed_ = 0;
 };
 
 }  // namespace pp::fold

@@ -159,6 +159,21 @@ void Polyhedron::enumerate_rec(std::vector<i64>& prefix, u64 cap, u64& count,
       to = hi.value.floor();
     }
   }
+  // Innermost level with counting only: every constraint has been folded
+  // into [from, to] (no constraint can involve a deeper variable here, and
+  // with one free variable the feasible set is an interval), so the leaf
+  // contains() check is vacuous — count the whole range at once.
+  if (k + 1 == dim_ && out == nullptr) {
+    if (to >= from) {
+      i128 total = static_cast<i128>(count) + (to - from + 1);
+      if (total > static_cast<i128>(cap)) {
+        overflow = true;
+        return;
+      }
+      count = static_cast<u64>(total);
+    }
+    return;
+  }
   for (i128 v = from; v <= to && !overflow; ++v) {
     prefix.push_back(narrow_i64(v));
     enumerate_rec(prefix, cap, count, out, overflow);

@@ -1,0 +1,318 @@
+// Fast-path coverage for the algorithmic folder: stride-run absorption
+// must be output-equivalent to point-at-a-time routing, the collapse
+// guard must bound memory regardless of piece count, the canonical-form
+// cache must share identical pieces without changing any output, and
+// i128 template bounds past int64 must degrade instead of trapping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fold/folder.hpp"
+
+namespace pp::fold {
+namespace {
+
+using poly::PolySet;
+
+// Deterministic xorshift-ish generator (no <random> to keep seeds stable
+// across libstdc++ versions).
+struct Rng {
+  u64 state;
+  explicit Rng(u64 seed) : state(seed * 6364136223846793005ULL + 1442695040888963407ULL) {}
+  i64 next(i64 lo, i64 hi) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lo + static_cast<i64>((state >> 33) %
+                                 static_cast<u64>(hi - lo + 1));
+  }
+};
+
+std::string describe(const PolySet& s) {
+  std::string out;
+  for (const auto& p : s.pieces()) {
+    out += p.domain.str();
+    out += " | ";
+    out += p.label_fn.str();
+    out += " | exact=";
+    out += p.exact ? '1' : '0';
+    out += " label_exact=";
+    out += p.label_exact ? '1' : '0';
+    out += " observed=";
+    out += std::to_string(p.observed_points);
+    out += '\n';
+  }
+  return out;
+}
+
+// Fold one stream with stride runs on and off; the outputs must match
+// piece for piece (the run path is an equivalence-preserving fast path).
+void expect_equivalent(const std::vector<std::vector<i64>>& pts,
+                       const std::vector<std::vector<i64>>& labels,
+                       std::size_t in_dim, std::size_t label_dim,
+                       FolderOptions base = {}) {
+  FolderOptions on = base, off = base;
+  on.stride_runs = true;
+  off.stride_runs = false;
+  Folder f_on(in_dim, label_dim, on);
+  Folder f_off(in_dim, label_dim, off);
+  for (std::size_t k = 0; k < pts.size(); ++k) {
+    f_on.add(pts[k], labels[k]);
+    f_off.add(pts[k], labels[k]);
+  }
+  PolySet s_on = f_on.finish();
+  PolySet s_off = f_off.finish();
+  EXPECT_EQ(describe(s_on), describe(s_off));
+}
+
+TEST(StrideRuns, LongAffineRunMatchesPointAtATime) {
+  std::vector<std::vector<i64>> pts, labels;
+  for (i64 i = 0; i < 500; ++i) {
+    pts.push_back({i});
+    labels.push_back({3 * i - 7});
+  }
+  expect_equivalent(pts, labels, 1, 1);
+}
+
+TEST(StrideRuns, NestedLoopRunsMatchPointAtATime) {
+  // 2-D nest: the inner loop is a stride run, the outer iteration breaks
+  // it (column reset), exercising flush + restart each row.
+  std::vector<std::vector<i64>> pts, labels;
+  for (i64 i = 0; i < 20; ++i)
+    for (i64 j = 0; j < 30; ++j) {
+      pts.push_back({i, j});
+      labels.push_back({5 * i + 2 * j + 1});
+    }
+  expect_equivalent(pts, labels, 2, 1);
+}
+
+TEST(StrideRuns, PiecewiseBreaksMatchPointAtATime) {
+  // Label function switches mid-stream: the run breaks on the label
+  // stride, not just the point stride.
+  std::vector<std::vector<i64>> pts, labels;
+  for (i64 i = 0; i < 40; ++i) {
+    pts.push_back({i});
+    labels.push_back({i < 20 ? 2 * i : 1000 - i});
+  }
+  expect_equivalent(pts, labels, 1, 1);
+}
+
+TEST(StrideRuns, NonMonotoneStreamMatchesPointAtATime) {
+  // Duplicate and backwards points: the lexicographic forfeit must fire
+  // at the same position on both paths.
+  std::vector<std::vector<i64>> pts = {{0}, {1}, {2}, {2}, {2}, {1}, {0}};
+  std::vector<std::vector<i64>> labels;
+  for (const auto& p : pts) labels.push_back({p[0] * 4});
+  expect_equivalent(pts, labels, 1, 1);
+}
+
+TEST(StrideRuns, CollapseTrippingStreamMatchesPointAtATime) {
+  FolderOptions opts;
+  opts.max_pieces = 4;
+  std::vector<std::vector<i64>> pts, labels;
+  for (i64 i = 0; i < 64; ++i) {
+    pts.push_back({i});
+    labels.push_back({(i * 7919) % 1000});
+  }
+  expect_equivalent(pts, labels, 1, 1, opts);
+}
+
+TEST(StrideRuns, FinishMidRunMatchesPointAtATime) {
+  FolderOptions on, off;
+  on.stride_runs = true;
+  off.stride_runs = false;
+  Folder f_on(1, 1, on), f_off(1, 1, off);
+  for (i64 i = 0; i < 10; ++i) {
+    i64 pt[1] = {i};
+    f_on.add(pt, std::vector<i64>{i});
+    f_off.add(pt, std::vector<i64>{i});
+  }
+  // finish() lands while a run is pending; it must flush and match.
+  EXPECT_EQ(describe(f_on.finish()), describe(f_off.finish()));
+  // The folder keeps streaming after finish on both paths.
+  for (i64 i = 0; i < 6; ++i) {
+    i64 pt[1] = {i};
+    f_on.add(pt, std::vector<i64>{9 * i});
+    f_off.add(pt, std::vector<i64>{9 * i});
+  }
+  EXPECT_EQ(describe(f_on.finish()), describe(f_off.finish()));
+}
+
+TEST(StrideRuns, RandomStreamSweepMatchesPointAtATime) {
+  for (int seed = 0; seed < 40; ++seed) {
+    Rng rng(static_cast<u64>(seed) + 17);
+    std::size_t dim = static_cast<std::size_t>(rng.next(1, 3));
+    std::size_t ldim = static_cast<std::size_t>(rng.next(0, 2));
+    std::vector<std::vector<i64>> pts, labels;
+    std::vector<i64> cur(dim, 0);
+    int n = static_cast<int>(rng.next(5, 120));
+    for (int k = 0; k < n; ++k) {
+      // Mostly regular advance with occasional jumps/backsteps so runs of
+      // every length (including none) appear.
+      if (rng.next(0, 9) == 0) {
+        for (auto& c : cur) c = rng.next(-20, 20);
+      } else {
+        cur[dim - 1] += rng.next(0, 2);
+      }
+      pts.push_back(cur);
+      std::vector<i64> lab;
+      for (std::size_t j = 0; j < ldim; ++j) {
+        i64 v = 0;
+        for (std::size_t i = 0; i < dim; ++i)
+          v += static_cast<i64>(i + 2) * cur[i];
+        // A sprinkling of non-affine noise fragments pieces.
+        if (rng.next(0, 14) == 0) v += rng.next(1, 50);
+        lab.push_back(v + static_cast<i64>(j));
+      }
+      labels.push_back(lab);
+    }
+    FolderOptions opts;
+    opts.max_pieces = static_cast<std::size_t>(rng.next(3, 64));
+    expect_equivalent(pts, labels, dim, ldim, opts);
+  }
+}
+
+TEST(CollapseGuard, StopsAccumulatingPiecesPastCap) {
+  FolderOptions opts;
+  opts.max_pieces = 4;
+  Folder f(1, 1, opts);
+  // Every point breaks the previous fit: thousands of closes. The guard
+  // must keep the result at one collapsed piece and the full observed
+  // count, without accumulating closed pieces past the cap internally.
+  for (i64 i = 0; i < 4096; ++i) {
+    i64 pt[1] = {i};
+    f.add(pt, std::vector<i64>{(i * 7919) % 100003});
+  }
+  PolySet s = f.finish();
+  ASSERT_EQ(s.pieces().size(), 1u);
+  EXPECT_FALSE(s.pieces()[0].exact);
+  EXPECT_EQ(s.pieces()[0].observed_points, 4096u);
+  auto b = s.pieces()[0].domain.var_bounds(0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->first, 0);
+  EXPECT_EQ(b->second, 4095);
+  // A second round after finish() starts clean.
+  for (i64 i = 0; i < 8; ++i) {
+    i64 pt[1] = {i};
+    f.add(pt, std::vector<i64>{2 * i});
+  }
+  PolySet s2 = f.finish();
+  ASSERT_EQ(s2.pieces().size(), 1u);
+  EXPECT_TRUE(s2.pieces()[0].exact);
+}
+
+TEST(FoldCacheTest, IdenticalStreamsShareOnePiece) {
+  FoldCache cache;
+  FolderOptions opts;
+  opts.cache = &cache;
+  auto run = [&]() {
+    Folder f(2, 1, opts);
+    for (i64 i = 0; i < 8; ++i)
+      for (i64 j = 0; j <= i; ++j) {
+        i64 pt[2] = {i, j};
+        f.add(pt, std::vector<i64>{10 * i + j});
+      }
+    return f.finish();
+  };
+  PolySet a = run();
+  PolySet b = run();
+  // The second fold's close is a cache hit and the outputs are identical.
+  EXPECT_GE(cache.hits(), 1u);
+  EXPECT_EQ(describe(a), describe(b));
+  EXPECT_EQ(cache.size(), cache.misses());
+}
+
+TEST(FoldCacheTest, CachedAndUncachedOutputsMatch) {
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(static_cast<u64>(seed) * 131 + 5);
+    std::vector<std::vector<i64>> pts, labels;
+    std::vector<i64> cur = {0, 0};
+    int n = static_cast<int>(rng.next(10, 80));
+    for (int k = 0; k < n; ++k) {
+      cur[1] += rng.next(0, 2);
+      if (rng.next(0, 7) == 0) {
+        cur[0] += 1;
+        cur[1] = rng.next(-5, 5);
+      }
+      pts.push_back(cur);
+      labels.push_back({cur[0] * 3 - cur[1] +
+                        (rng.next(0, 9) == 0 ? rng.next(1, 9) : 0)});
+    }
+    FoldCache cache;
+    FolderOptions cached, plain;
+    cached.cache = &cache;
+    Folder f_cached(2, 1, cached);
+    Folder f_plain(2, 1, plain);
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      f_cached.add(pts[k], labels[k]);
+      f_plain.add(pts[k], labels[k]);
+    }
+    // Fold the same stream twice through the cache so the second pass
+    // hits; all three outputs must be identical.
+    PolySet first = f_cached.finish();
+    for (std::size_t k = 0; k < pts.size(); ++k) f_cached.add(pts[k], labels[k]);
+    PolySet second = f_cached.finish();
+    PolySet reference = f_plain.finish();
+    EXPECT_EQ(describe(first), describe(reference));
+    EXPECT_EQ(describe(second), describe(reference));
+  }
+}
+
+TEST(OverflowRegression, OctagonSumPastInt64DegradesInsteadOfTrapping) {
+  // Octagon sum/difference rows hold i128 bounds: with coordinates at the
+  // int64 extremes the difference x - y reaches 2^64 - 3 > INT64_MAX.
+  // The seed folder trapped ("i128 value exceeds int64 range"); now the
+  // offending bound is dropped and the piece degrades to inexact.
+  const i64 M = std::numeric_limits<i64>::max();
+  Folder f(2, 0);
+  {
+    i64 pt[2] = {M - 1, -M};
+    f.add(pt, {});
+  }
+  {
+    i64 pt[2] = {M, -M};
+    f.add(pt, {});
+  }
+  {
+    i64 pt[2] = {M, -M + 1};
+    f.add(pt, {});
+  }
+  PolySet s;
+  EXPECT_NO_THROW(s = f.finish());
+  ASSERT_EQ(s.pieces().size(), 1u);
+  EXPECT_FALSE(s.pieces()[0].exact);
+  EXPECT_EQ(s.pieces()[0].observed_points, 3u);
+  // The single-variable bounds survive; only the wild pair rows dropped.
+  auto bx = s.pieces()[0].domain.var_bounds(0);
+  ASSERT_TRUE(bx.has_value());
+  EXPECT_EQ(bx->first, M - 1);
+  EXPECT_EQ(bx->second, M);
+}
+
+TEST(OctagonCount, ClosedFormAgreesWithEnumeration) {
+  // Random 2-D streams: the closed-form 2-D octagon counter decides
+  // exactness; it must agree with what public enumeration reports for
+  // the emitted domain.
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(static_cast<u64>(seed) * 977 + 3);
+    Folder f(2, 0);
+    i64 lo = rng.next(-8, 0), hi = rng.next(1, 9);
+    bool tri = rng.next(0, 1) == 1;
+    u64 fed = 0;
+    for (i64 i = lo; i <= hi; ++i)
+      for (i64 j = lo; j <= (tri ? i : hi); ++j) {
+        i64 pt[2] = {i, j};
+        f.add(pt, {});
+        ++fed;
+      }
+    if (fed == 0) continue;
+    PolySet s = f.finish();
+    ASSERT_EQ(s.pieces().size(), 1u);
+    const auto& p = s.pieces()[0];
+    auto n = p.domain.count_points();
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(p.exact, *n == p.observed_points) << "seed " << seed;
+    EXPECT_TRUE(p.exact) << "seed " << seed;  // dense nests fold exactly
+  }
+}
+
+}  // namespace
+}  // namespace pp::fold
