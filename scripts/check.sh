@@ -67,7 +67,32 @@ if [[ $RUN_TESTS -eq 1 ]]; then
       note "$label tests: OK"
     fi
   }
+  # ---- 3a'. service soak gate (run per flavor, below) --------------------
+  # bench/service_soak pushes 76 concurrent jobs (all 19 workloads, mixed
+  # plain / chaos-retry / chaos-cancel / shed / deadline / client-cancel)
+  # through one pp::service::Server and exits nonzero on any hang (hard
+  # alarm), non-byte-identical clean report, undelivered partial, or
+  # cache-hit resubmission that re-profiled. Run in every flavor: the
+  # ASan/TSan builds turn latent lifetime/race bugs in the job machinery
+  # into hard failures.
+  soak_gate() {
+    local dir="$1"; shift
+    local label="$1"; shift
+    if [[ -x "$dir/bench/service_soak" ]]; then
+      note "service soak gate ($label): bench/service_soak --json"
+      if ! "$dir/bench/service_soak" --json; then
+        note "service soak gate ($label): FAILED"
+        FAIL=1
+      else
+        note "service soak gate ($label): OK"
+      fi
+    else
+      note "service soak gate ($label): SKIPPED ($dir/bench/service_soak not built)"
+    fi
+  }
+
   flavor build default
+  soak_gate build default
 
   # ---- 3b. observability overhead gate (default flavor only) -------------
   # pp::obs promises that an enabled-but-idle Session costs at most a few
@@ -103,6 +128,7 @@ if [[ $RUN_TESTS -eq 1 ]]; then
     note "fold regression gate: SKIPPED (build/bench/fold_only not built)"
   fi
   flavor build-asan sanitize -DPOLYPROF_SANITIZE=ON
+  soak_gate build-asan sanitize
   # TSan flavor, gated on toolchain support: probe a trivial compile+link
   # with -fsanitize=thread and skip (not fail) when unavailable.
   TSAN_PROBE_DIR="$(mktemp -d)"
@@ -110,6 +136,7 @@ if [[ $RUN_TESTS -eq 1 ]]; then
      ${CXX:-c++} -fsanitize=thread "$TSAN_PROBE_DIR/t.cpp" \
        -o "$TSAN_PROBE_DIR/t" >/dev/null 2>&1; then
     TSAN_OPTIONS="halt_on_error=1" flavor build-tsan tsan -DPOLYPROF_TSAN=ON
+    TSAN_OPTIONS="halt_on_error=1" soak_gate build-tsan tsan
   else
     note "tsan flavor: SKIPPED (toolchain lacks -fsanitize=thread)"
   fi

@@ -43,8 +43,33 @@ class TeeObserver : public vm::Observer {
 ProfileResult Pipeline::run(const PipelineOptions& opts) {
   ProfileResult res;
   res.module = &module_;
+  res.cancel = opts.cancel;
   if (opts.observe) res.obs = std::make_shared<obs::Session>(true);
   obs::Session* ob = res.obs.get();
+
+  // Chaos service faults fire the job's CancelToken at a structural point
+  // (a stage boundary; the mid-fold one is armed on the sink below), so
+  // cancellation paths are exercised deterministically — the partial
+  // report is byte-identical at any thread count, unlike a wall-clock
+  // cancel. No-ops without a token.
+  auto chaos_cancel_at = [&](vm::ServiceFault f) {
+    if (opts.chaos.service == f && opts.cancel != nullptr)
+      opts.cancel->cancel();
+  };
+  // Stage-boundary checkpoint: a fired (or deadline-expired) token stops
+  // the pipeline here, with everything earlier stages produced kept and
+  // the stop diagnosed — the same degrade-don't-die shape as a trap.
+  auto cancelled_at = [&](support::Stage stage, const char* boundary) {
+    if (opts.cancel == nullptr || !opts.cancel->poll()) return false;
+    res.truncated = true;
+    res.cancelled = true;
+    res.diagnostics.warn(stage,
+                         std::string("job cancelled (") +
+                             opts.cancel->reason_name() +
+                             ") — pipeline stopped at the " + boundary +
+                             " boundary");
+    return true;
+  };
 
   // IR verification BEFORE any replay: an ill-formed module is rejected
   // with the full structured issue list instead of trapping (or worse,
@@ -92,13 +117,21 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   if (budget.vm_steps != 0) max_steps = std::min(max_steps, budget.vm_steps);
 
   // One pool for every parallel stage of the run; shared with the result
-  // so the feedback stage fans out on the same lanes.
-  auto pool = std::make_shared<support::ThreadPool>(opts.threads);
+  // so the feedback stage fans out on the same lanes. A caller-provided
+  // pool (pp::service: one pool for all jobs) is used as-is.
+  std::shared_ptr<support::ThreadPool> pool =
+      opts.pool != nullptr ? opts.pool
+                           : std::make_shared<support::ThreadPool>(opts.threads);
   res.pool = pool;
   // With 2+ lanes the VM runs on a producer thread and streams events
   // through a bounded ring; the downstream observer chain executes on this
   // thread and sees the exact serial event order.
   const bool overlap_replay = !pool->serial();
+
+  // Stage-1 boundary: a pre-cancelled job (or the chaos cancel-at-control
+  // fault) profiles nothing — the result is just the diagnosis.
+  chaos_cancel_at(vm::ServiceFault::kCancelAtControl);
+  if (cancelled_at(support::Stage::kControl, "stage-1")) return res;
 
   // Stage 1 (Instrumentation I): dynamic control structure + CCT. The
   // validator guarantees the builders only ever see a well-formed prefix;
@@ -114,9 +147,10 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
       vm::RunResult rr;
       if (overlap_replay) {
         rr = vm::replay_threaded(machine, opts.entry, opts.args, max_steps,
-                                 validator, {}, 8, 4096, ob);
+                                 validator, {}, 8, 4096, ob, opts.cancel);
       } else {
         machine.set_observer(&validator);
+        machine.set_cancel(opts.cancel);
         rr = machine.run(opts.entry, opts.args, max_steps);
       }
       if (rr.truncated) {
@@ -145,6 +179,12 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   }
   control_span.end();
 
+  // Stage-2 boundary: a cancel observed here (client, deadline, or the
+  // chaos cancel-at-ddg fault) keeps the whole stage-1 result — control
+  // structure and CCT — and skips the DDG entirely.
+  chaos_cancel_at(vm::ServiceFault::kCancelAtDdg);
+  if (cancelled_at(support::Stage::kDdg, "stage-2")) return res;
+
   // Stage 2+3 (Instrumentation II + folding): DDG streamed into folders.
   // Observer chain: Machine -> chaos (tests only) -> validator -> builder,
   // so injected faults hit the validator exactly like real corruption
@@ -155,6 +195,12 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   sink.set_pool(pool.get());
   sink.set_budget(&budget);
   sink.set_obs(ob);
+  sink.set_cancel(opts.cancel);
+  // Deadline-mid-fold chaos: expire the token at a seed-derived merge
+  // position — structural, so the degraded suffix is identical at any
+  // thread count.
+  if (opts.chaos.service == vm::ServiceFault::kDeadlineMidFold)
+    sink.set_chaos_deadline_at(1 + opts.chaos.seed % 4);
   ddg::DdgOptions ddg_opts = opts.ddg;
   ddg_opts.budget = &budget;
   ddg_opts.diag = &res.diagnostics;
@@ -178,10 +224,11 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
                                    chaos.emplace(&writer, opts.chaos);
                                    return &*chaos;
                                  },
-                                 8, 4096, ob);
+                                 8, 4096, ob, opts.cancel);
       } else {
         chaos.emplace(&validator, opts.chaos);
         machine.set_observer(&*chaos);
+        machine.set_cancel(opts.cancel);
         rr = machine.run(opts.entry, opts.args, max_steps);
       }
       res.stats = rr.stats;
@@ -233,6 +280,11 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   ddg_span.end();
   obs::Span fold_span(ob, "stage:fold");
   sink.mark_degraded(builder.degraded_statements());
+  // Fold boundary: no early return here — finalize() itself observes the
+  // token at every merge position and degrades the unfolded suffix, so
+  // firing the chaos fault (or arriving with a fired token) still yields
+  // a complete, well-formed FoldedProgram.
+  chaos_cancel_at(vm::ServiceFault::kCancelAtFold);
   try {
     res.program = sink.finalize(res.statements);
     if (budget.pieces_exceeded(budget.pieces_charged())) res.truncated = true;
@@ -249,6 +301,21 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   for (const auto& s : res.statements.all())
     res.schedule_tree.insert(s.context, s.executions);
   fold_span.end();
+
+  // Feedback boundary: run() is done, but the feedback stage lives in
+  // full_report/analyze — record the cancel here so they (and the caller)
+  // see a flagged, diagnosed result. Also catches a token that fired
+  // mid-fold or mid-replay without hitting an earlier checkpoint.
+  chaos_cancel_at(vm::ServiceFault::kCancelAtFeedback);
+  if (opts.cancel != nullptr && opts.cancel->poll() && !res.cancelled) {
+    res.truncated = true;
+    res.cancelled = true;
+    res.diagnostics.warn(support::Stage::kFeedback,
+                         std::string("job cancelled (") +
+                             opts.cancel->reason_name() +
+                             ") — feedback stage will degrade: regions "
+                             "unanalyzable, oracle skipped");
+  }
 
   return res;
 }
@@ -378,22 +445,30 @@ feedback::RegionMetrics ProfileResult::analyze(
   feedback::AnalyzeOptions o = opts;
   if (o.sched.pool == nullptr && pool != nullptr) o.sched.pool = pool.get();
   if (o.sched.obs == nullptr && obs != nullptr) o.sched.obs = obs.get();
-  try {
-    return feedback::analyze_region(program, region, o);
-  } catch (const Error& e) {
-    // Per-region isolation: one region's feedback fault must not take
-    // down the report for every other region.
+  if (o.sched.cancel == nullptr && cancel != nullptr) o.sched.cancel = cancel;
+  // Per-region isolation: one region's feedback fault must not take down
+  // the report for every other region. Cancelled jobs degrade every
+  // region the same way — deterministically, whatever the thread count.
+  auto degraded = [&](const std::string& reason) {
     feedback::RegionMetrics m;
     m.region = region;
     m.analyzable = false;
     m.schedulable = false;
-    m.degrade_reason = e.what();
+    m.degrade_reason = reason;
     for (int id : region.stmts) {
       if (id >= 0 && static_cast<std::size_t>(id) < program.statements.size())
         m.ops += program.stmt(id).meta.executions;
     }
-    m.suggestions.push_back(std::string("region unanalyzable: ") + e.what());
+    m.suggestions.push_back("region unanalyzable: " + reason);
     return m;
+  };
+  if (cancel != nullptr && cancel->cancelled())
+    return degraded(std::string("job cancelled (") + cancel->reason_name() +
+                    ")");
+  try {
+    return feedback::analyze_region(program, region, o);
+  } catch (const Error& e) {
+    return degraded(e.what());
   }
 }
 
@@ -484,15 +559,23 @@ std::string full_report(const ProfileResult& r, const ReportOptions& ropts) {
   }
 
   // Differential soundness oracle: run BEFORE rendering so a downgraded
-  // parallel claim is reflected in the summaries it contradicts.
+  // parallel claim is reflected in the summaries it contradicts. Skipped
+  // — with a deterministic verdict line — when disabled (service overload
+  // downgrade) or when the job's token has fired (nothing left to spend
+  // verification effort on).
   std::string oracle_line = "skipped (module not retained)";
-  if (r.module != nullptr) {
+  if (!ropts.run_oracle) {
+    oracle_line = "skipped (disabled by service overload downgrade)";
+  } else if (r.cancel != nullptr && r.cancel->cancelled()) {
+    oracle_line = std::string("skipped (job cancelled: ") +
+                  r.cancel->reason_name() + ")";
+  } else if (r.module != nullptr) {
     std::vector<feedback::RegionMetrics*> ptrs;
     ptrs.reserve(metrics.size());
     for (auto& m : metrics) ptrs.push_back(&m);
     verify::OracleReport oracle =
         verify::run_oracle(*r.module, r.program, ptrs, /*downgrade=*/true,
-                           pool, ob);
+                           pool, ob, r.cancel);
     oracle_line = oracle.verdict_line();
   }
 

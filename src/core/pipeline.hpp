@@ -21,6 +21,7 @@
 #include "iiv/schedule_tree.hpp"
 #include "obs/obs.hpp"
 #include "support/budget.hpp"
+#include "support/cancel.hpp"
 #include "support/thread_pool.hpp"
 #include "vm/chaos.hpp"
 
@@ -59,6 +60,20 @@ struct PipelineOptions {
   /// overhead is bounded by bench/obs_overhead). The session lives in
   /// ProfileResult::obs.
   bool observe = false;
+  /// Cooperative cancellation (may be null; must outlive the run AND the
+  /// ProfileResult — full_report consults it too). A fired token stops
+  /// the run at the next checkpoint — stage boundary, VM step cadence,
+  /// fold merge position — and yields a diagnosed partial ProfileResult
+  /// with `truncated` and `cancelled` set, exactly like budget
+  /// exhaustion. pp::service plumbs one per job; library callers can pass
+  /// their own for ad-hoc timeouts (CancelToken::set_deadline_in_ms).
+  support::CancelToken* cancel = nullptr;
+  /// Share an existing worker pool instead of creating one per run (then
+  /// `threads` is ignored). pp::service points every job at one server
+  /// pool: concurrent runs inter-schedule their fan-outs on the same
+  /// work-stealing lanes (external callers are safe — they submit and
+  /// help from lane 0). Null: run() creates a pool from `threads`.
+  std::shared_ptr<support::ThreadPool> pool;
 };
 
 /// Everything the profiler learned about one execution.
@@ -76,11 +91,19 @@ struct ProfileResult {
   i64 exit_value = 0;
 
   /// The profile is partial: a replay trapped, the event stream was
-  /// rejected/truncated, or a budget cap tripped. Everything present is
-  /// still well-formed — stage-1 results survive stage-2 faults, and
-  /// degraded statements are certified over-approximations, never
-  /// silently wrong.
+  /// rejected/truncated, a budget cap tripped, or the job was cancelled.
+  /// Everything present is still well-formed — stage-1 results survive
+  /// stage-2 faults, and degraded statements are certified
+  /// over-approximations, never silently wrong.
   bool truncated = false;
+  /// The run was stopped by its CancelToken (client cancel or expired
+  /// deadline — `cancel->reason()` distinguishes). Always implies
+  /// `truncated`.
+  bool cancelled = false;
+  /// The token the run was handed (null when none). Non-owning;
+  /// full_report checks it to skip the oracle and report cancelled
+  /// regions deterministically.
+  support::CancelToken* cancel = nullptr;
   /// Structured record of every degradation, in pipeline order.
   support::DiagnosticLog diagnostics;
 
@@ -132,6 +155,10 @@ struct ReportOptions {
   /// stays byte-identical across thread counts and runs (the --stable
   /// golden contract). Set false for human consumption of real times.
   bool stable_self_profile = true;
+  /// Run the differential soundness oracle (the default). pp::service
+  /// disables it for jobs downgraded under overload — the report then
+  /// carries a deterministic "skipped" verdict line.
+  bool run_oracle = true;
 };
 
 /// The full textual feedback bundle the paper ships as its supplementary

@@ -198,6 +198,10 @@ void FoldingSink::on_dependence(ddg::DepKind kind, int src_stmt,
 FoldingSink::StmtOutcome FoldingSink::fold_stmt_buffer(
     const StmtBuffer& b) const {
   StmtOutcome out;
+  // Cancelled job: skip the work. The empty outcome is irrelevant — by
+  // coherence the merge loop observes the token at this slot's position
+  // too and degrades the statement without reading the outcome.
+  if (cancel_ != nullptr && cancel_->cancelled()) return out;
   // Same stream order and the same single try as the inline path: a fault
   // keeps whatever streams finished before it and loses the rest.
   try {
@@ -235,6 +239,7 @@ FoldingSink::StmtOutcome FoldingSink::fold_stmt_buffer(
 
 FoldingSink::DepOutcome FoldingSink::fold_dep_buffer(const DepBuffer& b) const {
   DepOutcome out;
+  if (cancel_ != nullptr && cancel_->cancelled()) return out;
   try {
     Folder f(b.dst_dim, b.src_dim, opts_);
     const std::size_t stride = b.dst_dim + b.src_dim;
@@ -298,11 +303,40 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
     std::sort(keys.begin(), keys.end());  // deterministic piece order
   }
 
+  // Cancellation is observed at merge positions only (structural order):
+  // once the token fires, every later statement/edge in the merge degrades
+  // to an over-approximation, identically at any thread count. The chaos
+  // kDeadlineMidFold hook fires the token AT a seeded merge position, so
+  // the degraded suffix is reproducible for the determinism tests.
+  std::size_t merge_pos = 0;
+  bool cancel_noted = false;
+  auto merge_checkpoint = [&]() -> bool {
+    if (chaos_deadline_at_ != 0 && merge_pos == chaos_deadline_at_ &&
+        cancel_ != nullptr)
+      cancel_->expire();
+    ++merge_pos;
+    if (cancel_ == nullptr || !cancel_->poll()) return false;
+    if (!cancel_noted) {
+      cancel_noted = true;
+      if (diag_ != nullptr)
+        diag_->warn(support::Stage::kFold,
+                    std::string("job cancelled (") + cancel_->reason_name() +
+                        ") — remaining statements and dependence edges "
+                        "degraded to over-approximations");
+    }
+    return true;
+  };
+
   for (const auto& meta : table.all()) {
     FoldedStatement fs;
     fs.meta = meta;
     bool degraded = degraded_.count(meta.id) != 0;
-    if (buffered()) {
+    if (merge_checkpoint()) {
+      // Drop the folded streams (in parallel mode phase A may not even
+      // have produced them); the statement survives as a degraded shell
+      // with its dynamic counters intact.
+      degraded = true;
+    } else if (buffered()) {
       auto oit = stmt_outcomes.find(meta.id);
       if (oit != stmt_outcomes.end()) {
         StmtOutcome& out = oit->second;
@@ -431,7 +465,18 @@ FoldedProgram FoldingSink::finalize(const ddg::StatementTable& table) {
     auto [src, dst, kind, slot] = key;
     (void)slot;
     poly::PolySet rel;
-    if (buffered()) {
+    if (merge_checkpoint()) {
+      // Cancelled: the edge survives as the maximal over-approximation so
+      // the scheduler still sees it (sound, never silently dropped).
+      if (buffered()) {
+        const DepBuffer& b = dep_buf_.at(key);
+        rel = universe_fallback(b.dst_dim, b.src_dim, b.points);
+      } else {
+        Folder* folder = deps_.at(key).get();
+        rel = universe_fallback(folder->in_dim(), folder->label_dim(),
+                                folder->points_seen());
+      }
+    } else if (buffered()) {
       DepOutcome& out = dep_outcomes[ki];
       if (out.fault) {
         const DepBuffer& b = dep_buf_.at(key);

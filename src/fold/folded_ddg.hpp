@@ -14,6 +14,7 @@
 #include "obs/obs.hpp"
 #include "poly/dep_relation.hpp"
 #include "support/budget.hpp"
+#include "support/cancel.hpp"
 #include "support/thread_pool.hpp"
 
 namespace pp::fold {
@@ -123,6 +124,18 @@ class FoldingSink : public ddg::DdgSink {
   /// a span and publishes stream/piece counters; nothing touches the
   /// streaming hot path.
   void set_obs(obs::Session* obs) { obs_ = obs; }
+  /// Cancellation token (may be null). finalize() polls it at every MERGE
+  /// position — never from phase-A worker tasks, which only probe it to
+  /// skip useless work — so a cancel observed mid-fold degrades the same
+  /// contiguous suffix of statements/edges at every thread count. The
+  /// already-merged prefix keeps its certified folds; the rest become
+  /// over-approximations, exactly like budget exhaustion.
+  void set_cancel(support::CancelToken* cancel) { cancel_ = cancel; }
+  /// Chaos hook (ServiceFault::kDeadlineMidFold): fire the token as an
+  /// expired deadline when the merge reaches position `pos` (0 disables).
+  /// Merge positions are structural, so the injected deadline lands on the
+  /// identical statement at any thread count.
+  void set_chaos_deadline_at(std::size_t pos) { chaos_deadline_at_ = pos; }
 
   /// The sink-wide canonical-piece cache shared by every folder this sink
   /// creates (unless FolderOptions carried an external one).
@@ -202,6 +215,8 @@ class FoldingSink : public ddg::DdgSink {
   support::ThreadPool* pool_ = nullptr;
   support::RunBudget* budget_ = nullptr;
   obs::Session* obs_ = nullptr;
+  support::CancelToken* cancel_ = nullptr;
+  std::size_t chaos_deadline_at_ = 0;
 };
 
 /// True when `op` is a scalar-evolution candidate: integer register

@@ -6,6 +6,7 @@
 #include <optional>
 #include <set>
 
+#include "support/diag.hpp"
 #include "support/matrix.hpp"
 
 namespace pp::scheduler {
@@ -331,6 +332,8 @@ int ScheduleResult::num_components(double min_fraction, u64 total_ops) const {
 
 ScheduleResult schedule(const Problem& problem, const Options& opts) {
   ScheduleResult res;
+  if (opts.cancel != nullptr && opts.cancel->poll())
+    throw Error("job cancelled during scheduling");
   if (problem.statements.empty()) return res;
 
   // Fusion structure: one group (maxfuse) or dependence-connected
@@ -370,6 +373,12 @@ ScheduleResult schedule(const Problem& problem, const Options& opts) {
   }
   res.groups.resize(groups.size());
   auto run_group = [&](std::size_t i) {
+    // Per-group checkpoint: parallel_for rethrows the first exception at
+    // the join, so a mid-schedule cancel surfaces exactly like a serial
+    // one (cancelled() only — the poll()s at the boundaries fire the
+    // deadline; worker tasks never mutate the token).
+    if (opts.cancel != nullptr && opts.cancel->cancelled())
+      throw Error("job cancelled during scheduling");
     res.groups[i] = schedule_group(problem, std::move(groups[i]), opts);
   };
   if (opts.pool != nullptr) {

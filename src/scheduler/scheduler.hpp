@@ -21,6 +21,7 @@
 #include "obs/obs.hpp"
 #include "poly/dep_relation.hpp"
 #include "poly/polyhedron.hpp"
+#include "support/cancel.hpp"
 #include "support/thread_pool.hpp"
 
 namespace pp::scheduler {
@@ -81,6 +82,12 @@ struct Options {
   /// Observability session (may be null): schedule() wraps its group
   /// fan-out in a span and counts groups/levels solved.
   obs::Session* obs = nullptr;
+  /// Cancellation token (may be null): polled at entry and before each
+  /// group's candidate search. A fired token makes schedule() throw
+  /// pp::Error("job cancelled during scheduling"), which the region
+  /// analyzer catches into an UNANALYZABLE region — the schedule is
+  /// all-or-nothing, so there is no partial result to degrade to.
+  support::CancelToken* cancel = nullptr;
 };
 
 /// One schedule level (a row of the schedule matrix, aligned dimensions).

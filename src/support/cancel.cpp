@@ -1,0 +1,14 @@
+#include "support/cancel.hpp"
+
+namespace pp::support {
+
+const char* cancel_reason_name(CancelReason r) {
+  switch (r) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kCancel: return "cancel";
+    case CancelReason::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+}  // namespace pp::support

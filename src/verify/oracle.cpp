@@ -439,9 +439,10 @@ std::string OracleReport::verdict_line() const {
 OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
                         const std::vector<feedback::RegionMetrics*>& regions,
                         bool downgrade, support::ThreadPool* pool,
-                        obs::Session* obs) {
+                        obs::Session* obs, support::CancelToken* cancel) {
   obs::Span oracle_span(obs, "oracle:run");
   OracleReport r;
+  if (cancel != nullptr && cancel->poll()) return r;
   r.coverage = check_dynamic_coverage(m, prog, pool);
   // Each region's claim check touches only that region's metrics, so the
   // checks fan out; reports land in pre-indexed slots preserving the
@@ -451,6 +452,9 @@ OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
     if (regions[i] != nullptr && regions[i]->analyzable) picked.push_back(i);
   r.claims.resize(picked.size());
   auto check_region = [&](std::size_t k) {
+    // Cancelled mid-oracle: leave this region's ClaimReport empty rather
+    // than half-examined (cancelled() only — tasks never fire the token).
+    if (cancel != nullptr && cancel->cancelled()) return;
     r.claims[k] =
         check_parallel_claims(prog, *regions[picked[k]], downgrade, pool);
   };

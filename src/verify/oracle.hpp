@@ -22,6 +22,7 @@
 #include "feedback/metrics.hpp"
 #include "fold/folded_ddg.hpp"
 #include "obs/obs.hpp"
+#include "support/cancel.hpp"
 #include "support/thread_pool.hpp"
 #include "verify/static_deps.hpp"
 
@@ -107,10 +108,15 @@ struct OracleReport {
 /// per-group sweeps within each region. Reports collect into pre-indexed
 /// slots and merge in region order — byte-identical at any lane count.
 /// `obs` (optional) wraps the run in a span and counts regions/claims.
+/// `cancel` (optional): a token fired before the run skips the coverage
+/// sweep entirely; one fired mid-run leaves the remaining regions'
+/// ClaimReports empty (zero claims, no witnesses) — an un-examined claim
+/// is never downgraded, so a cancelled oracle can't corrupt metrics.
 OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
                         const std::vector<feedback::RegionMetrics*>& regions,
                         bool downgrade = true,
                         support::ThreadPool* pool = nullptr,
-                        obs::Session* obs = nullptr);
+                        obs::Session* obs = nullptr,
+                        support::CancelToken* cancel = nullptr);
 
 }  // namespace pp::verify

@@ -25,6 +25,19 @@ const char* fault_kind_name(FaultKind k) {
   return "?";
 }
 
+const char* service_fault_name(ServiceFault f) {
+  switch (f) {
+    case ServiceFault::kNone: return "none";
+    case ServiceFault::kCancelAtControl: return "cancel-at-control";
+    case ServiceFault::kCancelAtDdg: return "cancel-at-ddg";
+    case ServiceFault::kCancelAtFold: return "cancel-at-fold";
+    case ServiceFault::kCancelAtFeedback: return "cancel-at-feedback";
+    case ServiceFault::kDeadlineMidFold: return "deadline-mid-fold";
+    case ServiceFault::kQueueFull: return "queue-full";
+  }
+  return "?";
+}
+
 ChaosObserver::ChaosObserver(Observer* inner, ChaosOptions opts)
     : inner_(inner), opts_(opts) {
   u64 span = opts_.window == 0 ? 1 : opts_.window;

@@ -61,14 +61,15 @@ void EventRing::close() {
     std::lock_guard<std::mutex> lk(mu_);
     closed_ = true;
   }
-  not_empty_.notify_one();
+  not_empty_.notify_all();
 }
 
 bool EventRing::consume(std::vector<Event>& out) {
   std::unique_lock<std::mutex> lk(mu_);
+  if (aborted_) return false;  // consumer side already closed
   if (count_ == 0 && !closed_) ++stats_.consumer_stalls;
-  not_empty_.wait(lk, [&] { return count_ > 0 || closed_; });
-  if (count_ == 0) return false;
+  not_empty_.wait(lk, [&] { return count_ > 0 || closed_ || aborted_; });
+  if (aborted_ || count_ == 0) return false;
   std::swap(out, slots_[head_]);  // drained vector goes back for reuse
   head_ = (head_ + 1) % slots_.size();
   --count_;
@@ -77,12 +78,16 @@ bool EventRing::consume(std::vector<Event>& out) {
   return true;
 }
 
-void EventRing::abort() {
+void EventRing::close_consumer() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     aborted_ = true;
   }
-  not_full_.notify_one();
+  // Wake BOTH sides: the producer may be parked in acquire() on a full
+  // ring (the deadlock this call exists to break), and a second consume()
+  // racing in must see the closure rather than wait forever.
+  not_full_.notify_all();
+  not_empty_.notify_all();
 }
 
 void RingWriter::push(const Event& ev) {
@@ -103,7 +108,8 @@ RunResult replay_threaded(
     Machine& m, const std::string& entry, const std::vector<i64>& args,
     u64 max_steps, Observer& downstream,
     const std::function<Observer*(Observer&)>& wrap_producer,
-    std::size_t ring_slots, std::size_t batch_capacity, obs::Session* obs) {
+    std::size_t ring_slots, std::size_t batch_capacity, obs::Session* obs,
+    support::CancelToken* cancel) {
   EventRing ring(ring_slots, batch_capacity);
   RingWriter writer(ring);
   Observer* head = &writer;
@@ -112,6 +118,7 @@ RunResult replay_threaded(
   RunResult result;
   std::exception_ptr producer_error;
   m.set_observer(head);
+  m.set_cancel(cancel);
   std::thread producer([&] {
     try {
       result = m.run(entry, args, max_steps);
@@ -130,15 +137,24 @@ RunResult replay_threaded(
     while (ring.consume(batch)) {
       events_consumed += batch.size();
       for (const Event& ev : batch) dispatch_event(ev, downstream);
+      // Batch-granular cancellation checkpoint: stop draining and unpark
+      // the producer; it observes the token at its own step cadence and
+      // finishes as a truncated run.
+      if (cancel != nullptr && cancel->poll()) {
+        ring.close_consumer();
+        break;
+      }
     }
   } catch (...) {
     ring.abort();
     producer.join();
     m.set_observer(nullptr);
+    m.set_cancel(nullptr);
     throw;
   }
   producer.join();
   m.set_observer(nullptr);
+  m.set_cancel(nullptr);
   if (obs != nullptr && obs->enabled()) {
     const EventRing::Stats rs = ring.stats();
     obs->add("ring.events_consumed", static_cast<i64>(events_consumed),

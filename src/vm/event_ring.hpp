@@ -61,9 +61,15 @@ class EventRing {
   /// Swap the oldest committed batch into `out`; blocks until a batch is
   /// available or the ring is closed and drained (then returns false).
   bool consume(std::vector<Event>& out);
-  /// Consumer is bailing out (downstream threw): unblock the producer and
-  /// discard everything it still commits.
-  void abort();
+  /// Consumer is done early — cancellation, a downstream trap, or any
+  /// other early exit. A producer parked in acquire() on a full ring is
+  /// unblocked, and everything it still commits is discarded silently, so
+  /// the producer thread always runs to completion and can be joined
+  /// without deadlock. Idempotent; safe to call from either side.
+  void close_consumer();
+  /// Consumer is bailing out (downstream threw): alias for
+  /// close_consumer(), kept for the exception path's vocabulary.
+  void abort() { close_consumer(); }
 
   /// Occupancy/stall accounting (self-observability). Counted inline under
   /// the ring mutex — no extra synchronization, no cost beyond an
@@ -156,11 +162,17 @@ class RingWriter final : public Observer {
 /// `obs` (optional) receives the ring's occupancy/stall counters and the
 /// consumed event count after the replay (accumulating adds: the pipeline
 /// replays twice per run).
+/// `cancel` (optional) makes the replay cooperatively cancellable: the
+/// Machine polls it at its step cadence on the producer thread (the run
+/// comes back truncated, reason "cancelled"), and the consumer checks it
+/// between batches — on cancellation it stops draining via
+/// close_consumer(), which also unparks a producer blocked on a full
+/// ring, so a cancelled replay can never deadlock.
 RunResult replay_threaded(
     Machine& m, const std::string& entry, const std::vector<i64>& args,
     u64 max_steps, Observer& downstream,
     const std::function<Observer*(Observer&)>& wrap_producer = {},
     std::size_t ring_slots = 8, std::size_t batch_capacity = 4096,
-    obs::Session* obs = nullptr);
+    obs::Session* obs = nullptr, support::CancelToken* cancel = nullptr);
 
 }  // namespace pp::vm

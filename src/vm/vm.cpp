@@ -113,6 +113,7 @@ RunResult Machine::run(const std::string& entry, const std::vector<i64>& args,
   i64 exit_value = 0;
   u64 steps = 0;
   bool truncated = false;
+  bool cancelled = false;
   while (!stack.empty()) {
     Frame& fr = stack.back();
     const ir::Function& f = module_.functions[static_cast<std::size_t>(fr.func)];
@@ -123,6 +124,13 @@ RunResult Machine::run(const std::string& entry, const std::vector<i64>& args,
       // Degrade, don't die: a step-capped run yields partial stats and a
       // truncation status instead of discarding everything collected.
       truncated = true;
+      break;
+    }
+    // Cancellation checkpoint: fixed step cadence, so a token fired before
+    // the run truncates at the same step ordinal at every thread count.
+    if (cancel_ != nullptr && (steps & 2047u) == 0 && cancel_->poll()) {
+      truncated = true;
+      cancelled = true;
       break;
     }
     ++stats_.instructions;
@@ -283,7 +291,10 @@ RunResult Machine::run(const std::string& entry, const std::vector<i64>& args,
   res.exit_value = exit_value;
   res.stats = stats_;
   res.truncated = truncated;
-  if (truncated)
+  if (cancelled)
+    res.truncate_reason =
+        std::string("cancelled (") + cancel_->reason_name() + ")";
+  else if (truncated)
     res.truncate_reason =
         "VM step limit (" + std::to_string(max_steps) + ") exceeded";
   return res;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ir/ir.hpp"
+#include "support/cancel.hpp"
 
 namespace pp::vm {
 
@@ -102,6 +103,12 @@ class Machine {
   void set_observer(Observer* obs) { observer_ = obs; }
   void set_cost_model(const CostModel& cm) { cost_ = cm; }
 
+  /// Cooperative cancellation: run() polls the token every ~2048 steps
+  /// (same cadence at every thread count — a pre-fired token truncates at
+  /// a deterministic step ordinal) and stops with a truncated RunResult,
+  /// exactly like the step cap. May be null (default: never cancelled).
+  void set_cancel(support::CancelToken* cancel) { cancel_ = cancel; }
+
   /// Run `entry` with the given arguments; throws pp::Error on traps
   /// (bad address, division by zero). Exhausting `max_steps` is NOT a
   /// trap: the run stops and returns a truncated RunResult.
@@ -133,6 +140,7 @@ class Machine {
   const ir::Module& module_;
   std::vector<i64> memory_;  ///< word-granular backing store
   Observer* observer_ = nullptr;
+  support::CancelToken* cancel_ = nullptr;
   CostModel cost_;
   std::vector<u64> cache_tags_;
   RunStats stats_;

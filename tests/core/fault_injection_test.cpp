@@ -143,6 +143,97 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "_s" + std::to_string(std::get<1>(info.param));
     });
 
+// Service-level fault points: each one fires the run's CancelToken at a
+// deterministic structural point (stage boundary / seeded fold merge
+// position). Same contract as the event-stream faults — a diagnosed
+// partial result, never a throw — plus the cancellation bookkeeping.
+class ServiceFaultMatrix
+    : public ::testing::TestWithParam<std::tuple<vm::ServiceFault, u64>> {};
+
+TEST_P(ServiceFaultMatrix, EveryServiceFaultYieldsDiagnosedPartialResult) {
+  auto [fault, seed] = GetParam();
+  Module m = layerforward_module(8, 4);
+
+  support::CancelToken token;
+  PipelineOptions opts;
+  opts.chaos.service = fault;
+  opts.chaos.seed = seed;
+  opts.cancel = &token;
+  ProfileResult r;
+  ASSERT_NO_THROW(r = Pipeline(m).run(opts));
+
+  EXPECT_TRUE(r.truncated) << vm::service_fault_name(fault);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_FALSE(r.diagnostics.empty());
+  EXPECT_NE(r.diagnostics.render().find("cancelled"), std::string::npos);
+
+  // kDeadlineMidFold expires the deadline; the cancel points fire a plain
+  // cancel — the reason is preserved for the service's outcome report.
+  if (fault == vm::ServiceFault::kDeadlineMidFold)
+    EXPECT_EQ(token.reason(), support::CancelReason::kDeadline);
+  else
+    EXPECT_EQ(token.reason(), support::CancelReason::kCancel);
+
+  std::string report;
+  ASSERT_NO_THROW(report = full_report(r));
+  EXPECT_NE(report.find("PARTIAL PROFILE"), std::string::npos);
+  EXPECT_NE(report.find("cancelled"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllServiceFaults, ServiceFaultMatrix,
+    ::testing::Combine(
+        ::testing::Values(vm::ServiceFault::kCancelAtControl,
+                          vm::ServiceFault::kCancelAtDdg,
+                          vm::ServiceFault::kCancelAtFold,
+                          vm::ServiceFault::kCancelAtFeedback,
+                          vm::ServiceFault::kDeadlineMidFold),
+        ::testing::Values(u64{1}, u64{2}, u64{3})),
+    [](const auto& info) {
+      std::string name = vm::service_fault_name(std::get<0>(info.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ServiceFault, CancelAtDdgPreservesStageOneStructure) {
+  // Cancelling at the stage-2 boundary must not cost the control
+  // structure stage 1 already built.
+  Module m = layerforward_module(8, 4);
+  ProfileResult clean = Pipeline(m).run();
+  ControlShape clean_shape = shape_of(clean.control);
+
+  support::CancelToken token;
+  PipelineOptions opts;
+  opts.chaos.service = vm::ServiceFault::kCancelAtDdg;
+  opts.cancel = &token;
+  ProfileResult r = Pipeline(m).run(opts);
+  ControlShape s = shape_of(r.control);
+  EXPECT_EQ(s.forests, clean_shape.forests);
+  EXPECT_EQ(s.total_loops, clean_shape.total_loops);
+  EXPECT_EQ(s.main_max_depth, clean_shape.main_max_depth);
+  EXPECT_EQ(r.statements.size(), 0u);  // stage 2 never ran
+}
+
+TEST(ServiceFault, RealDeadlineExpiryDegradesLikeChaosDeadline) {
+  // A genuinely expired deadline (not chaos-injected) lands wherever the
+  // next checkpoint is; it must still come back diagnosed, with the
+  // deadline reason recorded.
+  Module m = layerforward_module(16, 16);
+  support::CancelToken token;
+  token.set_deadline_in_ms(0);  // already expired at the first poll
+  PipelineOptions opts;
+  opts.cancel = &token;
+  ProfileResult r;
+  ASSERT_NO_THROW(r = Pipeline(m).run(opts));
+  EXPECT_TRUE(r.truncated);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(token.reason(), support::CancelReason::kDeadline);
+  EXPECT_NE(r.diagnostics.render().find("deadline"), std::string::npos);
+  ASSERT_NO_THROW(full_report(r));
+}
+
 TEST(FaultInjection, RuntimeTrapYieldsPartialProfile) {
   Module m = trapping_module(16);
   ProfileResult r;

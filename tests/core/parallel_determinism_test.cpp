@@ -98,5 +98,61 @@ TEST(ParallelDeterminismBudget, PieceBudgetDegradesIdentically) {
   }
 }
 
+// Determinism under cancellation: a job cancelled at a structural point —
+// stage boundary or fold merge position — produces a byte-identical
+// partial report at ANY thread count. The chaos service faults fire the
+// token at exactly those points, so the whole cancellation surface is
+// coverable without wall-clock races. Each run gets a FRESH token (tokens
+// are one-shot) and the token outlives full_report (which consults it).
+TEST(ParallelDeterminismCancel, CancelledRunsMatchSerialReference) {
+  workloads::Workload wl = workloads::make_rodinia("pathfinder");
+  auto report_with = [&](vm::ServiceFault fault, u64 seed, unsigned threads) {
+    support::CancelToken token;
+    core::PipelineOptions opts;
+    opts.chaos.service = fault;
+    opts.chaos.seed = seed;
+    opts.cancel = &token;
+    opts.threads = threads;
+    core::ProfileResult r = core::Pipeline(wl.module).run(opts);
+    return core::full_report(r);
+  };
+  for (vm::ServiceFault fault :
+       {vm::ServiceFault::kCancelAtControl, vm::ServiceFault::kCancelAtDdg,
+        vm::ServiceFault::kCancelAtFold, vm::ServiceFault::kCancelAtFeedback,
+        vm::ServiceFault::kDeadlineMidFold}) {
+    SCOPED_TRACE(std::string("fault=") + vm::service_fault_name(fault));
+    const std::string serial = report_with(fault, 3, 1);
+    EXPECT_NE(serial.find("PARTIAL PROFILE"), std::string::npos);
+    for (unsigned threads : {2u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EXPECT_EQ(serial, report_with(fault, 3, threads));
+    }
+  }
+}
+
+// The seeded mid-fold deadline lands on different merge positions for
+// different seeds; every one of them must stay thread-count-invariant.
+TEST(ParallelDeterminismCancel, MidFoldDeadlineSeedSweep) {
+  workloads::Workload wl = workloads::make_rodinia("srad_v1");
+  auto report_with = [&](u64 seed, unsigned threads) {
+    support::CancelToken token;
+    core::PipelineOptions opts;
+    opts.chaos.service = vm::ServiceFault::kDeadlineMidFold;
+    opts.chaos.seed = seed;
+    opts.cancel = &token;
+    opts.threads = threads;
+    core::ProfileResult r = core::Pipeline(wl.module).run(opts);
+    return core::full_report(r);
+  };
+  for (u64 seed : {u64{0}, u64{1}, u64{2}, u64{3}}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const std::string serial = report_with(seed, 1);
+    for (unsigned threads : {2u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EXPECT_EQ(serial, report_with(seed, threads));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pp

@@ -214,5 +214,82 @@ TEST(EventRing, ProducerInterposeSeesTheStream) {
             counter->events);
 }
 
+TEST(EventRing, ConsumerEarlyExitUnblocksProducer) {
+  // Deadlock regression: a consumer that stops draining (cancellation,
+  // early shutdown) must unpark a producer blocked in acquire() on a full
+  // ring. The tiny ring guarantees the producer parks almost immediately;
+  // without close_consumer() this join hangs forever.
+  EventRing ring(/*slots=*/2, /*batch_capacity=*/4);
+  std::thread producer([&] {
+    for (int batch = 0; batch < 64; ++batch) {
+      auto& buf = ring.acquire();
+      for (int i = 0; i < 4; ++i) {
+        Event ev;
+        ev.kind = Event::Kind::kLocalJump;
+        ev.func = batch;
+        ev.dst_bb = i;
+        buf.push_back(ev);
+      }
+      ring.commit();
+    }
+    ring.close();
+  });
+  std::vector<Event> batch;
+  ASSERT_TRUE(ring.consume(batch));  // take one batch, then walk away
+  ring.close_consumer();
+  producer.join();  // the whole test: this must not deadlock
+  // After the consumer closed its side, nothing more is drainable.
+  EXPECT_FALSE(ring.consume(batch));
+}
+
+TEST(EventRing, CloseConsumerIsIdempotentAndOrderInsensitive) {
+  EventRing ring(2, 4);
+  ring.close_consumer();
+  ring.close_consumer();  // idempotent
+  // A producer starting after the consumer left just discards everything.
+  auto& buf = ring.acquire();
+  buf.push_back(Event{});
+  ring.commit();
+  ring.close();
+  std::vector<Event> batch;
+  EXPECT_FALSE(ring.consume(batch));
+}
+
+TEST(EventRing, PreFiredCancelTruncatesReplayAtStepCadence) {
+  // A token fired before the replay starts stops the Machine at its first
+  // cancel checkpoint (every 2048 retired steps) — deterministically, on
+  // the producer thread, with the truncation reason recorded.
+  Module m = loop_module(5000);  // far more than 2048 steps of work
+  support::CancelToken token;
+  token.cancel();
+  TraceRecorder sink;
+  Machine vm(m);
+  RunResult r =
+      replay_threaded(vm, "main", {}, 500'000'000, sink,
+                      /*wrap_producer=*/{}, /*ring_slots=*/8,
+                      /*batch_capacity=*/4096, /*obs=*/nullptr, &token);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_NE(r.truncate_reason.find("cancelled"), std::string::npos);
+  EXPECT_GT(r.stats.instructions, 0u);
+  EXPECT_LE(r.stats.instructions, 2048u);
+}
+
+TEST(EventRing, ConcurrentCancelNeverDeadlocks) {
+  // Wall-clock cancel racing a threaded replay over a tiny ring: whatever
+  // the interleaving, the replay returns (complete or truncated) and the
+  // producer thread is joined inside replay_threaded — no hang, no throw.
+  Module m = loop_module(20000);
+  for (int round = 0; round < 8; ++round) {
+    support::CancelToken token;
+    TraceRecorder sink;
+    Machine vm(m);
+    std::thread canceller([&] { token.cancel(); });
+    EXPECT_NO_THROW(replay_threaded(vm, "main", {}, 500'000'000, sink,
+                                    /*wrap_producer=*/{}, /*ring_slots=*/2,
+                                    /*batch_capacity=*/64, nullptr, &token));
+    canceller.join();
+  }
+}
+
 }  // namespace
 }  // namespace pp::vm
