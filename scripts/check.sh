@@ -34,14 +34,18 @@ else
   note "clang-format: SKIPPED (not installed)"
 fi
 
-# ---- 2. clang-tidy on the verify subsystem ------------------------------
+# ---- 2. clang-tidy on the static-analysis subsystems --------------------
+# src/verify (oracle, exact analysis, mutator) and src/poly (Omega test,
+# simplex, polyhedra) carry the correctness-critical arithmetic; warnings
+# there are treated as errors.
 if command -v clang-tidy >/dev/null 2>&1; then
-  note "clang-tidy over src/verify/ (compile_commands from build/)"
+  note "clang-tidy over src/verify/ src/poly/ (compile_commands from build/)"
   if [[ ! -f build/compile_commands.json ]]; then
     cmake -S . -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   fi
-  if ! clang-tidy -p build src/verify/*.cpp; then
+  if ! clang-tidy -p build --warnings-as-errors='*' \
+      src/verify/*.cpp src/poly/*.cpp; then
     note "clang-tidy: FAILED"
     FAIL=1
   else
@@ -126,6 +130,23 @@ if [[ $RUN_TESTS -eq 1 ]]; then
     fi
   else
     note "fold regression gate: SKIPPED (build/bench/fold_only not built)"
+  fi
+  # ---- 3d. selective instrumentation gate (default flavor only) ----------
+  # bench/selective_overhead checks the PR-8 payoff contract: on a kernel
+  # whose every store the exact static analysis proves dependence-free,
+  # skipping stage-2 shadow work must beat the full run (median paired
+  # ratio below threshold), an empty-plan workload must pay at most the
+  # plan computation, and full_report must stay byte-identical.
+  if [[ -x build/bench/selective_overhead ]]; then
+    note "selective instrumentation gate: bench/selective_overhead --json"
+    if ! build/bench/selective_overhead --json; then
+      note "selective instrumentation gate: FAILED"
+      FAIL=1
+    else
+      note "selective instrumentation gate: OK"
+    fi
+  else
+    note "selective instrumentation gate: SKIPPED (build/bench/selective_overhead not built)"
   fi
   flavor build-asan sanitize -DPOLYPROF_SANITIZE=ON
   soak_gate build-asan sanitize

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "statican/statican.hpp"
+#include "verify/exact.hpp"
 #include "verify/oracle.hpp"
 #include "verify/verifier.hpp"
 #include "vm/event_ring.hpp"
@@ -204,6 +205,16 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   ddg::DdgOptions ddg_opts = opts.ddg;
   ddg_opts.budget = &budget;
   ddg_opts.diag = &res.diagnostics;
+  // Selective instrumentation: compute the dependence-free plan and hand
+  // it to the builder. Declared at this scope — the builder keeps a
+  // pointer for the whole replay. Deliberately NOT observed (no span, no
+  // counter): the observed report must stay byte-identical to a full run.
+  ddg::SelectivePlan splan;
+  if (opts.selective_instrumentation && !ddg_opts.track_anti_output &&
+      budget.shadow_pages == 0) {
+    splan = verify::exact::compute_selective_plan(module_);
+    if (splan.total_sites() > 0) ddg_opts.selective = &splan;
+  }
   ddg::DdgBuilder builder(module_, res.control, &sink, ddg_opts);
   {
     vm::Machine machine(module_);
@@ -263,6 +274,7 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
     }
     if (builder.budget_exhausted()) res.truncated = true;
   }
+  builder.materialize_skipped_pages();
   res.statements = builder.statements();
   res.ddg_dependences = builder.dependences_emitted();
   res.shadow_pages = builder.shadow().pages_live();
@@ -542,6 +554,19 @@ std::string full_report(const ProfileResult& r, const ReportOptions& ropts) {
         render_baseline(i);
     }
     for (const auto& line : baseline_lines) os << line;
+  }
+  os << "\n";
+
+  // The precision tier above the baseline: exact (Omega-test) pairwise
+  // verdicts, the three-way statement classification, and the selective-
+  // instrumentation plan. A pure function of the module — rendered whether
+  // or not the run actually skipped anything, so selective and full runs
+  // stay byte-identical.
+  os << "-- static precision --\n";
+  if (r.module == nullptr) {
+    os << "unavailable (module not retained)\n";
+  } else {
+    os << verify::exact::precision_section(*r.module, pool);
   }
   os << "\n";
   os << "-- decorated schedule tree (ops share, source refs) --\n";

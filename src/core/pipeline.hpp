@@ -42,6 +42,15 @@ struct PipelineOptions {
   /// degrade paths; kNone in production). Stage 1 is never chaos-wrapped,
   /// so the control structure stays intact under injected faults.
   vm::ChaosOptions chaos;
+  /// Selective instrumentation: before stage 2, run the exact static
+  /// dependence analysis (verify::exact) and skip shadow-memory tracking
+  /// for access sites proven dependence-free. Pure optimization — the
+  /// full_report is byte-identical to a full run by construction (the
+  /// skipped sites could never have produced a dependence edge, and the
+  /// shadow page count is reconstructed from recorded store addresses).
+  /// Silently ignored when it could be observable: anti/output tracking
+  /// on, or a shadow-page budget set (skips would move its trip point).
+  bool selective_instrumentation = false;
   /// Run the pp::verify module verifier before any replay (the default).
   /// An ill-formed module is rejected with structured diagnostics instead
   /// of trapping mid-execution. Opt out for deliberately malformed inputs

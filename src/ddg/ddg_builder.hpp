@@ -18,6 +18,7 @@
 #include <span>
 
 #include "cfg/loop_events.hpp"
+#include "ddg/selective.hpp"
 #include "ddg/shadow.hpp"
 #include "ddg/statement.hpp"
 #include "iiv/diiv.hpp"
@@ -73,6 +74,14 @@ struct DdgOptions {
   const support::RunBudget* budget = nullptr;
   /// Destination for the (single) budget-exhaustion diagnostic.
   support::DiagnosticLog* diag = nullptr;
+  /// Selective instrumentation (verify::exact::compute_selective_plan):
+  /// access sites proven dependence-free skip shadow-memory work entirely.
+  /// Loads skip the whole lookup; stores only append their address to a
+  /// flat vector so materialize_skipped_pages() can reconstruct the shadow
+  /// page count. Ignored when track_anti_output is set (skips would drop
+  /// WAR/WAW edges the plan does not reason about). The plan must outlive
+  /// the builder.
+  const SelectivePlan* selective = nullptr;
 };
 
 /// The Instrumentation-II observer. Wire it into a vm::Machine run after
@@ -102,6 +111,13 @@ class DdgBuilder : public vm::Observer {
   /// Introspection for benchmarks / reports.
   const support::CoordPool& coord_pool() const { return pool_; }
   const ShadowMemory& shadow() const { return shadow_; }
+
+  /// Memory events whose shadow work the selective plan elided.
+  u64 memory_events_skipped() const { return mem_skipped_; }
+  /// Touch the shadow words of every skipped store so pages_live matches a
+  /// full run exactly. Call once after the replay, before reading shadow
+  /// statistics.
+  void materialize_skipped_pages();
 
  private:
   void reg_dep(const ShadowFrame& frame, ir::Reg r, const Occurrence& dst,
@@ -136,6 +152,12 @@ class DdgBuilder : public vm::Observer {
   int ctx_id_ = -1;
   support::CoordRef coord_cache_;
   std::vector<i64> coord_scratch_;
+  bool stmt_skipped(int stmt, const Statement& s);
+  /// Per-statement skip verdict (-1 unknown, else 0/1): the plan lookup is
+  /// a set query, too slow for once-per-event.
+  std::vector<signed char> skip_cache_;
+  std::vector<i64> skipped_store_addrs_;
+  u64 mem_skipped_ = 0;
   std::set<int> clamped_;
   u64 deps_emitted_ = 0;
   bool budget_exhausted_ = false;

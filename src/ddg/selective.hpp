@@ -1,0 +1,52 @@
+// Selective-instrumentation plan: the set of static memory-access sites
+// stage 2 may skip without changing ANY observable output. The plan is
+// computed by pp::verify::exact (compute_selective_plan) but lives here as
+// plain data so the hot DDG layer does not depend on the verifier.
+//
+// Contract (the reason byte-identity holds by construction): a site is in
+// the plan only when it belongs to a dependence-free overlap component —
+// every access in the module is reach-known (global base, affine, clean
+// block, all coefficient loops with recovered bounds), the component's word
+// ranges are disjoint from every other component's, and the exact integer
+// test proves every (store, load) pair inside the component independent.
+// Skipping such a site therefore removes shadow traffic that could never
+// have produced a dependence edge; skipped stores record their addresses so
+// the shadow page count is reconstructed at the end of the replay.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pp::ddg {
+
+struct SelectivePlan {
+  struct FuncPlan {
+    /// Skippable (block, instr) sites of this function, sorted.
+    std::set<std::pair<int, int>> sites;
+  };
+  /// Indexed by function id (empty FuncPlan for functions with no sites).
+  std::vector<FuncPlan> funcs;
+  /// Dependence-free overlap components the sites were drawn from.
+  std::size_t groups = 0;
+  /// First reason the planner refused to emit any site (one unanalyzable
+  /// access poisons the whole address space); empty when a plan exists or
+  /// the module simply has no skippable component.
+  std::string poison_reason;
+
+  std::size_t total_sites() const {
+    std::size_t n = 0;
+    for (const FuncPlan& f : funcs) n += f.sites.size();
+    return n;
+  }
+
+  bool skip(int func, int block, int instr) const {
+    if (func < 0 || static_cast<std::size_t>(func) >= funcs.size())
+      return false;
+    return funcs[static_cast<std::size_t>(func)].sites.count(
+               {block, instr}) != 0;
+  }
+};
+
+}  // namespace pp::ddg

@@ -466,8 +466,31 @@ FunctionModel model_function(const ir::Module& m, const ir::Function& f) {
     auto it = out.block_reasons.find(acc.block);
     bool clean = it == out.block_reasons.end() || it->second.empty();
     acc.modeled = acc.affine && clean;
+    // Classification lattice: the block's reason set separates
+    // "data-dependent but structurally affine" (B/C only — Klimov's
+    // weakly-dynamic shape) from "statically hopeless" (R/F/A/P).
+    if (!acc.affine) {
+      acc.cls = AccessClass::kDynamicRequired;
+    } else if (clean) {
+      acc.cls = AccessClass::kStaticExact;
+    } else {
+      bool soft = true;
+      for (char rsn : it->second)
+        if (rsn != 'B' && rsn != 'C') soft = false;
+      acc.cls = soft ? AccessClass::kWeaklyDynamic
+                     : AccessClass::kDynamicRequired;
+    }
   }
   return out;
+}
+
+const char* access_class_name(AccessClass c) {
+  switch (c) {
+    case AccessClass::kStaticExact: return "static-exact";
+    case AccessClass::kWeaklyDynamic: return "weakly-dynamic";
+    case AccessClass::kDynamicRequired: return "dynamic-required";
+  }
+  return "?";
 }
 
 std::set<char> analyze_region(const ir::Module& m,

@@ -39,6 +39,25 @@ struct FunctionVerdict {
 /// not, unlike the dynamic CFGs of stage 1.
 cfg::FunctionCfg static_cfg(const ir::Function& f);
 
+/// Three-way classification of a memory access, the lattice pp::verify's
+/// exact dependence analysis refines (Klimov's weakly-dynamic programs):
+///   kStaticExact     affine access in a reason-free block — a candidate
+///                    for provably exact static dependence information
+///                    (verify::exact downgrades candidates whose pairwise
+///                    dependence questions the integer test cannot decide)
+///   kWeaklyDynamic   affine access whose environment is data-dependent
+///                    but structurally sound: the block carries only
+///                    B (non-affine bound/conditional) or C (complex CFG)
+///   kDynamicRequired non-affine address, or a block with R/F/A/P — only
+///                    dynamic profiling can see its dependences
+enum class AccessClass : std::uint8_t {
+  kStaticExact,
+  kWeaklyDynamic,
+  kDynamicRequired,
+};
+
+const char* access_class_name(AccessClass c);
+
 /// One statically recovered memory access (kLoad / kStore). The address is
 /// modeled in *IV-value space*: addr = base + sum(coeffs[l] * iv_l) + offset
 /// where iv_l is the runtime VALUE of loop l's canonical induction variable
@@ -59,6 +78,10 @@ struct AccessInfo {
   i64 base_addr = 0;         ///< global base address (base_arg < 0)
   std::map<int, i64> coeffs; ///< loop id -> byte coefficient per IV value
   i64 offset = 0;            ///< constant byte term (absolute for globals)
+  /// Static classification (see AccessClass). Computed purely from
+  /// `affine` and the enclosing block's reasons — the exact dependence
+  /// pass may further downgrade kStaticExact to kWeaklyDynamic.
+  AccessClass cls = AccessClass::kDynamicRequired;
 };
 
 /// Recovered value range of a loop's canonical IV, inclusive. `hi` is

@@ -245,4 +245,111 @@ Mutation mutate(Module& m, DefectClass cls, u64 seed) {
   fatal("mutate: unknown defect class");
 }
 
+const char* access_mutation_name(AccessMutation c) {
+  switch (c) {
+    case AccessMutation::kWeaklyDynamic: return "weakly-dynamic-flip";
+    case AccessMutation::kDynamicRequired: return "dynamic-required-flip";
+  }
+  return "?";
+}
+
+statican::AccessClass expected_access_class(AccessMutation c) {
+  return c == AccessMutation::kWeaklyDynamic
+             ? statican::AccessClass::kWeaklyDynamic
+             : statican::AccessClass::kDynamicRequired;
+}
+
+AccessMutationResult mutate_access(Module& m, AccessMutation cls, u64 seed) {
+  Rng rng{seed * 0x9e3779b97f4a7c15ull + 0xa5ull + static_cast<u64>(cls)};
+  struct Site { Function* f; int b; int i; };
+  std::vector<Site> sites;
+  for (auto& f : m.functions) {
+    if (f.blocks.empty()) continue;
+    const statican::FunctionModel fm = statican::model_function(m, f);
+    for (const auto& acc : fm.accesses) {
+      if (acc.cls != statican::AccessClass::kStaticExact) continue;
+      if (cls == AccessMutation::kWeaklyDynamic) {
+        // The condition laundering needs a branch to corrupt.
+        const Op term = f.block(acc.block).instrs.back().op;
+        if (term != Op::kBr && term != Op::kBrCond) continue;
+      }
+      sites.push_back({&f, acc.block, acc.instr});
+    }
+  }
+  AccessMutationResult mu;
+  mu.cls = cls;
+  if (sites.empty()) return mu;
+  const Site s = sites[rng.below(sites.size())];
+  Function& f = *s.f;
+  auto& bb = f.block(s.b);
+  const std::size_t ai = static_cast<std::size_t>(s.i);
+  const Reg addr = bb.instrs[ai].a;
+  const i64 imm = bb.instrs[ai].imm;
+  const Reg r0 = f.num_regs, r1 = f.num_regs + 1, r2 = f.num_regs + 2;
+  f.num_regs += 3;
+  Instr ld;
+  ld.op = Op::kLoad;
+  ld.dst = r0;
+  ld.a = addr;
+  ld.imm = imm;  // re-reads the access's own word: always a valid address
+  mu.func = f.id;
+  mu.block = s.b;
+
+  if (cls == AccessMutation::kDynamicRequired) {
+    // addr' = addr + (x - x): the same address at runtime, statically
+    // opaque (the loaded value has no affine structure).
+    Instr sub;
+    sub.op = Op::kSub;
+    sub.dst = r1;
+    sub.a = r0;
+    sub.b = r0;
+    Instr add;
+    add.op = Op::kAdd;
+    add.dst = r2;
+    add.a = addr;
+    add.b = r1;
+    bb.instrs.insert(bb.instrs.begin() + static_cast<std::ptrdiff_t>(ai),
+                     {ld, sub, add});
+    bb.instrs[ai + 3].a = r2;
+    mu.instr = s.i + 3;
+    mu.description = "access address laundered through loaded data";
+    return mu;
+  }
+
+  // kWeaklyDynamic: make the block's branch condition data-dependent while
+  // leaving the taken edge unchanged. Insertions land before the
+  // terminator, so the access keeps its index.
+  mu.instr = s.i;
+  if (bb.instrs.back().op == Op::kBr) {
+    // br T  ->  brcond (x == x), T, T
+    Instr cmp;
+    cmp.op = Op::kCmpEq;
+    cmp.dst = r1;
+    cmp.a = r0;
+    cmp.b = r0;
+    bb.instrs.insert(bb.instrs.end() - 1, {ld, cmp});
+    Instr& term = bb.instrs.back();
+    term.op = Op::kBrCond;
+    term.a = r1;
+    term.imm2 = term.imm;
+    mu.description = "br laundered into data-dependent brcond (same target)";
+  } else {
+    // brcond c, T, E  ->  brcond c + (x - x), T, E
+    Instr sub;
+    sub.op = Op::kSub;
+    sub.dst = r1;
+    sub.a = r0;
+    sub.b = r0;
+    Instr add;
+    add.op = Op::kAdd;
+    add.dst = r2;
+    add.a = bb.instrs.back().a;
+    add.b = r1;
+    bb.instrs.insert(bb.instrs.end() - 1, {ld, sub, add});
+    bb.instrs.back().a = r2;
+    mu.description = "brcond condition laundered through loaded data";
+  }
+  return mu;
+}
+
 }  // namespace pp::verify

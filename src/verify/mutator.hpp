@@ -9,6 +9,7 @@
 #include <string>
 
 #include "ir/ir.hpp"
+#include "statican/statican.hpp"
 #include "verify/verifier.hpp"
 
 namespace pp::verify {
@@ -43,5 +44,44 @@ struct Mutation {
 /// Apply one seeded defect of class `cls` to `m` in place. Requires a
 /// module with at least one function with at least one block.
 Mutation mutate(ir::Module& m, DefectClass cls, u64 seed);
+
+/// Semantics-preserving access-class mutations, the exact analysis's
+/// false-negative guard: flip a kStaticExact access site down the
+/// classification lattice without changing what the program computes, then
+/// assert the classifier downgrades it and the selective plan refuses to
+/// skip it.
+enum class AccessMutation : std::uint8_t {
+  /// Launder the block's branch condition through loaded data: the block
+  /// gains reason 'B' (data-dependent conditional) and the access drops to
+  /// kWeaklyDynamic. The laundered condition evaluates to the original
+  /// value, so control flow is unchanged.
+  kWeaklyDynamic,
+  /// Route the access address through loaded data (addr + (x - x)): the
+  /// address is no longer statically affine and the access drops to
+  /// kDynamicRequired. The detour adds zero, so the address is unchanged.
+  kDynamicRequired,
+};
+
+inline constexpr std::array<AccessMutation, 2> kAllAccessMutations = {
+    AccessMutation::kWeaklyDynamic, AccessMutation::kDynamicRequired};
+
+const char* access_mutation_name(AccessMutation c);
+
+/// The exact class the mutated site must land on.
+statican::AccessClass expected_access_class(AccessMutation c);
+
+/// Where the access mutation landed. func == -1: the module has no
+/// kStaticExact site whose block shape supports this mutation.
+struct AccessMutationResult {
+  AccessMutation cls{};
+  int func = -1;
+  int block = -1;
+  int instr = -1;  ///< index of the mutated access AFTER insertions
+  std::string description;
+};
+
+/// Apply one seeded, semantics-preserving access-class mutation in place.
+AccessMutationResult mutate_access(ir::Module& m, AccessMutation cls,
+                                   u64 seed);
 
 }  // namespace pp::verify

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "verify/dataflow.hpp"
+#include "verify/exact.hpp"
 
 namespace pp::verify {
 
@@ -23,11 +24,11 @@ namespace {
 struct FuncOracle {
   BlockGraph graph;
   ReachingDefs reaching;
-  MayDepSet may;
+  exact::ExactDeps ex;  ///< carries the MayDepSet (ex.may()) and the tier above
   std::set<ir::Reg> call_results;  ///< dsts of kCall (value pass-through)
 
   FuncOracle(const ir::Module& m, const ir::Function& f)
-      : graph(f), reaching(f, graph), may(m, f) {
+      : graph(f), reaching(f, graph), ex(m, f) {
     for (const auto& bb : f.blocks)
       for (const auto& in : bb.instrs)
         if (in.op == ir::Op::kCall && instr_writes(in))
@@ -123,18 +124,31 @@ CoverageReport check_dynamic_coverage(const ir::Module& m,
             .instrs[static_cast<std::size_t>(t.instr)];
 
     bool covered = true;
+    bool exact_refuted = false;
     if (d.kind == ddg::DepKind::kRegFlow) {
       covered = reg_flow_plausible(f, fo, s, si, t, ti);
       ++rep.checked;
     } else {
       // Memory kinds: only pairs statican fully models carry a verdict.
-      if (!fo.may.modeled(s.block, s.instr) ||
-          !fo.may.modeled(t.block, t.instr)) {
+      const MayDepSet& may = fo.ex.may();
+      if (!may.modeled(s.block, s.instr) || !may.modeled(t.block, t.instr)) {
         ++rep.skipped;
         continue;
       }
-      covered = fo.may.may_depend(s.block, s.instr, t.block, t.instr);
+      covered = may.may_depend(s.block, s.instr, t.block, t.instr);
       ++rep.checked;
+      if (covered) {
+        // Precision tier (dynamic ⊆ exact): a may-covered edge can still
+        // be refuted by the Omega test — kIndependent is a theorem that no
+        // two instances of the sites share an address, so an observed edge
+        // means one of the two analyses is wrong.
+        ++rep.exact_checked;
+        if (fo.ex.pair_verdict(s.block, s.instr, t.block, t.instr) ==
+            exact::PairVerdict::kIndependent) {
+          covered = false;
+          exact_refuted = true;
+        }
+      }
     }
     if (!covered) {
       CoverageViolation v;
@@ -146,7 +160,9 @@ CoverageReport check_dynamic_coverage(const ir::Module& m,
       os << ddg::dep_kind_name(d.kind) << " edge s" << d.src << " -> s"
          << d.dst << " (" << f.name << " b" << s.block << ":i" << s.instr
          << " -> b" << t.block << ":i" << t.instr
-         << ") observed dynamically but statically impossible";
+         << ") observed dynamically but "
+         << (exact_refuted ? "proven independent by the exact test"
+                           : "statically impossible");
       v.message = os.str();
       rep.violations.push_back(std::move(v));
     }
@@ -157,8 +173,80 @@ CoverageReport check_dynamic_coverage(const ir::Module& m,
 std::string CoverageReport::str() const {
   std::ostringstream os;
   os << "coverage: " << (ok() ? "ok" : "VIOLATED") << " (" << checked
-     << " edges checked, " << skipped << " skipped";
+     << " edges checked, " << exact_checked << " exact-re-checked, "
+     << skipped << " skipped";
   if (!ok()) os << ", " << violations.size() << " uncovered";
+  os << ")";
+  for (const auto& v : violations) os << "\n  " << v.message;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Part (c): exact ⊆ may-dep — the static precision tier.
+
+PrecisionReport check_precision_tier(const ir::Module& m,
+                                     support::ThreadPool* pool) {
+  PrecisionReport rep;
+  std::vector<const ir::Function*> funcs;
+  for (const ir::Function& f : m.functions)
+    if (!f.blocks.empty()) funcs.push_back(&f);
+
+  // The per-function analyses (statican model + memoized Omega verdicts)
+  // dominate the cost and are independent: build them into ordered slots.
+  std::vector<std::unique_ptr<exact::ExactDeps>> deps(funcs.size());
+  auto build = [&](std::size_t i) {
+    deps[i] = std::make_unique<exact::ExactDeps>(m, *funcs[i]);
+  };
+  if (pool != nullptr && !pool->serial()) {
+    pool->parallel_for(funcs.size(), build);
+  } else {
+    for (std::size_t i = 0; i < funcs.size(); ++i) build(i);
+  }
+
+  // Serial sweep in program order: violation order is deterministic.
+  for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+    const exact::ExactDeps& ex = *deps[fi];
+    const auto& acc = ex.model().accesses;
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      for (std::size_t j = i + 1; j < acc.size(); ++j) {
+        const statican::AccessInfo& x = acc[i];
+        const statican::AccessInfo& y = acc[j];
+        if (!x.is_store && !y.is_store) continue;
+        if (!ex.may().modeled(x.block, x.instr) ||
+            !ex.may().modeled(y.block, y.instr))
+          continue;
+        ++rep.pairs_checked;
+        const bool may = ex.may().may_alias(x, y);
+        const exact::PairVerdict v =
+            ex.pair_verdict(x.block, x.instr, y.block, y.instr);
+        if (!may && v == exact::PairVerdict::kDependent) {
+          PrecisionViolation pv;
+          pv.func = funcs[fi]->id;
+          pv.src_block = x.block;
+          pv.src_instr = x.instr;
+          pv.dst_block = y.block;
+          pv.dst_instr = y.instr;
+          std::ostringstream os;
+          os << funcs[fi]->name << " b" << x.block << ":i" << x.instr
+             << " vs b" << y.block << ":i" << y.instr
+             << ": may-tester proves the addresses disjoint but the exact "
+                "test finds an integer instance pair touching the same word";
+          pv.message = os.str();
+          rep.violations.push_back(std::move(pv));
+        } else if (may && v == exact::PairVerdict::kIndependent) {
+          ++rep.refined;
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+std::string PrecisionReport::str() const {
+  std::ostringstream os;
+  os << "precision: " << (ok() ? "ok" : "VIOLATED") << " (" << pairs_checked
+     << " pairs checked, " << refined << " refined by the exact tier";
+  if (!ok()) os << ", " << violations.size() << " mismatches";
   os << ")";
   for (const auto& v : violations) os << "\n  " << v.message;
   return os.str();
@@ -267,27 +355,83 @@ struct ClaimChecker {
     }
   }
 
-  /// LP fallback for pieces too large to enumerate: walk the levels
-  /// keeping the polyhedron of still-unsatisfied instances (distance
-  /// pinned to zero at every earlier level) and bound each level's
-  /// distance over it. Rational bounds are conservative: a claim is only
-  /// accepted when the relaxation proves the distance identically zero.
-  void check_lp(const poly::Piece& piece, const scheduler::GroupSchedule& g,
-                int grp, std::size_t shared, int dep_idx,
-                const fold::FoldedDep& d) {
-    ++rep.lp_checked_pieces;
+  /// The schedule distance of `level` as an affine form over the piece
+  /// domain (source instance = label_fn image of the target instance).
+  static AffineExpr distance_expr(const poly::Piece& piece,
+                                  const scheduler::Level& lv,
+                                  std::size_t shared) {
     std::size_t dim = piece.domain.dim();
+    AffineExpr dist(dim);
+    std::size_t n = std::min(shared, lv.row.size());
+    for (std::size_t j = 0; j < n; ++j) {
+      if (lv.row[j] == 0) continue;
+      dist = dist + (AffineExpr::var(dim, j) - piece.label_fn.output(j)) *
+                        lv.row[j];
+    }
+    return dist;
+  }
+
+  /// Exact walk for pieces too large to enumerate: at each level, the
+  /// Omega core decides whether any still-unsatisfied INTEGER instance has
+  /// a negative (or, for a parallel claim, nonzero) distance — the same
+  /// instances the enumerated walk would have visited, so every witness is
+  /// real and every pass is a theorem. Returns false as soon as a query
+  /// hits the effort cap; the caller then re-walks with the rational LP
+  /// bounds (the (grp,lvl,dep,kind) dedup makes the double walk safe).
+  bool check_exact(const poly::Piece& piece,
+                   const scheduler::GroupSchedule& g, int grp,
+                   std::size_t shared, int dep_idx,
+                   const fold::FoldedDep& d) {
     Polyhedron region = piece.domain;       // unsatisfied instances
     Polyhedron band_region = piece.domain;  // unsatisfied at band start
     for (std::size_t li = 0; li < g.levels.size(); ++li) {
       const scheduler::Level& lv = g.levels[li];
-      AffineExpr dist(dim);
-      std::size_t n = std::min(shared, lv.row.size());
-      for (std::size_t j = 0; j < n; ++j) {
-        if (lv.row[j] == 0) continue;
-        dist = dist + (AffineExpr::var(dim, j) - piece.label_fn.output(j)) *
-                          lv.row[j];
+      AffineExpr dist = distance_expr(piece, lv, shared);
+      if (li == 0 || lv.new_band) band_region = region;
+      auto test = [&](const Polyhedron& base, bool negative) {
+        Polyhedron q = base;
+        q.add_ge0(negative ? dist * -1 + (-1) : dist + (-1));
+        return poly::integer_feasible(q);
+      };
+      const poly::Feas neg = test(region, /*negative=*/true);
+      if (neg == poly::Feas::kUnknown) return false;
+      if (neg == poly::Feas::kFeasible) {
+        witness(ClaimWitness::Kind::kIllegalLevel, grp, static_cast<int>(li),
+                dep_idx, d, "integer instance with negative distance");
+      } else {
+        const poly::Feas bneg = test(band_region, /*negative=*/true);
+        if (bneg == poly::Feas::kUnknown) return false;
+        if (bneg == poly::Feas::kFeasible)
+          witness(ClaimWitness::Kind::kBandViolation, grp,
+                  static_cast<int>(li), dep_idx, d,
+                  "integer in-band instance with negative distance");
       }
+      if (lv.parallel) {
+        const poly::Feas pos = test(region, /*negative=*/false);
+        if (pos == poly::Feas::kUnknown) return false;
+        if (pos == poly::Feas::kFeasible || neg == poly::Feas::kFeasible)
+          witness(ClaimWitness::Kind::kParallelContradicted, grp,
+                  static_cast<int>(li), dep_idx, d,
+                  "integer instance with nonzero distance");
+      }
+      region.add_eq0(dist);
+    }
+    return true;
+  }
+
+  /// LP fallback: walk the levels keeping the polyhedron of
+  /// still-unsatisfied instances (distance pinned to zero at every earlier
+  /// level) and bound each level's distance over it. Rational bounds are
+  /// conservative: a claim is only accepted when the relaxation proves the
+  /// distance identically zero.
+  void check_lp(const poly::Piece& piece, const scheduler::GroupSchedule& g,
+                int grp, std::size_t shared, int dep_idx,
+                const fold::FoldedDep& d) {
+    Polyhedron region = piece.domain;       // unsatisfied instances
+    Polyhedron band_region = piece.domain;  // unsatisfied at band start
+    for (std::size_t li = 0; li < g.levels.size(); ++li) {
+      const scheduler::Level& lv = g.levels[li];
+      AffineExpr dist = distance_expr(piece, lv, shared);
       if (li == 0 || lv.new_band) band_region = region;
       auto mn = region.minimize(dist);
       if (mn.status == LpStatus::kInfeasible) break;  // all satisfied
@@ -316,6 +460,17 @@ struct ClaimChecker {
       }
       region.add_eq0(dist);
     }
+  }
+
+  /// A piece over the enumeration cap: decide it exactly when the Omega
+  /// core can, fall back to the rational relaxation when it cannot.
+  void check_capped(const poly::Piece& piece,
+                    const scheduler::GroupSchedule& g, int grp,
+                    std::size_t shared, int dep_idx,
+                    const fold::FoldedDep& d) {
+    ++rep.capped_pieces;
+    if (!check_exact(piece, g, grp, shared, dep_idx, d))
+      check_lp(piece, g, grp, shared, dep_idx, d);
   }
 };
 
@@ -360,8 +515,8 @@ ClaimReport check_parallel_claims(const fold::FoldedProgram& prog,
           checker.check_enumerated(*pts, piece, g, static_cast<int>(gi),
                                    shared, static_cast<int>(di), d);
         else
-          checker.check_lp(piece, g, static_cast<int>(gi), shared,
-                           static_cast<int>(di), d);
+          checker.check_capped(piece, g, static_cast<int>(gi), shared,
+                               static_cast<int>(di), d);
       }
     }
   };
@@ -375,7 +530,7 @@ ClaimReport check_parallel_claims(const fold::FoldedProgram& prog,
   for (ClaimReport& part : parts) {
     rep.parallel_levels += part.parallel_levels;
     rep.instances_checked += part.instances_checked;
-    rep.lp_checked_pieces += part.lp_checked_pieces;
+    rep.capped_pieces += part.capped_pieces;
     for (ClaimWitness& w : part.witnesses)
       rep.witnesses.push_back(std::move(w));
   }
@@ -400,7 +555,7 @@ std::string ClaimReport::str() const {
   os << "claims: " << (ok() ? "ok" : "CONTRADICTED") << " ("
      << parallel_levels << " parallel levels, " << instances_checked
      << " instances";
-  if (lp_checked_pieces > 0) os << ", " << lp_checked_pieces << " LP pieces";
+  if (capped_pieces > 0) os << ", " << capped_pieces << " capped pieces";
   if (downgraded_levels > 0) os << ", " << downgraded_levels << " downgraded";
   os << ")";
   for (const auto& w : witnesses) os << "\n  " << w.message;
@@ -410,7 +565,7 @@ std::string ClaimReport::str() const {
 // ---------------------------------------------------------------------------
 
 bool OracleReport::ok() const {
-  if (!coverage.ok()) return false;
+  if (!coverage.ok() || !precision.ok()) return false;
   for (const auto& c : claims)
     if (!c.ok()) return false;
   return true;
@@ -432,7 +587,9 @@ std::string OracleReport::verdict_line() const {
      << " skipped), " << parallel << " parallel claims over " << instances
      << " instances (" << contradictions << " contradictions";
   if (downgraded > 0) os << ", " << downgraded << " downgraded";
-  os << ")";
+  os << "), exact precision " << (precision.ok() ? "ok" : "VIOLATED") << " ("
+     << precision.pairs_checked << " pairs, " << precision.refined
+     << " refined)";
   return os.str();
 }
 
@@ -444,6 +601,7 @@ OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
   OracleReport r;
   if (cancel != nullptr && cancel->poll()) return r;
   r.coverage = check_dynamic_coverage(m, prog, pool);
+  r.precision = check_precision_tier(m, pool);
   // Each region's claim check touches only that region's metrics, so the
   // checks fan out; reports land in pre-indexed slots preserving the
   // serial (filtered) region order.
@@ -465,10 +623,13 @@ OracleReport run_oracle(const ir::Module& m, const fold::FoldedProgram& prog,
   }
   if (obs != nullptr && obs->enabled()) {
     obs->add("oracle.regions_checked", static_cast<i64>(picked.size()));
-    i64 claims = 0;
-    for (const auto& c : r.claims)
+    i64 claims = 0, capped = 0;
+    for (const auto& c : r.claims) {
       claims += static_cast<i64>(c.parallel_levels);
+      capped += static_cast<i64>(c.capped_pieces);
+    }
     obs->add("oracle.parallel_levels_checked", claims);
+    obs->add("verify.cap_hits", capped);
   }
   return r;
 }

@@ -14,6 +14,12 @@
 //       instances). A dependence carried by a level claimed parallel
 //       contradicts the claim; contradicted levels are downgraded and the
 //       region metrics refreshed.
+//   (c) precision tier: the two static analyses must nest too —
+//       dynamic ⊆ exact ⊆ may-dep. Over every modeled store-involved site
+//       pair, a pair the may-tester proves address-disjoint can never be
+//       found dependent by the exact Omega test (and a dynamic edge on a
+//       pair the exact test proves independent is a coverage violation).
+//       Pairs where exact strictly improves on may are counted as refined.
 #pragma once
 
 #include <string>
@@ -41,6 +47,9 @@ struct CoverageViolation {
 struct CoverageReport {
   u64 checked = 0;   ///< edges with both endpoints statically modeled
   u64 skipped = 0;   ///< cross-function or unmodeled edges (no verdict)
+  /// Memory edges the may-tester covered that were re-checked against the
+  /// exact Omega verdict (dynamic ⊆ exact, the stricter containment).
+  u64 exact_checked = 0;
   std::vector<CoverageViolation> violations;
 
   bool ok() const { return violations.empty(); }
@@ -53,6 +62,34 @@ struct CoverageReport {
 CoverageReport check_dynamic_coverage(const ir::Module& m,
                                       const fold::FoldedProgram& prog,
                                       support::ThreadPool* pool = nullptr);
+
+/// One exact-⊆-may nesting failure: the may-tester proved a site pair
+/// address-disjoint, yet the exact Omega test found an integer instance
+/// pair touching the same word. One of the two analyses is wrong.
+struct PrecisionViolation {
+  int func = -1;
+  int src_block = -1, src_instr = -1;
+  int dst_block = -1, dst_instr = -1;
+  std::string message;
+};
+
+/// Part (c): the static precision tier. Purely static — a function of the
+/// module alone, independent of the execution being profiled.
+struct PrecisionReport {
+  u64 pairs_checked = 0;  ///< modeled store-involved pairs compared
+  u64 refined = 0;  ///< may says may-alias, exact proves independent
+  std::vector<PrecisionViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string str() const;
+};
+
+/// Compare the may-dep tester and the exact tier over every modeled
+/// store-involved site pair of every function. `pool` (optional) fans the
+/// per-function analyses out; the comparison sweep is serial in program
+/// order, so violation order is identical for any lane count.
+PrecisionReport check_precision_tier(const ir::Module& m,
+                                     support::ThreadPool* pool = nullptr);
 
 /// One contradicted scheduler claim, with the offending dependence.
 struct ClaimWitness {
@@ -73,7 +110,10 @@ struct ClaimWitness {
 struct ClaimReport {
   u64 parallel_levels = 0;    ///< parallel claims examined
   u64 instances_checked = 0;  ///< enumerated dependence instances walked
-  u64 lp_checked_pieces = 0;  ///< pieces too large to enumerate (LP bounds)
+  /// Pieces over the enumeration cap: decided by the exact integer test
+  /// (Omega) per level, with the rational LP bounds as the fallback when a
+  /// query hits the effort cap.
+  u64 capped_pieces = 0;
   int downgraded_levels = 0;  ///< parallel flags cleared by the oracle
   std::vector<ClaimWitness> witnesses;
 
@@ -94,9 +134,10 @@ ClaimReport check_parallel_claims(const fold::FoldedProgram& prog,
                                   bool downgrade = true,
                                   support::ThreadPool* pool = nullptr);
 
-/// Both halves bundled, plus the one-line verdict full_report prints.
+/// All three parts bundled, plus the one-line verdict full_report prints.
 struct OracleReport {
   CoverageReport coverage;
+  PrecisionReport precision;
   std::vector<ClaimReport> claims;  ///< one per region checked
 
   bool ok() const;
@@ -107,7 +148,8 @@ struct OracleReport {
 /// checks (each region's metrics are touched by exactly one task) and the
 /// per-group sweeps within each region. Reports collect into pre-indexed
 /// slots and merge in region order — byte-identical at any lane count.
-/// `obs` (optional) wraps the run in a span and counts regions/claims.
+/// `obs` (optional) wraps the run in a span and counts regions/claims and
+/// enumeration-cap hits (`verify.cap_hits`).
 /// `cancel` (optional): a token fired before the run skips the coverage
 /// sweep entirely; one fired mid-run leaves the remaining regions'
 /// ClaimReports empty (zero claims, no witnesses) — an un-examined claim

@@ -9,6 +9,8 @@
 #include <set>
 #include <tuple>
 
+#include "ir/builder.hpp"
+#include "verify/exact.hpp"
 #include "verify/verifier.hpp"
 #include "workloads/workloads.hpp"
 
@@ -70,6 +72,91 @@ INSTANTIATE_TEST_SUITE_P(
         else if (c == '-') c = '_';
       return n;
     });
+
+// -----------------------------------------------------------------------
+// Access-class mutations: the exact analysis's false-negative guard. A
+// kStaticExact site flipped down the lattice must (a) keep the module
+// verifier-clean (the flips are semantics-preserving), (b) be downgraded
+// by the classifier, and (c) never be skipped by the selective plan.
+
+/// a[i] = i*3 over a private global: one provably skippable store.
+ir::Module skippable_kernel() {
+  ir::Module m;
+  i64 g = m.add_global("a", 65 * 8);
+  ir::Function& f = m.add_function("main", 0);
+  ir::Builder b(m, f);
+  b.set_block(b.make_block());
+  ir::Reg base = b.const_(g);
+  ir::Reg n = b.const_(64);
+  b.counted_loop(0, n, 1, [&](ir::Reg iv) {
+    b.store(b.add(base, b.muli(iv, 8)), b.muli(iv, 3));
+  });
+  b.ret();
+  return m;
+}
+
+class AccessMutationMatrix
+    : public ::testing::TestWithParam<AccessMutation> {};
+
+TEST_P(AccessMutationMatrix, FlipsSkippableSiteAndSelectiveRefuses) {
+  const AccessMutation cls = GetParam();
+  for (u64 seed : {u64{1}, u64{7}, u64{42}}) {
+    ir::Module m = skippable_kernel();
+    // Baseline: the store really is skippable before the flip.
+    ASSERT_TRUE(
+        verify::exact::compute_selective_plan(m).total_sites() > 0u);
+    AccessMutationResult mu = mutate_access(m, cls, seed);
+    ASSERT_GE(mu.func, 0) << access_mutation_name(cls);
+    ASSERT_TRUE(verify_module(m).ok())
+        << access_mutation_name(cls) << ": " << mu.description;
+    const ir::Function& f =
+        m.functions[static_cast<std::size_t>(mu.func)];
+    exact::ExactDeps ex(m, f);
+    EXPECT_EQ(ex.site_class(mu.block, mu.instr), expected_access_class(cls))
+        << access_mutation_name(cls) << " seed " << seed << ": "
+        << mu.description;
+    ddg::SelectivePlan plan = verify::exact::compute_selective_plan(m);
+    EXPECT_FALSE(plan.skip(mu.func, mu.block, mu.instr))
+        << access_mutation_name(cls) << " seed " << seed << ": "
+        << mu.description;
+  }
+}
+
+TEST_P(AccessMutationMatrix, DowngradesAcrossWorkloads) {
+  const AccessMutation cls = GetParam();
+  int applied = 0;
+  for (const std::string& name : workloads::rodinia_names()) {
+    for (u64 seed : {u64{1}, u64{7}}) {
+      workloads::Workload w = workloads::make_rodinia(name);
+      AccessMutationResult mu = mutate_access(w.module, cls, seed);
+      if (mu.func < 0) continue;  // no static-exact candidate to flip
+      ++applied;
+      ASSERT_TRUE(verify_module(w.module).ok())
+          << name << ": " << mu.description;
+      const ir::Function& f =
+          w.module.functions[static_cast<std::size_t>(mu.func)];
+      exact::ExactDeps ex(w.module, f);
+      EXPECT_EQ(ex.site_class(mu.block, mu.instr),
+                expected_access_class(cls))
+          << name << " seed " << seed << ": " << mu.description;
+      ddg::SelectivePlan plan =
+          verify::exact::compute_selective_plan(w.module);
+      EXPECT_FALSE(plan.skip(mu.func, mu.block, mu.instr))
+          << name << " seed " << seed << ": " << mu.description;
+    }
+  }
+  // The matrix must not be vacuous: most workloads have a candidate.
+  EXPECT_GT(applied, 0) << access_mutation_name(cls);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothClasses, AccessMutationMatrix,
+                         ::testing::ValuesIn(kAllAccessMutations),
+                         [](const auto& info) {
+                           std::string n = access_mutation_name(info.param);
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
 
 }  // namespace
 }  // namespace pp::verify

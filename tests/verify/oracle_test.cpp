@@ -61,6 +61,20 @@ TEST(Oracle, CleanProgramIsCovered) {
   CoverageReport rep = check_dynamic_coverage(m, r.program);
   EXPECT_TRUE(rep.ok()) << rep.str();
   EXPECT_GT(rep.checked, 0u);
+  // The a[2i] store -> a[2i] load mem-flow edge is may-covered, so the
+  // exact tier re-examined it (and agreed).
+  EXPECT_GT(rep.exact_checked, 0u);
+}
+
+TEST(Oracle, PrecisionTierRefinesEvenOdd) {
+  // may_alias is GCD/Banerjee-only: the a[2i] store vs a[2i+1] load pair is
+  // proven disjoint by GCD, so refinement isn't guaranteed there — but the
+  // exact tier must at least agree with every may verdict (zero mismatches)
+  // and examine every modeled store-involved pair.
+  Module m = even_odd_module();
+  PrecisionReport rep = check_precision_tier(m);
+  EXPECT_TRUE(rep.ok()) << rep.str();
+  EXPECT_GT(rep.pairs_checked, 0u);
 }
 
 TEST(Oracle, DetectsStaticallyImpossibleMemoryEdge) {
@@ -188,10 +202,82 @@ TEST(Oracle, ForcedParallelClaimIsContradictedAndDowngraded) {
                    .parallel);
 }
 
+/// acc += a[i] over `n` iterations: the accumulator chain is a genuine
+/// loop-carried dependence whose must-piece has `n` instances.
+Module reduction_module(i64 n) {
+  Module m;
+  i64 g = m.add_global("a", (n + 1) * 8);
+  Function& f = m.add_function("main", 0);
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg base = b.const_(g);
+  Reg nn = b.const_(n);
+  b.counted_loop(0, nn, 1, [&](Reg iv) {  // a[i] = i
+    Reg p = b.add(base, b.muli(iv, 8));
+    b.store(p, iv);
+  });
+  Reg acc = b.const_(0);
+  b.counted_loop(0, nn, 1, [&](Reg iv) {  // acc += a[i]
+    Reg p = b.add(base, b.muli(iv, 8));
+    Reg v = b.load(p);
+    b.add(acc, v, acc);
+  });
+  b.ret(acc);
+  return m;
+}
+
+TEST(Oracle, CappedPiecesAreDecidedExactly) {
+  // 6000 iterations blow the 4096-instance enumeration cap: the oracle
+  // must route those pieces through the exact integer walk (counted as
+  // capped) and still accept the honest schedule with zero witnesses.
+  Module m = reduction_module(6000);
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  ASSERT_FALSE(r.truncated);
+  feedback::RegionMetrics mx = r.analyze(r.whole_program());
+  ASSERT_TRUE(mx.analyzable);
+  ClaimReport rep = check_parallel_claims(r.program, mx, /*downgrade=*/false);
+  EXPECT_TRUE(rep.ok()) << rep.str();
+  EXPECT_GE(rep.capped_pieces, 1u);
+}
+
+TEST(Oracle, CappedForcedClaimYieldsIntegerWitness) {
+  // Same module, but with a parallel claim forced onto a carried level:
+  // the exact walk over the capped piece must contradict it (the witness
+  // comes from the Omega test, not from enumeration).
+  Module m = reduction_module(6000);
+  core::Pipeline pipe(m);
+  core::ProfileResult r = pipe.run();
+  feedback::RegionMetrics mx = r.analyze(r.whole_program());
+  ASSERT_TRUE(mx.analyzable);
+  bool forced = false;
+  for (auto& grp : mx.sched.groups) {
+    if (!grp.schedulable || forced) continue;
+    for (auto& lv : grp.levels) {
+      if (lv.carries && !lv.parallel) {
+        lv.parallel = true;
+        forced = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(forced) << "no carried level to corrupt";
+  ClaimReport rep = check_parallel_claims(r.program, mx, /*downgrade=*/true);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_GE(rep.capped_pieces, 1u);
+  bool integer_witness = false;
+  for (const auto& w : rep.witnesses)
+    if (w.kind == ClaimWitness::Kind::kParallelContradicted &&
+        w.message.find("integer instance") != std::string::npos)
+      integer_witness = true;
+  EXPECT_TRUE(integer_witness) << rep.str();
+}
+
 // The acceptance bar: on every mini-Rodinia workload, every dynamic
-// dependence is covered by the static may-dependence set, and every
+// dependence is covered by the static may-dependence set, every
 // parallelism claim of the scheduler survives re-validation against the
-// folded DDG.
+// folded DDG, and the two static analyses nest (exact ⊆ may-dep, zero
+// precision mismatches).
 class RodiniaOracle : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(RodiniaOracle, DynamicSubsetOfStaticAndClaimsHold) {
@@ -208,9 +294,11 @@ TEST_P(RodiniaOracle, DynamicSubsetOfStaticAndClaimsHold) {
   OracleReport rep = run_oracle(w.module, r.program, ptrs);
   EXPECT_TRUE(rep.coverage.ok()) << rep.coverage.str();
   EXPECT_GT(rep.coverage.checked, 0u);
+  EXPECT_TRUE(rep.precision.ok()) << rep.precision.str();
   for (const auto& c : rep.claims) EXPECT_TRUE(c.ok()) << c.str();
   EXPECT_TRUE(rep.ok());
   EXPECT_NE(rep.verdict_line().find("OK"), std::string::npos);
+  EXPECT_NE(rep.verdict_line().find("exact precision ok"), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, RodiniaOracle,
