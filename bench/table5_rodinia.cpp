@@ -209,7 +209,11 @@ int print_json(const char* trace_out, const char* manifest_out) {
   std::size_t largest = 0;
   for (const auto& name : workloads::rodinia_names()) {
     workloads::Workload w = workloads::make_rodinia(name);
-    auto [r, ms] = profile_once(w.module, 1, nullptr);
+    // Render the report here too: the feedback stage only runs (and its
+    // stage span only exists) inside full_report, and every row must
+    // carry the same uniform stage set as the thread-sweep runs below.
+    std::string rep;
+    auto [r, ms] = profile_once(w.module, 1, &rep);
     Row row;
     row.name = name;
     row.ops = r.program.total_dynamic_ops;

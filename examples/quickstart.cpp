@@ -3,7 +3,7 @@
 // transformation feedback.
 //
 //   $ ./quickstart [--threads N] [--trace-out F] [--manifest-out F]
-//                  [--stable] [--selective] [workload]
+//                  [--stable] [--selective] [--no-path-compaction] [workload]
 //
 // --threads selects the profiling pipeline's worker count (0 = one lane
 // per hardware thread, 1 = serial reference). The report is byte-identical
@@ -14,6 +14,11 @@
 // before stage 2, and the profiler skips shadow-memory tracking for them.
 // Also byte-identical by construction — the line printed above the report
 // shows how many sites the plan covers.
+//
+// --no-path-compaction disables hot-path trace compaction (the Ball-Larus
+// path cache that replays re-executed loop iterations into the DDG in
+// bulk; on by default). The report is byte-identical either way — the
+// flag exists for A/B timing, exactly what bench/trace_compaction gates.
 //
 // --trace-out writes a Chrome trace_event JSON of the profiler's own run
 // (open it in Perfetto / chrome://tracing); --manifest-out writes the flat
@@ -114,6 +119,7 @@ int main(int argc, char** argv) {
   const char* manifest_out = nullptr;
   bool stable = false;
   bool selective = false;
+  bool path_compaction = true;
   std::string workload;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -126,12 +132,15 @@ int main(int argc, char** argv) {
       stable = true;
     } else if (std::strcmp(argv[i], "--selective") == 0) {
       selective = true;
+    } else if (std::strcmp(argv[i], "--no-path-compaction") == 0) {
+      path_compaction = false;
     } else if (argv[i][0] != '-' && workload.empty()) {
       workload = argv[i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--trace-out F] "
-                   "[--manifest-out F] [--stable] [--selective] [workload]\n",
+                   "[--manifest-out F] [--stable] [--selective] "
+                   "[--no-path-compaction] [workload]\n",
                    argv[0]);
       return 2;
     }
@@ -151,6 +160,7 @@ int main(int argc, char** argv) {
   opts.threads = threads;
   opts.observe = trace_out != nullptr || manifest_out != nullptr;
   opts.selective_instrumentation = selective;
+  opts.path_compaction = path_compaction;
   if (selective) {
     const ddg::SelectivePlan plan = verify::exact::compute_selective_plan(m);
     std::printf("selective instrumentation: %zu access site(s) proven "

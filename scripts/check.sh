@@ -95,8 +95,33 @@ if [[ $RUN_TESTS -eq 1 ]]; then
     fi
   }
 
+  # ---- 3a''. trace compaction gate (run per flavor, below) ---------------
+  # bench/trace_compaction checks the PR-9 payoff contract: the Ball-Larus
+  # path cache must compress the bulk of the instruction stream on the
+  # structurally compressible workloads, beat the uncompacted ddg stage by
+  # its committed factor (median paired ratio), and keep full_report
+  # byte-identical compaction on/off. Sanitizer builds self-disable the
+  # speedup gate (instrumented timing is meaningless) but still enforce
+  # byte-identity and compression.
+  compaction_gate() {
+    local dir="$1"; shift
+    local label="$1"; shift
+    if [[ -x "$dir/bench/trace_compaction" ]]; then
+      note "trace compaction gate ($label): bench/trace_compaction --json"
+      if ! "$dir/bench/trace_compaction" --json; then
+        note "trace compaction gate ($label): FAILED"
+        FAIL=1
+      else
+        note "trace compaction gate ($label): OK"
+      fi
+    else
+      note "trace compaction gate ($label): SKIPPED ($dir/bench/trace_compaction not built)"
+    fi
+  }
+
   flavor build default
   soak_gate build default
+  compaction_gate build default
 
   # ---- 3b. observability overhead gate (default flavor only) -------------
   # pp::obs promises that an enabled-but-idle Session costs at most a few
@@ -150,6 +175,7 @@ if [[ $RUN_TESTS -eq 1 ]]; then
   fi
   flavor build-asan sanitize -DPOLYPROF_SANITIZE=ON
   soak_gate build-asan sanitize
+  compaction_gate build-asan sanitize
   # TSan flavor, gated on toolchain support: probe a trivial compile+link
   # with -fsanitize=thread and skip (not fail) when unavailable.
   TSAN_PROBE_DIR="$(mktemp -d)"
@@ -158,6 +184,7 @@ if [[ $RUN_TESTS -eq 1 ]]; then
        -o "$TSAN_PROBE_DIR/t" >/dev/null 2>&1; then
     TSAN_OPTIONS="halt_on_error=1" flavor build-tsan tsan -DPOLYPROF_TSAN=ON
     TSAN_OPTIONS="halt_on_error=1" soak_gate build-tsan tsan
+    TSAN_OPTIONS="halt_on_error=1" compaction_gate build-tsan tsan
   else
     note "tsan flavor: SKIPPED (toolchain lacks -fsanitize=thread)"
   fi

@@ -1,0 +1,97 @@
+#include "cfg/path_numbering.hpp"
+
+#include <set>
+
+namespace pp::cfg {
+namespace {
+
+/// Path-id budget: loops with more distinct acyclic paths than this are
+/// not worth caching (the template store would thrash anyway).
+constexpr u64 kMaxPaths = u64{1} << 30;
+
+/// Ordered static successors of a block (kBrCond's taken edge first, like
+/// the VM resolves it). Returns false for malformed/empty blocks.
+bool successors(const ir::BasicBlock& bb, int out[2], int* n) {
+  *n = 0;
+  if (bb.instrs.empty()) return false;
+  const ir::Instr& t = bb.instrs.back();
+  switch (t.op) {
+    case ir::Op::kBr:
+      out[(*n)++] = static_cast<int>(t.imm);
+      return true;
+    case ir::Op::kBrCond:
+      out[(*n)++] = static_cast<int>(t.imm);
+      if (t.imm2 != t.imm) out[(*n)++] = static_cast<int>(t.imm2);
+      return true;
+    case ir::Op::kRet:
+      return true;  // no successors: the path ends at the sink
+    default:
+      return false;  // fallthrough is not part of the mini-ISA
+  }
+}
+
+}  // namespace
+
+LoopPaths number_loop_paths(const ir::Function& f, const LoopForest& forest,
+                            int loop_id) {
+  LoopPaths p;
+  p.func = f.id;
+  p.loop = loop_id;
+  const Loop& loop = forest.loop(loop_id);
+  p.header = loop.header;
+
+  // Body = blocks the loop owns directly; sub-loop regions behave like
+  // exits (a pure — compactable — iteration never enters them).
+  std::set<int> body;
+  for (int b : loop.blocks)
+    if (forest.innermost_loop(b) == loop_id) body.insert(b);
+  if (body.find(loop.header) == body.end()) return p;
+
+  // NumPaths by DFS with memoization over the body DAG; a virtual exit
+  // sink (NumPaths = 1) absorbs the back-edge, loop exits, sub-loop
+  // entries and returns. Any cycle among owned blocks would have been a
+  // sub-loop SCC, but stay defensive: an on-stack revisit bails out.
+  std::unordered_map<int, u64> np;
+  std::set<int> on_stack;
+  bool ok = true;
+  auto num = [&](auto&& self, int b) -> u64 {
+    auto it = np.find(b);
+    if (it != np.end()) return it->second;
+    if (!on_stack.insert(b).second) {
+      ok = false;
+      return 1;
+    }
+    int succ[2];
+    int n = 0;
+    if (b < 0 || static_cast<std::size_t>(b) >= f.blocks.size() ||
+        !successors(f.block(b), succ, &n)) {
+      ok = false;
+      on_stack.erase(b);
+      return 1;
+    }
+    u64 total = 0;
+    u64 acc = 0;
+    for (int i = 0; i < n && ok; ++i) {
+      int s = succ[i];
+      bool leaves = s == loop.header || body.find(s) == body.end();
+      u64 paths = leaves ? 1 : self(self, s);
+      p.inc[LoopPaths::edge_key(b, s)] = acc;
+      acc += paths;
+      total += paths;
+      if (total > kMaxPaths) ok = false;
+    }
+    if (n == 0) total = 1;  // kRet: the block itself ends one path
+    on_stack.erase(b);
+    np[b] = total;
+    return total;
+  };
+  p.num_paths = num(num, loop.header);
+  if (!ok || p.num_paths == 0 || p.num_paths > kMaxPaths) {
+    p.inc.clear();
+    return p;
+  }
+  p.usable = true;
+  return p;
+}
+
+}  // namespace pp::cfg

@@ -1,0 +1,54 @@
+// Ball-Larus path numbering of one loop body (Ball & Larus, "Efficient
+// Path Profiling"; multi-iteration extension after D'Elia & Demetrescu,
+// arXiv 1304.5197): the loop's directly-owned blocks (sub-loop regions
+// collapse into exits) form a DAG once back-edges are removed, and every
+// acyclic path through it gets a dense integer id from per-edge
+// increments. One loop iteration therefore reduces to a single path id,
+// which is the key the VM-side path cache uses to recognize that a new
+// iteration re-executes an already-recorded template (vm/path_cache.hpp).
+#pragma once
+
+#include <unordered_map>
+
+#include "cfg/loop_forest.hpp"
+#include "ir/ir.hpp"
+
+namespace pp::cfg {
+
+/// Path numbering for one (function, loop) body. Edges leaving the body —
+/// the back-edge to the header, loop exits, entries into sub-loops, and
+/// returns — all target a virtual exit sink, so a path id is complete as
+/// soon as the iteration ends, whichever way it ends.
+struct LoopPaths {
+  int func = -1;
+  int loop = -1;
+  int header = -1;
+  /// False when the body is not an acyclic DAG over its owned blocks
+  /// (irreducible region) or the path count exceeds the id budget; such
+  /// loops are simply never compacted.
+  bool usable = false;
+  u64 num_paths = 0;
+
+  static u64 edge_key(int from, int to) {
+    return (static_cast<u64>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+  /// Increment of the DAG edge `from`→`to`; false when the edge is not
+  /// part of the numbering (never taken by a pure iteration).
+  bool increment(int from, int to, u64* out) const {
+    auto it = inc.find(edge_key(from, to));
+    if (it == inc.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  std::unordered_map<u64, u64> inc;
+};
+
+/// Number the acyclic paths of `forest.loop(loop_id)` inside `f`, using
+/// the static successor structure (terminators), not observed edges: the
+/// numbering must cover paths before they execute.
+LoopPaths number_loop_paths(const ir::Function& f, const LoopForest& forest,
+                            int loop_id);
+
+}  // namespace pp::cfg

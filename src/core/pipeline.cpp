@@ -205,6 +205,10 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   ddg::DdgOptions ddg_opts = opts.ddg;
   ddg_opts.budget = &budget;
   ddg_opts.diag = &res.diagnostics;
+  // Trace compaction: the builder itself vetoes incompatible
+  // configurations (anti/output tracking, per-event budget caps), so the
+  // flag can be forwarded unconditionally.
+  ddg_opts.path_compaction = opts.path_compaction;
   // Selective instrumentation: compute the dependence-free plan and hand
   // it to the builder. Declared at this scope — the builder keeps a
   // pointer for the whole replay. Deliberately NOT observed (no span, no
@@ -223,8 +227,11 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
     // The chaos harness always sits directly behind the Machine. In the
     // overlapped replay it runs on the producer thread in front of the
     // ring writer; its injection point is event-count-seeded, so faults
-    // land on the same event ordinal as in the serial chain.
+    // land on the same event ordinal as in the serial chain. With no
+    // event fault configured (every production run) the wrapper is pure
+    // pass-through, so it is skipped — one fewer virtual hop per event.
     std::optional<vm::ChaosObserver> chaos;
+    const bool chaos_live = opts.chaos.kind != vm::FaultKind::kNone;
     bool trapped = false;
     try {
       vm::RunResult rr;
@@ -232,13 +239,18 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
         rr = vm::replay_threaded(machine, opts.entry, opts.args, max_steps,
                                  validator,
                                  [&](vm::Observer& writer) -> vm::Observer* {
+                                   if (!chaos_live) return &writer;
                                    chaos.emplace(&writer, opts.chaos);
                                    return &*chaos;
                                  },
                                  8, 4096, ob, opts.cancel);
       } else {
-        chaos.emplace(&validator, opts.chaos);
-        machine.set_observer(&*chaos);
+        if (chaos_live) {
+          chaos.emplace(&validator, opts.chaos);
+          machine.set_observer(&*chaos);
+        } else {
+          machine.set_observer(&validator);
+        }
         machine.set_cancel(opts.cancel);
         rr = machine.run(opts.entry, opts.args, max_steps);
       }
@@ -259,6 +271,11 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
                             std::string("stage 2 VM trap: ") + e.what() +
                                 " — DDG truncated at last well-formed event");
     }
+    // Flush any armed compressed run — the stream may have ended (or
+    // trapped, or been cancelled) mid-run; the flush bulk-replays the
+    // swallowed iterations so the builder state matches the reference
+    // interpretation of the same event prefix exactly.
+    builder.flush_compaction();
     if (!validator.ok()) {
       res.truncated = true;  // the validator already logged the rejection
     } else if (!trapped && validator.instr_events() < res.stats.instructions) {
@@ -288,6 +305,12 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
     ob->set("ddg.dependences", static_cast<i64>(res.ddg_dependences));
     ob->set("ddg.shadow_pages", static_cast<i64>(res.shadow_pages));
     ob->set("ddg.coord_pool_words", static_cast<i64>(res.coord_pool_words));
+    if (const vm::PathCacheStats* ps = builder.path_stats()) {
+      ob->set("vm.path_hits", static_cast<i64>(ps->path_hits));
+      ob->set("vm.path_bailouts", static_cast<i64>(ps->path_bailouts));
+      ob->set("vm.events_compressed",
+              static_cast<i64>(ps->events_compressed));
+    }
   }
   ddg_span.end();
   obs::Span fold_span(ob, "stage:fold");

@@ -51,6 +51,15 @@ struct PipelineOptions {
   /// Silently ignored when it could be observable: anti/output tracking
   /// on, or a shadow-page budget set (skips would move its trip point).
   bool selective_instrumentation = false;
+  /// Hot-path trace compaction (vm::PathCache + bulk DDG replay): loop
+  /// iterations re-executing an already-recorded Ball-Larus path with
+  /// affine value/address recurrences are swallowed into compressed runs
+  /// and replayed in bulk. Pure optimization — full_report is
+  /// byte-identical either way; set false for the reference
+  /// interpretation. Silently ignored when the configuration makes bulk
+  /// replay observable (anti/output tracking, shadow/pool/wall budget
+  /// caps).
+  bool path_compaction = true;
   /// Run the pp::verify module verifier before any replay (the default).
   /// An ill-formed module is rejected with structured diagnostics instead
   /// of trapping mid-execution. Opt out for deliberately malformed inputs

@@ -1,5 +1,7 @@
 #include "ddg/ddg_builder.hpp"
 
+#include <algorithm>
+
 namespace pp::ddg {
 
 const char* dep_kind_name(DepKind k) {
@@ -12,12 +14,119 @@ const char* dep_kind_name(DepKind k) {
   return "?";
 }
 
+namespace {
+
+inline i64 wadd(i64 a, i64 b) {
+  return static_cast<i64>(static_cast<u64>(a) + static_cast<u64>(b));
+}
+
+void advance(std::vector<i64>& v, std::span<const i64> stride) {
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = wadd(v[i], stride[i]);
+}
+
+}  // namespace
+
+void DdgSink::on_instruction_run(const InstrRun& r) {
+  std::vector<i64> coords(r.coords.begin(), r.coords.end());
+  i64 value = r.value;
+  i64 address = r.address;
+  for (u64 t = 0; t < r.n; ++t) {
+    if (r.has_value && !r.value_affine) value = r.values[t];
+    if (r.has_address && !r.address_affine) address = r.addresses[t];
+    on_instruction(*r.stmt, coords, r.has_value, value, r.has_address,
+                   address);
+    advance(coords, r.coord_stride);
+    value = wadd(value, r.value_stride);
+    address = wadd(address, r.address_stride);
+  }
+}
+
+void DdgSink::on_dependence_run(const DepRun& r) {
+  std::vector<i64> src(r.src_coords.begin(), r.src_coords.end());
+  std::vector<i64> dst(r.dst_coords.begin(), r.dst_coords.end());
+  for (u64 t = 0; t < r.n; ++t) {
+    on_dependence(r.kind, r.src_stmt, src, r.dst_stmt, dst, r.slot);
+    advance(src, r.src_stride);
+    advance(dst, r.dst_stride);
+  }
+}
+
 DdgBuilder::DdgBuilder(const ir::Module& m, const cfg::ControlStructure& cs,
                        DdgSink* sink, DdgOptions opts)
     : module_(m),
-      lem_(cs, [this](const cfg::LoopEvent& ev) { diiv_.apply(ev); }),
+      cs_(cs),
+      lem_(cs,
+           [this](const cfg::LoopEvent& ev) {
+             diiv_.apply(ev);
+             if (pc_ != nullptr) tee(ev);
+           }),
       sink_(sink),
-      opts_(opts) {}
+      opts_(opts) {
+  // Compaction replays whole runs in bulk, which is only transparent when
+  // no per-event budget check could have tripped mid-run. Anti/output
+  // tracking reads shadow state per load, which bulk store replay would
+  // reorder — the reference path handles it instead.
+  const support::RunBudget* b = opts_.budget;
+  const bool budget_ok = b == nullptr || (b->wall_ms == 0 &&
+                                          b->shadow_pages == 0 &&
+                                          b->coord_pool_words == 0);
+  if (opts_.path_compaction && !opts_.track_anti_output && budget_ok) {
+    vm::PathHost& host = *this;  // private base: convert in member scope
+    pc_ = std::make_unique<vm::PathCache>(host);
+  }
+}
+
+void DdgBuilder::tee(const cfg::LoopEvent& ev) {
+  using K = cfg::LoopEvent::Kind;
+  if (pc_->armed()) {
+    // While a run is armed the only structural events that can reach the
+    // loop-event machine are the compressed back-edge (kIterate) and
+    // intra-path blocks — everything else mismatches the template in
+    // consume()/consume_jump() and disarms first.
+    PP_CHECK(ev.kind == K::kIterate || ev.kind == K::kBlock,
+             "path cache armed across a structural loop event");
+    return;
+  }
+  switch (ev.kind) {
+    case K::kEnter:
+      pc_->loop_enter(ev.func, ev.loop, ev.block);
+      break;
+    case K::kIterate:
+      pc_->loop_iterate(ev.func, ev.loop);
+      break;
+    case K::kExit:
+      pc_->loop_exit();
+      break;
+    case K::kBlock:
+      pc_->block_event(ev.func, ev.block);
+      break;
+    default:  // calls, returns, recursive-component events
+      pc_->impure();
+      break;
+  }
+}
+
+bool DdgBuilder::path_loop_usable(int func, int loop) {
+  return loop_paths(func, loop).usable;
+}
+
+bool DdgBuilder::path_edge_increment(int func, int loop, int from, int to,
+                                     u64* inc) {
+  const cfg::LoopPaths& p = loop_paths(func, loop);
+  return p.usable && p.increment(from, to, inc);
+}
+
+const cfg::LoopPaths& DdgBuilder::loop_paths(int func, int loop) {
+  auto key = std::make_pair(func, loop);
+  auto it = paths_.find(key);
+  if (it != paths_.end()) return it->second;
+  cfg::LoopPaths p;
+  auto fit = cs_.forests.find(func);
+  if (fit != cs_.forests.end())
+    p = cfg::number_loop_paths(
+        module_.functions[static_cast<std::size_t>(func)], fit->second, loop);
+  return paths_.emplace(key, std::move(p)).first->second;
+}
 
 void DdgBuilder::on_local_jump(int func, int dst_bb) {
   if (depth_ == 0) {
@@ -28,6 +137,9 @@ void DdgBuilder::on_local_jump(int func, int dst_bb) {
     frames_.back().ret_dst = ir::kNoReg;
     depth_ = 1;
   }
+  // Armed consumption first: a mismatching jump must flush the run before
+  // the loop-event machine (and the IIV state) advances past it.
+  if (pc_ != nullptr && pc_->armed()) pc_->consume_jump(func, dst_bb);
   lem_.on_jump(func, dst_bb);
 }
 
@@ -99,6 +211,11 @@ void DdgBuilder::mem_dep(DepKind kind, const Occurrence& src,
 }
 
 void DdgBuilder::on_instr(const vm::InstrEvent& ev) {
+  // Armed fast path: a matching event is swallowed into the compressed
+  // run. On a mismatch, consume() bulk-replays the run first and the
+  // event falls through to the reference path below.
+  if (pc_ != nullptr && pc_->armed() && pc_->consume(ev)) return;
+
   const ir::Instr& in = *ev.instr;
   PP_CHECK(depth_ > 0, "instruction with no frame");
   ShadowFrame& frame = frames_[depth_ - 1].shadow;
@@ -112,6 +229,7 @@ void DdgBuilder::on_instr(const vm::InstrEvent& ev) {
   }
   int stmt = table_.touch(ctx_id_, ev.ref, in);
   const Statement& s = table_.stmt(stmt);
+  if (pc_ != nullptr) pc_->observe_instr(ev, stmt);
 
   // Budget checks on the hot path. Cheap counters (shadow pages, pool
   // words) every event; the wall clock — a syscall-backed read — every
@@ -237,6 +355,331 @@ void DdgBuilder::on_instr(const vm::InstrEvent& ev) {
              in.op != ir::Op::kBr && in.op != ir::Op::kBrCond &&
              in.dst != ir::kNoReg) {
     frame.regs[static_cast<std::size_t>(in.dst)] = occ;
+  }
+}
+
+namespace {
+
+/// True when the slot's instruction updates a register producer (mirrors
+/// the bookkeeping at the end of on_instr; kCall/kRet never appear in
+/// templates).
+bool slot_writes_reg(const vm::PathSlot& sl) {
+  const ir::Op op = sl.instr->op;
+  return op != ir::Op::kCall && op != ir::Op::kStore && op != ir::Op::kBr &&
+         op != ir::Op::kBrCond && op != ir::Op::kRet &&
+         sl.instr->dst != ir::kNoReg;
+}
+
+}  // namespace
+
+void DdgBuilder::expand_path_run(const vm::PathTemplate& tp,
+                                 const vm::PathRun& run) {
+  const u64 T = run.trips;
+  const bool partial = run.pos > 0;
+  if (T == 0 && !partial) return;
+
+  // Coordinates. The IIV state stayed live through the run (every jump is
+  // forwarded to the loop-event machine), so the current coordinate
+  // vector belongs to the partial iteration; trip t rolls the innermost
+  // coordinate back by (T - t).
+  diiv_.coordinates_into(x_base_);
+  PP_CHECK(!x_base_.empty(), "compressed run outside any loop");
+  const std::size_t dim = x_base_.size();
+  x_base_.back() -= static_cast<i64>(T);
+  x_stride_.assign(dim, 0);
+  x_stride_.back() = 1;
+  x_prev_ = x_base_;
+  x_prev_.back() -= 1;  // the recording iteration: carried-dep sources
+
+  // Intern one coordinate vector per iteration, in iteration order — the
+  // exact append sequence the reference path produces (it interns once at
+  // each iteration's first instruction; later re-interns of the same
+  // vector dedupe against the pool's last entry).
+  const u64 n_iter = T + (partial ? 1 : 0);
+  x_refs_.resize(static_cast<std::size_t>(n_iter));
+  x_scratch_ = x_base_;
+  for (u64 t = 0; t < n_iter; ++t) {
+    x_refs_[static_cast<std::size_t>(t)] = pool_.intern(x_scratch_);
+    ++x_scratch_.back();
+  }
+
+  events_ += T * tp.instr_slots + run.prefix_instr_slots;
+
+  PP_CHECK(depth_ > 0, "compressed run with no frame");
+  ShadowFrame& frame = frames_[depth_ - 1].shadow;
+  const ir::Function& fn =
+      module_.functions[static_cast<std::size_t>(tp.func)];
+
+  // Register-producer classification. A read resolves, in order, to the
+  // last template slot writing the register earlier in the same iteration
+  // (intra), else to the last writer anywhere in the path (carried from
+  // the previous iteration), else to the pre-run producer snapshot
+  // (loop-invariant). The snapshot is exact for carried reads of trip 0
+  // too: the iteration that armed the run executed this same path through
+  // the reference machinery immediately before.
+  fw_scratch_.assign(static_cast<std::size_t>(fn.num_regs), -1);
+  run_scratch_.assign(static_cast<std::size_t>(fn.num_regs), -1);
+  std::vector<int>& final_writer = fw_scratch_;
+  std::vector<int>& running = run_scratch_;
+  for (std::size_t i = 0; i < tp.slots.size(); ++i) {
+    const vm::PathSlot& sl = tp.slots[i];
+    if (!sl.is_jump && slot_writes_reg(sl))
+      final_writer[static_cast<std::size_t>(sl.instr->dst)] =
+          static_cast<int>(i);
+  }
+
+  auto reg_dep_run = [&](const vm::PathSlot& sl, ir::Reg r, int opslot,
+                         u64 n_emit) {
+    if (r == ir::kNoReg || n_emit == 0) return;
+    DdgSink::DepRun d;
+    d.kind = DepKind::kRegFlow;
+    d.dst_stmt = sl.stmt;
+    d.slot = opslot;
+    d.n = n_emit;
+    d.dst_coords = x_base_;
+    d.dst_stride = x_stride_;
+    const int intra = running[static_cast<std::size_t>(r)];
+    const int carried = final_writer[static_cast<std::size_t>(r)];
+    if (intra >= 0) {
+      d.src_stmt = tp.slots[static_cast<std::size_t>(intra)].stmt;
+      d.src_coords = x_base_;
+      d.src_stride = x_stride_;
+    } else if (carried >= 0) {
+      d.src_stmt = tp.slots[static_cast<std::size_t>(carried)].stmt;
+      d.src_coords = x_prev_;
+      d.src_stride = x_stride_;
+    } else {
+      const Occurrence& snap = frame.regs[static_cast<std::size_t>(r)];
+      if (!snap.valid()) return;  // value predates profiling
+      d.src_stmt = snap.stmt;
+      d.src_coords = pool_.get(snap.coords);
+      if (x_zero_.size() < d.src_coords.size())
+        x_zero_.assign(d.src_coords.size(), 0);
+      d.src_stride =
+          std::span<const i64>(x_zero_.data(), d.src_coords.size());
+    }
+    deps_emitted_ += n_emit;
+    sink_->on_dependence_run(d);
+  };
+
+  // Instance streams + register dependences, one bulk call per stream.
+  slot_n_.assign(tp.slots.size(), 0);
+  slot_emit_.assign(tp.slots.size(), 0);
+  std::vector<u64>& slot_n = slot_n_;
+  std::vector<u64>& slot_emit = slot_emit_;
+  const u64 clamp = opts_.clamp_instances;
+  for (std::size_t i = 0; i < tp.slots.size(); ++i) {
+    const vm::PathSlot& sl = tp.slots[i];
+    if (sl.is_jump) continue;
+    const u64 n_i = T + (i < run.pos ? 1 : 0);
+    slot_n[i] = n_i;
+    if (n_i == 0) continue;
+    Statement& st = table_.stmt_mut(sl.stmt);
+    const u64 exec0 = st.executions;
+    st.executions += n_i;
+    u64 emit = n_i;
+    if (clamp != 0) {
+      emit = exec0 >= clamp ? 0 : std::min<u64>(n_i, clamp - exec0);
+      if (exec0 <= clamp && exec0 + n_i >= clamp + 1)
+        clamped_.insert(sl.stmt);
+    }
+    slot_emit[i] = emit;
+
+    const ir::Instr& in = *sl.instr;
+    switch (in.op) {
+      case ir::Op::kConst:
+      case ir::Op::kFConst:
+      case ir::Op::kBr:
+        break;
+      case ir::Op::kLoad:
+      case ir::Op::kBrCond:
+      case ir::Op::kMov:
+      case ir::Op::kI2F:
+      case ir::Op::kF2I:
+      case ir::Op::kAddI:
+      case ir::Op::kMulI:
+        reg_dep_run(sl, in.a, 0, emit);
+        break;
+      case ir::Op::kStore:
+        reg_dep_run(sl, in.a, 0, emit);
+        reg_dep_run(sl, in.b, 1, emit);
+        break;
+      default:
+        reg_dep_run(sl, in.a, 0, emit);
+        reg_dep_run(sl, in.b, 1, emit);
+        break;
+    }
+
+    if (emit > 0) {
+      DdgSink::InstrRun r;
+      r.stmt = &st;
+      r.n = emit;
+      r.coords = x_base_;
+      r.coord_stride = x_stride_;
+      r.has_value = sl.has_result;
+      if (sl.has_result) {
+        if (sl.vclass == vm::PathValClass::kAffine) {
+          r.value_affine = true;
+          r.value = static_cast<i64>(static_cast<u64>(sl.vbase) +
+                                     static_cast<u64>(sl.vstride));
+          r.value_stride = sl.vstride;
+        } else {
+          r.values = run.collect[static_cast<std::size_t>(sl.collect_v)];
+        }
+      }
+      r.has_address = sl.is_mem;
+      if (sl.is_mem) {
+        if (sl.aclass == vm::PathValClass::kAffine) {
+          r.address_affine = true;
+          r.address = static_cast<i64>(static_cast<u64>(sl.abase) +
+                                       static_cast<u64>(sl.astride));
+          r.address_stride = sl.astride;
+        } else {
+          r.addresses = run.collect[static_cast<std::size_t>(sl.collect_a)];
+        }
+      }
+      sink_->on_instruction_run(r);
+    }
+
+    if (slot_writes_reg(sl))
+      running[static_cast<std::size_t>(in.dst)] = static_cast<int>(i);
+  }
+
+  // Memory phase. Shadow state changes in exact instance order unless the
+  // slots are provably order-independent: all addresses affine and the
+  // word intervals of distinct slots pairwise disjoint — then each slot
+  // replays in one strided page-walk. Selective-plan skips never touch
+  // shadow and are handled separately.
+  struct MemRef {
+    std::size_t i;
+    int stmt;
+    u64 n, emit;
+    bool store;
+    bool affine;
+    i64 base = 0, stride = 0;       // affine
+    const std::vector<i64>* addrs;  // collected
+    i64 lo = 0, hi = 0;             // byte-address interval (affine)
+  };
+  std::vector<MemRef> mem;
+  bool batched_ok = true;
+  for (std::size_t i = 0; i < tp.slots.size(); ++i) {
+    const vm::PathSlot& sl = tp.slots[i];
+    if (sl.is_jump || !sl.is_mem || slot_n[i] == 0) continue;
+    MemRef m;
+    m.i = i;
+    m.stmt = sl.stmt;
+    m.n = slot_n[i];
+    m.emit = slot_emit[i];
+    m.store = sl.instr->op == ir::Op::kStore;
+    m.affine = sl.aclass == vm::PathValClass::kAffine;
+    if (m.affine) {
+      m.base = static_cast<i64>(static_cast<u64>(sl.abase) +
+                                static_cast<u64>(sl.astride));
+      m.stride = sl.astride;
+      PP_CHECK((m.base & 7) == 0 && (m.stride & 7) == 0,
+               "unaligned compressed-run access");
+      const i64 last = m.base + m.stride * static_cast<i64>(m.n - 1);
+      m.lo = std::min(m.base, last);
+      m.hi = std::max(m.base, last);
+      m.addrs = nullptr;
+    } else {
+      m.addrs = &run.collect[static_cast<std::size_t>(sl.collect_a)];
+      batched_ok = false;
+    }
+    const Statement& st = table_.stmt(sl.stmt);
+    if (stmt_skipped(sl.stmt, st)) {
+      // Mirror the reference path exactly: skipped loads only count;
+      // skipped stores also park their addresses for page realization.
+      if (m.store) {
+        if (m.affine) {
+          i64 a = m.base;
+          for (u64 t = 0; t < m.n; ++t, a += m.stride)
+            skipped_store_addrs_.push_back(a);
+        } else {
+          for (u64 t = 0; t < m.n; ++t)
+            skipped_store_addrs_.push_back((*m.addrs)[t]);
+        }
+      }
+      mem_skipped_ += m.n;
+      continue;
+    }
+    mem.push_back(m);
+  }
+  if (batched_ok) {
+    for (std::size_t a = 0; a < mem.size() && batched_ok; ++a)
+      for (std::size_t b = a + 1; b < mem.size(); ++b)
+        if (mem[a].lo <= mem[b].hi && mem[b].lo <= mem[a].hi) {
+          batched_ok = false;
+          break;
+        }
+  }
+  if (batched_ok) {
+    for (const MemRef& m : mem) {
+      if (m.store) {
+        shadow_.apply_strided_run(
+            m.base, m.stride, m.n, [&](u64 t, ShadowMemory::Record& rec) {
+              rec.writer =
+                  Occurrence{m.stmt, x_refs_[static_cast<std::size_t>(t)]};
+              rec.reader = Occurrence{};
+            });
+      } else if (m.emit > 0) {
+        shadow_.read_strided_run(
+            m.base, m.stride, m.emit,
+            [&](u64 t, const ShadowMemory::Record* rec) {
+              if (rec != nullptr && rec->writer.valid()) {
+                const support::CoordRef ref =
+                    x_refs_[static_cast<std::size_t>(t)];
+                mem_dep(DepKind::kMemFlow, rec->writer,
+                        Occurrence{m.stmt, ref}, pool_.get(ref));
+              }
+            });
+      }
+    }
+  } else {
+    // Reference interleaving: instance order across slots is observable
+    // (a slot may read words another slot wrote earlier in the run).
+    std::vector<i64> cur(mem.size());
+    for (std::size_t k = 0; k < mem.size(); ++k)
+      cur[k] = mem[k].affine ? mem[k].base : 0;
+    for (u64 t = 0; t < n_iter; ++t) {
+      for (std::size_t k = 0; k < mem.size(); ++k) {
+        MemRef& m = mem[k];
+        if (t >= m.n) continue;
+        const i64 addr = m.affine ? cur[k] : (*m.addrs)[t];
+        PP_CHECK((addr & 7) == 0, "unaligned compressed-run access");
+        const support::CoordRef ref = x_refs_[static_cast<std::size_t>(t)];
+        if (m.store) {
+          ShadowMemory::Record& rec = shadow_.touch(addr);
+          rec.writer = Occurrence{m.stmt, ref};
+          rec.reader = Occurrence{};
+        } else if (t < m.emit) {
+          if (const Occurrence* w = shadow_.read(addr))
+            mem_dep(DepKind::kMemFlow, *w, Occurrence{m.stmt, ref},
+                    pool_.get(ref));
+        }
+        if (m.affine) cur[k] += m.stride;
+      }
+    }
+  }
+
+  // Final register producers: the temporally-last write of each register.
+  // Template order is execution order within one trip, so the last
+  // template-order writer is the last write — except when the run ends in
+  // a partial prefix: slots before run.pos executed once more, AFTER every
+  // full trip, so a writer inside the prefix supersedes any template-later
+  // writer outside it (the bailed iteration resumes on the slow path and
+  // must see the snapshot it would have had under reference execution).
+  for (std::size_t i = 0; i < tp.slots.size(); ++i) {
+    const vm::PathSlot& sl = tp.slots[i];
+    if (sl.is_jump || slot_n[i] == 0 || !slot_writes_reg(sl)) continue;
+    frame.regs[static_cast<std::size_t>(sl.instr->dst)] = Occurrence{
+        sl.stmt, x_refs_[static_cast<std::size_t>(slot_n[i] - 1)]};
+  }
+  for (std::size_t i = 0; i < run.pos; ++i) {
+    const vm::PathSlot& sl = tp.slots[i];
+    if (sl.is_jump || slot_n[i] == 0 || !slot_writes_reg(sl)) continue;
+    frame.regs[static_cast<std::size_t>(sl.instr->dst)] = Occurrence{
+        sl.stmt, x_refs_[static_cast<std::size_t>(slot_n[i] - 1)]};
   }
 }
 

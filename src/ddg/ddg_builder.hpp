@@ -14,11 +14,14 @@
 // coordinates as spans into the pool, valid for the duration of the call.
 #pragma once
 
+#include <memory>
 #include <set>
 #include <span>
 
 #include "cfg/loop_events.hpp"
+#include "cfg/path_numbering.hpp"
 #include "ddg/selective.hpp"
+#include "vm/path_cache.hpp"
 #include "ddg/shadow.hpp"
 #include "ddg/statement.hpp"
 #include "iiv/diiv.hpp"
@@ -56,6 +59,44 @@ class DdgSink {
   virtual void on_dependence(DepKind kind, int src_stmt,
                              std::span<const i64> src_coords, int dst_stmt,
                              std::span<const i64> dst_coords, int slot) = 0;
+
+  /// `n` consecutive instances of one statement: instance t executes at
+  /// coords + coord_stride·t (64-bit wrapping, all spans same length).
+  /// Values/addresses are either affine (base + stride·t) or collected
+  /// verbatim (`values`/`addresses` hold n entries). Emitted by the trace
+  /// compactor; semantically identical to n on_instruction calls in trip
+  /// order.
+  struct InstrRun {
+    const Statement* stmt = nullptr;
+    u64 n = 0;
+    std::span<const i64> coords;
+    std::span<const i64> coord_stride;
+    bool has_value = false;
+    bool value_affine = false;
+    i64 value = 0, value_stride = 0;
+    std::span<const i64> values;  ///< when has_value && !value_affine
+    bool has_address = false;
+    bool address_affine = false;
+    i64 address = 0, address_stride = 0;
+    std::span<const i64> addresses;  ///< when has_address && !address_affine
+  };
+  /// `n` consecutive instances of one dependence key; src/dst coordinates
+  /// advance independently by their stride vectors per instance.
+  /// Semantically identical to n on_dependence calls in trip order.
+  struct DepRun {
+    DepKind kind{};
+    int src_stmt = -1, dst_stmt = -1, slot = 0;
+    u64 n = 0;
+    std::span<const i64> src_coords;
+    std::span<const i64> src_stride;
+    std::span<const i64> dst_coords;
+    std::span<const i64> dst_stride;
+  };
+  /// Bulk entry points. Defaults expand per point through the scalar
+  /// virtuals, so every sink stays correct; high-volume sinks (the folding
+  /// stage) override with O(1)-per-run handling.
+  virtual void on_instruction_run(const InstrRun& r);
+  virtual void on_dependence_run(const DepRun& r);
 };
 
 struct DdgOptions {
@@ -82,11 +123,19 @@ struct DdgOptions {
   /// WAR/WAW edges the plan does not reason about). The plan must outlive
   /// the builder.
   const SelectivePlan* selective = nullptr;
+  /// Hot-path trace compaction (vm::PathCache): recognize re-executed
+  /// loop-body paths whose values/addresses follow affine per-iteration
+  /// recurrences and replay whole runs in bulk instead of per instruction.
+  /// The builder silently ignores the flag when track_anti_output is set
+  /// or the budget carries caps it must check per event (shadow pages,
+  /// pool words, wall clock) — compaction never changes what is streamed,
+  /// so all outputs stay byte-identical to the reference interpretation.
+  bool path_compaction = false;
 };
 
 /// The Instrumentation-II observer. Wire it into a vm::Machine run after
 /// stage 1 produced the ControlStructure for the same program.
-class DdgBuilder : public vm::Observer {
+class DdgBuilder : public vm::Observer, private vm::PathHost {
  public:
   DdgBuilder(const ir::Module& m, const cfg::ControlStructure& cs,
              DdgSink* sink, DdgOptions opts = {});
@@ -112,6 +161,20 @@ class DdgBuilder : public vm::Observer {
   const support::CoordPool& coord_pool() const { return pool_; }
   const ShadowMemory& shadow() const { return shadow_; }
 
+  /// True when trace compaction is live for this run (requested by the
+  /// options and not vetoed by an incompatible configuration).
+  bool compaction_active() const { return pc_ != nullptr; }
+  /// Path-cache counters, or nullptr when compaction is inactive.
+  const vm::PathCacheStats* path_stats() const {
+    return pc_ != nullptr ? &pc_->stats() : nullptr;
+  }
+  /// Flush any armed compressed run (bulk-replaying its effects). Call
+  /// after the VM replay returns or traps, before reading any builder
+  /// state; safe to call when idle or when compaction is inactive.
+  void flush_compaction() {
+    if (pc_ != nullptr) pc_->flush();
+  }
+
   /// Memory events whose shadow work the selective plan elided.
   u64 memory_events_skipped() const { return mem_skipped_; }
   /// Touch the shadow words of every skipped store so pages_live matches a
@@ -125,7 +188,17 @@ class DdgBuilder : public vm::Observer {
   void mem_dep(DepKind kind, const Occurrence& src, const Occurrence& dst,
                std::span<const i64> dst_coords);
 
+  // vm::PathHost: Ball-Larus numbering lookups + bulk run replay.
+  bool path_loop_usable(int func, int loop) override;
+  bool path_edge_increment(int func, int loop, int from, int to,
+                           u64* inc) override;
+  void expand_path_run(const vm::PathTemplate& t,
+                       const vm::PathRun& run) override;
+  const cfg::LoopPaths& loop_paths(int func, int loop);
+  void tee(const cfg::LoopEvent& ev);
+
   const ir::Module& module_;
+  const cfg::ControlStructure& cs_;
   cfg::LoopEventMachine lem_;
   iiv::DynamicIiv diiv_;
   StatementTable table_;
@@ -163,6 +236,15 @@ class DdgBuilder : public vm::Observer {
   bool budget_exhausted_ = false;
   std::set<int> degraded_;
   u64 events_ = 0;  ///< instruction events seen (wall-clock check cadence)
+
+  // Trace compaction (null = inactive).
+  std::unique_ptr<vm::PathCache> pc_;
+  std::map<std::pair<int, int>, cfg::LoopPaths> paths_;  ///< lazy numbering
+  // Expansion scratch (allocation-free once warm).
+  std::vector<i64> x_base_, x_stride_, x_prev_, x_zero_, x_scratch_;
+  std::vector<support::CoordRef> x_refs_;
+  std::vector<int> fw_scratch_, run_scratch_;  ///< per-register writer maps
+  std::vector<u64> slot_n_, slot_emit_;        ///< per-slot trip counts
 };
 
 }  // namespace pp::ddg

@@ -76,6 +76,49 @@ class ShadowMemory {
     return r != nullptr && r->writer.valid() ? &r->writer : nullptr;
   }
 
+  /// Visit the records of the `n` words at addr, addr+stride, ... (byte
+  /// addresses; the caller guarantees every address is non-negative),
+  /// creating pages on demand. `fn(t, Record&)` is called in trip order.
+  /// The directory is consulted once per crossed page, not per access —
+  /// the batched expansion path of compressed trace runs lives on this.
+  template <typename Fn>
+  void apply_strided_run(i64 addr, i64 stride, u64 n, Fn&& fn) {
+    std::size_t cur_top = kNoPage;
+    Page* page = nullptr;
+    for (u64 t = 0; t < n; ++t, addr += stride) {
+      std::size_t word = word_of(addr);
+      std::size_t top = word >> kPageBits;
+      if (top != cur_top) {
+        if (top >= dir_.size()) dir_.resize(top + 1, -1);
+        std::int32_t pi = dir_[top];
+        if (pi < 0) pi = dir_[top] = grab_page();
+        page = pages_[static_cast<std::size_t>(pi)].get();
+        cur_top = top;
+      }
+      fn(t, page->words[word & (kPageWords - 1)]);
+    }
+  }
+
+  /// Non-creating strided walk: `fn(t, const Record*)` receives nullptr
+  /// for words on never-touched pages.
+  template <typename Fn>
+  void read_strided_run(i64 addr, i64 stride, u64 n, Fn&& fn) const {
+    std::size_t cur_top = kNoPage;
+    const Page* page = nullptr;
+    for (u64 t = 0; t < n; ++t, addr += stride) {
+      std::size_t word = word_of(addr);
+      std::size_t top = word >> kPageBits;
+      if (top != cur_top) {
+        page = top < dir_.size() && dir_[top] >= 0
+                   ? pages_[static_cast<std::size_t>(dir_[top])].get()
+                   : nullptr;
+        cur_top = top;
+      }
+      fn(t, page != nullptr ? &page->words[word & (kPageWords - 1)]
+                            : nullptr);
+    }
+  }
+
   /// Words with a recorded writer. O(pages · kPageWords): diagnostics and
   /// tests only, never on the profiling path.
   std::size_t tracked_words() const;
@@ -92,6 +135,8 @@ class ShadowMemory {
   struct Page {
     Record words[kPageWords];
   };
+
+  static constexpr std::size_t kNoPage = static_cast<std::size_t>(-1);
 
   /// Word index of a byte address: keys are word-granular so byte aliases
   /// of the same 8-byte word share one record.

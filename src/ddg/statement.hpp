@@ -52,6 +52,9 @@ class StatementTable {
   const Statement& stmt(int id) const {
     return stmts_[static_cast<std::size_t>(id)];
   }
+  /// Mutable access for bulk updates (compressed-run expansion bumps
+  /// `executions` once per run instead of once per instance).
+  Statement& stmt_mut(int id) { return stmts_[static_cast<std::size_t>(id)]; }
   std::size_t size() const { return stmts_.size(); }
   const std::vector<Statement>& all() const { return stmts_; }
 

@@ -195,6 +195,116 @@ void FoldingSink::on_dependence(ddg::DepKind kind, int src_stmt,
   f->add(dst_coords, src_coords);
 }
 
+namespace {
+
+inline i64 wadd(i64 a, i64 b) {
+  return static_cast<i64>(static_cast<u64>(a) + static_cast<u64>(b));
+}
+
+inline void advance(std::vector<i64>& v, std::span<const i64> stride) {
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = wadd(v[i], stride[i]);
+}
+
+}  // namespace
+
+void FoldingSink::on_instruction_run(const InstrRun& r) {
+  if (r.n == 0) return;
+  const ddg::Statement& s = *r.stmt;
+  const bool fold_value = r.has_value && scev_candidate(s.op);
+  if (buffered()) {
+    auto& b = stmt_buf_[s.id];
+    if (!b.dim_set) {
+      b.dim = r.coords.size();
+      b.dim_set = true;
+    }
+    b.domain_points += r.n;
+    std::vector<i64> coords(r.coords.begin(), r.coords.end());
+    i64 value = r.value;
+    i64 address = r.address;
+    for (u64 t = 0; t < r.n; ++t) {
+      if (fold_value && !r.value_affine) value = r.values[t];
+      if (r.has_address && !r.address_affine) address = r.addresses[t];
+      b.domain.insert(b.domain.end(), coords.begin(), coords.end());
+      if (fold_value) {
+        b.value.insert(b.value.end(), coords.begin(), coords.end());
+        b.value.push_back(value);
+      }
+      if (r.has_address) {
+        b.address.insert(b.address.end(), coords.begin(), coords.end());
+        b.address.push_back(address);
+      }
+      advance(coords, r.coord_stride);
+      value = wadd(value, r.value_stride);
+      address = wadd(address, r.address_stride);
+    }
+    return;
+  }
+  auto& streams = stmts_[s.id];
+  const std::size_t d = r.coords.size();
+  if (!streams.domain)
+    streams.domain = std::make_unique<Folder>(d, 0, opts_);
+  streams.domain->add_run(r.coords, {}, r.coord_stride, {}, r.n);
+  if (fold_value) {
+    if (!streams.value)
+      streams.value = std::make_unique<Folder>(d, 1, opts_);
+    if (r.value_affine) {
+      const i64 lab[1] = {r.value};
+      const i64 ls[1] = {r.value_stride};
+      streams.value->add_run(r.coords, lab, r.coord_stride, ls, r.n);
+    } else {
+      std::vector<i64> coords(r.coords.begin(), r.coords.end());
+      for (u64 t = 0; t < r.n; ++t) {
+        const i64 lab[1] = {r.values[t]};
+        streams.value->add(coords, lab);
+        advance(coords, r.coord_stride);
+      }
+    }
+  }
+  if (r.has_address) {
+    if (!streams.address)
+      streams.address = std::make_unique<Folder>(d, 1, opts_);
+    if (r.address_affine) {
+      const i64 lab[1] = {r.address};
+      const i64 ls[1] = {r.address_stride};
+      streams.address->add_run(r.coords, lab, r.coord_stride, ls, r.n);
+    } else {
+      std::vector<i64> coords(r.coords.begin(), r.coords.end());
+      for (u64 t = 0; t < r.n; ++t) {
+        const i64 lab[1] = {r.addresses[t]};
+        streams.address->add(coords, lab);
+        advance(coords, r.coord_stride);
+      }
+    }
+  }
+}
+
+void FoldingSink::on_dependence_run(const DepRun& r) {
+  if (r.n == 0) return;
+  DepKey key{r.src_stmt, r.dst_stmt, r.kind, r.slot};
+  if (buffered()) {
+    auto& b = dep_buf_[key];
+    if (b.points == 0) {
+      b.dst_dim = r.dst_coords.size();
+      b.src_dim = r.src_coords.size();
+    }
+    b.points += r.n;
+    std::vector<i64> dst(r.dst_coords.begin(), r.dst_coords.end());
+    std::vector<i64> src(r.src_coords.begin(), r.src_coords.end());
+    for (u64 t = 0; t < r.n; ++t) {
+      b.rows.insert(b.rows.end(), dst.begin(), dst.end());
+      b.rows.insert(b.rows.end(), src.begin(), src.end());
+      advance(dst, r.dst_stride);
+      advance(src, r.src_stride);
+    }
+    return;
+  }
+  auto& f = deps_[key];
+  if (!f)
+    f = std::make_unique<Folder>(r.dst_coords.size(), r.src_coords.size(),
+                                 opts_);
+  f->add_run(r.dst_coords, r.src_coords, r.dst_stride, r.src_stride, r.n);
+}
+
 FoldingSink::StmtOutcome FoldingSink::fold_stmt_buffer(
     const StmtBuffer& b) const {
   StmtOutcome out;

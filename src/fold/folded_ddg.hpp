@@ -102,6 +102,11 @@ class FoldingSink : public ddg::DdgSink {
   void on_dependence(ddg::DepKind kind, int src_stmt,
                      std::span<const i64> src_coords, int dst_stmt,
                      std::span<const i64> dst_coords, int slot) override;
+  /// Bulk entry points for compressed trace runs: one Folder::add_run per
+  /// stream (inline mode) or one buffer append per run (parallel mode)
+  /// instead of n scalar calls — bit-identical output either way.
+  void on_instruction_run(const InstrRun& r) override;
+  void on_dependence_run(const DepRun& r) override;
 
   /// Declare statements whose streams are incomplete (builder budget
   /// exhaustion). finalize() demotes them to over-approximations BEFORE

@@ -93,11 +93,86 @@ i128 Folder::eval_row(const TRow& t, std::span<const i64> pt) const {
   return v;
 }
 
+void Folder::rebuild_hull_int(Chunk& c) const {
+  // Scale each RREF row to integers (row × lcm of its denominators) so
+  // membership tests run fraction-free. The test only needs zero/nonzero
+  // of the reduced vector, so uniform row scaling is harmless. Any
+  // overflow while scaling abandons the fast path for this chunk.
+  //
+  // The rows are stored sorted by pivot column: in_hull's reduction
+  // rescales only the suffix v[pivot..], which keeps the accumulated
+  // per-component scale uniform across each elimination's suffix ONLY
+  // when pivots are visited in increasing order. Reducing with a
+  // smaller-pivot row after a larger-pivot one would combine
+  // differently-scaled components and corrupt the zero/nonzero verdict
+  // (extend_basis appends rows in discovery order, so decreasing pivots
+  // do occur).
+  c.hull_int.clear();
+  c.hull_piv.clear();
+  try {
+    const std::size_t width = in_dim_ + 1;
+    for (std::size_t r = 0; r < c.hull.rows(); ++r) {
+      i128 l = 1;
+      for (std::size_t k = 0; k < width; ++k)
+        l = lcm(l, c.hull.at(r, k).den());
+      std::vector<i128> row(width);
+      std::size_t piv = width;
+      for (std::size_t k = 0; k < width; ++k) {
+        const Rat& x = c.hull.at(r, k);
+        row[k] = mul_checked(x.num(), l / x.den());
+        if (piv == width && row[k] != 0) piv = k;
+      }
+      PP_CHECK(piv < width, "hull row with no pivot");
+      c.hull_int.push_back(std::move(row));
+      c.hull_piv.push_back(piv);
+    }
+    for (std::size_t a = 1; a < c.hull_int.size(); ++a) {
+      // Insertion sort by pivot: row counts are tiny (≤ in_dim_ + 1).
+      std::size_t b = a;
+      while (b > 0 && c.hull_piv[b - 1] > c.hull_piv[b]) {
+        std::swap(c.hull_piv[b - 1], c.hull_piv[b]);
+        std::swap(c.hull_int[b - 1], c.hull_int[b]);
+        --b;
+      }
+    }
+  } catch (const Error&) {
+    c.hull_int.clear();
+    c.hull_piv.clear();
+  }
+}
+
 bool Folder::in_hull(const Chunk& c, std::span<const i64> point) const {
   // Full-rank basis: the affine hull is the whole space (the common case
   // once a loop nest has warmed up).
   if (c.hull.rows() == in_dim_ + 1) return true;
-  RatVec v(in_dim_ + 1);
+  const std::size_t width = in_dim_ + 1;
+  if (c.hull_int.size() == c.hull.rows()) {
+    // Fraction-free fast path: reduce [point 1] against the scaled rows.
+    // Eliminating pivot column p of row R rescales v by R[p]; scale never
+    // affects the zero/nonzero verdict. Overflow (rare, needs huge
+    // coordinates) falls through to the exact rational path.
+    try {
+      hullv_.resize(width);
+      for (std::size_t i = 0; i < in_dim_; ++i) hullv_[i] = point[i];
+      hullv_[in_dim_] = 1;
+      for (std::size_t r = 0; r < c.hull_int.size(); ++r) {
+        const std::size_t p = c.hull_piv[r];
+        const i128 f = hullv_[p];
+        if (f == 0) continue;
+        const std::vector<i128>& row = c.hull_int[r];
+        const i128 s = row[p];
+        for (std::size_t k = p; k < width; ++k)
+          hullv_[k] = sub_checked(mul_checked(s, hullv_[k]),
+                                  mul_checked(f, row[k]));
+      }
+      for (const i128& x : hullv_)
+        if (x != 0) return false;
+      return true;
+    } catch (const Error&) {
+      // fall through to the rational path
+    }
+  }
+  RatVec v(width);
   for (std::size_t i = 0; i < in_dim_; ++i) v[i] = Rat(point[i]);
   v[in_dim_] = Rat(1);
   hull_reduce(c.hull, v);
@@ -154,6 +229,7 @@ void Folder::extend_basis(Chunk& c, std::span<const i64> point,
       c.hull.at(r, k) -= f * v[k];
   }
   c.hull.push_row(v);
+  rebuild_hull_int(c);
 }
 
 void Folder::refit(Chunk& c) {
@@ -200,6 +276,7 @@ void Folder::refit(Chunk& c) {
 Folder::Chunk Folder::make_chunk(std::span<const i64> point,
                                  std::span<const i64> label, u64 at_seq) {
   Chunk c;
+  c.id = ++next_chunk_id_;
   c.points = 1;
   c.last_use = at_seq;
   c.created = at_seq;
@@ -288,6 +365,11 @@ void Folder::set_run_last(std::span<const i64> point,
 }
 
 bool Folder::fit_maps_stride(const Chunk& c) const {
+  return fit_maps(c, pstride_, lstride_);
+}
+
+bool Folder::fit_maps(const Chunk& c, std::span<const i128> ps,
+                      std::span<const i128> ls) const {
   if (label_dim_ == 0) return true;
   // Overflow in the stride image falls back to scalar routing (which is
   // always sound) instead of faulting a stream the point-at-a-time path
@@ -298,21 +380,201 @@ bool Folder::fit_maps_stride(const Chunk& c) const {
         i128 acc = 0;
         for (std::size_t i = 0; i < in_dim_; ++i)
           if (c.fit_int[j][i] != 0)
-            acc = add_checked(acc, mul_checked(c.fit_int[j][i], pstride_[i]));
-        if (acc != lstride_[j]) return false;
+            acc = add_checked(acc, mul_checked(c.fit_int[j][i], ps[i]));
+        if (acc != ls[j]) return false;
       }
       return true;
     }
     for (std::size_t j = 0; j < label_dim_; ++j) {
       Rat acc(0);
       for (std::size_t i = 0; i < in_dim_; ++i)
-        if (!c.fit[j][i].is_zero()) acc += c.fit[j][i] * Rat(pstride_[i]);
-      if (acc != Rat(lstride_[j])) return false;
+        if (!c.fit[j][i].is_zero()) acc += c.fit[j][i] * Rat(ps[i]);
+      if (acc != Rat(ls[j])) return false;
     }
     return true;
   } catch (const Error&) {
     return false;
   }
+}
+
+Folder::Chunk* Folder::chunk_by_id(u64 id) {
+  for (auto& c : open_)
+    if (c.id == id) return &c;
+  return nullptr;
+}
+
+bool Folder::chain_defer(u64 n) {
+  if (chain_state_ == ChainState::kNone) return false;
+  if (run_stride_viol_ || n < 2 || n != chain_T_) return false;
+  if (pstride_ != chain_s_ || lstride_ != chain_ls_) return false;
+  if (chain_state_ == ChainState::kArmed) {
+    // Within-group extension: the base advances by exactly the level-2
+    // stride. The geometric conditions were established when the chain
+    // armed and no chunk state has changed since, so O(d) delta checks
+    // suffice.
+    bool within = true;
+    for (std::size_t i = 0; within && i < in_dim_; ++i)
+      within = static_cast<i128>(run_base_[i]) - chain_last_base_[i] ==
+               chain_o1_[i];
+    for (std::size_t j = 0; within && j < label_dim_; ++j)
+      within = static_cast<i128>(run_lbase_[j]) - chain_last_lbase_[j] ==
+               chain_lo1_[j];
+    if (within) {
+      if (chain_R_ != 0 && chain_B_ >= chain_R_) return false;  // irregular
+      ++chain_B_;
+    } else if (chain_R_ == 0) {
+      // First group boundary: learn the group size and the level-3
+      // stride. The new group base b = base0 + o2 needs the full
+      // point-routing conditions once — the fit must predict it (so
+      // generic routing would pick this chunk, the MRU, at step 1) and it
+      // must sit in the affine hull (so absorption would not extend the
+      // basis). The fit mapping o2 then propagates both properties to
+      // every later group: each next group base differs by o2, a hull
+      // direction, from a predicted hull member.
+      Chunk* c = chunk_by_id(chain_chunk_id_);
+      PP_CHECK(c != nullptr, "folder: chained chunk vanished");
+      chain_o2_.resize(in_dim_);
+      chain_lo2_.resize(label_dim_);
+      for (std::size_t i = 0; i < in_dim_; ++i)
+        chain_o2_[i] = static_cast<i128>(run_base_[i]) - chain_base0_[i];
+      for (std::size_t j = 0; j < label_dim_; ++j)
+        chain_lo2_[j] = static_cast<i128>(run_lbase_[j]) - chain_lbase0_[j];
+      if (!fit_maps(*c, chain_o2_, chain_lo2_)) return false;
+      if (!predicts(*c, run_base_, run_lbase_)) return false;
+      if (!in_hull(*c, run_base_)) return false;
+      chain_R_ = chain_B_;
+      chain_M_ = 2;
+      chain_B_ = 1;
+      chain_group_base_.assign(run_base_.begin(), run_base_.end());
+      chain_group_lbase_.assign(run_lbase_.begin(), run_lbase_.end());
+    } else {
+      // Later group boundaries: only complete groups advancing by the
+      // learned level-3 stride extend the chain.
+      if (chain_B_ != chain_R_) return false;
+      bool boundary = true;
+      for (std::size_t i = 0; boundary && i < in_dim_; ++i)
+        boundary = static_cast<i128>(run_base_[i]) - chain_group_base_[i] ==
+                   chain_o2_[i];
+      for (std::size_t j = 0; boundary && j < label_dim_; ++j)
+        boundary = static_cast<i128>(run_lbase_[j]) - chain_group_lbase_[j] ==
+                   chain_lo2_[j];
+      if (!boundary) return false;
+      ++chain_M_;
+      chain_B_ = 1;
+      chain_group_base_.assign(run_base_.begin(), run_base_.end());
+      chain_group_lbase_.assign(run_lbase_.begin(), run_lbase_.end());
+    }
+    chain_last_base_.assign(run_base_.begin(), run_base_.end());
+    chain_last_lbase_.assign(run_lbase_.begin(), run_lbase_.end());
+    chain_points_ += n;
+    chain_end_seq_ = run_start_seq_ + n - 1;
+    return true;
+  }
+  // Seeded: try to arm on this run. Deferring run points (b + t·s,
+  // t < n) and every later matching run (bases b + e·o1 and, past the
+  // first group boundary, + g·o2) is equivalent to the generic flush path
+  // iff, on the seed chunk c:
+  //   * the fit maps every stride and predicts b — then it predicts every
+  //     deferred point by affinity, so point-at-a-time routing would pick
+  //     c (it is MRU: it took the seed run's last point, and no other
+  //     routing happens mid-chain) via step 1 with no refit;
+  //   * the generators b, b + (n-1)·s and b + o1 lie in c's affine hull —
+  //     affine hulls are closed under affine combination, so every
+  //     deferred point does too, and point-at-a-time absorption would
+  //     never extend the basis.
+  // Template rows are linear, so their min/max over the deferred block
+  // sit at its lattice corners, applied in chain_finalize().
+  Chunk* c = chunk_by_id(chain_chunk_id_);
+  if (c == nullptr) {
+    chain_state_ = ChainState::kNone;
+    return false;
+  }
+  chain_o1_.resize(in_dim_);
+  chain_lo1_.resize(label_dim_);
+  chain_tmp_.resize(in_dim_);
+  for (std::size_t i = 0; i < in_dim_; ++i) {
+    chain_o1_[i] = static_cast<i128>(run_base_[i]) - chain_seed_base_[i];
+    const i128 probe = static_cast<i128>(run_base_[i]) + chain_o1_[i];
+    if (probe < INT64_MIN || probe > INT64_MAX) return false;
+    chain_tmp_[i] = static_cast<i64>(probe);
+  }
+  for (std::size_t j = 0; j < label_dim_; ++j)
+    chain_lo1_[j] = static_cast<i128>(run_lbase_[j]) - chain_seed_lbase_[j];
+  if (!fit_maps(*c, pstride_, lstride_) ||
+      !fit_maps(*c, chain_o1_, chain_lo1_))
+    return false;
+  if (!predicts(*c, run_base_, run_lbase_)) return false;
+  if (!in_hull(*c, run_base_) || !in_hull(*c, run_last_) ||
+      !in_hull(*c, chain_tmp_))
+    return false;
+  chain_state_ = ChainState::kArmed;
+  chain_base0_.assign(run_base_.begin(), run_base_.end());
+  chain_lbase0_.assign(run_lbase_.begin(), run_lbase_.end());
+  chain_group_base_ = chain_base0_;
+  chain_group_lbase_ = chain_lbase0_;
+  chain_last_base_ = chain_base0_;
+  chain_last_lbase_ = chain_lbase0_;
+  chain_R_ = 0;
+  chain_M_ = 1;
+  chain_B_ = 1;
+  chain_points_ = n;
+  chain_end_seq_ = run_start_seq_ + n - 1;
+  return true;
+}
+
+void Folder::chain_finalize() {
+  if (chain_state_ != ChainState::kArmed) {
+    chain_state_ = ChainState::kNone;
+    return;
+  }
+  chain_state_ = ChainState::kNone;
+  Chunk* c = chunk_by_id(chain_chunk_id_);
+  PP_CHECK(c != nullptr, "folder: chained chunk vanished");
+  // Template rows are linear, so their extrema over the deferred block —
+  // a full (M-1)×R×n lattice box plus the current (possibly partial)
+  // group's B×n slice — sit at the corners of those two boxes. Every
+  // corner is a genuinely observed point, so the i64 narrowing is exact.
+  chain_tmp_.resize(in_dim_);
+  auto fold_corner = [&](u64 g, u64 e, u64 t) {
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      i128 v = static_cast<i128>(chain_base0_[i]) +
+               static_cast<i128>(t) * chain_s_[i] +
+               static_cast<i128>(e) * chain_o1_[i];
+      if (g > 0) v += static_cast<i128>(g) * chain_o2_[i];
+      chain_tmp_[i] = static_cast<i64>(v);
+    }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      const i128 v = eval_row(rows_[r], chain_tmp_);
+      c->bnd[r].min = std::min(c->bnd[r].min, v);
+      c->bnd[r].max = std::max(c->bnd[r].max, v);
+    }
+  };
+  const u64 t_hi = chain_T_ - 1;
+  if (chain_M_ >= 2) {
+    // Complete groups 0 .. M-2 (each R runs).
+    for (u64 g : {u64{0}, chain_M_ - 2})
+      for (u64 e : {u64{0}, chain_R_ - 1})
+        for (u64 t : {u64{0}, t_hi}) fold_corner(g, e, t);
+  }
+  // Current group (ordinal M, B runs, possibly partial).
+  for (u64 e : {u64{0}, chain_B_ - 1})
+    for (u64 t : {u64{0}, t_hi}) fold_corner(chain_M_ - 1, e, t);
+  c->points += chain_points_;
+  c->last_use = chain_end_seq_;
+}
+
+void Folder::chain_seed(u64 n, u64 chunk_id, bool clean) {
+  if (!clean || n < 2) {
+    chain_state_ = ChainState::kNone;
+    return;
+  }
+  chain_state_ = ChainState::kSeeded;
+  chain_chunk_id_ = chunk_id;
+  chain_T_ = n;
+  chain_s_.assign(pstride_.begin(), pstride_.end());
+  chain_ls_.assign(lstride_.begin(), lstride_.end());
+  chain_seed_base_.assign(run_base_.begin(), run_base_.end());
+  chain_seed_lbase_.assign(run_lbase_.begin(), run_lbase_.end());
 }
 
 void Folder::bulk_absorb(Chunk& c, std::span<const i64> first,
@@ -341,10 +603,18 @@ void Folder::flush_run() {
   if (run_len_ == 0) return;
   const u64 n = run_len_;
   run_len_ = 0;
+  if (chain_defer(n)) {
+    run_stride_viol_ = false;
+    return;
+  }
+  chain_finalize();
+  std::size_t base_ci = 0;
+  bool clean = false;
   cur_pt_ = run_base_;
   cur_lab_ = run_lbase_;
   for (u64 k = 0; k < n; ++k) {
     std::size_t ci = route_point(cur_pt_, cur_lab_, run_start_seq_ + k);
+    if (k == 0) base_ci = ci;
     // A non-lex-positive stride violates monotonicity at every run point
     // AFTER the base — apply it only once the base has routed, so closes
     // forced by the base see the same lex state as point-at-a-time.
@@ -359,9 +629,13 @@ void Folder::flush_run() {
     if (fit_maps_stride(open_[ci])) {
       bulk_absorb(open_[ci], cur_pt_, cur_lab_, n - 1 - k,
                   run_start_seq_ + n - 1);
+      // The whole run landed in one chunk with no per-point routing —
+      // a chain candidate (the next flush may arm on it).
+      clean = (k == 0);
       break;
     }
   }
+  chain_seed(n, clean ? open_[base_ci].id : 0, clean);
   run_stride_viol_ = false;
 }
 
@@ -433,6 +707,151 @@ void Folder::add(std::span<const i64> point, std::span<const i64> label) {
   flush_run();
   if (!lex_greater(point, run_last_)) lex_ok_ = false;
   start_run(point, label);
+}
+
+void Folder::add_run(std::span<const i64> point, std::span<const i64> label,
+                     std::span<const i64> pstride,
+                     std::span<const i64> lstride, u64 n) {
+  PP_CHECK(point.size() == in_dim_ && pstride.size() == in_dim_,
+           "folder: run point arity mismatch");
+  PP_CHECK(label.size() == label_dim_ && lstride.size() == label_dim_,
+           "folder: run label arity mismatch");
+  if (n == 0) return;
+  if (n == 1) {  // stride meaningless for one point — plain scalar add
+    add(point, label);
+    return;
+  }
+  // Equivalence with n scalar add() calls needs each consecutive i128
+  // difference to equal the stride exactly, i.e. no 64-bit wrap among the
+  // run points. Coordinates move monotonically, so endpoint checks
+  // suffice; a wrapping run replays through the scalar loop below.
+  auto in_range = [n](std::span<const i64> base, std::span<const i64> stride) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const i128 last = static_cast<i128>(base[i]) +
+                        static_cast<i128>(stride[i]) * static_cast<i128>(n - 1);
+      if (last < INT64_MIN || last > INT64_MAX) return false;
+    }
+    return true;
+  };
+  if (opts_.stride_runs && in_range(point, pstride) &&
+      in_range(label, lstride)) {
+    // O(d) fast paths: the whole call either extends the pending run or
+    // becomes the new pending run — state identical to the scalar loop
+    // (which would only bump counters and the run tail point by point),
+    // without touching any chunk.
+    arun_pt_.resize(in_dim_);
+    arun_lab_.resize(label_dim_);
+    for (std::size_t i = 0; i < in_dim_; ++i)
+      arun_pt_[i] = static_cast<i64>(
+          static_cast<i128>(point[i]) +
+          static_cast<i128>(pstride[i]) * static_cast<i128>(n - 1));
+    for (std::size_t j = 0; j < label_dim_; ++j)
+      arun_lab_[j] = static_cast<i64>(
+          static_cast<i128>(label[j]) +
+          static_cast<i128>(lstride[j]) * static_cast<i128>(n - 1));
+    auto strides_match = [&] {
+      for (std::size_t i = 0; i < in_dim_; ++i)
+        if (pstride_[i] != pstride[i]) return false;
+      for (std::size_t j = 0; j < label_dim_; ++j)
+        if (lstride_[j] != lstride[j]) return false;
+      return true;
+    };
+    auto continues_pending = [&] {
+      for (std::size_t i = 0; i < in_dim_; ++i)
+        if (static_cast<i128>(point[i]) - run_last_[i] != pstride_[i])
+          return false;
+      for (std::size_t j = 0; j < label_dim_; ++j)
+        if (static_cast<i128>(label[j]) - run_llast_[j] != lstride_[j])
+          return false;
+      return true;
+    };
+    auto install_strides = [&] {
+      pstride_.resize(in_dim_);
+      lstride_.resize(label_dim_);
+      for (std::size_t i = 0; i < in_dim_; ++i) pstride_[i] = pstride[i];
+      for (std::size_t j = 0; j < label_dim_; ++j) lstride_[j] = lstride[j];
+      bool positive = false;
+      for (std::size_t i = 0; i < in_dim_; ++i) {
+        if (pstride_[i] != 0) {
+          positive = pstride_[i] > 0;
+          break;
+        }
+      }
+      run_stride_viol_ = !positive;
+    };
+    if (run_len_ >= 2 && strides_match() && continues_pending()) {
+      // Pure extension of the pending run.
+      total_points_ += n;
+      seq_ += n;
+      run_len_ += n;
+      set_run_last(arun_pt_, arun_lab_);
+      return;
+    }
+    if (run_len_ == 1) {
+      // The pending single point has no stride yet; when this run's base
+      // continues it at the run's own stride, they merge into one run
+      // (exactly what the scalar loop's stride-establishing add would do).
+      bool cont = true;
+      for (std::size_t i = 0; cont && i < in_dim_; ++i)
+        cont = static_cast<i128>(point[i]) - run_last_[i] == pstride[i];
+      for (std::size_t j = 0; cont && j < label_dim_; ++j)
+        cont = static_cast<i128>(label[j]) - run_llast_[j] == lstride[j];
+      if (cont) {
+        install_strides();
+        total_points_ += n;
+        seq_ += n;
+        run_len_ = 1 + n;
+        set_run_last(arun_pt_, arun_lab_);
+        return;
+      }
+    }
+    if (run_len_ == 0) {
+      // Fresh stream (or right after finish()): the run becomes the
+      // pending run wholesale; no lexicographic reference exists yet.
+      run_base_.assign(point.begin(), point.end());
+      run_lbase_.assign(label.begin(), label.end());
+      install_strides();
+      total_points_ += n;
+      seq_ += n;
+      run_start_seq_ = seq_ - n + 1;
+      run_len_ = n;
+      set_run_last(arun_pt_, arun_lab_);
+      return;
+    }
+    if (run_len_ >= 2) {
+      // The run breaks the pending one: flush it (possibly into a chain),
+      // apply the cross-run lexicographic check against its tail, and
+      // install this run as the new pending run.
+      flush_run();
+      if (!lex_greater(point, run_last_)) lex_ok_ = false;
+      run_base_.assign(point.begin(), point.end());
+      run_lbase_.assign(label.begin(), label.end());
+      install_strides();
+      total_points_ += n;
+      seq_ += n;
+      run_start_seq_ = seq_ - n + 1;
+      run_len_ = n;
+      set_run_last(arun_pt_, arun_lab_);
+      return;
+    }
+    // run_len_ == 1 and the base does not continue it: fall through to
+    // the scalar loop (the pending point still needs its stride decided
+    // by add()'s break-or-establish logic).
+  }
+  auto wrap_add = [](i64 a, i64 b) {
+    return static_cast<i64>(static_cast<u64>(a) + static_cast<u64>(b));
+  };
+  arun_pt_.assign(point.begin(), point.end());
+  arun_lab_.assign(label.begin(), label.end());
+  for (u64 k = 0; k < n; ++k) {
+    if (k > 0) {
+      for (std::size_t i = 0; i < in_dim_; ++i)
+        arun_pt_[i] = wrap_add(arun_pt_[i], pstride[i]);
+      for (std::size_t j = 0; j < label_dim_; ++j)
+        arun_lab_[j] = wrap_add(arun_lab_[j], lstride[j]);
+    }
+    add(arun_pt_, arun_lab_);
+  }
 }
 
 poly::Polyhedron Folder::emit_domain(const std::vector<Bnd>& bnd,
@@ -705,6 +1124,7 @@ void Folder::close_chunk(Chunk& chunk) {
 
 poly::PolySet Folder::finish() {
   flush_run();
+  chain_finalize();  // flush_run may have deferred the final run
   // Close remaining chunks in creation order for stable output.
   std::sort(open_.begin(), open_.end(),
             [](const Chunk& a, const Chunk& b) { return a.created < b.created; });

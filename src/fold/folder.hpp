@@ -113,6 +113,17 @@ class Folder {
   /// Feed one point. `label.size()` must equal label_dim.
   void add(std::span<const i64> point, std::span<const i64> label);
 
+  /// Feed `n` points in one call: the k-th point/label is obtained from
+  /// the previous one by adding `pstride`/`lstride` with 64-bit wrapping
+  /// (so a caller replaying observed values reproduces them exactly even
+  /// across overflow). Equivalent to `n` scalar add() calls by
+  /// construction: the call falls back to scalar routing until the
+  /// pending-run state can absorb the remainder as a single O(1) stride
+  /// extension (constant strides matching the pending run, no wrap left).
+  void add_run(std::span<const i64> point, std::span<const i64> label,
+               std::span<const i64> pstride, std::span<const i64> lstride,
+               u64 n);
+
   /// Close all open chunks and return the accumulated pieces. The folder
   /// can keep streaming afterwards.
   poly::PolySet finish();
@@ -137,6 +148,7 @@ class Folder {
   };
 
   struct Chunk {
+    u64 id = 0;         ///< stable identity (open_ indices shift on evict)
     u64 points = 0;
     u64 last_use = 0;   ///< stream sequence number of the last routed point
     u64 created = 0;    ///< creation sequence (stable output ordering)
@@ -144,6 +156,12 @@ class Folder {
     std::vector<std::vector<i64>> basis_pts;
     std::vector<std::vector<i64>> basis_labels;
     RatMatrix hull;     ///< RREF rows of [I 1] over the basis
+    /// Integer image of `hull` (each row scaled by its denominators' lcm,
+    /// pivot column first): lets the hot in_hull membership test run
+    /// fraction-free on i128 instead of allocating rationals. Rebuilt on
+    /// every basis extension; empty = scaling overflowed, use `hull`.
+    std::vector<std::vector<i128>> hull_int;
+    std::vector<std::size_t> hull_piv;        ///< pivot column per int row
     std::vector<RatVec> fit;                  ///< per label dim: coeffs+const
     std::vector<std::vector<i128>> fit_int;   ///< integer fast path
   };
@@ -172,6 +190,8 @@ class Folder {
   /// Linear part of the chunk's fit applied to the pending stride equals
   /// the label stride (then the fit predicts every remaining run point).
   bool fit_maps_stride(const Chunk& c) const;
+  bool fit_maps(const Chunk& c, std::span<const i128> ps,
+                std::span<const i128> ls) const;
   void bulk_absorb(Chunk& c, std::span<const i64> first,
                    std::span<const i64> first_label, u64 extra, u64 end_seq);
 
@@ -197,6 +217,8 @@ class Folder {
 
   std::vector<Chunk> open_;
   std::vector<std::size_t> route_order_;  ///< routing scratch (recency sort)
+  mutable std::vector<i128> hullv_;       ///< in_hull reduction scratch
+  void rebuild_hull_int(Chunk& c) const;
   u64 seq_ = 0;
   bool lex_ok_ = true;
 
@@ -213,6 +235,49 @@ class Folder {
   std::vector<i64> run_lbase_, run_llast_;
   std::vector<i128> pstride_, lstride_;
   std::vector<i64> cur_pt_, cur_lab_;  ///< flush_run scratch
+  std::vector<i64> arun_pt_, arun_lab_;  ///< add_run scratch (add() may
+                                         ///< trigger flush_run, which owns
+                                         ///< cur_pt_/cur_lab_)
+
+  // Chained runs ("runs of runs", levels 2 and 3): loop nests flush one
+  // arithmetic run per innermost-loop entry; consecutive entries produce
+  // runs of identical length and stride whose bases advance by a constant
+  // second-level stride o1, and consecutive middle-loop entries produce
+  // GROUPS of runs whose group bases advance by a constant third-level
+  // stride o2 (the group size R is learned from the first group). Once a
+  // chunk's fit maps every stride and the chain's generators lie in its
+  // affine hull, every further matching run is absorbed with O(d)
+  // bookkeeping — the template bounds are applied once, at the chain's
+  // lattice corners (at most 12 points), when the chain breaks.
+  // chain_defer() states the exact conditions under which this is
+  // equivalent to flushing each run through the generic path.
+  enum class ChainState : std::uint8_t { kNone, kSeeded, kArmed };
+  ChainState chain_state_ = ChainState::kNone;
+  u64 chain_chunk_id_ = 0;  ///< chunk absorbing the chain
+  u64 chain_T_ = 0;         ///< per-run length (fixed across the chain)
+  u64 chain_R_ = 0;         ///< runs per complete group (0 = unlearned)
+  u64 chain_M_ = 0;         ///< current group ordinal (1-based)
+  u64 chain_B_ = 0;         ///< runs in the current group
+  u64 chain_points_ = 0;    ///< total deferred points
+  u64 chain_end_seq_ = 0;   ///< seq of the last deferred point
+  std::vector<i128> chain_s_, chain_ls_;    ///< level-1 (within-run) stride
+  std::vector<i128> chain_o1_, chain_lo1_;  ///< level-2 (run-to-run) stride
+  std::vector<i128> chain_o2_, chain_lo2_;  ///< level-3 (group-to-group)
+  std::vector<i64> chain_base0_, chain_lbase0_;  ///< first deferred run base
+  std::vector<i64> chain_group_base_, chain_group_lbase_;
+  std::vector<i64> chain_last_base_, chain_last_lbase_;
+  std::vector<i64> chain_seed_base_, chain_seed_lbase_;
+  std::vector<i64> chain_tmp_;  ///< hull-probe / corner scratch
+  u64 next_chunk_id_ = 0;
+  Chunk* chunk_by_id(u64 id);
+  /// Absorb the just-ended pending run into the active chain (or arm a
+  /// seeded one); true = fully handled, skip the generic flush path.
+  bool chain_defer(u64 n);
+  /// Apply the deferred chain effects (corner bounds, point count) to its
+  /// chunk and reset the chain. Must run before any routing or close.
+  void chain_finalize();
+  /// Remember a cleanly absorbed run as a chain candidate.
+  void chain_seed(u64 n, u64 chunk_id, bool clean);
 
   poly::PolySet result_{0};
   u64 total_points_ = 0;

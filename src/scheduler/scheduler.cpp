@@ -70,7 +70,6 @@ DepVerdict check_dep(const std::vector<i64>& row, const SchedStatement& src,
     }
     poly::AffineExpr diff = latency_diff(row, common, dst.depth, piece);
     poly::BoundResult lo = piece.dst_domain.minimize(diff);
-    poly::BoundResult hi = piece.dst_domain.maximize(diff);
     if (lo.status == poly::LpStatus::kInfeasible) continue;  // empty piece
     if (lo.status != poly::LpStatus::kOptimal) {
       // Unbounded below: cannot be legal.
@@ -79,8 +78,15 @@ DepVerdict check_dep(const std::vector<i64>& row, const SchedStatement& src,
     }
     if (lo.value < Rat(0)) v.weak = false;
     if (!(lo.value > Rat(0))) v.carried = false;
-    bool piece_zero = hi.status == poly::LpStatus::kOptimal &&
-                      lo.value == Rat(0) && hi.value == Rat(0);
+    // The max only matters for the zero-distance verdict, which needs
+    // min == max == 0: skip the second LP unless the min is exactly 0
+    // and the aggregate zero verdict is still alive.
+    bool piece_zero = false;
+    if (v.zero && lo.value == Rat(0)) {
+      poly::BoundResult hi = piece.dst_domain.maximize(diff);
+      piece_zero =
+          hi.status == poly::LpStatus::kOptimal && hi.value == Rat(0);
+    }
     if (!piece_zero) v.zero = false;
     if (!v.weak) {
       v.carried = false;
@@ -178,6 +184,24 @@ GroupSchedule schedule_group(const Problem& problem, std::vector<int> stmts,
   std::set<std::size_t> band_start_active = active;
   bool first_level_of_band = true;
 
+  // A verdict depends only on (row, dep) — not on the level. The level
+  // loop re-visits the same candidate rows, the band-legality pass
+  // re-checks deps the scoring pass already solved, and the chosen row is
+  // checked a third time when carried deps are retired. Each check is
+  // several exact rational simplex solves (the dominant cost of
+  // scheduling), so cache verdicts for the whole group search.
+  std::vector<std::optional<DepVerdict>> vcache(candidates.size() *
+                                                deps.size());
+  auto checked = [&](std::size_t ci, std::size_t di) -> const DepVerdict& {
+    std::optional<DepVerdict>& slot = vcache[ci * deps.size() + di];
+    if (!slot) {
+      const SchedDep& d = *deps[di];
+      slot = check_dep(candidates[ci].row, *by_id.at(d.src),
+                       *by_id.at(d.dst), d);
+    }
+    return *slot;
+  };
+
   for (std::size_t level = 0; level < depth; ++level) {
     if (!g.schedulable) {
       // Identity fallback row.
@@ -207,18 +231,17 @@ GroupSchedule schedule_group(const Problem& problem, std::vector<int> stmts,
       return a.order < b.order;
     };
     int order = 0;
-    for (const auto& cand : candidates) {
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      const Candidate& cand = candidates[ci];
       ++order;
       // Approximate mode: only the original loop order's row at this level.
-      if (opts.identity_only && static_cast<std::size_t>(order - 1) != level)
-        continue;
+      if (opts.identity_only && ci != level) continue;
       if (!lin_indep(chosen, cand.row)) continue;
       DepVerdict agg;
       agg.carried = !active.empty();
       bool weak_active = true;
       for (std::size_t di : active) {
-        const SchedDep& d = *deps[di];
-        DepVerdict v = check_dep(cand.row, *by_id.at(d.src), *by_id.at(d.dst), d);
+        const DepVerdict& v = checked(ci, di);
         if (!v.weak) {
           weak_active = false;
           break;
@@ -230,8 +253,7 @@ GroupSchedule schedule_group(const Problem& problem, std::vector<int> stmts,
       bool band_legal = true;
       for (std::size_t di : band_start_active) {
         if (active.count(di)) continue;  // already checked
-        const SchedDep& d = *deps[di];
-        DepVerdict v = check_dep(cand.row, *by_id.at(d.src), *by_id.at(d.dst), d);
+        const DepVerdict& v = checked(ci, di);
         if (!v.weak) {
           band_legal = false;
           break;
@@ -265,12 +287,10 @@ GroupSchedule schedule_group(const Problem& problem, std::vector<int> stmts,
     first_level_of_band = false;
 
     // Remove carried dependences.
+    const std::size_t best_ci = static_cast<std::size_t>(best->order - 1);
     std::set<std::size_t> still_active;
     for (std::size_t di : active) {
-      const SchedDep& d = *deps[di];
-      DepVerdict v =
-          check_dep(lv.row, *by_id.at(d.src), *by_id.at(d.dst), d);
-      if (v.carried)
+      if (checked(best_ci, di).carried)
         lv.carries = true;
       else
         still_active.insert(di);

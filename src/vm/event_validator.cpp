@@ -12,6 +12,12 @@ bool EventValidator::block_ok(int func, int block) const {
   return block >= 0 && static_cast<std::size_t>(block) < f.blocks.size();
 }
 
+int EventValidator::block_len(int func, int block) const {
+  if (!block_ok(func, block)) return -1;
+  const auto& f = module_.functions[static_cast<std::size_t>(func)];
+  return static_cast<int>(f.blocks[static_cast<std::size_t>(block)].instrs.size());
+}
+
 void EventValidator::reject(const std::string& reason) {
   if (!fault_.empty()) return;
   fault_ = reason;
@@ -33,7 +39,7 @@ void EventValidator::on_local_jump(int func, int dst_bb) {
   }
   if (frames_.empty()) {
     // First event of the run: the entry frame materializes here.
-    frames_.push_back({func, dst_bb, 0});
+    frames_.push_back({func, dst_bb, 0, block_len(func, dst_bb)});
   } else {
     if (frames_.back().func != func) {
       reject("local jump crosses functions (f" +
@@ -43,6 +49,7 @@ void EventValidator::on_local_jump(int func, int dst_bb) {
     }
     frames_.back().block = dst_bb;
     frames_.back().next_instr = 0;
+    frames_.back().n_instrs = block_len(func, dst_bb);
   }
   inner_->on_local_jump(func, dst_bb);
 }
@@ -61,7 +68,7 @@ void EventValidator::on_call(CodeRef callsite, int callee) {
     reject("call before any control event");
     return;
   }
-  frames_.push_back({callee, 0, 0});
+  frames_.push_back({callee, 0, 0, block_len(callee, 0)});
   inner_->on_call(callsite, callee);
 }
 
@@ -95,6 +102,30 @@ void EventValidator::on_instr(const InstrEvent& ev) {
     return;
   }
   Frame& fr = frames_.back();
+  // Fast path: the event is exactly the expected next instruction of the
+  // frame's current block, whose length was range-checked when the frame
+  // entered it — integer compares fully imply the slow-path checks. Any
+  // mismatch (including a location that went out of range, n_instrs < 0)
+  // falls through to the full checks for the precise rejection message.
+  if (ev.ref.func == fr.func && ev.ref.block == fr.block &&
+      ev.ref.instr == fr.next_instr && ev.ref.instr < fr.n_instrs)
+      [[likely]] {
+    if (ev.instr != nullptr && ir::op_is_memory(ev.instr->op)) {
+      if (ev.address < 0) {
+        reject("negative effective address " + std::to_string(ev.address));
+        return;
+      }
+      if ((ev.address & 7) != 0) {
+        reject("misaligned effective address " + std::to_string(ev.address) +
+               " (8-byte alignment required)");
+        return;
+      }
+    }
+    ++fr.next_instr;
+    ++instr_events_;
+    inner_->on_instr(ev);
+    return;
+  }
   if (!block_ok(ev.ref.func, ev.ref.block)) {
     reject("instruction in out-of-range location f" +
            std::to_string(ev.ref.func) + ":b" + std::to_string(ev.ref.block));

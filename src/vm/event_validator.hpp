@@ -54,10 +54,17 @@ class EventValidator : public Observer {
     int func = -1;
     int block = -1;
     int next_instr = 0;  ///< expected instr index of the next event
+    /// Instruction count of `block`, cached when the frame enters it (-1
+    /// when the location is out of range). Lets on_instr accept the
+    /// common in-sequence event with integer compares only, instead of
+    /// re-indexing the module per event.
+    int n_instrs = -1;
   };
 
   bool func_ok(int func) const;
   bool block_ok(int func, int block) const;
+  /// Instruction count of the block, or -1 when out of range.
+  int block_len(int func, int block) const;
   void reject(const std::string& reason);
 
   const ir::Module& module_;

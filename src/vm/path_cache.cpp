@@ -1,0 +1,352 @@
+#include "vm/path_cache.hpp"
+
+namespace pp::vm {
+namespace {
+
+/// Iterations with more recorded positions than this never become
+/// templates: the per-iteration match cost and template memory would
+/// outgrow the win (hot compactable paths are short by nature).
+constexpr std::size_t kMaxSlots = 4096;
+
+}  // namespace
+
+bool PathCache::affine_result_candidate(ir::Op op) {
+  switch (op) {
+    case ir::Op::kConst:
+    case ir::Op::kMov:
+    case ir::Op::kAdd:
+    case ir::Op::kSub:
+    case ir::Op::kMul:
+    case ir::Op::kAddI:
+    case ir::Op::kMulI:
+    case ir::Op::kAnd:
+    case ir::Op::kOr:
+    case ir::Op::kXor:
+    case ir::Op::kShl:
+    case ir::Op::kShr:
+    case ir::Op::kCmpEq:
+    case ir::Op::kCmpNe:
+    case ir::Op::kCmpLt:
+    case ir::Op::kCmpLe:
+    case ir::Op::kCmpGt:
+    case ir::Op::kCmpGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool PathCache::consume(const InstrEvent& ev) {
+  PathTemplate& tp = *tmpl_;
+  if (run_.pos >= tp.slots.size()) {
+    // Structurally impossible (the last slot is the back-edge jump), but
+    // never let a desync swallow events.
+    end_run(true, run_.pos, false, false);
+    return false;
+  }
+  PathSlot& slot = tp.slots[run_.pos];
+  if (slot.is_jump || !(slot.ref == ev.ref)) {
+    end_run(true, run_.pos, false, false);
+    return false;
+  }
+  if (slot.vclass == PathValClass::kAffine &&
+      ev.result != run_.vnext[run_.pos]) {
+    end_run(true, run_.pos, true, false);
+    return false;
+  }
+  if (slot.aclass == PathValClass::kAffine &&
+      ev.address != run_.anext[run_.pos]) {
+    end_run(true, run_.pos, false, true);
+    return false;
+  }
+  if (slot.vclass == PathValClass::kCollect)
+    run_.collect[static_cast<std::size_t>(slot.collect_v)].push_back(
+        ev.result);
+  if (slot.aclass == PathValClass::kCollect)
+    run_.collect[static_cast<std::size_t>(slot.collect_a)].push_back(
+        ev.address);
+  ++run_.pos;
+  ++run_.prefix_instr_slots;
+  return true;
+}
+
+void PathCache::consume_jump(int func, int dst_bb) {
+  PathTemplate& tp = *tmpl_;
+  if (run_.pos >= tp.slots.size()) {
+    end_run(true, run_.pos, false, false);
+    return;
+  }
+  const PathSlot& slot = tp.slots[run_.pos];
+  if (!slot.is_jump || func != tp.func || slot.jump_dst != dst_bb) {
+    end_run(true, run_.pos, false, false);
+    return;
+  }
+  ++run_.pos;
+  if (run_.pos == tp.slots.size()) {
+    // Back-edge matched: one more compressed iteration.
+    ++run_.trips;
+    if (!stack_.empty()) ++stack_.back().iter_index;
+    run_.pos = 0;
+    run_.prefix_instr_slots = 0;
+    for (std::size_t i = 0; i < tp.slots.size(); ++i) {
+      const PathSlot& s = tp.slots[i];
+      if (s.vclass == PathValClass::kAffine)
+        run_.vnext[i] = wrap_add(run_.vnext[i], s.vstride);
+      if (s.aclass == PathValClass::kAffine)
+        run_.anext[i] = wrap_add(run_.anext[i], s.astride);
+    }
+  }
+}
+
+void PathCache::end_run(bool bailout, std::size_t fail_slot, bool value_guard,
+                        bool addr_guard) {
+  PathTemplate& tp = *tmpl_;
+  stats_.path_hits += run_.trips;
+  stats_.events_compressed +=
+      run_.trips * tp.instr_slots + run_.prefix_instr_slots;
+  if (bailout) ++stats_.path_bailouts;
+  if (run_.trips != 0 || run_.pos != 0) host_.expand_path_run(tp, run_);
+  // Demote a guard that killed the run young: structurally irregular
+  // values (hash mixes, data-dependent loads) stop ending runs, while a
+  // guard that held for many trips (the loop-exit compare flipping on the
+  // final iteration) keeps its affine fast path.
+  if ((value_guard || addr_guard) && run_.trips < 3 &&
+      fail_slot < tp.slots.size()) {
+    PathSlot& s = tp.slots[fail_slot];
+    if (value_guard && s.vclass == PathValClass::kAffine) {
+      s.vclass = PathValClass::kCollect;
+      s.collect_v = tp.n_collect++;
+    }
+    if (addr_guard && s.aclass == PathValClass::kAffine) {
+      s.aclass = PathValClass::kCollect;
+      s.collect_a = tp.n_collect++;
+    }
+  }
+  const bool at_iteration_start = bailout && run_.pos == 0;
+  tmpl_ = nullptr;
+  if (stack_.empty()) return;
+  Track& t = stack_.back();
+  t.at_start = false;
+  rec_.clear();
+  rec_instr_slots_ = 0;
+  if (at_iteration_start) {
+    // The run died before consuming anything of the current iteration —
+    // it is fully observable from here, so record it.
+    t.iter_valid = true;
+    t.path_id = 0;
+    t.prev_block = t.header;
+  } else {
+    t.iter_valid = false;
+  }
+}
+
+void PathCache::observe_instr(const InstrEvent& ev, int stmt) {
+  if (armed() || stack_.empty()) return;
+  Track& t = stack_.back();
+  if (!t.numberable || !t.iter_valid) return;
+  if (rec_.size() >= kMaxSlots) {
+    t.iter_valid = false;
+    rec_.clear();
+    rec_instr_slots_ = 0;
+    return;
+  }
+  PathSlot s;
+  s.ref = ev.ref;
+  s.instr = ev.instr;
+  s.stmt = stmt;
+  s.has_result = ev.has_result;
+  s.is_mem = ir::op_is_memory(ev.instr->op);
+  s.vbase = ev.result;
+  s.abase = ev.address;
+  rec_.push_back(s);
+  ++rec_instr_slots_;
+}
+
+void PathCache::loop_enter(int func, int loop, int header) {
+  if (armed()) end_run(true, SIZE_MAX, false, false);
+  if (!stack_.empty()) stack_.back().iter_valid = false;
+  Track t;
+  t.func = func;
+  t.loop = loop;
+  t.header = header;
+  t.numberable = host_.path_loop_usable(func, loop);
+  t.epoch = ++epoch_counter_;
+  t.at_start = t.numberable;
+  stack_.push_back(t);
+  rec_.clear();
+  rec_instr_slots_ = 0;
+}
+
+void PathCache::loop_iterate(int func, int loop) {
+  if (armed()) return;  // counted by consume_jump already
+  if (stack_.empty()) return;
+  Track& t = stack_.back();
+  if (t.func != func || t.loop != loop) {
+    // Desync (should not happen: the loop-event machine only iterates its
+    // live top) — degrade to "never compact" rather than crash.
+    t.iter_valid = false;
+    return;
+  }
+  if (t.numberable && t.iter_valid) finish_iteration(t);
+  ++t.iter_index;
+  t.at_start = t.numberable;
+  t.iter_valid = false;
+  rec_.clear();
+  rec_instr_slots_ = 0;
+}
+
+void PathCache::loop_exit() {
+  if (armed()) end_run(true, SIZE_MAX, false, false);
+  if (!stack_.empty()) stack_.pop_back();
+  rec_.clear();
+  rec_instr_slots_ = 0;
+}
+
+void PathCache::block_event(int func, int block) {
+  if (armed() || stack_.empty()) return;
+  Track& t = stack_.back();
+  if (!t.numberable) return;
+  if (t.at_start) {
+    t.at_start = false;
+    if (func == t.func && block == t.header) {
+      t.iter_valid = true;
+      t.path_id = 0;
+      t.prev_block = t.header;
+      rec_.clear();
+      rec_instr_slots_ = 0;
+    } else {
+      t.iter_valid = false;
+    }
+    return;
+  }
+  if (!t.iter_valid) return;
+  if (func != t.func) {
+    t.iter_valid = false;
+    return;
+  }
+  u64 inc = 0;
+  if (rec_.size() >= kMaxSlots ||
+      !host_.path_edge_increment(func, t.loop, t.prev_block, block, &inc)) {
+    t.iter_valid = false;
+    rec_.clear();
+    rec_instr_slots_ = 0;
+    return;
+  }
+  t.path_id += inc;
+  PathSlot s;
+  s.is_jump = true;
+  s.jump_dst = block;
+  rec_.push_back(s);
+  t.prev_block = block;
+}
+
+void PathCache::impure() {
+  if (armed()) end_run(true, SIZE_MAX, false, false);
+  if (!stack_.empty()) stack_.back().iter_valid = false;
+  rec_.clear();
+  rec_instr_slots_ = 0;
+}
+
+void PathCache::flush() {
+  if (armed()) end_run(false, SIZE_MAX, false, false);
+  if (!stack_.empty()) stack_.back().iter_valid = false;
+  rec_.clear();
+  rec_instr_slots_ = 0;
+}
+
+void PathCache::finish_iteration(Track& t) {
+  // Close the path with the back-edge increment and append the back-edge
+  // jump slot, so an armed iteration is matched end to end.
+  u64 inc = 0;
+  if (rec_.empty() || rec_.size() >= kMaxSlots ||
+      !host_.path_edge_increment(t.func, t.loop, t.prev_block, t.header,
+                                 &inc))
+    return;
+  const u64 path_id = t.path_id + inc;
+  PathSlot back;
+  back.is_jump = true;
+  back.jump_dst = t.header;
+  rec_.push_back(back);
+
+  auto key = std::make_tuple(t.func, t.loop, path_id);
+  auto it = templates_.find(key);
+  bool match = it != templates_.end() &&
+               it->second.slots.size() == rec_.size();
+  if (match) {
+    const PathTemplate& tp = it->second;
+    for (std::size_t i = 0; match && i < rec_.size(); ++i) {
+      const PathSlot& a = tp.slots[i];
+      const PathSlot& b = rec_[i];
+      match = a.is_jump == b.is_jump && a.jump_dst == b.jump_dst &&
+              a.ref == b.ref && a.stmt == b.stmt;
+    }
+  }
+  if (!match) {
+    // First sighting — or the same static path under a new interprocedural
+    // context (different statement ids): (re)build the template from this
+    // iteration; the next consecutive same-path iteration learns strides.
+    PathTemplate tp;
+    tp.func = t.func;
+    tp.loop = t.loop;
+    tp.header = t.header;
+    tp.path_id = path_id;
+    tp.last_epoch = t.epoch;
+    tp.last_iter = t.iter_index;
+    tp.slots = rec_;
+    tp.instr_slots = rec_instr_slots_;
+    for (PathSlot& s : tp.slots) {
+      if (s.is_jump) continue;
+      if (s.has_result)
+        s.vclass = affine_result_candidate(s.instr->op)
+                       ? PathValClass::kAffine
+                       : PathValClass::kCollect;
+      if (s.is_mem) s.aclass = PathValClass::kAffine;
+      if (s.vclass == PathValClass::kCollect) s.collect_v = tp.n_collect++;
+    }
+    templates_[key] = std::move(tp);
+    ++stats_.templates_created;
+    return;
+  }
+
+  PathTemplate& tp = it->second;
+  const bool consecutive =
+      tp.last_epoch == t.epoch && tp.last_iter + 1 == t.iter_index;
+  if (!tp.strides_known && consecutive) {
+    for (std::size_t i = 0; i < tp.slots.size(); ++i) {
+      PathSlot& s = tp.slots[i];
+      if (s.is_jump) continue;
+      s.vstride = wrap_sub(rec_[i].vbase, s.vbase);
+      s.astride = wrap_sub(rec_[i].abase, s.abase);
+    }
+    tp.strides_known = true;
+  }
+  for (std::size_t i = 0; i < tp.slots.size(); ++i) {
+    tp.slots[i].vbase = rec_[i].vbase;
+    tp.slots[i].abase = rec_[i].abase;
+  }
+  tp.last_epoch = t.epoch;
+  tp.last_iter = t.iter_index;
+  if (tp.strides_known) arm(t, tp);
+}
+
+void PathCache::arm(Track& t, PathTemplate& tp) {
+  (void)t;
+  tmpl_ = &tp;
+  run_.trips = 0;
+  run_.pos = 0;
+  run_.prefix_instr_slots = 0;
+  run_.collect.resize(static_cast<std::size_t>(tp.n_collect));
+  for (auto& c : run_.collect) c.clear();
+  run_.vnext.assign(tp.slots.size(), 0);
+  run_.anext.assign(tp.slots.size(), 0);
+  for (std::size_t i = 0; i < tp.slots.size(); ++i) {
+    const PathSlot& s = tp.slots[i];
+    if (s.vclass == PathValClass::kAffine)
+      run_.vnext[i] = wrap_add(s.vbase, s.vstride);
+    if (s.aclass == PathValClass::kAffine)
+      run_.anext[i] = wrap_add(s.abase, s.astride);
+  }
+  ++stats_.runs_armed;
+}
+
+}  // namespace pp::vm

@@ -1,0 +1,196 @@
+// Hot-path trace compaction: a Ball-Larus multi-iteration path cache
+// (D'Elia & Demetrescu, arXiv 1304.5197). A loop iteration whose block
+// sequence repeats an already-recorded acyclic path — and whose observed
+// values and addresses follow the recorded per-iteration recurrences —
+// does not need per-instruction processing: the cache swallows its events
+// and counts a trip, and the run's whole effect is replayed in bulk when
+// the run ends (PathHost::expand_path_run). Any mismatch (data-dependent
+// control, a non-affine value/address, a call, an inner loop, a trap)
+// falls back to the interpreted slow path at exactly the diverging event.
+//
+// The cache is driven by its owner (ddg::DdgBuilder), which tees the
+// loop-event stream at it and consults it first on every raw event while
+// a run is armed. Layering: pp_vm sits below pp_cfg, so the Ball-Larus
+// numbering itself (cfg::LoopPaths) is reached through PathHost hooks.
+//
+// Template life cycle per (func, loop, path id):
+//   record    one fully-observed pure iteration becomes the template
+//             (instruction refs, statement ids, observed values);
+//   learn     the next consecutive iteration of the same path yields the
+//             per-iteration strides (value/address recurrences);
+//   arm       from then on, each re-recorded slow iteration refreshes the
+//             bases and arms a compressed run;
+//   guard     armed events must match ref-for-ref; kAffine slots must
+//             reproduce base + stride·trip (64-bit wrapping), kCollect
+//             slots are captured verbatim (always correct, never bails);
+//   demote    a kAffine slot that bails out an immature run (< 3 trips)
+//             is permanently demoted to kCollect — structurally irregular
+//             values stop killing runs, while a loop-exit compare that
+//             fails once per loop completion stays affine.
+#pragma once
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "vm/vm.hpp"
+
+namespace pp::vm {
+
+enum class PathValClass : std::uint8_t {
+  kNone,     ///< no value in this position (no result / not a memory op)
+  kAffine,   ///< guarded recurrence base + stride·trip (wrapping)
+  kCollect,  ///< captured per trip, replayed verbatim
+};
+
+/// One template position: an instruction event or a local jump.
+struct PathSlot {
+  CodeRef ref{};
+  const ir::Instr* instr = nullptr;
+  int stmt = -1;  ///< owner's statement id, captured at record time
+  bool is_jump = false;
+  int jump_dst = -1;
+  bool has_result = false;
+  bool is_mem = false;
+  PathValClass vclass = PathValClass::kNone;
+  PathValClass aclass = PathValClass::kNone;
+  /// Recurrence state: value/address observed in the last slow iteration
+  /// (the run's trip 0 predicts base + stride, wrapping).
+  i64 vbase = 0, vstride = 0;
+  i64 abase = 0, astride = 0;
+  int collect_v = -1;  ///< collect-stream index (vclass == kCollect)
+  int collect_a = -1;  ///< collect-stream index (aclass == kCollect)
+};
+
+struct PathTemplate {
+  int func = -1, loop = -1, header = -1;
+  u64 path_id = 0;
+  bool strides_known = false;
+  u64 last_epoch = 0;  ///< loop-entry epoch of the last slow recording
+  u64 last_iter = 0;   ///< iteration index within that epoch
+  std::vector<PathSlot> slots;
+  std::size_t instr_slots = 0;  ///< non-jump slots
+  int n_collect = 0;            ///< live collect streams
+};
+
+/// Live state of one armed run, handed to the host at flush time: `trips`
+/// complete iterations, then the first `pos` slots (`prefix_instr_slots`
+/// of them instructions) of one more partial iteration.
+struct PathRun {
+  u64 trips = 0;
+  std::size_t pos = 0;
+  std::size_t prefix_instr_slots = 0;
+  /// Per collect index: one value per trip, plus one more for streams
+  /// whose slot lies inside the partial prefix.
+  std::vector<std::vector<i64>> collect;
+  /// Per slot: predicted value/address of the current iteration (kAffine).
+  std::vector<i64> vnext, anext;
+};
+
+struct PathCacheStats {
+  u64 path_hits = 0;          ///< compressed (swallowed) iterations
+  u64 path_bailouts = 0;      ///< armed runs ended by a divergence
+  u64 events_compressed = 0;  ///< instruction events swallowed
+  u64 templates_created = 0;
+  u64 runs_armed = 0;
+};
+
+/// Owner-side hooks: Ball-Larus numbering lookups (record time) and the
+/// bulk replay of a finished run (flush time). expand_path_run is always
+/// called BEFORE the event that caused the bailout reaches the slow path,
+/// so the owner's state is exact when that event processes.
+class PathHost {
+ public:
+  virtual ~PathHost() = default;
+  virtual bool path_loop_usable(int func, int loop) = 0;
+  virtual bool path_edge_increment(int func, int loop, int from, int to,
+                                   u64* inc) = 0;
+  virtual void expand_path_run(const PathTemplate& t, const PathRun& run) = 0;
+};
+
+class PathCache {
+ public:
+  explicit PathCache(PathHost& host) : host_(host) {}
+
+  bool armed() const { return tmpl_ != nullptr; }
+
+  /// Armed fast path: returns true when the event was swallowed into the
+  /// run. False means the run (if any) was flushed and the caller must
+  /// process the event through the slow path.
+  bool consume(const InstrEvent& ev);
+  /// Local jump while armed; call BEFORE the loop-event machine processes
+  /// the jump (a flush must see pre-jump owner state). The jump itself is
+  /// never swallowed — the owner always forwards it to the loop-event
+  /// machine, keeping IIV/context state live through compressed runs.
+  void consume_jump(int func, int dst_bb);
+
+  /// Slow-path capture: call at the end of the owner's instruction
+  /// handling with the computed statement id. No-op unless the innermost
+  /// tracked loop is recording a pure iteration.
+  void observe_instr(const InstrEvent& ev, int stmt);
+
+  /// Loop-event tee (owner translates cfg::LoopEvent kinds; the cache
+  /// never sees cfg types). Call AFTER the loop-event machine applied the
+  /// event. kCall/kRet/recursive kinds all map to impure().
+  void loop_enter(int func, int loop, int header);
+  void loop_iterate(int func, int loop);
+  void loop_exit();
+  void block_event(int func, int block);
+  void impure();
+
+  /// External flush: trap, stream end, cancellation. Safe when idle.
+  void flush();
+
+  const PathCacheStats& stats() const { return stats_; }
+
+ private:
+  /// One live CFG loop being watched; mirrors the loop-event machine's
+  /// CFG-loop stack exactly (enter pushes, exit pops). Only the top
+  /// records or arms.
+  struct Track {
+    int func = -1, loop = -1, header = -1;
+    bool numberable = false;
+    u64 epoch = 0;
+    u64 iter_index = 0;       ///< completed iterations since entry
+    bool iter_valid = false;  ///< current iteration pure & seen from start
+    bool at_start = false;    ///< awaiting the header block event
+    u64 path_id = 0;
+    int prev_block = -1;
+  };
+
+  static i64 wrap_add(i64 a, i64 b) {
+    return static_cast<i64>(static_cast<u64>(a) + static_cast<u64>(b));
+  }
+  static i64 wrap_sub(i64 a, i64 b) {
+    return static_cast<i64>(static_cast<u64>(a) - static_cast<u64>(b));
+  }
+  /// Result ops the recurrence guard tries first; everything else with a
+  /// result (loads, FP bit patterns, conversions) starts as kCollect. A
+  /// wrong guess costs performance only — demotion repairs it — never
+  /// correctness: collected values replay verbatim.
+  static bool affine_result_candidate(ir::Op op);
+
+  void finish_iteration(Track& t);
+  void arm(Track& t, PathTemplate& tp);
+  /// End the armed run: expand through the host, account stats, demote
+  /// the failing slot when the run died young, restore recording state.
+  void end_run(bool bailout, std::size_t fail_slot, bool value_guard,
+               bool addr_guard);
+
+  PathHost& host_;
+  PathCacheStats stats_;
+  std::vector<Track> stack_;
+  u64 epoch_counter_ = 0;
+
+  // Recording scratch (top-of-stack iteration).
+  std::vector<PathSlot> rec_;
+  std::size_t rec_instr_slots_ = 0;
+
+  std::map<std::tuple<int, int, u64>, PathTemplate> templates_;
+
+  // Armed run.
+  PathTemplate* tmpl_ = nullptr;
+  PathRun run_;
+};
+
+}  // namespace pp::vm

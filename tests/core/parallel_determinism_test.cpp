@@ -53,6 +53,23 @@ TEST_P(ParallelDeterminism, ObservedStableReportIsByteIdenticalToo) {
   EXPECT_EQ(serial.substr(0, plain.size()), plain);
 }
 
+// Hot-path trace compaction is a pure optimization: the report with
+// path_compaction off (the reference interpretation) must be byte-equal
+// to the compacted one at EVERY thread count — compressed runs replay
+// through the same ring/fold machinery as per-event streams.
+TEST_P(ParallelDeterminism, CompactionIsByteIdenticalOnOffAcrossThreads) {
+  workloads::Workload wl = workloads::make_rodinia(GetParam());
+  core::PipelineOptions off;
+  off.path_compaction = false;
+  const std::string reference = report_with_threads(wl.module, 1, off);
+  core::PipelineOptions on;
+  on.path_compaction = true;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(reference, report_with_threads(wl.module, threads, on));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParallelDeterminism,
                          testing::ValuesIn(workloads::rodinia_names()),
                          [](const auto& info) {
@@ -79,6 +96,31 @@ TEST(ParallelDeterminismChaos, DegradedRunsMatchSerialReference) {
     for (unsigned threads : {2u, 4u}) {
       SCOPED_TRACE("threads=" + std::to_string(threads));
       EXPECT_EQ(serial, report_with_threads(wl.module, threads, base));
+    }
+  }
+}
+
+// An injected fault landing INSIDE a compressed run must degrade exactly
+// like the reference: the chaos interposer sits upstream of the
+// compactor, so the fault fires on the same event ordinal either way and
+// the armed run flushes at the same point. Reference = compaction off,
+// serial; compared against compaction on at several thread counts.
+TEST(ParallelDeterminismChaos, FaultInsideCompressedRunMatchesReference) {
+  workloads::Workload wl = workloads::make_rodinia("pathfinder");
+  for (vm::FaultKind kind :
+       {vm::FaultKind::kTruncate, vm::FaultKind::kUnmatchedReturn,
+        vm::FaultKind::kMisalign, vm::FaultKind::kBadBlock}) {
+    SCOPED_TRACE(std::string("fault=") + vm::fault_kind_name(kind));
+    core::PipelineOptions off;
+    off.chaos.kind = kind;
+    off.chaos.seed = 7;
+    off.path_compaction = false;
+    const std::string reference = report_with_threads(wl.module, 1, off);
+    core::PipelineOptions on = off;
+    on.path_compaction = true;
+    for (unsigned threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      EXPECT_EQ(reference, report_with_threads(wl.module, threads, on));
     }
   }
 }

@@ -170,6 +170,19 @@ TEST(StrideRuns, RandomStreamSweepMatchesPointAtATime) {
   }
 }
 
+TEST(StrideRuns, HullFastPathHandlesDecreasingPivotRows) {
+  // Regression: the fraction-free hull-membership fast path reduces with
+  // suffix-only rescaling, which is sound only when rows are visited in
+  // increasing pivot order. Basis discovery order (0,2) then (32,0)
+  // produces RREF rows with pivots [1, 0]; the third point lies in their
+  // affine hull (3/2·(0,2) − 1/2·(32,0)), and a wrong "outside" verdict
+  // from the fast path makes absorb call extend_basis, which then traps
+  // on the exact check. No labels, so routing always picks the MRU piece.
+  std::vector<std::vector<i64>> pts = {{0, 2}, {32, 0}, {-16, 3}};
+  std::vector<std::vector<i64>> labels = {{}, {}, {}};
+  expect_equivalent(pts, labels, 2, 0);
+}
+
 TEST(CollapseGuard, StopsAccumulatingPiecesPastCap) {
   FolderOptions opts;
   opts.max_pieces = 4;

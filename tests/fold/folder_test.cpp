@@ -1,5 +1,7 @@
 #include "fold/folder.hpp"
 
+#include <cstdint>
+#include <limits>
 #include <gtest/gtest.h>
 
 namespace pp::fold {
@@ -212,6 +214,98 @@ TEST_P(FoldRoundTrip, ReconstructsAffineLabels) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FoldRoundTrip, ::testing::Range(0, 60));
+
+// add_run's contract: feeding (point, label, strides, n) is equivalent to
+// n scalar add() calls advancing with 64-bit wrap — for any chunking, and
+// whether or not the bulk O(1) extension branch triggers. The compacted
+// DDG replay path leans on this for byte-identical folding.
+class FolderAddRun : public ::testing::TestWithParam<int> {
+ protected:
+  std::uint32_t state_ = static_cast<std::uint32_t>(GetParam()) * 2654435761u + 12345u;
+  i64 next(i64 lo, i64 hi) {
+    state_ = state_ * 1664525u + 1013904223u;
+    return lo + static_cast<i64>(state_ % static_cast<std::uint32_t>(hi - lo + 1));
+  }
+};
+
+TEST_P(FolderAddRun, EquivalentToScalarAddsUnderAnyChunking) {
+  // One innermost-striding run per "row", random chunk splits on the
+  // bulk side, wrap-prone labels on some seeds.
+  const i64 rows = next(1, 5), cols = next(2, 40);
+  const i64 la = next(-4, 4), lb = next(-6, 6);
+  const bool wrap = GetParam() % 5 == 0;
+  const i64 lbase0 = wrap ? std::numeric_limits<i64>::max() - 7 : next(-9, 9);
+
+  Folder scalar(2, 1), bulk(2, 1);
+  for (i64 i = 0; i < rows; ++i) {
+    // Scalar reference: wrap-advancing adds.
+    i64 lab = static_cast<i64>(static_cast<u64>(lbase0) +
+                               static_cast<u64>(la * i));
+    for (i64 j = 0; j < cols; ++j) {
+      i64 pt[2] = {i, j};
+      i64 lv[1] = {lab};
+      scalar.add(pt, lv);
+      lab = static_cast<i64>(static_cast<u64>(lab) + static_cast<u64>(lb));
+    }
+    // Bulk side: the same row split into random add_run chunks.
+    i64 j = 0;
+    lab = static_cast<i64>(static_cast<u64>(lbase0) +
+                           static_cast<u64>(la * i));
+    while (j < cols) {
+      i64 n = std::min<i64>(next(1, cols), cols - j);
+      i64 pt[2] = {i, j};
+      i64 lv[1] = {lab};
+      i64 ps[2] = {0, 1};
+      i64 ls[1] = {lb};
+      bulk.add_run(pt, lv, ps, ls, static_cast<u64>(n));
+      j += n;
+      lab = static_cast<i64>(static_cast<u64>(lab) +
+                             static_cast<u64>(lb * n));
+    }
+  }
+  EXPECT_EQ(scalar.points_seen(), bulk.points_seen());
+  poly::PolySet a = scalar.finish();
+  poly::PolySet c = bulk.finish();
+  EXPECT_EQ(a.str(), c.str());
+}
+
+TEST(FolderAddRunEdge, SinglePointRunEqualsAdd) {
+  Folder scalar(1, 1), bulk(1, 1);
+  for (i64 i = 0; i < 6; ++i) {
+    i64 pt[1] = {i};
+    i64 lv[1] = {3 * i - 1};
+    scalar.add(pt, lv);
+    i64 ps[1] = {1};
+    i64 ls[1] = {3};
+    bulk.add_run(pt, lv, ps, ls, 1);
+  }
+  EXPECT_EQ(scalar.finish().str(), bulk.finish().str());
+}
+
+TEST(FolderAddRunEdge, MixedScalarAndBulkStreams) {
+  // Interleave add() and add_run() mid-row: the pending-run state must
+  // absorb both without changing the folded result.
+  Folder scalar(2, 1), mixed(2, 1);
+  for (i64 i = 0; i < 3; ++i) {
+    for (i64 j = 0; j < 12; ++j) {
+      i64 pt[2] = {i, j};
+      i64 lv[1] = {5 * i + 2 * j};
+      scalar.add(pt, lv);
+    }
+    i64 head[2] = {i, 0};
+    i64 hlab[1] = {5 * i};
+    mixed.add(head, hlab);
+    i64 pt[2] = {i, 1};
+    i64 lv[1] = {5 * i + 2};
+    i64 ps[2] = {0, 1};
+    i64 ls[1] = {2};
+    mixed.add_run(pt, lv, ps, ls, 11);
+  }
+  EXPECT_EQ(scalar.points_seen(), mixed.points_seen());
+  EXPECT_EQ(scalar.finish().str(), mixed.finish().str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FolderAddRun, ::testing::Range(0, 40));
 
 }  // namespace
 }  // namespace pp::fold
