@@ -171,7 +171,8 @@ void print_table5() {
 // must not break the identity). This is the artifact behind
 // BENCH_parallel_pipeline.json. --trace-out/--manifest-out additionally
 // export the threads=4 sweep run as a Chrome trace / run manifest.
-int print_json(const char* trace_out, const char* manifest_out) {
+int print_json(const char* trace_out, const char* manifest_out,
+               unsigned max_threads) {
   struct Row {
     std::string name;
     u64 ops = 0;
@@ -238,13 +239,17 @@ int print_json(const char* trace_out, const char* manifest_out) {
   std::string serial_report;
   std::shared_ptr<obs::Session> export_session;
   core::ProfileResult export_result;
-  for (unsigned t : {1u, 2u, 4u}) {
+  std::vector<unsigned> sweep;
+  for (unsigned t : {1u, 2u, 4u})
+    if (t <= max_threads) sweep.push_back(t);
+  if (sweep.empty()) sweep.push_back(1u);
+  for (unsigned t : sweep) {
     std::string report;
     auto [r, ms] = profile_once(big.module, t, &report);
     if (t == 1) serial_report = report;
     runs.push_back({t, ms, bench::fnv1a(report), report == serial_report,
                     r.obs->stage_spans()});
-    if (t == 4) {
+    if (t == sweep.back()) {
       export_session = r.obs;
       export_result = std::move(r);
     }
@@ -258,7 +263,7 @@ int print_json(const char* trace_out, const char* manifest_out) {
   if (manifest_out != nullptr) {
     obs::Session::ManifestExtra extra;
     extra.workload = rows[largest].name;
-    extra.threads = 4;
+    extra.threads = sweep.back();
     extra.truncated = export_result.truncated;
     extra.degraded_statements = export_result.program.degraded_statements;
     extra.diagnostics = export_result.diagnostics.size();
@@ -324,6 +329,7 @@ int main(int argc, char** argv) {
   bool json = false;
   const char* trace_out = nullptr;
   const char* manifest_out = nullptr;
+  unsigned max_threads = 4;  // upper bound for the determinism thread sweep
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json") {
       json = true;
@@ -331,10 +337,15 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::string(argv[i]) == "--manifest-out" && i + 1 < argc) {
       manifest_out = argv[++i];
+    } else if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+      if (!pp::bench::parse_unsigned_flag("--threads", argv[++i], 4096,
+                                          &max_threads))
+        return 2;
+      if (max_threads == 0) max_threads = 4;
     }
   }
   if (json || trace_out != nullptr || manifest_out != nullptr)
-    return pp::print_json(trace_out, manifest_out);
+    return pp::print_json(trace_out, manifest_out, max_threads);
   pp::print_table5();
   for (const char* name : {"backprop", "hotspot", "nw"}) {
     benchmark::RegisterBenchmark(

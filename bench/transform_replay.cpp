@@ -1,0 +1,195 @@
+// Transform replay — the paper's Table 3/4 payoff, automated: run every
+// mini-Rodinia workload through the full pipeline with the transformation
+// engine on, and print the profiler's *predicted* speedup next to the
+// *measured* simulated speedup of the rewritten module under the VM cost
+// model, plus the output-identity verdict for every applied schedule.
+//
+// The process exit code is the soundness + usefulness gate scripts/check.sh
+// relies on:
+//   * nonzero if ANY applied schedule failed the byte-identity contract
+//     (a soundness violation — the engine's legality reasoning or the
+//     profiler's dependence information is wrong);
+//   * nonzero unless interchange, tiling and fusion are EACH exercised by
+//     at least one workload with measured speedup > 1.0x (the evaluation
+//     claim being reproduced).
+//
+// `--json` prints the machine-readable form of the same table.
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "transform/engine.hpp"
+#include "workloads/workloads.hpp"
+
+namespace pp {
+namespace {
+
+struct WorkloadResult {
+  std::string name;
+  transform::EngineReport rep;
+};
+
+std::vector<WorkloadResult> replay_all() {
+  std::vector<WorkloadResult> out;
+  for (const std::string& name : workloads::rodinia_names()) {
+    workloads::Workload w = workloads::make_rodinia(name);
+    core::PipelineOptions opts;
+    opts.apply_transforms = true;
+    core::Pipeline pipe(w.module);
+    core::ProfileResult r = pipe.run(opts);
+    out.push_back({name, std::move(r.transform)});
+  }
+  return out;
+}
+
+struct Gate {
+  bool all_identical = true;   // every applied schedule byte-identical
+  bool no_violations = true;   // no EngineReport carries a violation
+  // kind -> best measured speedup over all workloads
+  std::map<transform::Kind, double> best;
+  bool each_kind_wins() const {
+    for (transform::Kind k : {transform::Kind::kInterchange,
+                              transform::Kind::kTile, transform::Kind::kFuse}) {
+      auto it = best.find(k);
+      if (it == best.end() || it->second <= 1.0) return false;
+    }
+    return true;
+  }
+  bool pass() const { return all_identical && no_violations && each_kind_wins(); }
+};
+
+Gate evaluate(const std::vector<WorkloadResult>& results) {
+  Gate g;
+  for (const WorkloadResult& wr : results) {
+    g.no_violations &= wr.rep.ok();
+    for (const transform::Applied& a : wr.rep.applied) {
+      g.all_identical &= a.output_identical;
+      double& best = g.best[a.kind];
+      if (a.measured > best) best = a.measured;
+    }
+  }
+  return g;
+}
+
+void print_table(const std::vector<WorkloadResult>& results, const Gate& g) {
+  std::printf("transform replay: predicted vs measured simulated speedup "
+              "(VM cost model)\n\n");
+  bench::print_row({{"workload", 14},
+                    {"transformation", 34},
+                    {"pred", 6},
+                    {"meas", 6},
+                    {"output", 9}});
+  for (const WorkloadResult& wr : results) {
+    if (!wr.rep.ran) {
+      bench::print_row({{wr.name, 14},
+                        {"(skipped: " + wr.rep.skipped_reason + ")", 34},
+                        {"-", 6},
+                        {"-", 6},
+                        {"-", 9}});
+      continue;
+    }
+    if (wr.rep.applied.empty()) {
+      bench::print_row(
+          {{wr.name, 14}, {"-", 34}, {"-", 6}, {"-", 6}, {"-", 9}});
+      continue;
+    }
+    bool first = true;
+    for (const transform::Applied& a : wr.rep.applied) {
+      char pred[16], meas[16];
+      std::snprintf(pred, sizeof pred, "%.2fx", a.predicted);
+      std::snprintf(meas, sizeof meas, "%.2fx", a.measured);
+      bench::print_row({{first ? wr.name : "", 14},
+                        {a.desc, 34},
+                        {pred, 6},
+                        {meas, 6},
+                        {a.output_identical ? "identical" : "DIFFERS", 9}});
+      first = false;
+    }
+    for (const std::string& v : wr.rep.violations)
+      std::printf("  SOUNDNESS VIOLATION: %s\n", v.c_str());
+  }
+  std::printf("\nbest measured speedup per transformation kind:\n");
+  for (auto k : {transform::Kind::kInterchange, transform::Kind::kTile,
+                 transform::Kind::kFuse}) {
+    auto it = g.best.find(k);
+    if (it == g.best.end())
+      std::printf("  %-12s never applied\n", transform::kind_name(k));
+    else
+      std::printf("  %-12s %.2fx\n", transform::kind_name(k), it->second);
+  }
+  std::printf("gate: %s\n", g.pass() ? "PASS" : "FAIL");
+}
+
+void print_json(const std::vector<WorkloadResult>& results, const Gate& g) {
+  std::printf("{\n  \"bench\": \"transform_replay\",\n  \"workloads\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& wr = results[i];
+    std::printf("    {\"name\": %s, \"ran\": %s, \"baseline_cycles\": %llu, "
+                "\"combined_speedup\": %.4f, \"combined_identical\": %s, "
+                "\"violations\": %zu, \"applied\": [",
+                bench::json_str(wr.name).c_str(), wr.rep.ran ? "true" : "false",
+                static_cast<unsigned long long>(wr.rep.baseline_cycles),
+                wr.rep.combined_speedup,
+                wr.rep.combined_identical ? "true" : "false",
+                wr.rep.violations.size());
+    for (std::size_t j = 0; j < wr.rep.applied.size(); ++j) {
+      const transform::Applied& a = wr.rep.applied[j];
+      std::printf("%s{\"kind\": %s, \"desc\": %s, \"predicted\": %.4f, "
+                  "\"measured\": %.4f, \"output_identical\": %s}",
+                  j ? ", " : "", bench::json_str(kind_name(a.kind)).c_str(),
+                  bench::json_str(a.desc).c_str(), a.predicted, a.measured,
+                  a.output_identical ? "true" : "false");
+    }
+    std::printf("], \"refused\": %zu}%s\n", wr.rep.refused.size(),
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"all_output_identical\": %s,\n",
+              g.all_identical && g.no_violations ? "true" : "false");
+  std::printf("  \"each_kind_speedup_above_1\": %s,\n",
+              g.each_kind_wins() ? "true" : "false");
+  std::printf("  \"gate\": %s\n}\n", g.pass() ? "\"PASS\"" : "\"FAIL\"");
+}
+
+// google-benchmark timing: cost of the transform phase itself on the
+// workload with the richest plan set.
+void BM_TransformReplay(benchmark::State& state, const std::string& name) {
+  workloads::Workload w = workloads::make_rodinia(name);
+  for (auto _ : state) {
+    core::PipelineOptions opts;
+    opts.apply_transforms = true;
+    core::Pipeline pipe(w.module);
+    core::ProfileResult r = pipe.run(opts);
+    benchmark::DoNotOptimize(r.transform.applied.size());
+  }
+}
+
+}  // namespace
+}  // namespace pp
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--json") json = true;
+
+  std::vector<pp::WorkloadResult> results = pp::replay_all();
+  pp::Gate gate = pp::evaluate(results);
+  if (json) {
+    pp::print_json(results, gate);
+    return gate.pass() ? 0 : 1;
+  }
+  pp::print_table(results, gate);
+  for (const char* name : {"kmeans", "streamcluster"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_TransformReplay/") + name).c_str(),
+        [name](benchmark::State& s) { pp::BM_TransformReplay(s, name); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return gate.pass() ? 0 : 1;
+}

@@ -3,7 +3,14 @@
 // transformation feedback.
 //
 //   $ ./quickstart [--threads N] [--trace-out F] [--manifest-out F]
-//                  [--stable] [--selective] [--no-path-compaction] [workload]
+//                  [--stable] [--selective] [--no-path-compaction]
+//                  [--apply-transforms] [workload]
+//
+// --apply-transforms closes the loop: after profiling, the transformation
+// engine (pp::transform) applies the schedules the profile justifies to a
+// copy of the module, re-runs it under the VM cost model, and prints the
+// measured speedup next to the scheduler's prediction — with a byte-
+// identity check on the program output.
 //
 // --threads selects the profiling pipeline's worker count (0 = one lane
 // per hardware thread, 1 = serial reference). The report is byte-identical
@@ -31,6 +38,7 @@
 // a matrix-vector product with the loops in the "wrong" order
 // (column-major walk of a row-major matrix) — the classic situation the
 // profiler's interchange feedback exists for.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -113,6 +121,24 @@ static bool write_file(const char* path, const std::string& content) {
   return static_cast<bool>(out);
 }
 
+// Strict numeric flag parsing: atoi silently maps garbage to 0 and a cast
+// to unsigned turns "--threads -1" into 4294967295 worker lanes. Reject
+// anything that is not a whole non-negative decimal number in range.
+static bool parse_unsigned_flag(const char* flag, const char* text,
+                                long max_value, unsigned* out) {
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < 0 ||
+      v > max_value) {
+    std::fprintf(stderr, "%s expects an integer in [0, %ld], got '%s'\n",
+                 flag, max_value, text);
+    return false;
+  }
+  *out = static_cast<unsigned>(v);
+  return true;
+}
+
 int main(int argc, char** argv) {
   unsigned threads = 1;
   const char* trace_out = nullptr;
@@ -120,10 +146,12 @@ int main(int argc, char** argv) {
   bool stable = false;
   bool selective = false;
   bool path_compaction = true;
+  bool apply_transforms = false;
   std::string workload;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (!parse_unsigned_flag("--threads", argv[++i], 4096, &threads))
+        return 2;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--manifest-out") == 0 && i + 1 < argc) {
@@ -134,13 +162,15 @@ int main(int argc, char** argv) {
       selective = true;
     } else if (std::strcmp(argv[i], "--no-path-compaction") == 0) {
       path_compaction = false;
+    } else if (std::strcmp(argv[i], "--apply-transforms") == 0) {
+      apply_transforms = true;
     } else if (argv[i][0] != '-' && workload.empty()) {
       workload = argv[i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--trace-out F] "
                    "[--manifest-out F] [--stable] [--selective] "
-                   "[--no-path-compaction] [workload]\n",
+                   "[--no-path-compaction] [--apply-transforms] [workload]\n",
                    argv[0]);
       return 2;
     }
@@ -161,6 +191,7 @@ int main(int argc, char** argv) {
   opts.observe = trace_out != nullptr || manifest_out != nullptr;
   opts.selective_instrumentation = selective;
   opts.path_compaction = path_compaction;
+  opts.apply_transforms = apply_transforms;
   if (selective) {
     const ddg::SelectivePlan plan = verify::exact::compute_selective_plan(m);
     std::printf("selective instrumentation: %zu access site(s) proven "
@@ -185,6 +216,9 @@ int main(int argc, char** argv) {
       std::printf("\nproposed structure:\n%s\n",
                   feedback::render_ast(mx, r.program, &m).c_str());
     }
+    if (r.transform.ran)
+      std::printf("-- transformation --\n%s\n",
+                  transform::render_section(r.transform).c_str());
   } else {
     // Observed mode prints the full report instead of the hand-rolled
     // summaries: it carries the same region feedback plus the self-profile

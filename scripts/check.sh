@@ -39,13 +39,13 @@ fi
 # simplex, polyhedra) carry the correctness-critical arithmetic; warnings
 # there are treated as errors.
 if command -v clang-tidy >/dev/null 2>&1; then
-  note "clang-tidy over src/verify/ src/poly/ (compile_commands from build/)"
+  note "clang-tidy over src/verify/ src/poly/ src/transform/ (compile_commands from build/)"
   if [[ ! -f build/compile_commands.json ]]; then
     cmake -S . -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   fi
   if ! clang-tidy -p build --warnings-as-errors='*' \
-      src/verify/*.cpp src/poly/*.cpp; then
+      src/verify/*.cpp src/poly/*.cpp src/transform/*.cpp; then
     note "clang-tidy: FAILED"
     FAIL=1
   else
@@ -119,9 +119,33 @@ if [[ $RUN_TESTS -eq 1 ]]; then
     fi
   }
 
+  # ---- 3a'''. transform replay gate (run per flavor, below) --------------
+  # bench/transform_replay closes the loop on the profiler's feedback: it
+  # applies every justified schedule on all 19 mini-Rodinia workloads and
+  # exits nonzero if any applied schedule breaks the byte-identity
+  # contract, or if interchange/tiling/fusion fail to each show a measured
+  # simulated speedup > 1.0x somewhere. Speedups come from the VM cost
+  # model (deterministic cycle counts), so the gate is sanitizer-safe.
+  replay_gate() {
+    local dir="$1"; shift
+    local label="$1"; shift
+    if [[ -x "$dir/bench/transform_replay" ]]; then
+      note "transform replay gate ($label): bench/transform_replay --json"
+      if ! "$dir/bench/transform_replay" --json; then
+        note "transform replay gate ($label): FAILED"
+        FAIL=1
+      else
+        note "transform replay gate ($label): OK"
+      fi
+    else
+      note "transform replay gate ($label): SKIPPED ($dir/bench/transform_replay not built)"
+    fi
+  }
+
   flavor build default
   soak_gate build default
   compaction_gate build default
+  replay_gate build default
 
   # ---- 3b. observability overhead gate (default flavor only) -------------
   # pp::obs promises that an enabled-but-idle Session costs at most a few
@@ -176,6 +200,7 @@ if [[ $RUN_TESTS -eq 1 ]]; then
   flavor build-asan sanitize -DPOLYPROF_SANITIZE=ON
   soak_gate build-asan sanitize
   compaction_gate build-asan sanitize
+  replay_gate build-asan sanitize
   # TSan flavor, gated on toolchain support: probe a trivial compile+link
   # with -fsanitize=thread and skip (not fail) when unavailable.
   TSAN_PROBE_DIR="$(mktemp -d)"
@@ -185,6 +210,7 @@ if [[ $RUN_TESTS -eq 1 ]]; then
     TSAN_OPTIONS="halt_on_error=1" flavor build-tsan tsan -DPOLYPROF_TSAN=ON
     TSAN_OPTIONS="halt_on_error=1" soak_gate build-tsan tsan
     TSAN_OPTIONS="halt_on_error=1" compaction_gate build-tsan tsan
+    TSAN_OPTIONS="halt_on_error=1" replay_gate build-tsan tsan
   else
     note "tsan flavor: SKIPPED (toolchain lacks -fsanitize=thread)"
   fi

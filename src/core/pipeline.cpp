@@ -205,6 +205,10 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   ddg::DdgOptions ddg_opts = opts.ddg;
   ddg_opts.budget = &budget;
   ddg_opts.diag = &res.diagnostics;
+  // The transformation engine's legality checks (fusion distances, sunk
+  // loads) need WAR/WAW edges; anti/output tracking in turn vetoes
+  // selective instrumentation and path compaction below.
+  if (opts.apply_transforms) ddg_opts.track_anti_output = true;
   // Trace compaction: the builder itself vetoes incompatible
   // configurations (anti/output tracking, per-event budget caps), so the
   // flag can be forwarded unconditionally.
@@ -336,6 +340,36 @@ ProfileResult Pipeline::run(const PipelineOptions& opts) {
   for (const auto& s : res.statements.all())
     res.schedule_tree.insert(s.context, s.executions);
   fold_span.end();
+
+  // Transformation engine (close the loop): plan the rewrites the profile
+  // justifies, apply each to a copy of the module, and A/B-measure under
+  // the engine's cost model. A truncated profile plans from incomplete
+  // dependences, which would be unsound — skip with a diagnosed reason.
+  if (opts.apply_transforms) {
+    obs::Span tr_span(ob, "stage:transform");
+    if (res.truncated) {
+      res.transform.ran = true;
+      res.transform.skipped_reason =
+          "profile truncated — dependence information incomplete";
+    } else {
+      try {
+        transform::Options topts = opts.transform;
+        topts.cancel = opts.cancel;
+        topts.pool = pool.get();
+        res.transform = transform::run(module_, res.program, res.control,
+                                       opts.entry, opts.args, topts);
+      } catch (const Error& e) {
+        res.transform = transform::EngineReport{};
+        res.transform.ran = true;
+        res.transform.skipped_reason =
+            std::string("engine fault: ") + e.what();
+        res.diagnostics.error(support::Stage::kFeedback,
+                              std::string("transformation engine failed: ") +
+                                  e.what() + " — section degraded");
+      }
+    }
+    tr_span.end();
+  }
 
   // Feedback boundary: run() is done, but the feedback stage lives in
   // full_report/analyze — record the cancel here so they (and the caller)
@@ -633,6 +667,13 @@ std::string full_report(const ProfileResult& r, const ReportOptions& ropts) {
   }
 
   os << "\n-- soundness oracle --\n" << oracle_line << "\n";
+
+  // Transformation engine results (PipelineOptions::apply_transforms):
+  // predicted vs measured speedups plus the output-identity verdict. Only
+  // present when the phase ran, so default profiles stay byte-identical
+  // with earlier releases.
+  if (r.transform.ran)
+    os << "\n-- transformation --\n" << transform::render_section(r.transform);
 
   // Specialization hints (the paper's Fig. 7 annotation "specialize
   // adjustweight (2nd call)"): a function reached from several distinct

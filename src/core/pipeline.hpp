@@ -23,6 +23,7 @@
 #include "support/budget.hpp"
 #include "support/cancel.hpp"
 #include "support/thread_pool.hpp"
+#include "transform/engine.hpp"
 #include "vm/chaos.hpp"
 
 namespace pp::core {
@@ -86,6 +87,18 @@ struct PipelineOptions {
   /// exhaustion. pp::service plumbs one per job; library callers can pass
   /// their own for ad-hoc timeouts (CancelToken::set_deadline_in_ms).
   support::CancelToken* cancel = nullptr;
+  /// Close the loop: after folding, run the transformation engine
+  /// (pp::transform) — apply every schedule the profile justifies to a
+  /// copy of the module, A/B-measure under the engine's cost model, and
+  /// enforce the output-identity contract. Forces
+  /// DdgOptions::track_anti_output (the legality checks need WAR/WAW
+  /// edges), which in turn disables selective instrumentation and path
+  /// compaction for the run. full_report gains a `-- transformation --`
+  /// section.
+  bool apply_transforms = false;
+  /// Engine knobs (tile size, measurement cost model, oracle gate) used
+  /// when `apply_transforms` is set; cancel/pool are plumbed from the run.
+  transform::Options transform;
   /// Share an existing worker pool instead of creating one per run (then
   /// `threads` is ignored). pp::service points every job at one server
   /// pool: concurrent runs inter-schedule their fan-outs on the same
@@ -134,6 +147,11 @@ struct ProfileResult {
   /// observation is off. full_report appends a "-- self profile --"
   /// section from it; chrome_trace_json / manifest_json export the run.
   std::shared_ptr<obs::Session> obs;
+
+  /// Transformation-engine results (PipelineOptions::apply_transforms).
+  /// `transform.ran` is false when the phase was off or skipped;
+  /// full_report renders it as the `-- transformation --` section.
+  transform::EngineReport transform;
 
   /// Stage-2 instrumentation accounting (drives the overhead report):
   /// dynamic dependences streamed, shadow pages materialized, and words

@@ -7,10 +7,6 @@
 
 namespace pp::feedback {
 
-namespace {
-
-// Memory-access cost model for speedup estimation: cost per access as a
-// function of the (byte) stride along the innermost schedule dimension.
 // A 64-byte line with an 8-cycle miss penalty: stride-0 hits, stride-8
 // misses once per 8 accesses, anything at or beyond a line misses always.
 double access_cost(std::optional<i64> stride) {
@@ -20,6 +16,8 @@ double access_cost(std::optional<i64> stride) {
   if (s >= 64) return 9.0;
   return 1.0 + static_cast<double>(s) / 64.0 * 8.0;
 }
+
+namespace {
 
 // Innermost-band dimensions that a permutation may rotate into the
 // innermost position: the unit-vector rows of the last permutable band

@@ -22,6 +22,13 @@ inline constexpr i64 kElemBytes = 8;
 scheduler::Problem make_problem(const fold::FoldedProgram& prog,
                                 const std::vector<int>& stmt_ids);
 
+/// Memory-access cost per dynamic access as a function of the byte stride
+/// along the innermost schedule dimension (64-byte line, miss costs 8x).
+/// Shared by the speedup estimator here and pp::transform's interchange
+/// profitability model, so prediction and planning agree on the same
+/// locality curve. nullopt = non-affine access (assume a miss every time).
+double access_cost(std::optional<i64> stride);
+
 /// A region of interest: a set of statements analyzed together.
 struct Region {
   std::string name;         ///< e.g. "backprop.c:253 (bpnn_layerforward)"

@@ -1,0 +1,121 @@
+// Loop-nest recognition and rewriting on mini-ISA CFGs — the mechanics
+// behind pp::transform. The profiler's feedback names *schedules*
+// (interchange, tile, fuse); these utilities regenerate the corresponding
+// mini-ISA control flow so the transformed module can be re-executed and
+// re-measured under the VM cost model.
+//
+// Everything here is *mechanical*: a matched CountedLoop is rewritten
+// without consulting dependences. Legality (dependence distances, oracle
+// claims) is the caller's contract — pp::transform decides it from the
+// folded DDG and the scheduler's bands. The register-level side conditions
+// (induction variable written nowhere else, bound loop-invariant, fused
+// trip counts provably equal) ARE checked here, because they are purely
+// structural; a rewrite whose side conditions fail returns false and
+// leaves the function untouched.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace pp::ir {
+
+/// A canonical counted loop  for (iv = init; iv <op> bound; iv += step)
+/// as emitted by Builder::counted_loop or hand-rolled in the same shape:
+///   preheader: [... init iv ...; br header]
+///   header:    [c = cmp op iv, bound; br_cond c, body, exit]
+///   body..latch: [...; addi iv, step, iv; br header]
+/// The latch tail may share a block with the body (Builder always does).
+struct CountedLoop {
+  int header = -1;
+  int preheader = -1;  ///< unique non-latch predecessor
+  int latch = -1;      ///< unique back-edge predecessor
+  int body = -1;       ///< br_cond true target
+  int exit = -1;       ///< br_cond false target
+  Reg iv = kNoReg;
+  Reg bound = kNoReg;    ///< cmp's b operand; loop-invariant register
+  Reg cmp_dst = kNoReg;
+  Op cmp_op = Op::kCmpLt;  ///< kCmpLt or kCmpLe
+  i64 step = 0;            ///< latch increment (> 0 for all rewrites here)
+  int init_index = -1;     ///< position of the iv init inside preheader
+  bool init_is_const = false;
+  i64 begin = 0;  ///< valid when init_is_const
+};
+
+/// Match the canonical shape rooted at `header`. Enforces the structural
+/// side conditions: exactly two predecessors (preheader + latch), iv
+/// written only by its init and the latch increment, bound never written
+/// inside the loop, no side entries into the loop region.
+std::optional<CountedLoop> match_counted_loop(const Function& f, int header);
+
+/// All counted loops of `f`, in header-block order.
+std::vector<CountedLoop> find_counted_loops(const Function& f);
+
+/// Interior blocks of the loop (body through latch, excluding header and
+/// exit), in discovery order from `body`.
+std::vector<int> loop_blocks(const Function& f, const CountedLoop& l);
+
+/// True when (outer, inner) form a perfect pair ready for interchange:
+/// outer's body *is* inner's preheader holding nothing but inner's init,
+/// and inner's exit *is* outer's latch holding nothing but the increment.
+bool perfectly_nested(const Function& f, const CountedLoop& outer,
+                      const CountedLoop& inner);
+
+/// Move every instruction of inner's preheader (= outer's body block)
+/// except inner's init and the terminator to the *front* of inner's body,
+/// making the pair perfectly nested. Purely mechanical: the instructions
+/// then execute once per inner iteration instead of once per outer one,
+/// which preserves semantics only when the caller has proven the moved
+/// instructions idempotent within the nest (pure ops, or loads that no
+/// nest store may alias). Returns false (function untouched) if inner's
+/// init reads a register defined by a moved instruction.
+bool sink_preheader_extras(Function& f, const CountedLoop& outer,
+                           CountedLoop& inner);
+
+/// Swap the two loops of a perfect pair in place (three-way swap of init
+/// instructions, header comparisons and latch increments). Block ids and
+/// branch targets are untouched, so enclosing CountedLoop handles stay
+/// valid; `outer` and `inner` themselves are stale afterwards — re-match.
+/// Returns false (untouched) when the pair is not perfectly nested.
+bool interchange(Function& f, const CountedLoop& outer,
+                 const CountedLoop& inner);
+
+/// Blocks appended by strip_mine, so callers can re-match the new loops.
+struct StripResult {
+  int tile_header = -1;
+  int tile_preheader = -1;
+  int tile_latch = -1;
+};
+
+/// Strip-mine `l` by `tile` iterations: a new tile loop (fresh induction
+/// variable ivt stepping tile*step) wraps the original loop, whose bound
+/// becomes min(ivt + tile*step, bound) computed branchlessly in the tile
+/// preheader. Appends three blocks; existing block ids are untouched.
+/// Requires step >= 1, tile >= 2 and an unconditional-branch preheader.
+std::optional<StripResult> strip_mine(Function& f, const CountedLoop& l,
+                                      i64 tile);
+
+/// 2-D tiling of a perfect pair: strip-mine both loops, then interchange
+/// the middle pair, yielding the classic (ot, it, o, i) order. Returns
+/// false (function untouched) if any step fails its preconditions.
+bool tile2(Function& f, const CountedLoop& outer, const CountedLoop& inner,
+           i64 tile);
+
+/// Fuse two adjacent counted loops (a.exit == b.preheader) with provably
+/// equal trip spaces: same cmp_op, same step, same bound register, equal
+/// constant inits. After fusion every iteration runs a's body then b's
+/// body with b.iv copied from a.iv; b's header and preheader become
+/// unreachable. Preheader instructions of b other than its init are
+/// hoisted above loop a when they are pure ALU ops with operands defined
+/// outside the fused region; any other extra refuses the fusion. Also
+/// refuses when b.iv or b.cmp_dst is read outside b's body (their final
+/// values change). Memory legality (no dependence forcing a's later
+/// iterations before b's earlier ones) is the caller's contract.
+bool fuse(Function& f, const CountedLoop& a, const CountedLoop& b);
+
+/// Drop blocks unreachable from the entry block, renumbering the survivors
+/// and rewriting branch targets. Returns the number of blocks removed.
+int remove_unreachable_blocks(Function& f);
+
+}  // namespace pp::ir

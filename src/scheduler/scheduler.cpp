@@ -340,6 +340,24 @@ bool GroupSchedule::inner_parallel() const {
   return !levels.empty() && levels.back().parallel;
 }
 
+bool GroupSchedule::band_spans(std::size_t from, std::size_t to) const {
+  if (from > to || to >= levels.size()) return false;
+  for (std::size_t i = from; i <= to; ++i) {
+    const Level& lv = levels[i];
+    // A band break anywhere past the first queried level splits the range.
+    if (i > from && lv.new_band) return false;
+    if (lv.skew) return false;
+    std::size_t nonzero = 0;
+    for (i64 c : lv.row)
+      if (c != 0) ++nonzero;
+    bool unit = nonzero == 1;
+    for (i64 c : lv.row)
+      if (c != 0 && c != 1) unit = false;
+    if (!unit) return false;
+  }
+  return true;
+}
+
 int ScheduleResult::num_components(double min_fraction, u64 total_ops) const {
   int n = 0;
   for (const auto& g : groups) {

@@ -115,6 +115,12 @@ struct GroupSchedule {
   bool has_outer_parallelism() const;
   /// Innermost level parallel (SIMD candidate)?
   bool inner_parallel() const;
+
+  /// Levels `from`..`to` (inclusive) sit inside one permutable band and
+  /// are plain unit-vector rows — i.e. the dimensions they scan may be
+  /// reordered freely. This is the legality question pp::transform asks
+  /// before interchanging or tiling a loop pair.
+  bool band_spans(std::size_t from, std::size_t to) const;
 };
 
 struct ScheduleResult {

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,11 @@ class Machine {
   /// Direct word access for test setup/inspection (byte address, 8-aligned).
   i64 read_word(i64 addr) const;
   void write_word(i64 addr, i64 value);
+
+  /// The full word-granular memory image (data segment + heap). Two runs
+  /// computed the same observable state iff their images are identical —
+  /// pp::transform's output-identity contract compares exactly this.
+  std::span<const i64> memory_image() const { return memory_; }
 
  private:
   struct Frame {

@@ -24,24 +24,38 @@ Workload make_kmeans() {
   w.polly_reasons = "RFA";
 
   Module& m = w.module;
-  const i64 npts = 48, nclu = 4, nfeat = 8, iters = 2;
+  const i64 npts = 48, nclu = 4, nfeat = 16, iters = 2;
   i64 g_pts = m.add_global_init(
       "points", random_doubles(static_cast<std::size_t>(npts * nfeat), 91));
   i64 g_ctr = m.add_global_init(
       "centers", random_doubles(static_cast<std::size_t>(nclu * nfeat), 92));
   i64 g_mem = m.add_global("membership", npts * 8);
+  i64 g_swp = m.add_global("feature_swap", npts * nfeat * 8);
 
   Function& f = m.add_function("main", 0, "kmeans_clustering.c");
   Builder b(m, f);
   b.set_block(b.make_block());
-  b.set_line(160);
+  b.set_line(140);
   Reg pts = b.const_(g_pts);
   Reg ctr = b.const_(g_ctr);
   Reg mem = b.const_(g_mem);
+  Reg swp = b.const_(g_swp);
   Reg np = b.const_(npts);
   Reg nc = b.const_(nclu);
   Reg nf = b.const_(nfeat);
   Reg it = b.const_(iters);
+  // Layout transformation from the CUDA port: transpose the feature
+  // matrix into feature_swap[d][i] before clustering. The write walks
+  // feature_swap with stride npts*8 while the read streams — the classic
+  // transpose nest that no loop order fixes, only tiling.
+  b.counted_loop(0, np, 1, [&](Reg i) {
+    b.set_line(141);
+    b.counted_loop(0, nf, 1, [&](Reg d) {
+      Reg v = b.load(elem_ptr2(b, pts, i, nfeat, d));
+      b.store(elem_ptr2(b, swp, d, npts, i), v);
+    });
+  });
+  b.set_line(160);
   b.counted_loop(0, it, 1, [&](Reg) {
     b.counted_loop(0, np, 1, [&](Reg i) {
       Reg best = b.fconst(1e30);

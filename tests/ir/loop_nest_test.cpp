@@ -1,0 +1,229 @@
+// Loop-nest rewriting primitives (ir/loop_nest.hpp): every rewrite is
+// checked end-to-end by executing the module before and after on the VM
+// and comparing exit value + full memory image — the same byte-identity
+// contract the transformation engine enforces.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/loop_nest.hpp"
+#include "vm/vm.hpp"
+
+namespace pp::ir {
+namespace {
+
+struct Snapshot {
+  i64 exit_value = 0;
+  std::vector<i64> memory;
+};
+
+Snapshot execute(const Module& m) {
+  vm::Machine machine(m);
+  vm::RunResult r = machine.run("main");
+  EXPECT_FALSE(r.truncated);
+  std::span<const i64> img = machine.memory_image();
+  return {r.exit_value, {img.begin(), img.end()}};
+}
+
+// for i < n: for j < n: A[i*n+j] = i*10 + j
+Module build_nest2(i64 n) {
+  Module m;
+  i64 ga = m.add_global("A", n * n * 8);
+  Function& f = m.add_function("main", 0, "nest.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(ga);
+  Reg nr = b.const_(n);
+  b.counted_loop(0, nr, 1, [&](Reg i) {
+    b.counted_loop(0, nr, 1, [&](Reg j) {
+      Reg row = b.mul(i, nr);
+      Reg cell = b.add(row, j);
+      Reg off = b.muli(cell, 8);
+      Reg ptr = b.add(a, off);
+      Reg ten = b.muli(i, 10);
+      Reg v = b.add(ten, j);
+      b.store(ptr, v);
+    });
+  });
+  b.ret();
+  return m;
+}
+
+// The outer/inner pair of the only 2-deep nest in `f`, by header order.
+std::pair<CountedLoop, CountedLoop> only_pair(const Function& f) {
+  std::vector<CountedLoop> loops = find_counted_loops(f);
+  for (const CountedLoop& outer : loops)
+    for (const CountedLoop& inner : loops)
+      if (outer.body == inner.preheader && inner.exit == outer.latch)
+        return {outer, inner};
+  ADD_FAILURE() << "no perfectly nestable pair found";
+  return {};
+}
+
+TEST(LoopNest, MatchesBuilderLoop) {
+  Module m = build_nest2(6);
+  const Function& f = *m.find_function("main");
+  std::vector<CountedLoop> loops = find_counted_loops(f);
+  ASSERT_EQ(loops.size(), 2u);
+  for (const CountedLoop& l : loops) {
+    EXPECT_EQ(l.step, 1);
+    EXPECT_EQ(l.cmp_op, Op::kCmpLt);
+    EXPECT_TRUE(l.init_is_const);
+    EXPECT_EQ(l.begin, 0);
+  }
+}
+
+TEST(LoopNest, InterchangeKeepsOutputIdentical) {
+  Module m = build_nest2(7);
+  Snapshot before = execute(m);
+  Function& f = *m.find_function("main");
+  auto [outer, inner] = only_pair(f);
+  ASSERT_TRUE(sink_preheader_extras(f, outer, inner));
+  ASSERT_TRUE(interchange(f, outer, inner));
+  Snapshot after = execute(m);
+  EXPECT_EQ(before.exit_value, after.exit_value);
+  EXPECT_EQ(before.memory, after.memory);
+}
+
+TEST(LoopNest, InterchangeRefusesTriangularNest) {
+  // for i < n: for j < i: ... — the inner bound is the outer induction
+  // variable, written by the outer latch; swapping would read garbage.
+  Module m;
+  i64 ga = m.add_global("A", 8 * 8 * 8);
+  Function& f = m.add_function("main", 0, "tri.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(ga);
+  Reg nr = b.const_(8);
+  b.counted_loop(0, nr, 1, [&](Reg i) {
+    b.counted_loop(0, i, 1, [&](Reg j) {
+      Reg row = b.muli(i, 8);
+      Reg cell = b.add(row, j);
+      Reg off = b.muli(cell, 8);
+      Reg ptr = b.add(a, off);
+      b.store(ptr, j);
+    });
+  });
+  b.ret();
+  Function& fn = *m.find_function("main");
+  auto [outer, inner] = only_pair(fn);
+  ASSERT_TRUE(sink_preheader_extras(fn, outer, inner));
+  EXPECT_FALSE(interchange(fn, outer, inner));
+}
+
+TEST(LoopNest, Tile2KeepsOutputIdentical) {
+  Module m = build_nest2(12);
+  Snapshot before = execute(m);
+  Function& f = *m.find_function("main");
+  auto [outer, inner] = only_pair(f);
+  ASSERT_TRUE(sink_preheader_extras(f, outer, inner));
+  ASSERT_TRUE(tile2(f, outer, inner, 4));
+  Snapshot after = execute(m);
+  EXPECT_EQ(before.memory, after.memory);
+}
+
+TEST(LoopNest, Tile2HandlesNonMultipleTripCount) {
+  // 10 is not a multiple of the tile size 4: the strip-mined inner bound
+  // takes the min(ivt + 4, n) path on the last tile.
+  Module m = build_nest2(10);
+  Snapshot before = execute(m);
+  Function& f = *m.find_function("main");
+  auto [outer, inner] = only_pair(f);
+  ASSERT_TRUE(sink_preheader_extras(f, outer, inner));
+  ASSERT_TRUE(tile2(f, outer, inner, 4));
+  Snapshot after = execute(m);
+  EXPECT_EQ(before.memory, after.memory);
+}
+
+// a: A[i] = i*3;  b: B[i] = A[i] + 100;  c: C[i] = B[i] * 2 — a legal
+// fusion chain (all dependences are intra-iteration after fusion).
+Module build_chain3(i64 n) {
+  Module m;
+  i64 ga = m.add_global("A", n * 8);
+  i64 gb = m.add_global("B", n * 8);
+  i64 gc = m.add_global("C", n * 8);
+  Function& f = m.add_function("main", 0, "chain.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(ga);
+  Reg bb = b.const_(gb);
+  Reg c = b.const_(gc);
+  Reg nr = b.const_(n);
+  b.counted_loop(0, nr, 1, [&](Reg i) {
+    Reg off = b.muli(i, 8);
+    Reg ptr = b.add(a, off);
+    b.store(ptr, b.muli(i, 3));
+  });
+  b.counted_loop(0, nr, 1, [&](Reg i) {
+    Reg off = b.muli(i, 8);
+    Reg v = b.load(b.add(a, off));
+    b.store(b.add(bb, off), b.addi(v, 100));
+  });
+  b.counted_loop(0, nr, 1, [&](Reg i) {
+    Reg off = b.muli(i, 8);
+    Reg v = b.load(b.add(bb, off));
+    b.store(b.add(c, off), b.muli(v, 2));
+  });
+  b.ret();
+  return m;
+}
+
+TEST(LoopNest, FuseKeepsOutputIdentical) {
+  Module m = build_chain3(16);
+  Snapshot before = execute(m);
+  Function& f = *m.find_function("main");
+  std::vector<CountedLoop> loops = find_counted_loops(f);
+  ASSERT_EQ(loops.size(), 3u);
+  ASSERT_TRUE(fuse(f, loops[0], loops[1]));
+  Snapshot after = execute(m);
+  EXPECT_EQ(before.memory, after.memory);
+}
+
+TEST(LoopNest, FuseChainsAcrossThreeLoops) {
+  // Regression for the dead-island bug: after fuse(a, b) the dead b
+  // header used to keep a branch into the merged loop body, making the
+  // merged loop fail match_counted_loop's side-entry check — so chain
+  // fusion stopped after one step. Both fusions must match and apply.
+  Module m = build_chain3(16);
+  Snapshot before = execute(m);
+  Function& f = *m.find_function("main");
+  std::vector<CountedLoop> loops = find_counted_loops(f);
+  ASSERT_EQ(loops.size(), 3u);
+  ASSERT_TRUE(fuse(f, loops[0], loops[1]));
+  std::optional<CountedLoop> merged = match_counted_loop(f, loops[0].header);
+  ASSERT_TRUE(merged.has_value()) << "fused loop no longer matches";
+  std::optional<CountedLoop> tail = match_counted_loop(f, loops[2].header);
+  ASSERT_TRUE(tail.has_value());
+  ASSERT_TRUE(fuse(f, *merged, *tail));
+  EXPECT_GT(remove_unreachable_blocks(f), 0);
+  Snapshot after = execute(m);
+  EXPECT_EQ(before.exit_value, after.exit_value);
+  EXPECT_EQ(before.memory, after.memory);
+}
+
+TEST(LoopNest, FuseRefusesUnequalTripSpaces) {
+  Module m;
+  i64 ga = m.add_global("A", 32 * 8);
+  Function& f = m.add_function("main", 0, "uneq.c");
+  Builder b(m, f);
+  b.set_block(b.make_block());
+  Reg a = b.const_(ga);
+  Reg n1 = b.const_(8);
+  Reg n2 = b.const_(12);
+  b.counted_loop(0, n1, 1, [&](Reg i) {
+    b.store(b.add(a, b.muli(i, 8)), i);
+  });
+  b.counted_loop(0, n2, 1, [&](Reg i) {
+    b.store(b.add(a, b.muli(i, 8)), i, 128);
+  });
+  b.ret();
+  Function& fn = *m.find_function("main");
+  std::vector<CountedLoop> loops = find_counted_loops(fn);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_FALSE(fuse(fn, loops[0], loops[1]));
+}
+
+}  // namespace
+}  // namespace pp::ir
